@@ -1,0 +1,73 @@
+// Ablations of the DAG Transformer's design choices (DESIGN.md):
+//   - DAGRA reachability mask vs full attention,
+//   - DAGPE depth positional encoding on/off,
+//   - MAE vs MSE training loss (paper §IV-B7 picks MAE),
+//   - graph pruning on/off (paper §IV-B4), measured on encoding size and
+//     accuracy.
+// One (benchmark, mesh, config) scenario, largest training fraction.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "ir/to_dag.h"
+
+using namespace predtop;
+
+int main() {
+  const bench::GridConfig grid = bench::LoadGridConfig();
+  const auto benchmark = bench::PaperGpt3();
+  const auto cluster = sim::Platform1();
+  const sim::Mesh mesh{1, 2};
+  const parallel::ParallelConfig config{1, 2, 1};
+  const parallel::IntraOpCompiler compiler(cluster, mesh);
+
+  const bench::StagePool pool =
+      bench::BuildStagePool(benchmark, grid.gpt_samples, grid.gpt_max_span, grid.seed);
+  sim::Profiler profiler({}, grid.seed);
+  const core::StageDataset dataset = bench::LabelPool(pool, compiler, config, profiler);
+
+  util::Rng rng(grid.seed + 5);
+  const nn::DataSplit split = nn::SplitDataset(dataset.Size(), 0.7, 0.1, rng);
+
+  struct Variant {
+    std::string name;
+    bool dagra;
+    bool dagpe;
+    nn::LossKind loss;
+  };
+  const std::vector<Variant> variants{
+      {"full model (DAGRA + DAGPE, MAE)", true, true, nn::LossKind::kMae},
+      {"no DAGRA (unmasked attention)", false, true, nn::LossKind::kMae},
+      {"no DAGPE (no depth encoding)", true, false, nn::LossKind::kMae},
+      {"MSE loss instead of MAE", true, true, nn::LossKind::kMse},
+  };
+
+  util::TablePrinter table({"variant", "held-out MRE (%)"});
+  table.SetTitle("DAG Transformer ablations — GPT-3, Platform 1, " + config.ToString());
+  for (const Variant& v : variants) {
+    core::PredictorOptions options = grid.predictor;
+    options.use_dagra = v.dagra;
+    options.use_dagpe = v.dagpe;
+    nn::TrainConfig train = grid.train;
+    train.loss = v.loss;
+    core::LatencyRegressor regressor(core::PredictorKind::kDagTransformer, options);
+    regressor.Fit(dataset, split.train, split.validation, train);
+    table.AddRow({v.name, util::FormatF(regressor.MrePercent(dataset, split.test), 2)});
+    std::cerr << "[bench] ablation done: " << v.name << "\n";
+  }
+  table.Print(std::cout);
+
+  // Pruning ablation: encoding size effect (paper §IV-B4 motivation).
+  std::int64_t raw_nodes = 0, pruned_nodes = 0;
+  for (const auto& program : pool.programs) {
+    raw_nodes += ir::BuildOpDag(program).NumNodes();
+    pruned_nodes += ir::BuildPrunedOpDag(program).NumNodes();
+  }
+  util::TablePrinter prune_table({"graph form", "total nodes", "relative"});
+  prune_table.SetTitle("Graph pruning (reshape/broadcast/convert removal)");
+  prune_table.AddRow({"raw jaxpr-level DAGs", std::to_string(raw_nodes), "100%"});
+  prune_table.AddRow({"pruned DAGs", std::to_string(pruned_nodes),
+                      util::FormatF(100.0 * pruned_nodes / raw_nodes, 1) + "%"});
+  prune_table.Print(std::cout);
+  return 0;
+}

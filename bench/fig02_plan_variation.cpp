@@ -1,0 +1,113 @@
+// Paper Fig. 2: the iteration latency of 100 random parallelization plans
+// for each benchmark on Platform 2 — demonstrating that the same model on
+// the same hardware spans a wide latency range depending on the plan, which
+// is why latency prediction must be plan-aware.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "parallel/pipeline_model.h"
+
+using namespace predtop;
+
+namespace {
+
+/// Random plan: contiguous layer partition + per-stage mesh (within the
+/// device budget) + per-stage paper config. Returns its simulated iteration
+/// latency, or nullopt when the random draw is infeasible.
+std::optional<double> RandomPlanLatency(
+    const core::BenchmarkModel& benchmark, const sim::ClusterSpec& cluster,
+    std::int32_t num_microbatches, util::Rng& rng,
+    std::map<std::tuple<int, int, int, int>, double>& cache,
+    std::vector<std::unique_ptr<parallel::IntraOpCompiler>>& compilers,
+    const std::vector<sim::Mesh>& meshes) {
+  const std::int32_t layers = benchmark.num_layers;
+  const auto num_stages = static_cast<std::int32_t>(1 + rng.NextBelow(4));
+  // Random contiguous cut points.
+  std::vector<std::int32_t> cuts{0, layers};
+  while (static_cast<std::int32_t>(cuts.size()) < num_stages + 1) {
+    const auto c = static_cast<std::int32_t>(1 + rng.NextBelow(
+                       static_cast<std::uint64_t>(layers - 1)));
+    if (std::find(cuts.begin(), cuts.end(), c) == cuts.end()) cuts.push_back(c);
+  }
+  std::sort(cuts.begin(), cuts.end());
+
+  std::int32_t devices_left = cluster.TotalDevices();
+  std::vector<double> stage_latencies;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    // Pick a random mesh that still fits the device budget.
+    std::vector<std::size_t> feasible;
+    for (std::size_t m = 0; m < meshes.size(); ++m) {
+      if (meshes[m].NumDevices() <= devices_left) feasible.push_back(m);
+    }
+    if (feasible.empty()) return std::nullopt;
+    const std::size_t m = feasible[rng.NextBelow(feasible.size())];
+    devices_left -= meshes[m].NumDevices();
+    const auto configs = parallel::PaperConfigs(meshes[m]);
+    const auto c = static_cast<int>(rng.NextBelow(configs.size()));
+
+    const auto key = std::make_tuple(cuts[i], cuts[i + 1], static_cast<int>(m), c);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      const auto program = benchmark.build_stage({cuts[i], cuts[i + 1]});
+      it = cache.emplace(key, compilers[m]->Compile(program, configs[static_cast<std::size_t>(c)])
+                                  .latency_s).first;
+    }
+    if (!std::isfinite(it->second)) return std::nullopt;
+    stage_latencies.push_back(it->second);
+  }
+  return parallel::PipelineLatency(stage_latencies, num_microbatches);
+}
+
+void RunBenchmark(const core::BenchmarkModel& benchmark, const sim::ClusterSpec& cluster) {
+  const std::int32_t kPlans = 100;
+  const std::int32_t microbatches = 8;
+  util::Rng rng(0xf19ULL);
+  std::map<std::tuple<int, int, int, int>, double> cache;
+  const auto meshes = sim::PaperMeshes(cluster);
+  std::vector<std::unique_ptr<parallel::IntraOpCompiler>> compilers;
+  for (const sim::Mesh mesh : meshes) {
+    compilers.push_back(std::make_unique<parallel::IntraOpCompiler>(cluster, mesh));
+  }
+
+  std::vector<double> latencies;
+  while (static_cast<std::int32_t>(latencies.size()) < kPlans) {
+    const auto latency = RandomPlanLatency(benchmark, cluster, microbatches, rng, cache,
+                                           compilers, meshes);
+    if (latency) latencies.push_back(*latency);
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  util::TablePrinter table({"statistic", "iteration latency"});
+  table.SetTitle("Fig. 2 — " + benchmark.name + ": latency of " + std::to_string(kPlans) +
+                 " random parallelization plans on " + cluster.name);
+  table.AddRow({"min", util::FormatSeconds(util::Min(latencies))});
+  table.AddRow({"p25", util::FormatSeconds(util::Percentile(latencies, 25))});
+  table.AddRow({"median", util::FormatSeconds(util::Percentile(latencies, 50))});
+  table.AddRow({"p75", util::FormatSeconds(util::Percentile(latencies, 75))});
+  table.AddRow({"max", util::FormatSeconds(util::Max(latencies))});
+  table.AddRow({"max / min", util::FormatF(util::Max(latencies) / util::Min(latencies), 2) + "x"});
+  table.Print(std::cout);
+
+  // Sorted latency series (the paper plots all 100 plans).
+  std::cout << "sorted plan latencies (s):";
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    if (i % 10 == 0) std::cout << "\n  ";
+    std::cout << util::FormatF(latencies[i], 4) << ' ';
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto cluster = sim::Platform2();
+  RunBenchmark(bench::PaperGpt3(), cluster);
+  RunBenchmark(bench::PaperMoe(), cluster);
+  std::cout << "Shape check vs paper Fig. 2: plan choice changes iteration latency by a\n"
+               "large factor for both models, motivating plan-aware prediction.\n";
+  return 0;
+}

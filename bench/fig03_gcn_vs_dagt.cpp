@@ -1,0 +1,45 @@
+// Paper Fig. 3: stage-latency prediction error of GCN vs DAG Transformer
+// across runtime configurations (the motivating comparison of §II-C). Cells
+// come from the Platform 1 MRE grid (computed here if not already cached by
+// another bench binary), reported at the largest training fraction.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace predtop;
+using bench::GridConfig;
+
+namespace {
+
+void Report(const bench::MreGrid& grid_data, const std::string& benchmark_name,
+            std::ostream& os) {
+  util::TablePrinter table({"configuration", "GCN MRE (%)", "DAG Transformer MRE (%)"});
+  table.SetTitle("Fig. 3 — " + benchmark_name + " (Platform 1, " +
+                 std::to_string(grid_data.fraction_pcts.back()) + "% training samples)");
+  const std::size_t f = grid_data.fraction_pcts.size() - 1;  // largest fraction
+  for (std::size_t s = 0; s < grid_data.scenario_names.size(); ++s) {
+    const bench::CellResult& cell = grid_data.cells[s][f];
+    table.AddRow({grid_data.scenario_names[s], util::FormatF(cell.mre_gcn, 2),
+                  util::FormatF(cell.mre_tran, 2)});
+  }
+  table.Print(os);
+}
+
+}  // namespace
+
+int main() {
+  const GridConfig grid = bench::LoadGridConfig();
+  const auto cluster = sim::Platform1();
+  const auto gpt = bench::EnsureMreGrid(grid, cluster, "platform1", bench::PaperGpt3(), "gpt3",
+                                        grid.gpt_samples, grid.gpt_max_span);
+  Report(gpt, "GPT-3", std::cout);
+  const auto moe = bench::EnsureMreGrid(grid, cluster, "platform1", bench::PaperMoe(), "moe",
+                                        grid.moe_samples, grid.moe_max_span);
+  Report(moe, "MoE", std::cout);
+  std::cout << "Shape check vs paper Fig. 3: the DAG Transformer stays usable across\n"
+               "every configuration with no blow-ups. NOTE: unlike on the paper's real\n"
+               "GPUs, GCN often matches or beats it here because simulated stage latency\n"
+               "is close to additive in per-node features (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Paper Figs. 8 and 9: for each (platform, benchmark), the MRE of every
+// prediction model averaged over all (mesh, configuration) scenarios per
+// training fraction (Fig. 8), and the standard deviation of those MREs over
+// scenarios (Fig. 9 — the stability claim). Consumes the full MRE grids,
+// computing and caching any that the table binaries have not produced yet.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace predtop;
+using bench::GridConfig;
+
+namespace {
+
+void Summarize(const bench::MreGrid& grid_data, const std::string& label, std::ostream& os) {
+  util::TablePrinter avg_table(
+      {"# of Samples", "GCN avg", "GAT avg", "Tran avg", "GCN std", "GAT std", "Tran std"});
+  avg_table.SetTitle("Figs. 8/9 — " + label +
+                     ": MRE (%) mean / std-dev over scenarios per training fraction");
+  for (std::size_t f = grid_data.fraction_pcts.size(); f-- > 0;) {
+    std::vector<double> gcn, gat, tran;
+    for (std::size_t s = 0; s < grid_data.scenario_names.size(); ++s) {
+      gcn.push_back(grid_data.cells[s][f].mre_gcn);
+      gat.push_back(grid_data.cells[s][f].mre_gat);
+      tran.push_back(grid_data.cells[s][f].mre_tran);
+    }
+    avg_table.AddRow({std::to_string(grid_data.fraction_pcts[f]) + "%",
+                      util::FormatF(util::Mean(gcn), 2), util::FormatF(util::Mean(gat), 2),
+                      util::FormatF(util::Mean(tran), 2), util::FormatF(util::StdDev(gcn), 2),
+                      util::FormatF(util::StdDev(gat), 2),
+                      util::FormatF(util::StdDev(tran), 2)});
+  }
+  avg_table.Print(os);
+  os << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const GridConfig grid = bench::LoadGridConfig();
+  struct Job {
+    sim::ClusterSpec cluster;
+    std::string platform_id;
+    core::BenchmarkModel benchmark;
+    std::string benchmark_id;
+    std::size_t samples;
+    std::int32_t max_span;
+  };
+  const std::vector<Job> jobs{
+      {sim::Platform1(), "platform1", bench::PaperGpt3(), "gpt3", grid.gpt_samples,
+       grid.gpt_max_span},
+      {sim::Platform1(), "platform1", bench::PaperMoe(), "moe", grid.moe_samples,
+       grid.moe_max_span},
+      {sim::Platform2(), "platform2", bench::PaperGpt3(), "gpt3", grid.gpt_samples,
+       grid.gpt_max_span},
+      {sim::Platform2(), "platform2", bench::PaperMoe(), "moe", grid.moe_samples,
+       grid.moe_max_span},
+  };
+  // Aggregate over everything for the overall Fig. 8/9 view per model.
+  std::vector<double> all_gcn, all_gat, all_tran;
+  for (const Job& job : jobs) {
+    const auto grid_data = bench::EnsureMreGrid(grid, job.cluster, job.platform_id,
+                                                job.benchmark, job.benchmark_id, job.samples,
+                                                job.max_span);
+    Summarize(grid_data, job.benchmark.name + " / " + job.cluster.name, std::cout);
+    for (const auto& row : grid_data.cells) {
+      for (const auto& cell : row) {
+        all_gcn.push_back(cell.mre_gcn);
+        all_gat.push_back(cell.mre_gat);
+        all_tran.push_back(cell.mre_tran);
+      }
+    }
+  }
+  util::TablePrinter overall({"model", "mean MRE (%)", "std-dev (%)", "max (%)"});
+  overall.SetTitle("Overall across platforms, benchmarks, scenarios and fractions");
+  overall.AddRow({"GCN", util::FormatF(util::Mean(all_gcn), 2),
+                  util::FormatF(util::StdDev(all_gcn), 2), util::FormatF(util::Max(all_gcn), 2)});
+  overall.AddRow({"GAT", util::FormatF(util::Mean(all_gat), 2),
+                  util::FormatF(util::StdDev(all_gat), 2), util::FormatF(util::Max(all_gat), 2)});
+  overall.AddRow({"Tran", util::FormatF(util::Mean(all_tran), 2),
+                  util::FormatF(util::StdDev(all_tran), 2),
+                  util::FormatF(util::Max(all_tran), 2)});
+  overall.Print(std::cout);
+  std::cout << "Shape check vs paper Figs. 8/9: expect the DAG Transformer's MRE to\n"
+               "decline monotonically with training data and reach the paper's 2-4%\n"
+               "band at the largest fraction, with no catastrophic cells. NOTE: on this\n"
+               "simulated substrate the additive GCN/GAT baselines are stronger than on\n"
+               "the paper's real GPUs — see EXPERIMENTS.md for the analysis of this\n"
+               "deviation.\n";
+  return 0;
+}

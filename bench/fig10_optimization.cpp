@@ -1,0 +1,80 @@
+// Paper Fig. 10: the plan-search use case. For GPT-3 and MoE on Platform 2,
+// generate a parallelization plan with (a) vanilla Alpa full profiling,
+// (b) vanilla Alpa partial profiling, and (c-e) PredTOP with the GCN / GAT /
+// DAG Transformer predictors; report the optimization cost (Fig. 10a) and
+// the ground-truth iteration latency of each plan (Fig. 10b).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/plan_search.h"
+
+using namespace predtop;
+using core::PlanApproach;
+
+namespace {
+
+void RunBenchmark(const core::BenchmarkModel& benchmark, std::int32_t max_span,
+                  const bench::GridConfig& grid) {
+  // The span cap must leave a real plan space: covering all layers with at
+  // most one stage per device requires spans of at least
+  // ceil(layers / devices), and meaningful search needs headroom above that.
+  const std::int32_t devices = sim::Platform2().TotalDevices();
+  const std::int32_t min_span = (benchmark.num_layers + devices - 1) / devices;
+  max_span = std::max(max_span, std::min(benchmark.num_layers, min_span + 3));
+
+  core::PlanSearchConfig config;
+  config.num_microbatches = 8;
+  config.sample_fraction = 0.12;
+  config.max_span = max_span;
+  config.train = grid.train;
+  config.train.max_epochs = std::min<std::int64_t>(config.train.max_epochs, 150);
+  config.train.patience = config.train.max_epochs;
+  config.predictor = grid.predictor;
+  config.seed = grid.seed;
+  core::PlanSearch search(benchmark, sim::Platform2(), config);
+
+  util::TablePrinter table({"approach", "optimization cost", "vs full profiling cost",
+                            "iteration latency", "latency vs baseline"});
+  table.SetTitle("Fig. 10 — " + benchmark.name + " on Platform 2");
+  double baseline_cost = 0.0;
+  double baseline_latency = 0.0;
+  for (const PlanApproach approach :
+       {PlanApproach::kFullProfiling, PlanApproach::kPartialProfiling,
+        PlanApproach::kPredTopGcn, PlanApproach::kPredTopGat,
+        PlanApproach::kPredTopDagTransformer}) {
+    std::cerr << "[bench] fig10 " << benchmark.name << ": "
+              << core::PlanApproachName(approach) << "\n";
+    const core::PlanSearchResult result = search.Run(approach);
+    if (approach == PlanApproach::kFullProfiling) {
+      baseline_cost = result.optimization_cost_s;
+      baseline_latency = result.plan_true_latency_s;
+    }
+    const double cost_delta =
+        100.0 * (result.optimization_cost_s - baseline_cost) / baseline_cost;
+    const double lat_delta =
+        100.0 * (result.plan_true_latency_s - baseline_latency) / baseline_latency;
+    table.AddRow({core::PlanApproachName(approach),
+                  util::FormatSeconds(result.optimization_cost_s),
+                  (cost_delta >= 0 ? "+" : "") + util::FormatF(cost_delta, 1) + " %",
+                  util::FormatSeconds(result.plan_true_latency_s),
+                  (lat_delta >= 0 ? "+" : "") + util::FormatF(lat_delta, 1) + " %"});
+  }
+  table.Print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const bench::GridConfig grid = bench::LoadGridConfig();
+  RunBenchmark(bench::PaperGpt3(), grid.gpt_max_span, grid);
+  RunBenchmark(bench::PaperMoe(), grid.moe_max_span, grid);
+  std::cout << "Shape check vs paper Fig. 10: PredTOP cuts the optimization cost well\n"
+               "below profiling-based Alpa (paper: -46.6% GPT-3 / -41.6% MoE vs partial\n"
+               "profiling) while the chosen plan's iteration latency stays within a few\n"
+               "percent of the full-profiling baseline (paper: +2.1% worst case for the\n"
+               "DAG Transformer variant).\n";
+  return 0;
+}

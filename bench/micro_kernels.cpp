@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for the performance-critical components:
+// the NN kernels behind predictor training, graph encoding, and the two
+// optimizers. Guards against regressions in the pieces that dominate the
+// experiment harnesses' wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dataset.h"
+#include "core/predictors.h"
+#include "graph/reachability.h"
+#include "ir/to_dag.h"
+#include "parallel/inter_op.h"
+#include "parallel/intra_op.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+using namespace predtop;
+
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const auto m = state.range(0), k = state.range(1), n = state.range(2);
+  util::Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::Randn({m, k}, rng);
+  const tensor::Tensor b = tensor::Tensor::Randn({k, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_MatMul)->Args({256, 8, 256})->Args({256, 256, 8})->Args({256, 64, 64});
+
+void BM_MaskedSoftmax(benchmark::State& state) {
+  const auto n = state.range(0);
+  util::Rng rng(2);
+  const tensor::Tensor logits = tensor::Tensor::Randn({n, n}, rng);
+  tensor::Tensor mask({n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      if ((i + j) % 3 == 0) mask.at(i, j) = -std::numeric_limits<float>::infinity();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::RowSoftmax(logits, &mask));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_MaskedSoftmax)->Arg(128)->Arg(256)->Arg(512);
+
+const ir::StageProgram& SampleStage() {
+  static const ir::StageProgram program = [] {
+    ir::Gpt3Config config;
+    return ir::BuildGpt3Stage(config, {0, 4});
+  }();
+  return program;
+}
+
+void BM_ReachabilityClosure(benchmark::State& state) {
+  const graph::OpDag dag = ir::BuildPrunedOpDag(SampleStage());
+  for (auto _ : state) {
+    const graph::ReachabilityClosure closure(dag);
+    benchmark::DoNotOptimize(closure.CountReachablePairs());
+  }
+  state.SetLabel(std::to_string(dag.NumNodes()) + " nodes");
+}
+BENCHMARK(BM_ReachabilityClosure);
+
+void BM_EncodeStage(benchmark::State& state) {
+  const ir::StageProgram& program = SampleStage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EncodeStage(program).num_nodes);
+  }
+}
+BENCHMARK(BM_EncodeStage);
+
+void BM_IntraOpCompile(benchmark::State& state) {
+  const parallel::IntraOpCompiler compiler(sim::Platform2(), sim::Mesh{1, 2});
+  const ir::StageProgram& program = SampleStage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.Compile(program, {1, 2, 1}).latency_s);
+  }
+  state.SetLabel(std::to_string(program.NumEquations()) + " equations");
+}
+BENCHMARK(BM_IntraOpCompile);
+
+void BM_InterOpDp(benchmark::State& state) {
+  // Synthetic oracle isolates the DP itself from stage compilation.
+  const parallel::StageLatencyOracle oracle = [](ir::StageSlice slice, sim::Mesh mesh) {
+    const double d = mesh.NumDevices();
+    return parallel::StageLatencyResult{slice.NumLayers() * (0.4 + 0.6 * d) / d, {}};
+  };
+  parallel::InterOpOptions options;
+  options.num_layers = static_cast<std::int32_t>(state.range(0));
+  options.num_microbatches = 8;
+  const parallel::InterOpOptimizer optimizer(sim::Platform2(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.Optimize(oracle).iteration_latency_s);
+  }
+}
+BENCHMARK(BM_InterOpDp)->Arg(12)->Arg(24);
+
+void BM_DagTransformerForward(benchmark::State& state) {
+  const graph::EncodedGraph encoded = core::EncodeStage(SampleStage());
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  options.dagt_dim = 32;
+  options.dagt_layers = 2;
+  options.dagt_heads = 2;
+  auto model = core::MakePredictor(core::PredictorKind::kDagTransformer, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Forward(encoded).value().data()[0]);
+  }
+  state.SetLabel(std::to_string(encoded.num_nodes) + " nodes");
+}
+BENCHMARK(BM_DagTransformerForward);
+
+void BM_GcnForward(benchmark::State& state) {
+  const graph::EncodedGraph encoded = core::EncodeStage(SampleStage());
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  options.gcn_dim = 64;
+  options.gcn_layers = 4;
+  auto model = core::MakePredictor(core::PredictorKind::kGcn, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Forward(encoded).value().data()[0]);
+  }
+}
+BENCHMARK(BM_GcnForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Paper Tbl. V: MRE (%) of GCN / GAT / DAG Transformer at every (mesh,
+// configuration) of Platform 1 (2x NVIDIA A40) over training fractions, for
+// the GPT-3 (a) and MoE (b) benchmarks. Reuses the cached MRE grid when a
+// prior bench binary already computed it.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace predtop;
+
+int main() {
+  const bench::GridConfig grid = bench::LoadGridConfig();
+  const auto cluster = sim::Platform1();
+  const auto gpt = bench::EnsureMreGrid(grid, cluster, "platform1", bench::PaperGpt3(), "gpt3",
+                                        grid.gpt_samples, grid.gpt_max_span);
+  bench::PrintMreTable(gpt, "Table V(a) — GPT-3, Platform 1 (A40): MRE (%)", std::cout);
+  std::cout << '\n';
+  const auto moe = bench::EnsureMreGrid(grid, cluster, "platform1", bench::PaperMoe(), "moe",
+                                        grid.moe_samples, grid.moe_max_span);
+  bench::PrintMreTable(moe, "Table V(b) — MoE, Platform 1 (A40): MRE (%)", std::cout);
+  std::cout << "\nShape check vs paper Tbl. V: the DAG Transformer improves monotonically\n"
+               "with training data and reaches the paper's 2-4% band at 80% (which\n"
+               "matches the paper's *absolute* training-set sizes); at the scaled-down\n"
+               "grid's smallest fractions (4-5 stages) it degrades while the additive\n"
+               "baselines stay low on this simulated substrate — see EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Automatic parallelization-plan search (paper §VIII-B): generate the
+// optimal pipeline plan for a scaled-down GPT-3 on Platform 2 with all five
+// approaches — Alpa-style full/partial profiling and PredTOP with each of
+// the three predictors — and compare optimization cost against the quality
+// of the produced plan.
+//
+// Environment knobs:
+//   PREDTOP_EX_LAYERS   model depth (default 8)
+//   PREDTOP_EX_EPOCHS   max predictor training epochs (default 150)
+
+#include <iostream>
+
+#include "core/plan_search.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace predtop;
+using core::PlanApproach;
+
+int main() {
+  ir::Gpt3Config model_config;
+  model_config.seq_len = 64;
+  model_config.hidden = 64;
+  model_config.num_layers = util::EnvInt("PREDTOP_EX_LAYERS", 8);
+  model_config.num_heads = 4;
+  model_config.vocab = 512;
+  model_config.microbatch = 2;
+
+  core::PlanSearchConfig config;
+  config.num_microbatches = 8;
+  config.sample_fraction = 0.3;
+  config.max_span = 5;
+  config.train.max_epochs = util::EnvInt("PREDTOP_EX_EPOCHS", 150);
+  config.train.patience = config.train.max_epochs;
+  config.train.batch_size = 8;
+  config.train.base_lr = 2e-3f;
+  config.predictor.dagt_dim = 16;
+  config.predictor.dagt_layers = 2;
+  config.predictor.dagt_heads = 2;
+  config.predictor.gcn_dim = 64;
+  config.predictor.gcn_layers = 4;
+  config.predictor.gat_dim = 16;
+  config.predictor.gat_layers = 4;
+
+  core::PlanSearch search(core::Gpt3Benchmark(model_config), sim::Platform2(), config);
+
+  util::TablePrinter table({"approach", "opt. cost", "stages profiled", "plan stages",
+                            "iteration latency", "vs full profiling"});
+  double baseline = 0.0;
+  for (const PlanApproach approach :
+       {PlanApproach::kFullProfiling, PlanApproach::kPartialProfiling,
+        PlanApproach::kPredTopGcn, PlanApproach::kPredTopGat,
+        PlanApproach::kPredTopDagTransformer}) {
+    std::cout << "running " << core::PlanApproachName(approach) << "...\n";
+    const core::PlanSearchResult result = search.Run(approach);
+    if (approach == PlanApproach::kFullProfiling) baseline = result.plan_true_latency_s;
+    const double delta = 100.0 * (result.plan_true_latency_s - baseline) / baseline;
+    table.AddRow({core::PlanApproachName(approach),
+                  util::FormatSeconds(result.optimization_cost_s),
+                  std::to_string(result.stages_profiled),
+                  std::to_string(result.plan.stages.size()),
+                  util::FormatSeconds(result.plan_true_latency_s),
+                  (delta >= 0 ? "+" : "") + util::FormatF(delta, 1) + " %"});
+  }
+  std::cout << '\n';
+  table.SetTitle("Parallelization-plan search (scaled-down GPT-3, Platform 2)");
+  table.Print(std::cout);
+  return 0;
+}

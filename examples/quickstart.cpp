@@ -1,0 +1,100 @@
+// Quickstart: the end-to-end PredTOP loop in ~100 lines.
+//
+//   1. Define a benchmark model (a scaled-down GPT-3) and a cluster.
+//   2. Profiling phase — sample pipeline-stage candidates, compile each with
+//      the intra-operator optimizer and profile its latency on the mesh.
+//   3. Training phase — fit a DAG Transformer regressor on the profiled
+//      stages (paper §IV).
+//   4. Prediction phase — predict unseen stages, and compose the white-box
+//      pipeline formula (Eqn. 4) into an end-to-end iteration estimate.
+//
+// Run:  ./quickstart        (about half a minute on a laptop core)
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/greybox.h"
+#include "core/plan_search.h"
+#include "nn/trainer.h"
+#include "parallel/pipeline_model.h"
+#include "util/table.h"
+
+using namespace predtop;
+using core::BenchmarkModel;
+
+int main() {
+  // A GPT-3-shaped model small enough for a quick demo.
+  ir::Gpt3Config model_config;
+  model_config.seq_len = 64;
+  model_config.hidden = 64;
+  model_config.num_layers = 10;
+  model_config.num_heads = 4;
+  model_config.vocab = 512;
+  model_config.microbatch = 2;
+  const BenchmarkModel benchmark = core::Gpt3Benchmark(model_config);
+
+  // Platform 1 from the paper: one node with two NVIDIA A40s (simulated).
+  const sim::ClusterSpec cluster = sim::Platform1();
+  const sim::Mesh mesh{1, 2};
+  const parallel::IntraOpCompiler compiler(cluster, mesh);
+  const auto configs = parallel::PaperConfigs(mesh);
+
+  std::printf("== Phase 1: profiling sampled stages on %s, mesh (%d node x %d GPU)\n",
+              cluster.name.c_str(), mesh.num_nodes, mesh.gpus_per_node);
+  sim::Profiler profiler({}, /*seed=*/1);
+  core::DatasetBuildConfig build;
+  build.max_span = 5;  // stages of 1..5 layers -> 40 candidates
+  const core::StageDataset dataset =
+      core::BuildStageDatasetBestConfig(benchmark, compiler, configs, profiler, build);
+  std::printf("   profiled %zu stages (modeled profiling cost: %s)\n", dataset.Size(),
+              util::FormatSeconds(profiler.TotalCostSeconds()).c_str());
+
+  std::printf("== Phase 2: training the DAG Transformer stage-latency predictor\n");
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  options.dagt_dim = 16;
+  options.dagt_layers = 2;
+  options.dagt_heads = 2;
+  auto regressor = std::make_shared<core::LatencyRegressor>(
+      core::PredictorKind::kDagTransformer, options);
+
+  util::Rng rng(7);
+  const nn::DataSplit split = nn::SplitDataset(dataset.Size(), 0.7, 0.1, rng);
+  nn::TrainConfig train;
+  train.max_epochs = 200;
+  train.patience = 60;
+  train.batch_size = 8;
+  train.base_lr = 2e-3f;
+  const nn::TrainResult result =
+      regressor->Fit(dataset, split.train, split.validation, train);
+  std::printf("   trained %lld epochs (best validation MAE %.4f)\n",
+              static_cast<long long>(result.epochs_run), result.best_val_loss);
+  std::printf("   held-out stage MRE: %.2f%%\n",
+              regressor->MrePercent(dataset, split.test));
+
+  std::printf("== Phase 3: grey-box end-to-end estimation (paper Eqn. 4)\n");
+  core::GreyBoxEstimator estimator(benchmark, {{mesh, regressor}});
+
+  // A hand-written 2-stage pipeline plan over the 10 layers.
+  parallel::PipelinePlan plan;
+  plan.num_microbatches = 8;
+  plan.stages.push_back({ir::StageSlice{0, 5}, mesh, configs[0], 0.0});
+  plan.stages.push_back({ir::StageSlice{5, 10}, mesh, configs[0], 0.0});
+
+  const double predicted = estimator.EstimateIterationLatency(plan);
+  // Ground truth from the simulator for comparison.
+  std::vector<double> true_stage_latencies;
+  for (const auto& stage : plan.stages) {
+    true_stage_latencies.push_back(
+        compiler.CompileBest(benchmark.build_stage(stage.slice), configs).latency_s);
+  }
+  const double actual =
+      parallel::PipelineLatency(true_stage_latencies, plan.num_microbatches);
+
+  util::TablePrinter table({"quantity", "value"});
+  table.AddRow({"predicted iteration latency", util::FormatSeconds(predicted)});
+  table.AddRow({"simulated iteration latency", util::FormatSeconds(actual)});
+  table.AddRow({"relative error", util::FormatF(100.0 * std::abs(predicted - actual) / actual, 2) + " %"});
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Compare the three black-box stage-latency predictors — DAG Transformer,
+// GCN and GAT (paper §VII-D) — on one (mesh, configuration) scenario of a
+// scaled-down GPT-3 benchmark, reporting the held-out MRE of each.
+//
+// Environment knobs:
+//   PREDTOP_EX_LAYERS   model depth            (default 10)
+//   PREDTOP_EX_EPOCHS   max training epochs    (default 200)
+
+#include <iostream>
+
+#include "core/regressor.h"
+#include "nn/trainer.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace predtop;
+
+int main() {
+  ir::Gpt3Config model_config;
+  model_config.seq_len = 64;
+  model_config.hidden = 64;
+  model_config.num_layers = util::EnvInt("PREDTOP_EX_LAYERS", 10);
+  model_config.num_heads = 4;
+  model_config.vocab = 512;
+  model_config.microbatch = 2;
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(model_config);
+
+  const sim::ClusterSpec cluster = sim::Platform2();
+  const sim::Mesh mesh{1, 2};
+  const parallel::ParallelConfig config{1, 2, 1};  // 2-way model parallel
+  const parallel::IntraOpCompiler compiler(cluster, mesh);
+
+  sim::Profiler profiler({}, 3);
+  core::DatasetBuildConfig build;
+  build.max_span = 5;
+  const core::StageDataset dataset =
+      core::BuildStageDataset(benchmark, compiler, config, profiler, build);
+  std::cout << "Profiled " << dataset.Size() << " stages of " << benchmark.name << " on "
+            << cluster.name << ", " << config.ToString() << "\n\n";
+
+  util::Rng rng(11);
+  const nn::DataSplit split = nn::SplitDataset(dataset.Size(), 0.7, 0.1, rng);
+
+  nn::TrainConfig train;
+  train.max_epochs = util::EnvInt("PREDTOP_EX_EPOCHS", 200);
+  train.patience = train.max_epochs;  // full cosine schedule
+  train.batch_size = 8;
+  train.base_lr = 2e-3f;
+
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  options.dagt_dim = 16;
+  options.dagt_layers = 2;
+  options.dagt_heads = 2;
+  options.gcn_dim = 64;
+  options.gcn_layers = 4;
+  options.gat_dim = 16;
+  options.gat_layers = 4;
+
+  util::TablePrinter table({"predictor", "epochs", "train wall", "held-out MRE"});
+  for (const core::PredictorKind kind :
+       {core::PredictorKind::kGcn, core::PredictorKind::kGat,
+        core::PredictorKind::kDagTransformer}) {
+    core::LatencyRegressor regressor(kind, options);
+    util::Stopwatch watch;
+    const nn::TrainResult result =
+        regressor.Fit(dataset, split.train, split.validation, train);
+    const double wall = watch.ElapsedSeconds();
+    const double mre = regressor.MrePercent(dataset, split.test);
+    table.AddRow({core::PredictorKindName(kind), std::to_string(result.epochs_run),
+                  util::FormatSeconds(wall), util::FormatF(mre, 2) + " %"});
+  }
+  table.SetTitle("Held-out stage-latency prediction error (lower is better)");
+  table.Print(std::cout);
+  std::cout << "\nThe DAG Transformer's reachability-masked attention (DAGRA) and depth\n"
+               "positional encodings (DAGPE) give it the paper's edge on DAG-shaped\n"
+               "inputs; GCN/GAT need deep stacks to propagate information that far.\n";
+  return 0;
+}

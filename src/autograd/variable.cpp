@@ -1,0 +1,77 @@
+#include "autograd/variable.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace predtop::autograd {
+
+namespace detail {
+
+void Node::AccumulateGrad(const tensor::Tensor& g) {
+  if (grad.numel() == 0) {
+    grad = g;
+  } else {
+    grad.AddInPlace(g);
+  }
+}
+
+std::uint64_t NextNodeId() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+Variable::Variable(tensor::Tensor value, bool requires_grad) {
+  node_ = std::make_shared<detail::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->id = detail::NextNodeId();
+}
+
+const tensor::Tensor& Variable::grad() const {
+  if (node_->grad.numel() == 0) {
+    // Lazily materialize a zero gradient so callers always see a tensor of
+    // the right shape.
+    node_->grad = tensor::Tensor(node_->value.shape());
+  }
+  return node_->grad;
+}
+
+Variable Variable::FromNode(std::shared_ptr<detail::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+void Backward(const Variable& root) {
+  if (!root.defined()) throw std::invalid_argument("Backward: undefined variable");
+  auto* root_node = root.node().get();
+  // Seed with ones (works for scalar losses; for non-scalars this computes
+  // the gradient of the sum of outputs, which is what tests rely on).
+  tensor::Tensor seed(root_node->value.shape());
+  seed.Fill(1.0f);
+  root_node->AccumulateGrad(seed);
+
+  // Collect the reachable tape and replay in reverse creation order.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> seen;
+  std::vector<detail::Node*> stack{root_node};
+  seen.insert(root_node);
+  while (!stack.empty()) {
+    detail::Node* n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (const auto& p : n->parents) {
+      if (seen.insert(p.get()).second) stack.push_back(p.get());
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const detail::Node* a, const detail::Node* b) { return a->id > b->id; });
+  for (detail::Node* n : order) {
+    if (n->backward && n->grad.numel() != 0) n->backward(*n);
+  }
+}
+
+}  // namespace predtop::autograd

@@ -1,0 +1,75 @@
+#pragma once
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable wraps a Tensor plus a node in a dynamically-built computation
+// graph. Each differentiable op (see functions.h) creates a node that holds
+// its inputs (shared ownership keeps the tape alive) and a backward closure
+// computing vector-Jacobian products. Backward() runs the closures in
+// reverse creation order, which is a valid topological order because ops
+// always construct outputs after their inputs.
+//
+// The tape is not thread-safe across a single graph; independent graphs may
+// be built concurrently (the node id counter is atomic).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace predtop::autograd {
+
+namespace detail {
+
+struct Node {
+  tensor::Tensor value;
+  tensor::Tensor grad;  // allocated lazily on first accumulation
+  bool requires_grad = false;
+  std::uint64_t id = 0;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this->grad into parents' grads. Empty for leaves.
+  std::function<void(Node&)> backward;
+
+  /// Accumulate `g` into this node's gradient (allocating if needed).
+  void AccumulateGrad(const tensor::Tensor& g);
+};
+
+std::uint64_t NextNodeId() noexcept;
+
+}  // namespace detail
+
+class Variable {
+ public:
+  /// Empty variable (no node); only assignable.
+  Variable() = default;
+
+  /// Wrap a value; `requires_grad` marks a trainable leaf.
+  explicit Variable(tensor::Tensor value, bool requires_grad = false);
+
+  [[nodiscard]] bool defined() const noexcept { return node_ != nullptr; }
+  [[nodiscard]] const tensor::Tensor& value() const noexcept { return node_->value; }
+  /// Mutable access for optimizers (in-place parameter updates).
+  [[nodiscard]] tensor::Tensor& mutable_value() noexcept { return node_->value; }
+  /// Gradient accumulated by Backward(); zero tensor if none was propagated.
+  [[nodiscard]] const tensor::Tensor& grad() const;
+  [[nodiscard]] bool requires_grad() const noexcept { return node_->requires_grad; }
+
+  /// Reset accumulated gradient to "none" (next Backward starts fresh).
+  void ZeroGrad() noexcept { node_->grad = tensor::Tensor(); }
+
+  /// Internal: used by op implementations.
+  [[nodiscard]] const std::shared_ptr<detail::Node>& node() const noexcept { return node_; }
+  [[nodiscard]] static Variable FromNode(std::shared_ptr<detail::Node> node);
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+/// Run reverse-mode accumulation from `root`, seeding d(root)/d(root) with
+/// ones (root is typically a scalar loss). Gradients accumulate into every
+/// reachable node with requires_grad set (directly or transitively).
+void Backward(const Variable& root);
+
+}  // namespace predtop::autograd

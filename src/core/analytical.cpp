@@ -1,0 +1,34 @@
+#include "core/analytical.h"
+
+#include <algorithm>
+
+#include "sim/cost_model.h"
+
+namespace predtop::core {
+
+AnalyticalEstimator::AnalyticalEstimator(sim::DeviceSpec device,
+                                         parallel::ParallelConfig config,
+                                         double assumed_efficiency) noexcept
+    : device_(std::move(device)), config_(config), efficiency_(assumed_efficiency) {}
+
+double AnalyticalEstimator::EstimateStageSeconds(const ir::StageProgram& program) const {
+  const double devices = config_.Degree();
+  double total = 0.0;
+  for (const ir::Equation& eqn : program.equations()) {
+    const ir::TensorSpec& result = program.value(eqn.result).spec;
+    const double peak =
+        (result.dtype == ir::DType::kF16 || result.dtype == ir::DType::kBF16)
+            ? device_.peak_tflops_f16 * 1e12
+            : device_.peak_tflops_f32 * 1e12;
+    const double compute_s =
+        static_cast<double>(ir::EquationFlops(program, eqn)) / (peak * efficiency_);
+    const double memory_s =
+        static_cast<double>(ir::EquationBytes(program, eqn)) / (device_.hbm_gbps * 1e9);
+    // Assume perfect strong scaling over all devices of the configuration —
+    // the kind of optimistic simplification analytical models make.
+    total += sim::OpCostModel::TrainingFactor(eqn.op) * std::max(compute_s, memory_s) / devices;
+  }
+  return total;
+}
+
+}  // namespace predtop::core

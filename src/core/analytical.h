@@ -1,0 +1,32 @@
+#pragma once
+// Paleo-style analytical baseline (paper §IX "white-box operator-based
+// modeling"): estimate stage latency as the sum of per-operator roofline
+// costs from published device specs — no profiling, no learning. It knows
+// nothing about kernel fusion, quantization quirks, scheduling overlap or
+// the parallel configuration's collectives, which is exactly the gap the
+// paper's black-box predictors close; tests and the ablation bench quantify
+// it against the trained models.
+
+#include "ir/program.h"
+#include "parallel/config.h"
+#include "sim/cluster.h"
+
+namespace predtop::core {
+
+class AnalyticalEstimator {
+ public:
+  /// `assumed_efficiency` is the flat utilization factor applied to peak
+  /// FLOPs (Paleo's "platform percent of peak").
+  AnalyticalEstimator(sim::DeviceSpec device, parallel::ParallelConfig config,
+                      double assumed_efficiency = 0.5) noexcept;
+
+  /// Naive roofline sum over all equations of a training iteration.
+  [[nodiscard]] double EstimateStageSeconds(const ir::StageProgram& program) const;
+
+ private:
+  sim::DeviceSpec device_;
+  parallel::ParallelConfig config_;
+  double efficiency_;
+};
+
+}  // namespace predtop::core

@@ -1,0 +1,178 @@
+#include "core/predictors.h"
+
+#include <stdexcept>
+
+#include "autograd/functions.h"
+#include "graph/depth.h"
+#include "graph/reachability.h"
+
+namespace predtop::core {
+
+using autograd::Variable;
+
+const char* PredictorKindName(PredictorKind kind) noexcept {
+  switch (kind) {
+    case PredictorKind::kDagTransformer: return "Tran";
+    case PredictorKind::kGcn: return "GCN";
+    case PredictorKind::kGat: return "GAT";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Paper §IV-B5: DAG Transformer layers -> global add pool -> linear layers
+/// with ReLU -> scalar output. DAGPE sinusoidal depth encodings are added to
+/// the projected input embedding; DAGRA masks restrict attention.
+class DagTransformerPredictor final : public StagePredictor {
+ public:
+  explicit DagTransformerPredictor(const PredictorOptions& options)
+      : options_(options), rng_(options.seed), input_proj_(options.feature_dim, options.dagt_dim, rng_) {
+    for (std::int64_t i = 0; i < options.dagt_layers; ++i) {
+      layers_.push_back(std::make_unique<nn::DagTransformerLayer>(
+          options.dagt_dim, options.dagt_heads, options.dagt_ffn_mult, rng_));
+    }
+    // The head sees the pooled transformer embedding concatenated with the
+    // pooled *raw* node features: layer norm inside the transformer blocks
+    // squashes magnitude information, and this residual pathway restores the
+    // additive cost signal (sum of per-op features) that stage latency
+    // carries, which matters most in the low-training-sample regime.
+    const std::int64_t head_in = options.dagt_dim + options.feature_dim;
+    head_ = std::make_unique<nn::Mlp>(
+        std::vector<std::int64_t>{head_in, options.dagt_dim, 1}, rng_);
+  }
+
+  Variable Forward(const graph::EncodedGraph& g) override {
+    const Variable features(g.features);
+    Variable h = input_proj_.Forward(features);
+    if (options_.use_dagpe) {
+      const tensor::Tensor pe = graph::SinusoidalEncoding(g.depths, options_.dagt_dim);
+      h = autograd::Add(h, Variable(pe));
+    }
+    const tensor::Tensor* mask = &g.dagra_mask;
+    tensor::Tensor full_mask;
+    if (!options_.use_dagra) {  // ablation: unrestricted attention
+      full_mask = graph::BuildFullAttentionMask(g.num_nodes);
+      mask = &full_mask;
+    }
+    for (const auto& layer : layers_) h = layer->Forward(h, *mask);
+    // Raw-feature sums grow with node count and log-dim magnitude; scale
+    // them to O(1) so they do not swamp Adam's updates.
+    const std::vector<Variable> pooled{
+        autograd::GlobalAddPool(h),
+        autograd::Scale(autograd::GlobalAddPool(features), 1.0f / 256.0f)};
+    return head_->Forward(autograd::ConcatCols(pooled));
+  }
+
+  std::string Name() const override { return "DagTransformer"; }
+
+  std::vector<Variable*> Parameters() override {
+    std::vector<Variable*> out = input_proj_.Parameters();
+    for (const auto& layer : layers_) {
+      for (auto* p : layer->Parameters()) out.push_back(p);
+    }
+    for (auto* p : head_->Parameters()) out.push_back(p);
+    return out;
+  }
+
+ private:
+  PredictorOptions options_;
+  util::Rng rng_;
+  nn::Linear input_proj_;
+  std::vector<std::unique_ptr<nn::DagTransformerLayer>> layers_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+/// GCN baseline (paper §VII-D): stacked GcnConv + ReLU, add pool, MLP head.
+class GcnPredictor final : public StagePredictor {
+ public:
+  explicit GcnPredictor(const PredictorOptions& options) : rng_(options.seed) {
+    std::int64_t in = options.feature_dim;
+    for (std::int64_t i = 0; i < options.gcn_layers; ++i) {
+      layers_.push_back(std::make_unique<nn::GcnConv>(in, options.gcn_dim, rng_));
+      in = options.gcn_dim;
+    }
+    head_ = std::make_unique<nn::Mlp>(std::vector<std::int64_t>{in, in / 2, 1}, rng_);
+  }
+
+  Variable Forward(const graph::EncodedGraph& g) override {
+    Variable h(g.features);
+    for (const auto& layer : layers_) {
+      h = autograd::Relu(layer->Forward(h, g.adj_norm, g.adj_norm_t));
+    }
+    return head_->Forward(autograd::GlobalAddPool(h));
+  }
+
+  std::string Name() const override { return "GCN"; }
+
+  std::vector<Variable*> Parameters() override {
+    std::vector<Variable*> out;
+    for (const auto& layer : layers_) {
+      for (auto* p : layer->Parameters()) out.push_back(p);
+    }
+    for (auto* p : head_->Parameters()) out.push_back(p);
+    return out;
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<std::unique_ptr<nn::GcnConv>> layers_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+/// GAT baseline (paper §VII-D): stacked GatConv + ReLU, add pool, MLP head.
+class GatPredictor final : public StagePredictor {
+ public:
+  explicit GatPredictor(const PredictorOptions& options) : rng_(options.seed) {
+    std::int64_t in = options.feature_dim;
+    for (std::int64_t i = 0; i < options.gat_layers; ++i) {
+      layers_.push_back(std::make_unique<nn::GatConv>(in, options.gat_dim, rng_));
+      in = options.gat_dim;
+    }
+    head_ = std::make_unique<nn::Mlp>(std::vector<std::int64_t>{in, in, 1}, rng_);
+  }
+
+  Variable Forward(const graph::EncodedGraph& g) override {
+    Variable h(g.features);
+    for (const auto& layer : layers_) {
+      h = autograd::Relu(layer->Forward(h, g.edge_src, g.edge_dst));
+    }
+    return head_->Forward(autograd::GlobalAddPool(h));
+  }
+
+  std::string Name() const override { return "GAT"; }
+
+  std::vector<Variable*> Parameters() override {
+    std::vector<Variable*> out;
+    for (const auto& layer : layers_) {
+      for (auto* p : layer->Parameters()) out.push_back(p);
+    }
+    for (auto* p : head_->Parameters()) out.push_back(p);
+    return out;
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<std::unique_ptr<nn::GatConv>> layers_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace
+
+std::unique_ptr<StagePredictor> MakePredictor(PredictorKind kind,
+                                              const PredictorOptions& options) {
+  if (options.feature_dim <= 0) {
+    throw std::invalid_argument("MakePredictor: feature_dim must be set");
+  }
+  switch (kind) {
+    case PredictorKind::kDagTransformer:
+      return std::make_unique<DagTransformerPredictor>(options);
+    case PredictorKind::kGcn:
+      return std::make_unique<GcnPredictor>(options);
+    case PredictorKind::kGat:
+      return std::make_unique<GatPredictor>(options);
+  }
+  throw std::invalid_argument("MakePredictor: unknown kind");
+}
+
+}  // namespace predtop::core

@@ -1,0 +1,52 @@
+#pragma once
+// The black-box stage-latency predictor zoo (paper §IV + §VII-D): the DAG
+// Transformer model and the GCN / GAT baselines, behind one interface so the
+// training and evaluation harnesses are architecture-agnostic.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/encode.h"
+#include "nn/dag_transformer.h"
+#include "nn/gat.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+
+namespace predtop::core {
+
+enum class PredictorKind { kDagTransformer, kGcn, kGat };
+[[nodiscard]] const char* PredictorKindName(PredictorKind kind) noexcept;
+
+struct PredictorOptions {
+  /// Input feature width (graph::NodeFeatureWidth of the IR vocabularies).
+  std::int64_t feature_dim = 0;
+  /// DAG Transformer: paper §IV-B6 uses 4 layers of dim 64.
+  std::int64_t dagt_dim = 64;
+  std::int64_t dagt_layers = 4;
+  std::int64_t dagt_heads = 4;
+  std::int64_t dagt_ffn_mult = 2;
+  /// GCN baseline: paper §VII-D uses 6 layers of 256.
+  std::int64_t gcn_dim = 256;
+  std::int64_t gcn_layers = 6;
+  /// GAT baseline: paper §VII-D uses 6 layers of hidden 32.
+  std::int64_t gat_dim = 32;
+  std::int64_t gat_layers = 6;
+  /// Ablations (paper's DAG-specific biases).
+  bool use_dagra = true;  // reachability attention mask
+  bool use_dagpe = true;  // depth positional encoding
+  std::uint64_t seed = 0x12345ULL;
+};
+
+/// A graph-in, scalar-out regressor over encoded stage DAGs.
+class StagePredictor : public nn::Module {
+ public:
+  /// Prediction in normalized target space, shape (1, 1).
+  [[nodiscard]] virtual autograd::Variable Forward(const graph::EncodedGraph& g) = 0;
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<StagePredictor> MakePredictor(PredictorKind kind,
+                                                            const PredictorOptions& options);
+
+}  // namespace predtop::core

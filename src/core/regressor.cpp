@@ -1,0 +1,164 @@
+#include "core/regressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "nn/serialize.h"
+#include "util/stats.h"
+
+namespace predtop::core {
+
+LatencyRegressor::LatencyRegressor(PredictorKind kind, PredictorOptions options,
+                                   TargetTransform transform)
+    : kind_(kind),
+      options_(options),
+      model_(MakePredictor(kind, options)),
+      transform_(transform) {}
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x50545247;  // "PTRG"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("LatencyRegressor: truncated checkpoint");
+  return value;
+}
+
+void WriteOptions(std::ostream& out, const PredictorOptions& o) {
+  for (const std::int64_t v : {o.feature_dim, o.dagt_dim, o.dagt_layers, o.dagt_heads,
+                               o.dagt_ffn_mult, o.gcn_dim, o.gcn_layers, o.gat_dim,
+                               o.gat_layers}) {
+    WritePod<std::int64_t>(out, v);
+  }
+  WritePod<std::uint8_t>(out, o.use_dagra ? 1 : 0);
+  WritePod<std::uint8_t>(out, o.use_dagpe ? 1 : 0);
+  WritePod<std::uint64_t>(out, o.seed);
+}
+
+PredictorOptions ReadOptions(std::istream& in) {
+  PredictorOptions o;
+  for (std::int64_t* field : {&o.feature_dim, &o.dagt_dim, &o.dagt_layers, &o.dagt_heads,
+                              &o.dagt_ffn_mult, &o.gcn_dim, &o.gcn_layers, &o.gat_dim,
+                              &o.gat_layers}) {
+    *field = ReadPod<std::int64_t>(in);
+  }
+  o.use_dagra = ReadPod<std::uint8_t>(in) != 0;
+  o.use_dagpe = ReadPod<std::uint8_t>(in) != 0;
+  o.seed = ReadPod<std::uint64_t>(in);
+  return o;
+}
+
+}  // namespace
+
+void LatencyRegressor::Save(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("LatencyRegressor::Save: cannot open " + path);
+  WritePod(out, kCheckpointMagic);
+  WritePod(out, kCheckpointVersion);
+  WritePod<std::int32_t>(out, static_cast<std::int32_t>(kind_));
+  WritePod<std::int32_t>(out, static_cast<std::int32_t>(transform_));
+  WriteOptions(out, options_);
+  WritePod<double>(out, scale_);
+  WritePod<double>(out, log_mean_);
+  WritePod<double>(out, log_std_);
+  nn::WriteParameters(out, *model_);
+}
+
+LatencyRegressor LatencyRegressor::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("LatencyRegressor::Load: cannot open " + path);
+  if (ReadPod<std::uint32_t>(in) != kCheckpointMagic) {
+    throw std::runtime_error("LatencyRegressor::Load: bad magic in " + path);
+  }
+  if (ReadPod<std::uint32_t>(in) != kCheckpointVersion) {
+    throw std::runtime_error("LatencyRegressor::Load: unsupported version in " + path);
+  }
+  const auto kind = static_cast<PredictorKind>(ReadPod<std::int32_t>(in));
+  const auto transform = static_cast<TargetTransform>(ReadPod<std::int32_t>(in));
+  const PredictorOptions options = ReadOptions(in);
+  LatencyRegressor regressor(kind, options, transform);
+  regressor.scale_ = ReadPod<double>(in);
+  regressor.log_mean_ = ReadPod<double>(in);
+  regressor.log_std_ = ReadPod<double>(in);
+  nn::ReadParameters(in, *regressor.model_);
+  return regressor;
+}
+
+float LatencyRegressor::Normalize(double latency_s) const noexcept {
+  if (transform_ == TargetTransform::kLinearMeanScaled) {
+    return static_cast<float>(latency_s / scale_);
+  }
+  return static_cast<float>((std::log(latency_s) - log_mean_) / log_std_);
+}
+
+double LatencyRegressor::Denormalize(float normalized) const noexcept {
+  if (transform_ == TargetTransform::kLinearMeanScaled) {
+    return static_cast<double>(normalized) * scale_;
+  }
+  return std::exp(static_cast<double>(normalized) * log_std_ + log_mean_);
+}
+
+nn::TrainResult LatencyRegressor::Fit(const StageDataset& dataset,
+                                      std::span<const std::size_t> train_indices,
+                                      std::span<const std::size_t> val_indices,
+                                      const nn::TrainConfig& train_config) {
+  if (train_indices.empty()) throw std::invalid_argument("LatencyRegressor::Fit: no samples");
+  // Fit the target normalization to training labels only.
+  std::vector<double> logs;
+  double sum = 0.0;
+  logs.reserve(train_indices.size());
+  for (const std::size_t i : train_indices) {
+    sum += static_cast<double>(dataset.labels[i]);
+    logs.push_back(std::log(static_cast<double>(dataset.labels[i])));
+  }
+  scale_ = std::max(1e-12, sum / static_cast<double>(train_indices.size()));
+  log_mean_ = util::Mean(logs);
+  log_std_ = std::max(1e-6, util::StdDev(logs));
+
+  std::vector<float> targets;
+  targets.reserve(dataset.labels.size());
+  for (const float label : dataset.labels) {
+    targets.push_back(Normalize(static_cast<double>(label)));
+  }
+  const nn::Trainer trainer(train_config);
+  return trainer.Fit(
+      *model_,
+      [&](std::size_t i) { return model_->Forward(dataset.samples[i].encoded); },
+      targets, train_indices, val_indices);
+}
+
+double LatencyRegressor::PredictSeconds(const graph::EncodedGraph& g) {
+  const autograd::Variable pred = model_->Forward(g);
+  // Latencies are positive by definition; the linear head can extrapolate
+  // below zero early in training, so clamp to a 1 us floor.
+  return std::max(1e-6, Denormalize(pred.value().data()[0]));
+}
+
+double LatencyRegressor::MrePercent(const StageDataset& dataset,
+                                    std::span<const std::size_t> indices) {
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  predicted.reserve(indices.size());
+  actual.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    predicted.push_back(PredictSeconds(dataset.samples[i].encoded));
+    actual.push_back(dataset.samples[i].true_latency_s);
+  }
+  return util::MeanRelativeErrorPct(predicted, actual);
+}
+
+}  // namespace predtop::core

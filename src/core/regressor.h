@@ -1,0 +1,61 @@
+#pragma once
+// LatencyRegressor: a StagePredictor plus target normalization and the
+// training protocol of paper §IV-B (MAE loss, Adam with cosine decay, early
+// stopping). Targets default to linear space scaled by the training-set mean
+// — the paper regresses raw latency with MAE, and linear targets match the
+// additive inductive bias of global-add pooling (pooled features grow with
+// graph size the same way latency does). A standardized-log transform is
+// available as an ablation.
+
+#include <memory>
+#include <span>
+
+#include "core/dataset.h"
+#include "core/predictors.h"
+#include "nn/trainer.h"
+
+namespace predtop::core {
+
+enum class TargetTransform { kLinearMeanScaled, kLogStandardized };
+
+class LatencyRegressor {
+ public:
+  LatencyRegressor(PredictorKind kind, PredictorOptions options,
+                   TargetTransform transform = TargetTransform::kLinearMeanScaled);
+
+  /// Train on `train_indices` (early-stopping on `val_indices`), fitting the
+  /// target normalization to the training labels.
+  nn::TrainResult Fit(const StageDataset& dataset, std::span<const std::size_t> train_indices,
+                      std::span<const std::size_t> val_indices,
+                      const nn::TrainConfig& train_config);
+
+  /// Predicted stage latency in seconds.
+  [[nodiscard]] double PredictSeconds(const graph::EncodedGraph& g);
+
+  /// Mean relative error (%) vs the samples' true latencies (paper Eqn. 5).
+  [[nodiscard]] double MrePercent(const StageDataset& dataset,
+                                  std::span<const std::size_t> indices);
+
+  [[nodiscard]] PredictorKind Kind() const noexcept { return kind_; }
+  [[nodiscard]] StagePredictor& Model() noexcept { return *model_; }
+  [[nodiscard]] TargetTransform Transform() const noexcept { return transform_; }
+
+  /// Persist the trained predictor (architecture options, target transform
+  /// and weights) so one profiling+training pass serves many plan searches.
+  void Save(const std::string& path);
+  [[nodiscard]] static LatencyRegressor Load(const std::string& path);
+
+ private:
+  [[nodiscard]] float Normalize(double latency_s) const noexcept;
+  [[nodiscard]] double Denormalize(float normalized) const noexcept;
+
+  PredictorKind kind_;
+  PredictorOptions options_;
+  std::unique_ptr<StagePredictor> model_;
+  TargetTransform transform_;
+  double scale_ = 1.0;     // linear transform: mean of training labels
+  double log_mean_ = 0.0;  // log transform parameters
+  double log_std_ = 1.0;
+};
+
+}  // namespace predtop::core

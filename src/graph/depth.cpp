@@ -1,0 +1,39 @@
+#include "graph/depth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace predtop::graph {
+
+std::vector<std::int32_t> NodeDepths(const OpDag& dag) {
+  const auto order = dag.TopologicalOrder();
+  if (!order) throw std::invalid_argument("NodeDepths: graph has a cycle");
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(dag.NumNodes()), 0);
+  for (const std::int32_t u : *order) {
+    for (const std::int32_t v : dag.Successors(u)) {
+      depth[static_cast<std::size_t>(v)] =
+          std::max(depth[static_cast<std::size_t>(v)], depth[static_cast<std::size_t>(u)] + 1);
+    }
+  }
+  return depth;
+}
+
+tensor::Tensor SinusoidalEncoding(const std::vector<std::int32_t>& positions, std::int64_t dim) {
+  if (dim <= 0 || dim % 2 != 0) {
+    throw std::invalid_argument("SinusoidalEncoding: dim must be positive and even");
+  }
+  const auto n = static_cast<std::int64_t>(positions.size());
+  tensor::Tensor pe({n, dim});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto p = static_cast<double>(positions[static_cast<std::size_t>(i)]);
+    for (std::int64_t k = 0; k < dim / 2; ++k) {
+      const double freq = std::pow(10000.0, -2.0 * static_cast<double>(k) / static_cast<double>(dim));
+      pe.at(i, 2 * k) = static_cast<float>(std::sin(p * freq));
+      pe.at(i, 2 * k + 1) = static_cast<float>(std::cos(p * freq));
+    }
+  }
+  return pe;
+}
+
+}  // namespace predtop::graph

@@ -1,0 +1,23 @@
+#pragma once
+// DAG positional encodings (DAGPE, paper §IV-A): node depth — the longest
+// directed path from any source — serves as the transformer position, turned
+// into a sinusoidal embedding added to the input projection.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/op_dag.h"
+#include "tensor/tensor.h"
+
+namespace predtop::graph {
+
+/// Longest-path depth per node; sources have depth 0. Throws on cycles.
+[[nodiscard]] std::vector<std::int32_t> NodeDepths(const OpDag& dag);
+
+/// Standard sinusoidal encoding of integer positions into `dim` features
+/// (Vaswani et al. '17): PE(p, 2i) = sin(p / 10000^{2i/dim}), PE(p, 2i+1) =
+/// cos(...). Returns (positions.size(), dim).
+[[nodiscard]] tensor::Tensor SinusoidalEncoding(const std::vector<std::int32_t>& positions,
+                                                std::int64_t dim);
+
+}  // namespace predtop::graph

@@ -1,0 +1,49 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace predtop::graph {
+
+namespace {
+
+const char* KindShape(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kInput: return "invhouse";
+    case NodeKind::kLiteral: return "box";
+    case NodeKind::kOperator: return "ellipse";
+    case NodeKind::kOutput: return "house";
+  }
+  return "ellipse";
+}
+
+std::string DefaultLabel(std::int32_t index, const DagNode& node) {
+  std::ostringstream os;
+  os << '#' << index << " op" << node.op_type << " dt" << node.dtype << " [";
+  for (std::size_t i = 0; i < node.out_dims.size(); ++i) {
+    if (i) os << 'x';
+    os << node.out_dims[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToDot(const OpDag& dag, const std::string& graph_name,
+                  const std::function<std::string(std::int32_t, const DagNode&)>& label_fn) {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n  rankdir=TB;\n";
+  for (std::int32_t i = 0; i < dag.NumNodes(); ++i) {
+    const DagNode& node = dag.Node(i);
+    const std::string label = label_fn ? label_fn(i, node) : DefaultLabel(i, node);
+    os << "  n" << i << " [label=\"" << label << "\", shape=" << KindShape(node.kind)
+       << "];\n";
+  }
+  for (const auto& [u, v] : dag.Edges()) {
+    os << "  n" << u << " -> n" << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace predtop::graph

@@ -1,0 +1,18 @@
+#pragma once
+// GraphViz DOT export for operator DAGs — render a stage's structure (and
+// the effect of pruning) with `dot -Tsvg`.
+
+#include <functional>
+#include <string>
+
+#include "graph/op_dag.h"
+
+namespace predtop::graph {
+
+/// DOT digraph with one node per DAG node. `label_fn` customizes node
+/// labels; the default shows op-type code, dtype and dims.
+[[nodiscard]] std::string ToDot(
+    const OpDag& dag, const std::string& graph_name = "stage",
+    const std::function<std::string(std::int32_t, const DagNode&)>& label_fn = {});
+
+}  // namespace predtop::graph

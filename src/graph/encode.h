@@ -1,0 +1,47 @@
+#pragma once
+// Turns an OpDag into the numeric inputs consumed by the predictor models:
+//  - node feature matrix per paper Tbl. I (op-type one-hot, log-scaled
+//    output dims, dtype one-hot, node-kind one-hot),
+//  - DAGRA reachability mask and DAGPE depths for the DAG Transformer,
+//  - symmetrically normalized adjacency (CSR, with transpose) for GCN,
+//  - bidirectional edge list with self-loops for GAT.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/op_dag.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace predtop::graph {
+
+/// Node feature matrix (n, num_op_types + kMaxFeatureDims + num_dtypes +
+/// kNumNodeKinds). Tensor dimensions enter as log2(1 + d) (paper §IV-B3:
+/// logarithmic scaling keeps large dims from dominating).
+[[nodiscard]] tensor::Tensor EncodeNodeFeatures(const OpDag& dag, std::int32_t num_op_types,
+                                                std::int32_t num_dtypes);
+
+/// Feature width produced by EncodeNodeFeatures for given vocabularies.
+[[nodiscard]] constexpr std::int64_t NodeFeatureWidth(std::int32_t num_op_types,
+                                                      std::int32_t num_dtypes) noexcept {
+  return static_cast<std::int64_t>(num_op_types) + static_cast<std::int64_t>(kMaxFeatureDims) +
+         num_dtypes + kNumNodeKinds;
+}
+
+struct EncodedGraph {
+  std::int64_t num_nodes = 0;
+  tensor::Tensor features;    // (n, F)
+  tensor::Tensor dagra_mask;  // (n, n) additive, 0 / -inf
+  std::vector<std::int32_t> depths;
+  std::shared_ptr<const tensor::Csr> adj_norm;    // Â (GCN)
+  std::shared_ptr<const tensor::Csr> adj_norm_t;  // Â^T
+  std::vector<std::int32_t> edge_src;  // GAT message edges (bidirectional +
+  std::vector<std::int32_t> edge_dst;  // self-loops)
+};
+
+/// Build all model inputs from a (pruned) DAG in one pass.
+[[nodiscard]] EncodedGraph EncodeGraph(const OpDag& dag, std::int32_t num_op_types,
+                                       std::int32_t num_dtypes);
+
+}  // namespace predtop::graph

@@ -1,0 +1,59 @@
+#include "graph/prune.h"
+
+#include <stdexcept>
+
+namespace predtop::graph {
+
+PruneResult PruneDag(const OpDag& dag,
+                     const std::function<bool(const DagNode&)>& should_prune) {
+  const auto order = dag.TopologicalOrder();
+  if (!order) throw std::invalid_argument("PruneDag: graph has a cycle");
+  const auto n = static_cast<std::size_t>(dag.NumNodes());
+
+  std::vector<bool> pruned(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DagNode& node = dag.Node(static_cast<std::int32_t>(i));
+    const bool protected_kind = node.kind == NodeKind::kInput || node.kind == NodeKind::kOutput;
+    pruned[i] = !protected_kind && should_prune(node);
+  }
+
+  // For each pruned node, its "effective predecessors" are the surviving
+  // ancestors seen through chains of pruned nodes. Processing in topological
+  // order lets each pruned node reuse its pruned predecessors' results.
+  std::vector<std::vector<std::int32_t>> effective_preds(n);
+  PruneResult result;
+  result.remap.assign(n, -1);
+  for (const std::int32_t u : *order) {
+    const auto ui = static_cast<std::size_t>(u);
+    if (!pruned[ui]) {
+      result.remap[ui] = result.dag.AddNode(dag.Node(u));
+      continue;
+    }
+    ++result.removed;
+    for (const std::int32_t p : dag.Predecessors(u)) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (pruned[pi]) {
+        for (const std::int32_t g : effective_preds[pi]) effective_preds[ui].push_back(g);
+      } else {
+        effective_preds[ui].push_back(p);
+      }
+    }
+  }
+  for (const std::int32_t v : *order) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (pruned[vi]) continue;
+    for (const std::int32_t p : dag.Predecessors(v)) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (pruned[pi]) {
+        for (const std::int32_t g : effective_preds[pi]) {
+          result.dag.AddEdge(result.remap[static_cast<std::size_t>(g)], result.remap[vi]);
+        }
+      } else {
+        result.dag.AddEdge(result.remap[pi], result.remap[vi]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace predtop::graph

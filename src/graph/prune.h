@@ -1,0 +1,29 @@
+#pragma once
+// Graph pruning (paper §IV-B4): shape-only operators such as reshape and
+// convert_element_type carry no compute signal — their effect (dtype /
+// shape change) is already recorded on neighboring nodes' output specs — so
+// they are removed and their predecessors wired directly to their
+// successors, keeping graphs small enough to train on efficiently.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/op_dag.h"
+
+namespace predtop::graph {
+
+struct PruneResult {
+  OpDag dag;
+  /// old node index -> new index, or -1 if the node was pruned.
+  std::vector<std::int32_t> remap;
+  std::int64_t removed = 0;
+};
+
+/// Remove every node for which `should_prune` returns true, connecting each
+/// removed node's predecessors to its successors (transitive wiring handles
+/// chains of removable nodes). Input/output-kind nodes are never pruned.
+[[nodiscard]] PruneResult PruneDag(const OpDag& dag,
+                                   const std::function<bool(const DagNode&)>& should_prune);
+
+}  // namespace predtop::graph

@@ -1,0 +1,51 @@
+#include "graph/reachability.h"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace predtop::graph {
+
+ReachabilityClosure::ReachabilityClosure(const OpDag& dag) {
+  n_ = dag.NumNodes();
+  words_ = static_cast<std::size_t>((n_ + 63) / 64);
+  rows_.assign(static_cast<std::size_t>(n_) * words_, 0ULL);
+  const auto order = dag.TopologicalOrder();
+  if (!order) throw std::invalid_argument("ReachabilityClosure: graph has a cycle");
+  // Reverse topological order: each node's row = self-bit | OR of successors.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const std::int32_t u = *it;
+    std::uint64_t* row = rows_.data() + static_cast<std::size_t>(u) * words_;
+    row[static_cast<std::size_t>(u) / 64] |= 1ULL << (static_cast<std::size_t>(u) % 64);
+    for (const std::int32_t v : dag.Successors(u)) {
+      const std::uint64_t* vrow = rows_.data() + static_cast<std::size_t>(v) * words_;
+      for (std::size_t w = 0; w < words_; ++w) row[w] |= vrow[w];
+    }
+  }
+}
+
+std::int64_t ReachabilityClosure::CountReachablePairs() const noexcept {
+  std::int64_t count = 0;
+  for (const std::uint64_t w : rows_) count += std::popcount(w);
+  return count;
+}
+
+tensor::Tensor BuildDagraMask(const OpDag& dag) {
+  const ReachabilityClosure closure(dag);
+  const std::int64_t n = dag.NumNodes();
+  tensor::Tensor mask({n, n});
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  for (std::int32_t u = 0; u < n; ++u) {
+    for (std::int32_t v = 0; v < n; ++v) {
+      const bool allowed = closure.Reaches(u, v) || closure.Reaches(v, u);
+      mask.at(u, v) = allowed ? 0.0f : kNegInf;
+    }
+  }
+  return mask;
+}
+
+tensor::Tensor BuildFullAttentionMask(std::int64_t num_nodes) {
+  return tensor::Tensor({num_nodes, num_nodes});
+}
+
+}  // namespace predtop::graph

@@ -1,0 +1,59 @@
+#include "ir/builder_common.h"
+
+namespace predtop::ir {
+
+ValueId GraphBuilder::LayerNorm(ValueId x, std::int64_t b, std::int64_t s, std::int64_t h) {
+  auto& p = program_;
+  const ValueId mean = p.AddEquation(OpType::kReduceSum, {x}, Make({b, s}));
+  const ValueId centered = p.AddEquation(OpType::kSub, {x, mean}, Make({b, s, h}));
+  const ValueId sq = p.AddEquation(OpType::kMul, {centered, centered}, Make({b, s, h}));
+  const ValueId var = p.AddEquation(OpType::kReduceSum, {sq}, Make({b, s}));
+  const ValueId inv = p.AddEquation(OpType::kRsqrt, {var}, Make({b, s}));
+  const ValueId normed = p.AddEquation(OpType::kMul, {centered, inv}, Make({b, s, h}));
+  const ValueId gain = p.AddLiteral(Make({h}));
+  const ValueId scaled = p.AddEquation(OpType::kMul, {normed, gain}, Make({b, s, h}));
+  const ValueId bias = p.AddLiteral(Make({h}));
+  return p.AddEquation(OpType::kAdd, {scaled, bias}, Make({b, s, h}));
+}
+
+ValueId GraphBuilder::Linear(ValueId x, std::int64_t b, std::int64_t s, std::int64_t in,
+                             std::int64_t out) {
+  auto& p = program_;
+  const ValueId weight = p.AddLiteral(Make({in, out}));
+  const ValueId y = p.AddEquation(OpType::kDot, {x, weight}, Make({b, s, out}), in);
+  const ValueId bias = p.AddLiteral(Make({out}));
+  return p.AddEquation(OpType::kAdd, {y, bias}, Make({b, s, out}));
+}
+
+ValueId GraphBuilder::Softmax(ValueId x) {
+  auto& p = program_;
+  const TensorSpec spec = SpecOf(x);
+  std::vector<std::int64_t> reduced(spec.dims.begin(), spec.dims.end() - 1);
+  const ValueId maxv = p.AddEquation(OpType::kReduceMax, {x}, Make(reduced));
+  const ValueId shifted = p.AddEquation(OpType::kSub, {x, maxv}, Make(spec.dims));
+  const ValueId ex = p.AddEquation(OpType::kExp, {shifted}, Make(spec.dims));
+  const ValueId denom = p.AddEquation(OpType::kReduceSum, {ex}, Make(reduced));
+  return p.AddEquation(OpType::kDiv, {ex, denom}, Make(spec.dims));
+}
+
+ValueId GraphBuilder::Gelu(ValueId x) {
+  return program_.AddEquation(OpType::kGelu, {x}, SpecOf(x));
+}
+
+ValueId GraphBuilder::Residual(ValueId a, ValueId b) {
+  return program_.AddEquation(OpType::kAdd, {a, b}, SpecOf(a));
+}
+
+ValueId GraphBuilder::Convert(ValueId x, DType to) {
+  TensorSpec spec = SpecOf(x);
+  spec.dtype = to;
+  return program_.AddEquation(OpType::kConvert, {x}, std::move(spec));
+}
+
+ValueId GraphBuilder::Reshape(ValueId x, std::vector<std::int64_t> dims) {
+  TensorSpec spec = SpecOf(x);
+  spec.dims = std::move(dims);
+  return program_.AddEquation(OpType::kReshape, {x}, std::move(spec));
+}
+
+}  // namespace predtop::ir

@@ -1,0 +1,53 @@
+#pragma once
+// Shared building blocks for emitting transformer stage programs: layer
+// norm, linear projections, and row softmax decomposed to tensor-level
+// equations the way JAX traces them (with prunable reshape/convert nodes
+// interspersed, so graph pruning has realistic work to do).
+
+#include "ir/program.h"
+
+namespace predtop::ir {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(StageProgram& program, DType compute_dtype = DType::kF16)
+      : program_(program), dtype_(compute_dtype) {}
+
+  [[nodiscard]] StageProgram& program() noexcept { return program_; }
+  [[nodiscard]] DType dtype() const noexcept { return dtype_; }
+
+  /// Decomposed layer norm over the last axis of (b, s, h): reduce_sum,
+  /// sub, mul, reduce_sum, rsqrt, mul, mul(gain), add(bias).
+  ValueId LayerNorm(ValueId x, std::int64_t b, std::int64_t s, std::int64_t h);
+
+  /// Dense projection (b, s, in) -> (b, s, out): dot + bias add, weights as
+  /// literal values.
+  ValueId Linear(ValueId x, std::int64_t b, std::int64_t s, std::int64_t in, std::int64_t out);
+
+  /// Row softmax over the last axis: reduce_max, sub, exp, reduce_sum, div.
+  ValueId Softmax(ValueId x);
+
+  /// Elementwise GELU (composite op).
+  ValueId Gelu(ValueId x);
+
+  /// Elementwise residual add of two same-shape values.
+  ValueId Residual(ValueId a, ValueId b);
+
+  /// Prunable convert_element_type node.
+  ValueId Convert(ValueId x, DType to);
+
+  /// Prunable reshape node.
+  ValueId Reshape(ValueId x, std::vector<std::int64_t> dims);
+
+  [[nodiscard]] TensorSpec SpecOf(ValueId v) const { return program_.value(v).spec; }
+
+ private:
+  [[nodiscard]] TensorSpec Make(std::vector<std::int64_t> dims) const {
+    return TensorSpec{dtype_, std::move(dims)};
+  }
+
+  StageProgram& program_;
+  DType dtype_;
+};
+
+}  // namespace predtop::ir

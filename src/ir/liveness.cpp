@@ -1,0 +1,52 @@
+#include "ir/liveness.h"
+
+#include <algorithm>
+
+namespace predtop::ir {
+
+std::vector<LiveInterval> ComputeLiveIntervals(const StageProgram& program) {
+  std::vector<LiveInterval> intervals(static_cast<std::size_t>(program.NumValues()));
+  for (ValueId v = 0; v < program.NumValues(); ++v) {
+    const Value& value = program.value(v);
+    intervals[static_cast<std::size_t>(v)].def = value.defining_equation;
+    intervals[static_cast<std::size_t>(v)].last_use = value.defining_equation;
+  }
+  const auto eqn_count = static_cast<std::int32_t>(program.NumEquations());
+  for (std::int32_t e = 0; e < eqn_count; ++e) {
+    for (const ValueId operand : program.equations()[static_cast<std::size_t>(e)].operands) {
+      auto& interval = intervals[static_cast<std::size_t>(operand)];
+      interval.last_use = std::max(interval.last_use, e);
+    }
+  }
+  // Program outputs stay live to the end of the stage.
+  for (const ValueId out : program.outputs()) {
+    intervals[static_cast<std::size_t>(out)].last_use = eqn_count - 1;
+  }
+  return intervals;
+}
+
+std::int64_t PeakActivationBytes(const StageProgram& program) {
+  const auto intervals = ComputeLiveIntervals(program);
+  const auto eqn_count = static_cast<std::int32_t>(program.NumEquations());
+  if (eqn_count == 0) return 0;
+  // Sweep: delta array of bytes becoming live / dead at each equation index.
+  std::vector<std::int64_t> delta(static_cast<std::size_t>(eqn_count) + 1, 0);
+  for (ValueId v = 0; v < program.NumValues(); ++v) {
+    const Value& value = program.value(v);
+    if (value.kind == ValueKind::kLiteral) continue;  // resident weights
+    const LiveInterval& interval = intervals[static_cast<std::size_t>(v)];
+    const std::int32_t start = std::max<std::int32_t>(0, interval.def);
+    const std::int32_t end = std::max(interval.last_use, start);
+    delta[static_cast<std::size_t>(start)] += value.spec.Bytes();
+    delta[static_cast<std::size_t>(end) + 1] -= value.spec.Bytes();
+  }
+  std::int64_t live = 0;
+  std::int64_t peak = 0;
+  for (std::int32_t e = 0; e < eqn_count; ++e) {
+    live += delta[static_cast<std::size_t>(e)];
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+}  // namespace predtop::ir

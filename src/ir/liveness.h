@@ -1,0 +1,30 @@
+#pragma once
+// Activation liveness analysis over a stage program: a value is live from
+// its definition (or program start for inputs/literals) until its last use.
+// Peak live bytes drives the memory-feasibility check of the intra-operator
+// compiler and supports what-if memory questions (can this stage ever fit on
+// a 24 GiB device under any sharding?).
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace predtop::ir {
+
+struct LiveInterval {
+  /// Equation indices [def, last_use]; -1 def means live from entry
+  /// (inputs / literals).
+  std::int32_t def = -1;
+  std::int32_t last_use = -1;
+};
+
+/// One interval per value (values never used have last_use = def).
+[[nodiscard]] std::vector<LiveInterval> ComputeLiveIntervals(const StageProgram& program);
+
+/// Peak bytes of simultaneously live *activation* values (equation results
+/// and inputs; literals are resident weights accounted separately), swept
+/// over equation boundaries.
+[[nodiscard]] std::int64_t PeakActivationBytes(const StageProgram& program);
+
+}  // namespace predtop::ir

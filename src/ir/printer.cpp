@@ -1,0 +1,52 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace predtop::ir {
+
+namespace {
+
+std::string ValueName(ValueId id) { return "v" + std::to_string(id); }
+
+}  // namespace
+
+std::string PrintEquation(const StageProgram& program, const Equation& eqn) {
+  std::ostringstream os;
+  os << ValueName(eqn.result) << ':' << program.value(eqn.result).spec.ToString() << " = "
+     << OpTypeName(eqn.op);
+  for (const ValueId operand : eqn.operands) os << ' ' << ValueName(operand);
+  if (eqn.contraction_dim > 0) os << "  {k=" << eqn.contraction_dim << '}';
+  return os.str();
+}
+
+std::string PrintProgram(const StageProgram& program, std::int64_t max_equations) {
+  std::ostringstream os;
+  os << "{ lambda ;";
+  bool first = true;
+  for (ValueId v = 0; v < program.NumValues(); ++v) {
+    if (program.value(v).kind != ValueKind::kInput) continue;
+    os << (first ? " " : " ") << ValueName(v) << ':' << program.value(v).spec.ToString();
+    first = false;
+  }
+  os << ". let\n";
+  std::int64_t printed = 0;
+  for (const Equation& eqn : program.equations()) {
+    if (max_equations > 0 && printed >= max_equations) {
+      os << "    ... (" << (program.NumEquations() - printed) << " more equations)\n";
+      break;
+    }
+    os << "    " << PrintEquation(program, eqn) << '\n';
+    ++printed;
+  }
+  os << "  in (";
+  for (std::size_t i = 0; i < program.outputs().size(); ++i) {
+    if (i) os << ", ";
+    os << ValueName(program.outputs()[i]);
+  }
+  os << ",) }";
+  if (!program.name.empty()) os << "  # " << program.name;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace predtop::ir

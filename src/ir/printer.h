@@ -1,0 +1,25 @@
+#pragma once
+// Human-readable rendering of a StageProgram in jaxpr-like syntax — the
+// representation the paper's Fig. 5 sketches. Invaluable when debugging
+// builders and sharding decisions:
+//
+//   { lambda ; v0:f16[8,1024,2048]. let
+//       v3:f16[8,1024] = reduce_sum v0
+//       v4:f16[8,1024,2048] = sub v0 v3
+//       ...
+//     in (v41,) }
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace predtop::ir {
+
+/// Full program listing. `max_equations` truncates long programs (0 = all).
+[[nodiscard]] std::string PrintProgram(const StageProgram& program,
+                                       std::int64_t max_equations = 0);
+
+/// One-line rendering of a single equation, e.g. "v7:f16[8,64] = dot v3 v6".
+[[nodiscard]] std::string PrintEquation(const StageProgram& program, const Equation& eqn);
+
+}  // namespace predtop::ir

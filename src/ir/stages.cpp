@@ -1,0 +1,50 @@
+#include "ir/stages.h"
+
+#include <algorithm>
+#include <map>
+
+namespace predtop::ir {
+
+std::vector<StageSlice> EnumerateStageSlices(std::int32_t num_layers) {
+  return EnumerateStageSlices(num_layers, num_layers);
+}
+
+std::vector<StageSlice> EnumerateStageSlices(std::int32_t num_layers, std::int32_t max_span) {
+  std::vector<StageSlice> out;
+  for (std::int32_t i = 0; i < num_layers; ++i) {
+    for (std::int32_t j = i + 1; j <= num_layers && j - i <= max_span; ++j) {
+      out.push_back({i, j});
+    }
+  }
+  return out;
+}
+
+std::vector<StageSlice> SampleStageSlices(const std::vector<StageSlice>& all, std::size_t count,
+                                          util::Rng& rng) {
+  if (count >= all.size()) return all;
+  // Group by span, then round-robin draw from spans so small and large
+  // stages are all represented.
+  std::map<std::int32_t, std::vector<StageSlice>> by_span;
+  for (const StageSlice& s : all) by_span[s.NumLayers()].push_back(s);
+  for (auto& [span, slices] : by_span) {
+    rng.Shuffle(std::span<StageSlice>(slices));
+  }
+  std::vector<StageSlice> out;
+  out.reserve(count);
+  std::size_t round = 0;
+  while (out.size() < count) {
+    bool drew_any = false;
+    for (auto& [span, slices] : by_span) {
+      if (round < slices.size()) {
+        out.push_back(slices[round]);
+        drew_any = true;
+        if (out.size() == count) break;
+      }
+    }
+    if (!drew_any) break;
+    ++round;
+  }
+  return out;
+}
+
+}  // namespace predtop::ir

@@ -1,0 +1,29 @@
+#pragma once
+// Stage enumeration and sampling (paper §VI phase 1): Alpa's inter-operator
+// pass considers every contiguous layer range as a candidate stage; PredTOP
+// randomly samples a subset "of different sizes" for profiling / training
+// and predicts the rest.
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/models.h"
+#include "util/rng.h"
+
+namespace predtop::ir {
+
+/// All contiguous layer ranges [i, j) of a model with `num_layers` layers —
+/// num_layers * (num_layers + 1) / 2 candidates.
+[[nodiscard]] std::vector<StageSlice> EnumerateStageSlices(std::int32_t num_layers);
+
+/// As above, but stages never exceed `max_span` layers (used to bound the
+/// experiment cost on small machines; max_span >= num_layers disables it).
+[[nodiscard]] std::vector<StageSlice> EnumerateStageSlices(std::int32_t num_layers,
+                                                           std::int32_t max_span);
+
+/// Random subset of `count` distinct slices, stratified by span so every
+/// stage size contributes samples (paper: "stages of different sizes").
+[[nodiscard]] std::vector<StageSlice> SampleStageSlices(const std::vector<StageSlice>& all,
+                                                        std::size_t count, util::Rng& rng);
+
+}  // namespace predtop::ir

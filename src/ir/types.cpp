@@ -1,0 +1,73 @@
+#include "ir/types.h"
+
+#include <sstream>
+
+namespace predtop::ir {
+
+std::int64_t DTypeBytes(DType dtype) noexcept {
+  switch (dtype) {
+    case DType::kF32: return 4;
+    case DType::kF16: return 2;
+    case DType::kBF16: return 2;
+    case DType::kI32: return 4;
+    case DType::kBool: return 1;
+  }
+  return 4;
+}
+
+const char* DTypeName(DType dtype) noexcept {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kF16: return "f16";
+    case DType::kBF16: return "bf16";
+    case DType::kI32: return "i32";
+    case DType::kBool: return "bool";
+  }
+  return "?";
+}
+
+const char* OpTypeName(OpType op) noexcept {
+  switch (op) {
+    case OpType::kNone: return "none";
+    case OpType::kDot: return "dot";
+    case OpType::kBatchedDot: return "batched_dot";
+    case OpType::kAdd: return "add";
+    case OpType::kSub: return "sub";
+    case OpType::kMul: return "mul";
+    case OpType::kDiv: return "div";
+    case OpType::kMax: return "max";
+    case OpType::kExp: return "exp";
+    case OpType::kRsqrt: return "rsqrt";
+    case OpType::kTanh: return "tanh";
+    case OpType::kGelu: return "gelu";
+    case OpType::kReduceSum: return "reduce_sum";
+    case OpType::kReduceMax: return "reduce_max";
+    case OpType::kTranspose: return "transpose";
+    case OpType::kReshape: return "reshape";
+    case OpType::kBroadcast: return "broadcast_in_dim";
+    case OpType::kConvert: return "convert_element_type";
+    case OpType::kGather: return "gather";
+    case OpType::kTopK: return "top_k";
+    case OpType::kOneHot: return "one_hot";
+    case OpType::kSoftmaxXent: return "softmax_cross_entropy";
+    case OpType::kConv2d: return "conv2d";
+  }
+  return "?";
+}
+
+bool IsPrunableOp(OpType op) noexcept {
+  return op == OpType::kReshape || op == OpType::kBroadcast || op == OpType::kConvert;
+}
+
+std::string TensorSpec::ToString() const {
+  std::ostringstream os;
+  os << DTypeName(dtype) << '[';
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) os << ',';
+    os << dims[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace predtop::ir

@@ -1,0 +1,67 @@
+#pragma once
+// Core types of the Jaxpr-like tensor-level IR. A stage of a DL model is a
+// StageProgram: a list of single-result equations over typed tensor values,
+// mirroring how JAX's jaxpr represents DL computations (paper §IV-B2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace predtop::ir {
+
+enum class DType : std::int32_t { kF32 = 0, kF16, kBF16, kI32, kBool };
+inline constexpr std::int32_t kNumDTypes = 5;
+
+[[nodiscard]] std::int64_t DTypeBytes(DType dtype) noexcept;
+[[nodiscard]] const char* DTypeName(DType dtype) noexcept;
+
+/// Tensor-level operator vocabulary (a pragmatic subset of XLA/jaxpr
+/// primitives plus a few composites that keep graphs tractable).
+enum class OpType : std::int32_t {
+  kNone = 0,       // non-operator nodes (inputs / literals / outputs)
+  kDot,            // 2-D matmul
+  kBatchedDot,     // batched matmul (attention scores / context)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMax,            // elementwise max (ReLU against a literal)
+  kExp,
+  kRsqrt,
+  kTanh,
+  kGelu,           // composite activation
+  kReduceSum,
+  kReduceMax,
+  kTranspose,
+  kReshape,        // prunable
+  kBroadcast,      // prunable
+  kConvert,        // convert_element_type, prunable
+  kGather,         // embedding lookup / MoE dispatch select
+  kTopK,           // MoE gating
+  kOneHot,         // MoE dispatch mask
+  kSoftmaxXent,    // composite LM-head loss
+  kConv2d,         // 2-D convolution (CNN extension benchmark)
+};
+inline constexpr std::int32_t kNumOpTypes = 23;
+
+[[nodiscard]] const char* OpTypeName(OpType op) noexcept;
+
+/// True for shape-only ops removed by graph pruning (paper §IV-B4).
+[[nodiscard]] bool IsPrunableOp(OpType op) noexcept;
+
+struct TensorSpec {
+  DType dtype = DType::kF32;
+  std::vector<std::int64_t> dims;
+
+  [[nodiscard]] std::int64_t NumElements() const noexcept {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims) n *= d;
+    return dims.empty() ? 1 : n;
+  }
+  [[nodiscard]] std::int64_t Bytes() const noexcept { return NumElements() * DTypeBytes(dtype); }
+  [[nodiscard]] std::string ToString() const;
+
+  bool operator==(const TensorSpec&) const = default;
+};
+
+}  // namespace predtop::ir

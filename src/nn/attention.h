@@ -1,0 +1,36 @@
+#pragma once
+// Multi-head scaled-dot-product attention with an additive mask — the core
+// of the DAG Transformer layer (paper Eqn. 1): the mask carries the DAG
+// reachability structure (0 where attention is allowed, -inf elsewhere).
+
+#include <cstdint>
+
+#include "nn/linear.h"
+
+namespace predtop::nn {
+
+class MultiheadMaskedAttention : public Module {
+ public:
+  /// `dim` must be divisible by `heads`.
+  MultiheadMaskedAttention(std::int64_t dim, std::int64_t heads, util::Rng& rng);
+
+  /// x: (n, dim); additive_mask: (n, n) with 0 / -inf entries, shared across
+  /// heads. Returns (n, dim).
+  [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x,
+                                           const tensor::Tensor& additive_mask) const;
+
+  [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+
+  [[nodiscard]] std::int64_t Heads() const noexcept { return heads_; }
+
+ private:
+  std::int64_t dim_;
+  std::int64_t heads_;
+  std::int64_t head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+}  // namespace predtop::nn

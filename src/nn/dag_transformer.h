@@ -1,0 +1,35 @@
+#pragma once
+// DAG Transformer layer (paper Fig. 4 / Luo et al. NeurIPS'23): a standard
+// post-LN Transformer encoder block whose attention is restricted by a DAG
+// reachability mask (DAGRA). Depth positional encodings (DAGPE) are added to
+// the input embedding by the caller before the first layer.
+
+#include <cstdint>
+
+#include "nn/attention.h"
+
+namespace predtop::nn {
+
+class DagTransformerLayer : public Module {
+ public:
+  /// `ffn_mult` scales the feed-forward hidden width (ffn_mult * dim).
+  DagTransformerLayer(std::int64_t dim, std::int64_t heads, std::int64_t ffn_mult,
+                      util::Rng& rng);
+
+  /// x: (n, dim); reachability mask: (n, n) additive. Returns (n, dim).
+  [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x,
+                                           const tensor::Tensor& reachability_mask) const;
+
+  [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+
+ private:
+  MultiheadMaskedAttention attention_;
+  Linear ffn_in_;
+  Linear ffn_out_;
+  autograd::Variable norm1_gain_;
+  autograd::Variable norm1_bias_;
+  autograd::Variable norm2_gain_;
+  autograd::Variable norm2_bias_;
+};
+
+}  // namespace predtop::nn

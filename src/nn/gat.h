@@ -1,0 +1,35 @@
+#pragma once
+// Graph Attention Network layer (Velickovic et al. '18), single-head:
+//   h_i' = sum_{j in N(i)} alpha_ij (W h_j) + b
+//   e_ij = LeakyReLU(a_src . Wh_j + a_dst . Wh_i), alpha = softmax_j(e_ij)
+// over an edge list that must include self-loops (ensured by the encoder).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace predtop::nn {
+
+class GatConv : public Module {
+ public:
+  GatConv(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+          float negative_slope = 0.2f);
+
+  /// x: (n, in); edges given as parallel src/dst arrays (message flows
+  /// src -> dst). Returns (n, out).
+  [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x,
+                                           const std::vector<std::int32_t>& edge_src,
+                                           const std::vector<std::int32_t>& edge_dst) const;
+
+  [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+
+ private:
+  Linear linear_;
+  autograd::Variable attn_src_;  // (out, 1)
+  autograd::Variable attn_dst_;  // (out, 1)
+  autograd::Variable bias_;      // (out)
+  float negative_slope_;
+};
+
+}  // namespace predtop::nn

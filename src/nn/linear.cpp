@@ -1,0 +1,61 @@
+#include "nn/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace predtop::nn {
+
+using autograd::Variable;
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+               bool with_bias)
+    : in_(in_features), out_(out_features) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Linear: feature counts must be positive");
+  }
+  const float limit = std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = Variable(
+      tensor::Tensor::RandUniform({in_features, out_features}, rng, -limit, limit), true);
+  if (with_bias) {
+    bias_ = Variable(tensor::Tensor({out_features}), true);
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  Variable y = autograd::MatMul(x, weight_);
+  if (bias_.defined()) y = autograd::AddRowVector(y, bias_);
+  return y;
+}
+
+std::vector<Variable*> Linear::Parameters() {
+  std::vector<Variable*> out{&weight_};
+  if (bias_.defined()) out.push_back(&bias_);
+  return out;
+}
+
+Mlp::Mlp(std::vector<std::int64_t> dims, util::Rng& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least input and output dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Variable Mlp::Forward(const Variable& x) const {
+  Variable h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = autograd::Relu(h);
+  }
+  return h;
+}
+
+std::vector<Variable*> Mlp::Parameters() {
+  std::vector<Variable*> out;
+  for (auto& l : layers_) {
+    for (auto* p : l.Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace predtop::nn

@@ -1,0 +1,52 @@
+#pragma once
+// Fully-connected layer and a small MLP helper.
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/functions.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace predtop::nn {
+
+/// y = x W + b with W (in, out) Glorot-initialized.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+         bool with_bias = true);
+
+  [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x) const;
+
+  [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+
+  [[nodiscard]] std::int64_t InFeatures() const noexcept { return in_; }
+  [[nodiscard]] std::int64_t OutFeatures() const noexcept { return out_; }
+
+  /// Weight matrix handle (exposed for GAT attention vectors etc.).
+  [[nodiscard]] autograd::Variable& Weight() noexcept { return weight_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  autograd::Variable weight_;
+  autograd::Variable bias_;  // undefined when with_bias == false
+};
+
+/// Multi-layer perceptron: Linear -> ReLU -> ... -> Linear (no final
+/// activation). `dims` lists layer widths including input and output, e.g.
+/// {64, 64, 1} builds Linear(64,64)+ReLU+Linear(64,1). Used for the
+/// regression head after pooling (paper §IV-B5).
+class Mlp : public Module {
+ public:
+  Mlp(std::vector<std::int64_t> dims, util::Rng& rng);
+
+  [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x) const;
+
+  [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace predtop::nn

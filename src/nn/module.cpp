@@ -1,0 +1,36 @@
+#include "nn/module.h"
+
+#include <stdexcept>
+
+namespace predtop::nn {
+
+std::size_t Module::ParameterCount() {
+  std::size_t n = 0;
+  for (const auto* p : Parameters()) n += static_cast<std::size_t>(p->value().numel());
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (auto* p : Parameters()) p->ZeroGrad();
+}
+
+std::vector<tensor::Tensor> Module::SnapshotParameters() {
+  std::vector<tensor::Tensor> out;
+  for (const auto* p : Parameters()) out.push_back(p->value());
+  return out;
+}
+
+void Module::RestoreParameters(const std::vector<tensor::Tensor>& snapshot) {
+  auto params = Parameters();
+  if (snapshot.size() != params.size()) {
+    throw std::invalid_argument("RestoreParameters: snapshot size mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!params[i]->value().SameShape(snapshot[i])) {
+      throw std::invalid_argument("RestoreParameters: parameter shape mismatch");
+    }
+    params[i]->mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace predtop::nn

@@ -1,0 +1,31 @@
+#pragma once
+// Base class for parameterized models. Modules own their parameter
+// Variables; optimizers and checkpoint snapshots operate on the flat
+// parameter list.
+
+#include <cstddef>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace predtop::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Flat list of trainable parameters (stable order across calls).
+  [[nodiscard]] virtual std::vector<autograd::Variable*> Parameters() = 0;
+
+  /// Total scalar parameter count.
+  [[nodiscard]] std::size_t ParameterCount();
+
+  void ZeroGrad();
+
+  /// Copy parameter values out (for best-weights checkpoints).
+  [[nodiscard]] std::vector<tensor::Tensor> SnapshotParameters();
+  /// Restore a snapshot taken from the same module.
+  void RestoreParameters(const std::vector<tensor::Tensor>& snapshot);
+};
+
+}  // namespace predtop::nn

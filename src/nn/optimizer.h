@@ -1,0 +1,43 @@
+#pragma once
+// Adam optimizer (Kingma & Ba) with the paper's defaults (beta1=0.9,
+// beta2=0.999) and a cosine learning-rate decay schedule (paper §IV-B6:
+// lr starts at 1e-3 and decays to 0 over the training run).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace predtop::nn {
+
+struct AdamConfig {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style) when > 0
+};
+
+class Adam {
+ public:
+  explicit Adam(Module& model, AdamConfig config = {});
+
+  /// Apply one update with the given learning rate using gradients
+  /// accumulated on the parameters; does not zero gradients.
+  void Step(float lr);
+
+  [[nodiscard]] std::int64_t StepCount() const noexcept { return t_; }
+
+ private:
+  Module& model_;
+  AdamConfig config_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Cosine decay: lr(e) = 0.5 * base * (1 + cos(pi * e / total)), e in
+/// [0, total). Matches the paper's schedule (1e-3 at epoch 0, ~0 at the
+/// final epoch).
+[[nodiscard]] float CosineDecayLr(float base_lr, std::int64_t epoch, std::int64_t total_epochs);
+
+}  // namespace predtop::nn

@@ -1,0 +1,79 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace predtop::nn {
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("serialize: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void WriteTensor(std::ostream& out, const tensor::Tensor& t) {
+  WritePod<std::uint32_t>(out, static_cast<std::uint32_t>(t.rank()));
+  for (const std::int64_t d : t.shape()) WritePod<std::int64_t>(out, d);
+  const auto data = t.data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+}
+
+tensor::Tensor ReadTensor(std::istream& in) {
+  const auto rank = ReadPod<std::uint32_t>(in);
+  if (rank > 8) throw std::runtime_error("serialize: implausible tensor rank");
+  tensor::Shape shape;
+  for (std::uint32_t i = 0; i < rank; ++i) shape.push_back(ReadPod<std::int64_t>(in));
+  tensor::Tensor t(shape);
+  auto data = t.data();
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("serialize: truncated tensor data");
+  return t;
+}
+
+void WriteParameters(std::ostream& out, Module& module) {
+  const auto params = module.Parameters();
+  WritePod<std::uint32_t>(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto* p : params) WriteTensor(out, p->value());
+}
+
+void ReadParameters(std::istream& in, Module& module) {
+  const auto params = module.Parameters();
+  const auto count = ReadPod<std::uint32_t>(in);
+  if (count != params.size()) {
+    throw std::runtime_error("serialize: parameter count mismatch");
+  }
+  std::vector<tensor::Tensor> loaded;
+  loaded.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) loaded.push_back(ReadTensor(in));
+  module.RestoreParameters(loaded);  // validates shapes
+}
+
+void SaveParameters(const std::string& path, Module& module) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("serialize: cannot open " + path + " for writing");
+  WriteParameters(out, module);
+}
+
+void LoadParameters(const std::string& path, Module& module) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("serialize: cannot open " + path);
+  ReadParameters(in, module);
+}
+
+}  // namespace predtop::nn

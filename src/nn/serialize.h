@@ -1,0 +1,28 @@
+#pragma once
+// Binary (de)serialization of module parameters — a trained stage predictor
+// is an artifact the workflow produces once per mesh and reuses across plan
+// searches, so it must survive process restarts.
+//
+// Format per tensor: rank (u32), dims (i64 each), data (f32 LE). The
+// parameter list order is the Module's Parameters() order, which is stable
+// by construction.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.h"
+
+namespace predtop::nn {
+
+void WriteParameters(std::ostream& out, Module& module);
+/// Shapes must match the module's current parameters exactly.
+void ReadParameters(std::istream& in, Module& module);
+
+void SaveParameters(const std::string& path, Module& module);
+void LoadParameters(const std::string& path, Module& module);
+
+/// Raw tensor stream helpers (shared with higher-level checkpoint formats).
+void WriteTensor(std::ostream& out, const tensor::Tensor& t);
+[[nodiscard]] tensor::Tensor ReadTensor(std::istream& in);
+
+}  // namespace predtop::nn

@@ -1,0 +1,118 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "autograd/functions.h"
+#include "util/logging.h"
+
+namespace predtop::nn {
+
+using autograd::Variable;
+
+namespace {
+
+Variable SampleLoss(LossKind kind, const Variable& pred, float target) {
+  return kind == LossKind::kMae ? autograd::AbsError(pred, target)
+                                : autograd::SquaredError(pred, target);
+}
+
+}  // namespace
+
+TrainResult Trainer::Fit(Module& model,
+                         const std::function<Variable(std::size_t)>& forward,
+                         std::span<const float> targets,
+                         std::span<const std::size_t> train_indices,
+                         std::span<const std::size_t> val_indices) const {
+  if (train_indices.empty()) throw std::invalid_argument("Trainer::Fit: empty training set");
+  TrainResult result;
+  Adam optimizer(model, config_.adam);
+  util::Rng rng(config_.shuffle_seed);
+  std::vector<std::size_t> order(train_indices.begin(), train_indices.end());
+
+  std::vector<tensor::Tensor> best_weights = model.SnapshotParameters();
+  double best_val = std::numeric_limits<double>::infinity();
+  std::int64_t best_epoch = -1;
+
+  for (std::int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.Shuffle(std::span<std::size_t>(order));
+    const float lr = CosineDecayLr(config_.base_lr, epoch, config_.max_epochs);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(config_.batch_size));
+      model.ZeroGrad();
+      Variable batch_loss;
+      for (std::size_t i = start; i < end; ++i) {
+        const std::size_t idx = order[i];
+        const Variable loss = SampleLoss(config_.loss, forward(idx), targets[idx]);
+        batch_loss = batch_loss.defined() ? autograd::Add(batch_loss, loss) : loss;
+      }
+      const float inv = 1.0f / static_cast<float>(end - start);
+      batch_loss = autograd::Scale(batch_loss, inv);
+      autograd::Backward(batch_loss);
+      optimizer.Step(lr);
+      epoch_loss += static_cast<double>(batch_loss.value().data()[0]) *
+                    static_cast<double>(end - start);
+    }
+    epoch_loss /= static_cast<double>(order.size());
+    result.train_loss_history.push_back(epoch_loss);
+
+    const double val_loss =
+        val_indices.empty() ? epoch_loss : Evaluate(forward, targets, val_indices);
+    result.val_loss_history.push_back(val_loss);
+    ++result.epochs_run;
+
+    if (val_loss < best_val) {
+      best_val = val_loss;
+      best_epoch = epoch;
+      best_weights = model.SnapshotParameters();
+    }
+    if (config_.log_every > 0 && epoch % config_.log_every == 0) {
+      PREDTOP_LOG_DEBUG << "epoch " << epoch << " train=" << epoch_loss
+                        << " val=" << val_loss << " lr=" << lr;
+    }
+    if (epoch - best_epoch >= config_.patience) break;  // early stopping
+  }
+
+  model.RestoreParameters(best_weights);
+  result.best_epoch = best_epoch;
+  result.best_val_loss = best_val;
+  return result;
+}
+
+double Trainer::Evaluate(const std::function<Variable(std::size_t)>& forward,
+                         std::span<const float> targets,
+                         std::span<const std::size_t> indices) const {
+  if (indices.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::size_t idx : indices) {
+    const float pred = forward(idx).value().data()[0];
+    const float diff = pred - targets[idx];
+    total += config_.loss == LossKind::kMae ? std::fabs(diff) : diff * diff;
+  }
+  return total / static_cast<double>(indices.size());
+}
+
+DataSplit SplitDataset(std::size_t n, double train_fraction, double val_fraction,
+                       util::Rng& rng) {
+  if (train_fraction < 0.0 || val_fraction < 0.0 || train_fraction + val_fraction > 1.0) {
+    throw std::invalid_argument("SplitDataset: invalid fractions");
+  }
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.Shuffle(std::span<std::size_t>(idx));
+  const auto n_train = static_cast<std::size_t>(std::llround(train_fraction * static_cast<double>(n)));
+  const auto n_val = static_cast<std::size_t>(std::llround(val_fraction * static_cast<double>(n)));
+  DataSplit split;
+  split.train.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(std::min(n, n_train)));
+  const std::size_t val_end = std::min(n, n_train + n_val);
+  split.validation.assign(idx.begin() + static_cast<std::ptrdiff_t>(std::min(n, n_train)),
+                          idx.begin() + static_cast<std::ptrdiff_t>(val_end));
+  split.test.assign(idx.begin() + static_cast<std::ptrdiff_t>(val_end), idx.end());
+  return split;
+}
+
+}  // namespace predtop::nn

@@ -1,0 +1,50 @@
+#include "parallel/config.h"
+
+#include <sstream>
+
+namespace predtop::parallel {
+
+std::string ParallelConfig::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  const auto append = [&](const char* tag, std::int32_t degree) {
+    if (degree <= 1) return;
+    if (!first) os << " x ";
+    os << degree << "-way " << tag;
+    first = false;
+  };
+  append("DP", dp);
+  append("MP", mp);
+  append("TP", tp);
+  if (first) os << "no parallelism";
+  return os.str();
+}
+
+std::vector<ParallelConfig> PaperConfigs(sim::Mesh mesh) {
+  const std::int32_t d = mesh.NumDevices();
+  if (d == 1) return {{1, 1, 1}};
+  if (d == 2) return {{2, 1, 1}, {1, 2, 1}};
+  if (d == 4) return {{4, 1, 1}, {2, 2, 1}, {1, 4, 1}};
+  // General fallback: pure DP, pure MP, and the balanced hybrid.
+  std::vector<ParallelConfig> out{{d, 1, 1}, {1, d, 1}};
+  for (std::int32_t f = 2; f * f <= d; ++f) {
+    if (d % f == 0) out.push_back({d / f, f, 1});
+  }
+  return out;
+}
+
+std::vector<ParallelConfig> AllConfigs(sim::Mesh mesh) {
+  const std::int32_t d = mesh.NumDevices();
+  std::vector<ParallelConfig> out;
+  for (std::int32_t dp = 1; dp <= d; ++dp) {
+    if (d % dp != 0) continue;
+    const std::int32_t rest = d / dp;
+    for (std::int32_t mp = 1; mp <= rest; ++mp) {
+      if (rest % mp != 0) continue;
+      out.push_back({dp, mp, rest / mp});
+    }
+  }
+  return out;
+}
+
+}  // namespace predtop::parallel

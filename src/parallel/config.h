@@ -1,0 +1,41 @@
+#pragma once
+// Intra-stage parallelization configurations (paper Tbl. III). Within a
+// stage's mesh, training is accelerated by a combination of:
+//  - data parallelism (dp): the microbatch is split across dp replicas, and
+//    weight gradients are all-reduced each iteration;
+//  - model parallelism (mp): operators are partitioned into mp groups that
+//    execute concurrently on disjoint device subsets (paper §II-A MP), with
+//    activations communicated across group boundaries;
+//  - tensor parallelism (tp): large dot-like operators are sharded across tp
+//    devices inside a group, synchronizing with all-reduce.
+// dp * mp * tp must equal the mesh's device count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace predtop::parallel {
+
+struct ParallelConfig {
+  std::int32_t dp = 1;
+  std::int32_t mp = 1;
+  std::int32_t tp = 1;
+
+  [[nodiscard]] std::int32_t Degree() const noexcept { return dp * mp * tp; }
+  [[nodiscard]] std::string ToString() const;
+  bool operator==(const ParallelConfig&) const = default;
+};
+
+/// The paper's per-mesh configurations (Tbl. III):
+///   mesh (1,1): {dp=1}             — single GPU, no parallelism
+///   mesh (1,2): {dp=2}, {mp=2}     — 2-way data / 2-way model parallel
+///   mesh (2,2): {dp=4}, {dp=2,mp=2}, {mp=4}
+[[nodiscard]] std::vector<ParallelConfig> PaperConfigs(sim::Mesh mesh);
+
+/// Every valid (dp, mp, tp) factorization of the mesh's device count
+/// (used by exhaustive searches and tests).
+[[nodiscard]] std::vector<ParallelConfig> AllConfigs(sim::Mesh mesh);
+
+}  // namespace predtop::parallel

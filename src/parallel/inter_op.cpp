@@ -1,0 +1,151 @@
+#include "parallel/inter_op.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/pipeline_model.h"
+
+namespace predtop::parallel {
+
+InterOpOptimizer::InterOpOptimizer(const sim::ClusterSpec& cluster, InterOpOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  if (options_.num_layers <= 0) {
+    throw std::invalid_argument("InterOpOptimizer: num_layers must be positive");
+  }
+  if (options_.submeshes.empty()) {
+    options_.submeshes = sim::PaperMeshes(cluster_);
+  }
+  for (const sim::Mesh& m : options_.submeshes) {
+    if (!m.FitsIn(cluster_)) {
+      throw std::invalid_argument("InterOpOptimizer: submesh does not fit in cluster");
+    }
+  }
+}
+
+PipelinePlan InterOpOptimizer::Optimize(const StageLatencyOracle& oracle) const {
+  const std::int32_t layer_count = options_.num_layers;
+  const std::int32_t device_count = cluster_.TotalDevices();
+  const auto mesh_count = static_cast<std::int32_t>(options_.submeshes.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Stage latency table: lat[i][j][m] for layers [i, j) on submesh m.
+  const auto slice_index = [&](std::int32_t i, std::int32_t j) {
+    return (i * (2 * layer_count - i + 1)) / 2 + (j - i - 1);
+  };
+  const std::int32_t num_slices = layer_count * (layer_count + 1) / 2;
+  std::vector<double> lat(static_cast<std::size_t>(num_slices) * mesh_count, kInf);
+  std::vector<ParallelConfig> cfg(static_cast<std::size_t>(num_slices) * mesh_count);
+  std::vector<double> tmax_candidates;
+  for (std::int32_t i = 0; i < layer_count; ++i) {
+    for (std::int32_t j = i + 1; j <= layer_count; ++j) {
+      for (std::int32_t m = 0; m < mesh_count; ++m) {
+        const StageLatencyResult r =
+            oracle(ir::StageSlice{i, j}, options_.submeshes[static_cast<std::size_t>(m)]);
+        const std::size_t idx =
+            static_cast<std::size_t>(slice_index(i, j)) * mesh_count + static_cast<std::size_t>(m);
+        lat[idx] = r.latency_s;
+        cfg[idx] = r.config;
+        if (std::isfinite(r.latency_s)) tmax_candidates.push_back(r.latency_s);
+      }
+    }
+  }
+  std::sort(tmax_candidates.begin(), tmax_candidates.end());
+  tmax_candidates.erase(std::unique(tmax_candidates.begin(), tmax_candidates.end()),
+                        tmax_candidates.end());
+
+  PipelinePlan best;
+  best.num_microbatches = options_.num_microbatches;
+
+  // Alpa's t_max enumeration: for each bottleneck bound, minimize the sum of
+  // stage latencies with a DP over (layers covered, devices used).
+  struct Choice {
+    std::int32_t prev_layer = -1;
+    std::int32_t prev_devices = -1;
+    std::int32_t mesh = -1;
+  };
+  const auto state = [&](std::int32_t k, std::int32_t d) {
+    return static_cast<std::size_t>(k) * (device_count + 1) + static_cast<std::size_t>(d);
+  };
+
+  for (const double tmax : tmax_candidates) {
+    std::vector<double> g(static_cast<std::size_t>(layer_count + 1) * (device_count + 1), kInf);
+    std::vector<std::int32_t> stages_used(g.size(), 0);
+    std::vector<Choice> choice(g.size());
+    g[state(0, 0)] = 0.0;
+
+    for (std::int32_t k = 0; k < layer_count; ++k) {
+      for (std::int32_t d = 0; d <= device_count; ++d) {
+        const double base = g[state(k, d)];
+        if (!std::isfinite(base)) continue;
+        if (options_.max_stages > 0 && stages_used[state(k, d)] >= options_.max_stages) continue;
+        for (std::int32_t j = k + 1; j <= layer_count; ++j) {
+          for (std::int32_t m = 0; m < mesh_count; ++m) {
+            const std::int32_t dev =
+                options_.submeshes[static_cast<std::size_t>(m)].NumDevices();
+            if (d + dev > device_count) continue;
+            const double t =
+                lat[static_cast<std::size_t>(slice_index(k, j)) * mesh_count +
+                    static_cast<std::size_t>(m)];
+            if (!std::isfinite(t) || t > tmax) continue;
+            const std::size_t next = state(j, d + dev);
+            if (base + t < g[next]) {
+              g[next] = base + t;
+              stages_used[next] = stages_used[state(k, d)] + 1;
+              choice[next] = Choice{k, d, m};
+            }
+          }
+        }
+      }
+    }
+
+    for (std::int32_t d = 1; d <= device_count; ++d) {
+      const double total_sum = g[state(layer_count, d)];
+      if (!std::isfinite(total_sum)) continue;
+      const double iteration =
+          total_sum + static_cast<double>(options_.num_microbatches - 1) * tmax;
+      if (iteration >= best.iteration_latency_s) continue;
+      // Reconstruct the stage chain.
+      PipelinePlan plan;
+      plan.num_microbatches = options_.num_microbatches;
+      std::int32_t k = layer_count, dd = d;
+      std::vector<double> stage_lats;
+      while (k > 0) {
+        const Choice& c = choice[state(k, dd)];
+        const std::size_t idx = static_cast<std::size_t>(slice_index(c.prev_layer, k)) *
+                                    mesh_count +
+                                static_cast<std::size_t>(c.mesh);
+        PipelineStageChoice stage;
+        stage.slice = ir::StageSlice{c.prev_layer, k};
+        stage.mesh = options_.submeshes[static_cast<std::size_t>(c.mesh)];
+        stage.config = cfg[idx];
+        stage.latency_s = lat[idx];
+        stage_lats.push_back(stage.latency_s);
+        plan.stages.push_back(stage);
+        k = c.prev_layer;
+        dd = c.prev_devices;
+      }
+      std::reverse(plan.stages.begin(), plan.stages.end());
+      std::reverse(stage_lats.begin(), stage_lats.end());
+      // Score with the true bottleneck, not the bound.
+      plan.iteration_latency_s =
+          PipelineLatency(stage_lats, options_.num_microbatches);
+      if (plan.iteration_latency_s < best.iteration_latency_s) best = std::move(plan);
+    }
+  }
+  return best;
+}
+
+double InterOpOptimizer::EvaluatePlan(const PipelinePlan& plan,
+                                      const StageLatencyOracle& oracle) const {
+  std::vector<double> stage_lats;
+  stage_lats.reserve(plan.stages.size());
+  for (const PipelineStageChoice& stage : plan.stages) {
+    stage_lats.push_back(oracle(stage.slice, stage.mesh).latency_s);
+  }
+  return PipelineLatency(stage_lats, plan.num_microbatches);
+}
+
+}  // namespace predtop::parallel

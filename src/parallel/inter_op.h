@@ -1,0 +1,54 @@
+#pragma once
+// Inter-operator (pipeline) optimizer — the Alpa-style dynamic program that
+// slices the model's layers into contiguous stages, assigns each stage a
+// submesh, and minimizes the 1F1B iteration latency (Eqn. 4). The optimizer
+// is agnostic to where stage latencies come from: a profiling oracle (vanilla
+// Alpa) or a PredTOP predictor (paper §VI phase 3).
+
+#include <functional>
+#include <span>
+
+#include "parallel/plan.h"
+
+namespace predtop::parallel {
+
+/// Returns the *optimal intra-stage* per-microbatch latency of a stage on a
+/// mesh (already minimized over parallel configurations), plus the config
+/// that achieves it. Implementations may be backed by simulation/profiling
+/// or by a learned predictor.
+struct StageLatencyResult {
+  double latency_s = 0.0;
+  ParallelConfig config;
+};
+using StageLatencyOracle =
+    std::function<StageLatencyResult(ir::StageSlice, sim::Mesh)>;
+
+struct InterOpOptions {
+  std::int32_t num_layers = 0;
+  std::int32_t num_microbatches = 8;
+  /// Candidate submeshes; defaults to the paper's Tbl. II meshes that fit.
+  std::vector<sim::Mesh> submeshes;
+  /// Upper bound on the number of pipeline stages (0 = no bound).
+  std::int32_t max_stages = 0;
+};
+
+class InterOpOptimizer {
+ public:
+  InterOpOptimizer(const sim::ClusterSpec& cluster, InterOpOptions options);
+
+  /// Run the t_max-enumeration DP and return the best pipeline plan.
+  [[nodiscard]] PipelinePlan Optimize(const StageLatencyOracle& oracle) const;
+
+  /// Evaluate a fixed plan's iteration latency under a (possibly different)
+  /// oracle — used to score predicted plans against ground truth.
+  [[nodiscard]] double EvaluatePlan(const PipelinePlan& plan,
+                                    const StageLatencyOracle& oracle) const;
+
+  [[nodiscard]] const InterOpOptions& Options() const noexcept { return options_; }
+
+ private:
+  sim::ClusterSpec cluster_;
+  InterOpOptions options_;
+};
+
+}  // namespace predtop::parallel

@@ -1,0 +1,283 @@
+#include "parallel/intra_op.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace predtop::parallel {
+
+namespace {
+
+/// Quirk seed tied to the platform + device so the two platforms expose
+/// different (but deterministic) efficiency landscapes.
+std::uint64_t QuirkSeed(const sim::ClusterSpec& cluster) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const char c : cluster.name) h = util::SplitMix64(h ^ static_cast<std::uint64_t>(c));
+  return h;
+}
+
+/// Bytes per parameter element of optimizer state relative to stored weight
+/// bytes: f16 weights + f16 grads + two f32 Adam moments ~= 6x weight bytes.
+constexpr double kOptimizerStateFactor = 6.0;
+/// Activation working-set headroom over the largest single activation.
+constexpr double kActivationHeadroom = 8.0;
+/// Gradient all-reduce and optimizer update run once per iteration, not per
+/// microbatch; amortize them over a nominal 1F1B microbatch count when
+/// reporting per-microbatch stage latency.
+constexpr double kGradSyncAmortization = 8.0;
+
+}  // namespace
+
+IntraOpCompiler::IntraOpCompiler(const sim::ClusterSpec& cluster, sim::Mesh mesh)
+    : cluster_(cluster),
+      mesh_(mesh),
+      cost_model_(cluster.device, QuirkSeed(cluster)),
+      collectives_(cluster, mesh) {
+  if (!mesh.FitsIn(cluster)) {
+    throw std::invalid_argument("IntraOpCompiler: mesh does not fit in cluster");
+  }
+}
+
+namespace {
+
+bool IsElementwiseFusable(ir::OpType op) noexcept {
+  switch (op) {
+    case ir::OpType::kAdd:
+    case ir::OpType::kSub:
+    case ir::OpType::kMul:
+    case ir::OpType::kDiv:
+    case ir::OpType::kMax:
+    case ir::OpType::kExp:
+    case ir::OpType::kRsqrt:
+    case ir::OpType::kTanh:
+    case ir::OpType::kGelu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Fraction of an op's standalone cost that survives when it is fused into
+/// its producer (register pressure / occupancy effects keep it nonzero).
+constexpr double kFusedCostFraction = 0.15;
+
+}  // namespace
+
+std::vector<bool> IntraOpCompiler::FusedEquations(const ir::StageProgram& program) {
+  // Consumer counts per value across equations and program outputs.
+  std::vector<std::int32_t> consumers(static_cast<std::size_t>(program.NumValues()), 0);
+  for (const ir::Equation& eqn : program.equations()) {
+    for (const ir::ValueId v : eqn.operands) ++consumers[static_cast<std::size_t>(v)];
+  }
+  for (const ir::ValueId v : program.outputs()) ++consumers[static_cast<std::size_t>(v)];
+
+  std::vector<bool> fused(program.equations().size(), false);
+  for (std::size_t i = 0; i < program.equations().size(); ++i) {
+    const ir::Equation& eqn = program.equations()[i];
+    if (!IsElementwiseFusable(eqn.op) || eqn.operands.empty()) continue;
+    const ir::Value& primary = program.value(eqn.operands[0]);
+    fused[i] = primary.kind == ir::ValueKind::kEquationResult &&
+               consumers[static_cast<std::size_t>(eqn.operands[0])] == 1;
+  }
+  return fused;
+}
+
+IntraOpCompiler::EquationCost IntraOpCompiler::CostOf(const ir::StageProgram& program,
+                                                      const ir::Equation& eqn,
+                                                      ParallelConfig config, bool fused) const {
+  EquationCost cost;
+  const bool dot_like = eqn.op == ir::OpType::kDot || eqn.op == ir::OpType::kBatchedDot ||
+                        eqn.op == ir::OpType::kConv2d;
+  const double dp = config.dp;
+  const double shard = dot_like ? dp * config.tp : dp;
+  const double scale = 1.0 / shard;
+  const double factor = sim::OpCostModel::TrainingFactor(eqn.op);
+  cost.duration_s = factor * cost_model_.EquationSeconds(program, eqn, scale, scale);
+  if (fused) cost.duration_s *= kFusedCostFraction;
+  if (dot_like && config.tp > 1) {
+    // Megatron-style row-parallel synchronization, forward + backward.
+    const double result_bytes =
+        static_cast<double>(program.value(eqn.result).spec.Bytes()) / dp;
+    const sim::CollectiveModel intra_node(cluster_, sim::Mesh{1, config.tp});
+    cost.duration_s += 2.0 * intra_node.AllReduceSeconds(result_bytes, config.tp);
+  }
+  cost.output_bytes = static_cast<double>(program.value(eqn.result).spec.Bytes()) / dp;
+  return cost;
+}
+
+double IntraOpCompiler::IterationOverhead(const ir::StageProgram& program,
+                                          ParallelConfig config) const {
+  const double literal_bytes = static_cast<double>(program.LiteralBytes());
+  const double bytes_per_replica =
+      literal_bytes / static_cast<double>(config.mp * config.tp);
+  double overhead = cost_model_.WeightUpdateSeconds(
+      static_cast<std::int64_t>(bytes_per_replica));
+  if (config.dp > 1) {
+    overhead += collectives_.AllReduceSeconds(bytes_per_replica, config.dp);
+  }
+  return overhead / kGradSyncAmortization;
+}
+
+double IntraOpCompiler::PerDeviceMemoryBytes(const ir::StageProgram& program,
+                                             ParallelConfig config) const {
+  const double weight_bytes = static_cast<double>(program.LiteralBytes()) /
+                              static_cast<double>(config.mp * config.tp);
+  double peak_activation = 0.0;
+  for (const ir::Equation& eqn : program.equations()) {
+    peak_activation = std::max(
+        peak_activation, static_cast<double>(program.value(eqn.result).spec.Bytes()) /
+                             static_cast<double>(config.dp));
+  }
+  return kOptimizerStateFactor * weight_bytes + kActivationHeadroom * peak_activation;
+}
+
+bool IntraOpCompiler::MemoryFeasible(const ir::StageProgram& program,
+                                     ParallelConfig config) const {
+  const double capacity = static_cast<double>(cluster_.device.memory_gib) * (1ULL << 30);
+  return PerDeviceMemoryBytes(program, config) <= capacity;
+}
+
+namespace {
+
+/// Shared schedule engine. When `fixed_groups` is empty, assigns each
+/// equation greedily to the group with the earliest finish time (HEFT-style)
+/// and records the assignment in `out_groups`.
+struct ScheduleEngine {
+  const ir::StageProgram& program;
+  ParallelConfig config;
+  const sim::ClusterSpec& cluster;
+  sim::Mesh mesh;
+  std::function<IntraOpCompiler::EquationCost(const ir::Equation&)> cost_of;
+
+  /// P2P time between two model-parallel groups (inter-node when the mesh
+  /// spans nodes and the groups land on different nodes under node-major
+  /// device layout).
+  [[nodiscard]] double GroupCommSeconds(std::int32_t g1, std::int32_t g2, double bytes) const {
+    if (g1 == g2 || bytes <= 0.0) return 0.0;
+    const auto& net = cluster.interconnect;
+    bool inter_node = false;
+    if (mesh.SpansNodes() && config.mp > 1) {
+      const std::int32_t devices_per_group = config.tp;
+      const std::int32_t node1 = (g1 * devices_per_group) / mesh.gpus_per_node;
+      const std::int32_t node2 = (g2 * devices_per_group) / mesh.gpus_per_node;
+      inter_node = (node1 % mesh.num_nodes) != (node2 % mesh.num_nodes);
+    }
+    const double bw = (inter_node ? net.inter_node_gbps : net.intra_node_gbps) * 1e9;
+    const double lat = (inter_node ? net.inter_node_latency_us : net.intra_node_latency_us) * 1e-6;
+    // Activation forward + activation-gradient backward.
+    return 2.0 * (bytes / bw + lat);
+  }
+
+  double Run(std::span<const std::int32_t> fixed_groups, std::vector<std::int32_t>* out_groups) {
+    const auto& eqns = program.equations();
+    const std::size_t n = eqns.size();
+    const std::int32_t mp = config.mp;
+    std::vector<double> finish(n, 0.0);
+    std::vector<std::int32_t> group(n, 0);
+    std::vector<double> lane_free(static_cast<std::size_t>(mp), 0.0);
+    std::vector<double> out_bytes(n, 0.0);
+    double makespan = 0.0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const ir::Equation& eqn = eqns[i];
+      const auto cost = cost_of(eqn);
+      out_bytes[i] = cost.output_bytes;
+
+      const auto ready_in_group = [&](std::int32_t g) {
+        double ready = 0.0;
+        for (const ir::ValueId v : eqn.operands) {
+          const ir::Value& value = program.value(v);
+          if (value.kind != ir::ValueKind::kEquationResult) continue;
+          const auto producer = static_cast<std::size_t>(value.defining_equation);
+          ready = std::max(ready, finish[producer] +
+                                      GroupCommSeconds(group[producer], g,
+                                                       out_bytes[producer]));
+        }
+        return ready;
+      };
+
+      std::int32_t chosen;
+      if (!fixed_groups.empty()) {
+        chosen = fixed_groups[i];
+        if (chosen < 0 || chosen >= mp) {
+          throw std::out_of_range("ScheduleEngine: group id out of range");
+        }
+      } else {
+        chosen = 0;
+        double best_finish = std::numeric_limits<double>::infinity();
+        for (std::int32_t g = 0; g < mp; ++g) {
+          const double f =
+              std::max(ready_in_group(g), lane_free[static_cast<std::size_t>(g)]) +
+              cost.duration_s;
+          if (f < best_finish) {
+            best_finish = f;
+            chosen = g;
+          }
+        }
+      }
+      const double start =
+          std::max(ready_in_group(chosen), lane_free[static_cast<std::size_t>(chosen)]);
+      finish[i] = start + cost.duration_s;
+      lane_free[static_cast<std::size_t>(chosen)] = finish[i];
+      group[i] = chosen;
+      makespan = std::max(makespan, finish[i]);
+    }
+    if (out_groups != nullptr) *out_groups = std::move(group);
+    return makespan;
+  }
+};
+
+}  // namespace
+
+double IntraOpCompiler::SimulateLatency(const ir::StageProgram& program, ParallelConfig config,
+                                        std::span<const std::int32_t> groups) const {
+  if (config.Degree() != mesh_.NumDevices()) {
+    throw std::invalid_argument("SimulateLatency: config degree != mesh devices");
+  }
+  if (!MemoryFeasible(program, config)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::vector<bool> fused = FusedEquations(program);
+  ScheduleEngine engine{program, config, cluster_, mesh_,
+                        [&](const ir::Equation& e) {
+                          const auto idx = static_cast<std::size_t>(
+                              program.value(e.result).defining_equation);
+                          return CostOf(program, e, config, fused[idx]);
+                        }};
+  const double makespan = engine.Run(groups, nullptr);
+  return makespan + IterationOverhead(program, config);
+}
+
+StagePlan IntraOpCompiler::Compile(const ir::StageProgram& program, ParallelConfig config) const {
+  StagePlan plan;
+  plan.config = config;
+  if (config.Degree() != mesh_.NumDevices()) {
+    throw std::invalid_argument("Compile: config degree != mesh devices");
+  }
+  if (!MemoryFeasible(program, config)) return plan;  // invalid (+inf)
+  const std::vector<bool> fused = FusedEquations(program);
+  ScheduleEngine engine{program, config, cluster_, mesh_,
+                        [&](const ir::Equation& e) {
+                          const auto idx = static_cast<std::size_t>(
+                              program.value(e.result).defining_equation);
+                          return CostOf(program, e, config, fused[idx]);
+                        }};
+  const double makespan = engine.Run({}, &plan.group_of_equation);
+  plan.latency_s = makespan + IterationOverhead(program, config);
+  return plan;
+}
+
+StagePlan IntraOpCompiler::CompileBest(const ir::StageProgram& program,
+                                       std::span<const ParallelConfig> configs) const {
+  StagePlan best;
+  for (const ParallelConfig& config : configs) {
+    StagePlan plan = Compile(program, config);
+    if (plan.latency_s < best.latency_s) best = std::move(plan);
+  }
+  return best;
+}
+
+}  // namespace predtop::parallel

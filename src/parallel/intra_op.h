@@ -1,0 +1,75 @@
+#pragma once
+// Intra-stage compiler: the substitute for Alpa's intra-operator ILM/ILP
+// pass. For a (stage, mesh, config) triple it
+//  1. scales per-equation work by the data- and tensor-parallel degrees,
+//  2. partitions equations into `mp` operator groups with an HEFT-style
+//     earliest-finish list scheduler (cross-group edges pay activation
+//     communication),
+//  3. simulates the resulting schedule — the stage latency is the makespan
+//     plus the data-parallel gradient all-reduce and the optimizer update.
+// The returned latency is the "optimal intra-stage execution latency" the
+// black-box predictor is trained to regress (paper §III).
+
+#include <span>
+
+#include "ir/program.h"
+#include "parallel/plan.h"
+#include "sim/collective.h"
+#include "sim/cost_model.h"
+
+namespace predtop::parallel {
+
+class IntraOpCompiler {
+ public:
+  IntraOpCompiler(const sim::ClusterSpec& cluster, sim::Mesh mesh);
+
+  /// Greedy-optimized plan for one configuration.
+  [[nodiscard]] StagePlan Compile(const ir::StageProgram& program,
+                                  ParallelConfig config) const;
+
+  /// Best plan across the given configurations (what a DL training system
+  /// would deploy, and what the predictor is trained against).
+  [[nodiscard]] StagePlan CompileBest(const ir::StageProgram& program,
+                                      std::span<const ParallelConfig> configs) const;
+
+  /// Simulated per-microbatch training latency for an explicit group
+  /// assignment (exposed for tests and brute-force comparisons). Returns
+  /// +inf when the stage does not fit in memory.
+  [[nodiscard]] double SimulateLatency(const ir::StageProgram& program, ParallelConfig config,
+                                       std::span<const std::int32_t> groups) const;
+
+  /// Per-device memory demand in bytes (weights + optimizer state + peak
+  /// activation working set).
+  [[nodiscard]] double PerDeviceMemoryBytes(const ir::StageProgram& program,
+                                            ParallelConfig config) const;
+  [[nodiscard]] bool MemoryFeasible(const ir::StageProgram& program,
+                                    ParallelConfig config) const;
+
+  [[nodiscard]] const sim::ClusterSpec& Cluster() const noexcept { return cluster_; }
+  [[nodiscard]] sim::Mesh MeshShape() const noexcept { return mesh_; }
+
+  struct EquationCost {
+    double duration_s = 0.0;     // on-device execution incl. TP collectives
+    double output_bytes = 0.0;   // per-replica activation bytes (cross-group comm)
+  };
+
+  /// True for each equation the XLA-style fuser would absorb into its
+  /// producer's kernel: a memory-bound elementwise op that is the sole
+  /// consumer of its primary operand.
+  [[nodiscard]] static std::vector<bool> FusedEquations(const ir::StageProgram& program);
+
+ private:
+  [[nodiscard]] EquationCost CostOf(const ir::StageProgram& program, const ir::Equation& eqn,
+                                    ParallelConfig config, bool fused) const;
+  /// Extra per-iteration cost outside the schedule: DP gradient all-reduce +
+  /// optimizer update.
+  [[nodiscard]] double IterationOverhead(const ir::StageProgram& program,
+                                         ParallelConfig config) const;
+
+  sim::ClusterSpec cluster_;
+  sim::Mesh mesh_;
+  sim::OpCostModel cost_model_;
+  sim::CollectiveModel collectives_;
+};
+
+}  // namespace predtop::parallel

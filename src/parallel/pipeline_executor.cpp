@@ -1,0 +1,64 @@
+#include "parallel/pipeline_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace predtop::parallel {
+
+double PipelineTrace::BubbleSeconds() const noexcept {
+  double bubble = 0.0;
+  for (const auto& stage : intervals) {
+    if (stage.empty()) continue;
+    // Idle before the first microbatch plus gaps between consecutive ones,
+    // plus idle after the last until the pipeline drains.
+    bubble += stage.front().start_s;
+    for (std::size_t m = 1; m < stage.size(); ++m) {
+      bubble += stage[m].start_s - stage[m - 1].end_s;
+    }
+    bubble += makespan_s - stage.back().end_s;
+  }
+  return bubble;
+}
+
+PipelineTrace ExecutePipeline(const std::vector<std::vector<double>>& times) {
+  PipelineTrace trace;
+  if (times.empty()) return trace;
+  const std::size_t stages = times.size();
+  const std::size_t microbatches = times[0].size();
+  for (const auto& row : times) {
+    if (row.size() != microbatches) {
+      throw std::invalid_argument("ExecutePipeline: ragged microbatch counts");
+    }
+    for (const double t : row) {
+      if (t < 0.0) throw std::invalid_argument("ExecutePipeline: negative stage time");
+    }
+  }
+  trace.intervals.assign(stages, std::vector<StageInterval>(microbatches));
+  for (std::size_t s = 0; s < stages; ++s) {
+    for (std::size_t m = 0; m < microbatches; ++m) {
+      const double stage_free = m > 0 ? trace.intervals[s][m - 1].end_s : 0.0;
+      const double input_ready = s > 0 ? trace.intervals[s - 1][m].end_s : 0.0;
+      const double start = std::max(stage_free, input_ready);
+      trace.intervals[s][m] = {start, start + times[s][m]};
+      trace.makespan_s = std::max(trace.makespan_s, trace.intervals[s][m].end_s);
+    }
+  }
+  return trace;
+}
+
+PipelineTrace ExecutePipeline(std::span<const double> stage_times,
+                              std::int32_t num_microbatches) {
+  std::vector<std::vector<double>> times;
+  times.reserve(stage_times.size());
+  for (const double t : stage_times) {
+    times.emplace_back(static_cast<std::size_t>(num_microbatches), t);
+  }
+  return ExecutePipeline(times);
+}
+
+double ExecutePipelineMakespan(std::span<const double> stage_times,
+                               std::int32_t num_microbatches) {
+  return ExecutePipeline(stage_times, num_microbatches).makespan_s;
+}
+
+}  // namespace predtop::parallel

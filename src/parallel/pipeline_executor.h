@@ -1,0 +1,50 @@
+#pragma once
+// Discrete-event execution of a 1F1B pipeline schedule (paper Fig. 6):
+// microbatch m enters stage s as soon as stage s finished microbatch m-1
+// AND stage s-1 finished microbatch m (unbounded inter-stage buffers).
+//
+// For constant per-microbatch stage times the makespan equals the paper's
+// closed-form Eqn. 4 exactly — the executor is the ground truth the white-box
+// model is validated against in tests — and it additionally supports
+// per-(stage, microbatch) jitter, quantifying how far Eqn. 4 drifts when
+// stage times vary run to run.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace predtop::parallel {
+
+struct StageInterval {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Full schedule trace: trace[stage][microbatch] execution interval.
+struct PipelineTrace {
+  std::vector<std::vector<StageInterval>> intervals;
+  double makespan_s = 0.0;
+
+  [[nodiscard]] std::size_t NumStages() const noexcept { return intervals.size(); }
+  [[nodiscard]] std::size_t NumMicrobatches() const noexcept {
+    return intervals.empty() ? 0 : intervals[0].size();
+  }
+  /// Total idle (bubble) time summed over stages.
+  [[nodiscard]] double BubbleSeconds() const noexcept;
+};
+
+/// Execute with per-(stage, microbatch) times: times[s][m] > 0. All stages
+/// must list the same number of microbatches.
+[[nodiscard]] PipelineTrace ExecutePipeline(
+    const std::vector<std::vector<double>>& stage_microbatch_times);
+
+/// Convenience: constant per-stage times replicated across `num_microbatches`.
+[[nodiscard]] PipelineTrace ExecutePipeline(std::span<const double> stage_times,
+                                            std::int32_t num_microbatches);
+
+/// Makespan only (constant stage times). Matches PipelineLatency (Eqn. 4)
+/// exactly — kept as an independent implementation for cross-validation.
+[[nodiscard]] double ExecutePipelineMakespan(std::span<const double> stage_times,
+                                             std::int32_t num_microbatches);
+
+}  // namespace predtop::parallel

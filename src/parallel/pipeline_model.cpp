@@ -1,0 +1,19 @@
+#include "parallel/pipeline_model.h"
+
+#include <algorithm>
+
+namespace predtop::parallel {
+
+double PipelineLatency(std::span<const double> stage_latencies,
+                       std::int32_t num_microbatches) noexcept {
+  if (stage_latencies.empty() || num_microbatches < 1) return 0.0;
+  double sum = 0.0;
+  double bottleneck = 0.0;
+  for (const double t : stage_latencies) {
+    sum += t;
+    bottleneck = std::max(bottleneck, t);
+  }
+  return sum + static_cast<double>(num_microbatches - 1) * bottleneck;
+}
+
+}  // namespace predtop::parallel

@@ -1,0 +1,16 @@
+#pragma once
+// White-box pipeline latency model (paper §V, Eqn. 4) for the 1F1B
+// schedule:  T = sum_i t_i + (B - 1) * max_j t_j,
+// where t_i are per-microbatch stage latencies and B the number of
+// microbatches. Inter-stage communication is ignored, as in the paper
+// (negligible on high-bandwidth links relative to stage execution).
+
+#include <cstdint>
+#include <span>
+
+namespace predtop::parallel {
+
+[[nodiscard]] double PipelineLatency(std::span<const double> stage_latencies,
+                                     std::int32_t num_microbatches) noexcept;
+
+}  // namespace predtop::parallel

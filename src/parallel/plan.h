@@ -1,0 +1,47 @@
+#pragma once
+// Plan types shared by the intra- and inter-operator optimizers.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ir/models.h"
+#include "parallel/config.h"
+#include "sim/cluster.h"
+
+namespace predtop::parallel {
+
+/// Result of compiling one stage for one mesh + parallel configuration.
+struct StagePlan {
+  ParallelConfig config;
+  /// Model-parallel group of each equation (size = NumEquations, values in
+  /// [0, config.mp)).
+  std::vector<std::int32_t> group_of_equation;
+  /// Simulated per-microbatch training latency of the stage; +inf when the
+  /// stage does not fit in device memory.
+  double latency_s = std::numeric_limits<double>::infinity();
+  [[nodiscard]] bool Valid() const noexcept {
+    return latency_s != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// One stage of an end-to-end pipeline plan.
+struct PipelineStageChoice {
+  ir::StageSlice slice;
+  sim::Mesh mesh;
+  ParallelConfig config;
+  double latency_s = 0.0;
+};
+
+/// End-to-end parallelization plan (paper Fig. 6 / Eqn. 4 semantics).
+struct PipelinePlan {
+  std::vector<PipelineStageChoice> stages;
+  std::int32_t num_microbatches = 1;
+  double iteration_latency_s = std::numeric_limits<double>::infinity();
+  [[nodiscard]] bool Valid() const noexcept {
+    return !stages.empty() &&
+           iteration_latency_s != std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace predtop::parallel

@@ -1,0 +1,58 @@
+#include "sim/cluster.h"
+
+namespace predtop::sim {
+
+ClusterSpec Platform1() {
+  ClusterSpec spec;
+  spec.name = "Platform1-A40";
+  spec.device = DeviceSpec{
+      .name = "NVIDIA A40",
+      .peak_tflops_f16 = 149.7,  // tensor cores, dense
+      .peak_tflops_f32 = 37.4,
+      .hbm_gbps = 696.0,
+      .kernel_launch_us = 6.0,
+      .memory_gib = 48,
+  };
+  spec.interconnect = InterconnectSpec{
+      .intra_node_gbps = 56.25,  // half of the 112.5 GB/s bidirectional NVLink
+      .intra_node_latency_us = 5.0,
+      .inter_node_gbps = 1.25,  // (unused: single node)
+      .inter_node_latency_us = 50.0,
+  };
+  spec.num_nodes = 1;
+  spec.gpus_per_node = 2;
+  return spec;
+}
+
+ClusterSpec Platform2() {
+  ClusterSpec spec;
+  spec.name = "Platform2-A5500";
+  spec.device = DeviceSpec{
+      .name = "NVIDIA RTX A5500",
+      .peak_tflops_f16 = 117.2,
+      .peak_tflops_f32 = 34.1,
+      .hbm_gbps = 768.0,
+      .kernel_launch_us = 6.0,
+      .memory_gib = 24,
+  };
+  spec.interconnect = InterconnectSpec{
+      .intra_node_gbps = 56.25,
+      .intra_node_latency_us = 5.0,
+      .inter_node_gbps = 1.25,  // 10 GbE
+      .inter_node_latency_us = 50.0,
+  };
+  spec.num_nodes = 2;
+  spec.gpus_per_node = 2;
+  return spec;
+}
+
+std::vector<Mesh> PaperMeshes(const ClusterSpec& cluster) {
+  const std::vector<Mesh> candidates{{1, 1}, {1, 2}, {2, 2}};
+  std::vector<Mesh> out;
+  for (const Mesh& m : candidates) {
+    if (m.FitsIn(cluster)) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace predtop::sim

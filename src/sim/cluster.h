@@ -1,0 +1,63 @@
+#pragma once
+// Hardware model of the paper's two experimental platforms (§VII-A). Since
+// no physical GPUs are available, these specs drive an analytical simulator
+// that plays the role of the real cluster: Platform 1 (one node, 2x NVIDIA
+// A40, NVLink) and Platform 2 (two nodes, 2x RTX A5500 each, NVLink within
+// a node, 10 GbE across nodes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace predtop::sim {
+
+struct DeviceSpec {
+  std::string name;
+  double peak_tflops_f16 = 0.0;  // tensor-core half-precision throughput
+  double peak_tflops_f32 = 0.0;
+  double hbm_gbps = 0.0;            // device memory bandwidth (GB/s)
+  double kernel_launch_us = 0.0;    // fixed per-kernel overhead
+  std::int64_t memory_gib = 0;
+};
+
+struct InterconnectSpec {
+  double intra_node_gbps = 0.0;     // effective per-direction NVLink bandwidth
+  double intra_node_latency_us = 0.0;
+  double inter_node_gbps = 0.0;     // Ethernet bandwidth
+  double inter_node_latency_us = 0.0;
+};
+
+struct ClusterSpec {
+  std::string name;
+  DeviceSpec device;
+  InterconnectSpec interconnect;
+  std::int32_t num_nodes = 1;
+  std::int32_t gpus_per_node = 1;
+
+  [[nodiscard]] std::int32_t TotalDevices() const noexcept { return num_nodes * gpus_per_node; }
+};
+
+/// Device mesh a stage executes on (paper Tbl. II).
+struct Mesh {
+  std::int32_t num_nodes = 1;
+  std::int32_t gpus_per_node = 1;
+
+  [[nodiscard]] std::int32_t NumDevices() const noexcept { return num_nodes * gpus_per_node; }
+  [[nodiscard]] bool SpansNodes() const noexcept { return num_nodes > 1; }
+  [[nodiscard]] bool FitsIn(const ClusterSpec& cluster) const noexcept {
+    return num_nodes <= cluster.num_nodes && gpus_per_node <= cluster.gpus_per_node;
+  }
+  bool operator==(const Mesh&) const = default;
+};
+
+/// Platform 1: Dell R750XA, 2x NVIDIA A40 (48 GiB, 696 GB/s), NVLink.
+[[nodiscard]] ClusterSpec Platform1();
+/// Platform 2: 2x Dell 5820, each 2x RTX A5500 (24 GiB, 768 GB/s), NVLink
+/// within a node, 10 GbE between nodes.
+[[nodiscard]] ClusterSpec Platform2();
+
+/// The mesh configurations of paper Tbl. II that fit in `cluster`:
+/// (1,1), (1,2), (2,2).
+[[nodiscard]] std::vector<Mesh> PaperMeshes(const ClusterSpec& cluster);
+
+}  // namespace predtop::sim

@@ -1,0 +1,39 @@
+#include "sim/collective.h"
+
+namespace predtop::sim {
+
+CollectiveModel::CollectiveModel(const ClusterSpec& cluster, Mesh mesh) noexcept
+    : devices_(mesh.NumDevices()) {
+  const auto& net = cluster.interconnect;
+  if (mesh.SpansNodes()) {
+    bandwidth_bps_ = net.inter_node_gbps * 1e9;
+    latency_s_ = net.inter_node_latency_us * 1e-6;
+  } else {
+    bandwidth_bps_ = net.intra_node_gbps * 1e9;
+    latency_s_ = net.intra_node_latency_us * 1e-6;
+  }
+}
+
+double CollectiveModel::AllReduceSeconds(double bytes, std::int32_t participants) const noexcept {
+  if (participants <= 1 || bytes <= 0.0) return 0.0;
+  const double p = participants;
+  return 2.0 * (p - 1.0) / p * bytes / bandwidth_bps_ + 2.0 * (p - 1.0) * latency_s_;
+}
+
+double CollectiveModel::AllGatherSeconds(double bytes, std::int32_t participants) const noexcept {
+  if (participants <= 1 || bytes <= 0.0) return 0.0;
+  const double p = participants;
+  return (p - 1.0) / p * bytes / bandwidth_bps_ + (p - 1.0) * latency_s_;
+}
+
+double CollectiveModel::ReduceScatterSeconds(double bytes,
+                                             std::int32_t participants) const noexcept {
+  return AllGatherSeconds(bytes, participants);
+}
+
+double CollectiveModel::SendRecvSeconds(double bytes) const noexcept {
+  if (bytes <= 0.0) return 0.0;
+  return bytes / bandwidth_bps_ + latency_s_;
+}
+
+}  // namespace predtop::sim

@@ -1,0 +1,35 @@
+#pragma once
+// Analytical communication model: ring-based collectives over a device mesh
+// (the standard alpha-beta model used by Alpa's cost estimator). Bandwidth
+// is the bottleneck link of the mesh: NVLink within a node, Ethernet when
+// the mesh spans nodes.
+
+#include "sim/cluster.h"
+
+namespace predtop::sim {
+
+class CollectiveModel {
+ public:
+  CollectiveModel(const ClusterSpec& cluster, Mesh mesh) noexcept;
+
+  /// Effective per-direction bandwidth (bytes/second) of the bottleneck link.
+  [[nodiscard]] double BottleneckBandwidth() const noexcept { return bandwidth_bps_; }
+  [[nodiscard]] double LinkLatencySeconds() const noexcept { return latency_s_; }
+  [[nodiscard]] std::int32_t NumDevices() const noexcept { return devices_; }
+
+  /// Ring all-reduce of `bytes` across `participants` devices.
+  [[nodiscard]] double AllReduceSeconds(double bytes, std::int32_t participants) const noexcept;
+  /// Ring all-gather producing `bytes` total on each device.
+  [[nodiscard]] double AllGatherSeconds(double bytes, std::int32_t participants) const noexcept;
+  /// Ring reduce-scatter of `bytes`.
+  [[nodiscard]] double ReduceScatterSeconds(double bytes, std::int32_t participants) const noexcept;
+  /// Point-to-point transfer.
+  [[nodiscard]] double SendRecvSeconds(double bytes) const noexcept;
+
+ private:
+  std::int32_t devices_;
+  double bandwidth_bps_;
+  double latency_s_;
+};
+
+}  // namespace predtop::sim

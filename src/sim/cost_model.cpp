@@ -1,0 +1,100 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace predtop::sim {
+
+namespace {
+
+using ir::OpType;
+
+bool IsDotLike(OpType op) noexcept {
+  return op == OpType::kDot || op == OpType::kBatchedDot || op == OpType::kConv2d;
+}
+
+}  // namespace
+
+OpCostModel::OpCostModel(DeviceSpec device, std::uint64_t quirk_seed) noexcept
+    : device_(std::move(device)), quirk_seed_(quirk_seed) {}
+
+double OpCostModel::PeakFlops(ir::DType dtype) const noexcept {
+  switch (dtype) {
+    case ir::DType::kF16:
+    case ir::DType::kBF16:
+      return device_.peak_tflops_f16 * 1e12;
+    default:
+      return device_.peak_tflops_f32 * 1e12;
+  }
+}
+
+double OpCostModel::Efficiency(const ir::Equation& eqn, std::int64_t out_elems) const noexcept {
+  double eff;
+  if (IsDotLike(eqn.op)) {
+    // GEMM utilization: good baseline, degraded by wave quantization (small
+    // outputs under-fill the SMs) and tile quantization (odd contraction
+    // sizes hurt tensor-core tiling).
+    eff = 0.62;
+    const double wave = static_cast<double>(out_elems) /
+                        (static_cast<double>(out_elems) + 4e5);
+    eff *= 0.35 + 0.65 * wave;
+    const std::int64_t k = std::max<std::int64_t>(1, eqn.contraction_dim);
+    if (k % 64 != 0) eff *= 0.82;
+  } else {
+    eff = 0.80;  // bandwidth-bound kernels run close to streaming efficiency
+  }
+  // Deterministic per-(op, size-class) quirk: stands in for kernel selection
+  // effects; size class is the log2 bucket of the output size.
+  const auto size_class = static_cast<std::uint64_t>(
+      std::bit_width(static_cast<std::uint64_t>(std::max<std::int64_t>(1, out_elems))));
+  const std::uint64_t h = util::SplitMix64(
+      quirk_seed_ ^ (static_cast<std::uint64_t>(eqn.op) * 0x9e37ULL + size_class));
+  const double jitter = 0.85 + 0.30 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+  return eff * jitter;
+}
+
+double OpCostModel::EquationSeconds(const ir::StageProgram& program, const ir::Equation& eqn,
+                                    double flop_scale, double byte_scale) const {
+  const std::int64_t flops = ir::EquationFlops(program, eqn);
+  const std::int64_t bytes = ir::EquationBytes(program, eqn);
+  const ir::TensorSpec& result = program.value(eqn.result).spec;
+  const double eff = Efficiency(eqn, result.NumElements());
+
+  const double compute_s =
+      flops > 0 ? static_cast<double>(flops) * flop_scale /
+                      (PeakFlops(result.dtype) * eff)
+                : 0.0;
+  // Memory-bound floor: even pure data-movement ops (gather, transpose)
+  // stream their bytes through HBM.
+  const double stream_eff = IsDotLike(eqn.op) ? 1.0 : eff;
+  const double memory_s = static_cast<double>(bytes) * byte_scale /
+                          (device_.hbm_gbps * 1e9 * stream_eff);
+  return std::max(compute_s, memory_s) + device_.kernel_launch_us * 1e-6;
+}
+
+double OpCostModel::TrainingFactor(ir::OpType op) noexcept {
+  switch (op) {
+    case OpType::kDot:
+    case OpType::kBatchedDot:
+    case OpType::kConv2d:
+      return 3.0;  // forward GEMM + dX GEMM + dW GEMM
+    case OpType::kTopK:
+    case OpType::kOneHot:
+      return 1.0;  // routing decisions are not differentiated
+    case OpType::kNone:
+      return 0.0;
+    default:
+      return 2.0;  // forward + one backward pass over the same data
+  }
+}
+
+double OpCostModel::WeightUpdateSeconds(std::int64_t literal_bytes) const noexcept {
+  // Adam update streams parameters, gradients and two moments: ~6x the
+  // parameter bytes read+written.
+  return 6.0 * static_cast<double>(literal_bytes) / (device_.hbm_gbps * 1e9);
+}
+
+}  // namespace predtop::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Per-operator device cost model: a roofline (compute vs memory bandwidth)
+// with realistic second-order effects — kernel-launch overhead, wave/tile
+// quantization, and deterministic per-(op, size-class) efficiency quirks.
+// The quirks are what make stage latency a non-trivial learning target for
+// the black-box predictors, standing in for the kernel-selection and
+// scheduling idiosyncrasies of real GPUs.
+
+#include <cstdint>
+
+#include "ir/program.h"
+#include "sim/cluster.h"
+
+namespace predtop::sim {
+
+class OpCostModel {
+ public:
+  /// `quirk_seed` keys the deterministic efficiency perturbations; derive it
+  /// from the platform so the two platforms exhibit different quirks.
+  OpCostModel(DeviceSpec device, std::uint64_t quirk_seed) noexcept;
+
+  /// Forward execution time of one equation on one device, with its work
+  /// scaled by `flop_scale` / `byte_scale` (sharding divides these).
+  [[nodiscard]] double EquationSeconds(const ir::StageProgram& program, const ir::Equation& eqn,
+                                       double flop_scale = 1.0, double byte_scale = 1.0) const;
+
+  /// Multiplier turning forward op time into its contribution to a training
+  /// iteration (forward + backward): ~3x for GEMMs (one forward plus two
+  /// backward GEMMs), ~2x for memory-bound ops, 1x for non-differentiated
+  /// routing ops.
+  [[nodiscard]] static double TrainingFactor(ir::OpType op) noexcept;
+
+  /// Optimizer-update time for a stage's parameters (bytes of weights).
+  [[nodiscard]] double WeightUpdateSeconds(std::int64_t literal_bytes) const noexcept;
+
+  [[nodiscard]] const DeviceSpec& Device() const noexcept { return device_; }
+
+ private:
+  [[nodiscard]] double PeakFlops(ir::DType dtype) const noexcept;
+  [[nodiscard]] double Efficiency(const ir::Equation& eqn, std::int64_t out_elems) const noexcept;
+
+  DeviceSpec device_;
+  std::uint64_t quirk_seed_;
+};
+
+}  // namespace predtop::sim

@@ -1,0 +1,19 @@
+#include "sim/profiler.h"
+
+namespace predtop::sim {
+
+double Profiler::ProfileStage(double true_latency_s, std::int64_t num_equations) {
+  const double compile_s =
+      config_.compile_base_s + config_.compile_per_equation_s * static_cast<double>(num_equations);
+  const double run_s =
+      static_cast<double>(config_.warmup_iters + config_.measure_iters) * true_latency_s;
+  total_cost_s_ += compile_s + config_.setup_s + run_s;
+  ++stages_profiled_;
+  return Observe(true_latency_s);
+}
+
+double Profiler::Observe(double true_latency_s) {
+  return rng_.LogNormal(true_latency_s, config_.noise_sigma);
+}
+
+}  // namespace predtop::sim

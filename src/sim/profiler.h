@@ -1,0 +1,57 @@
+#pragma once
+// Profiling substitute (paper §VI phase 1): wraps a stage's true simulated
+// latency in measurement noise and charges a modeled wall-clock cost for
+// what real profiling would spend — stage compilation, data transfer, and
+// warmup + timed iterations. The cost ledger drives the optimization-cost
+// comparison of paper Fig. 10a.
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace predtop::sim {
+
+struct ProfilerConfig {
+  std::int32_t warmup_iters = 2;
+  std::int32_t measure_iters = 5;
+  /// Modeled intra-op-pass + XLA compile cost per stage: base + per-equation.
+  double compile_base_s = 0.8;
+  double compile_per_equation_s = 0.006;
+  /// Weight allocation + input transfer per profiled stage.
+  double setup_s = 0.4;
+  /// Lognormal measurement-noise sigma (~1.5% run-to-run jitter).
+  double noise_sigma = 0.015;
+};
+
+class Profiler {
+ public:
+  Profiler(ProfilerConfig config, std::uint64_t seed) noexcept
+      : config_(config), rng_(seed) {}
+
+  /// One profiling run: returns the noisy measured latency (median of the
+  /// modeled timed iterations) and charges compile + execution cost.
+  [[nodiscard]] double ProfileStage(double true_latency_s, std::int64_t num_equations);
+
+  /// Noisy observation without charging cost (used to build evaluation
+  /// ground truth).
+  [[nodiscard]] double Observe(double true_latency_s);
+
+  /// Accumulated modeled profiling cost in seconds.
+  [[nodiscard]] double TotalCostSeconds() const noexcept { return total_cost_s_; }
+  [[nodiscard]] std::int64_t StagesProfiled() const noexcept { return stages_profiled_; }
+
+  void ResetLedger() noexcept {
+    total_cost_s_ = 0.0;
+    stages_profiled_ = 0;
+  }
+
+  [[nodiscard]] const ProfilerConfig& Config() const noexcept { return config_; }
+
+ private:
+  ProfilerConfig config_;
+  util::Rng rng_;
+  double total_cost_s_ = 0.0;
+  std::int64_t stages_profiled_ = 0;
+};
+
+}  // namespace predtop::sim

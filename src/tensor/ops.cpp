@@ -1,0 +1,244 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/simd.h"
+
+namespace predtop::tensor {
+
+namespace {
+
+void Require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+void Require2D(const Tensor& t, const char* msg) { Require(t.rank() == 2, msg); }
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Require2D(a, "MatMul: a must be 2-D");
+  Require2D(b, "MatMul: b must be 2-D");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Require(b.dim(0) == k, "MatMul: inner dimension mismatch");
+  Tensor c({m, n});
+  const float* __restrict pa = a.data().data();
+  const float* __restrict pb = b.data().data();
+  float* __restrict pc = c.data().data();
+  if (n < 16 && k >= 16) {
+    // Narrow outputs (per-head attention context, dW slices): the i-k-j
+    // kernel's inner loop is too short to vectorize, so transpose B once and
+    // use explicit-SIMD dot products over the long k dimension instead.
+    const Tensor bt = Transpose2D(b);
+    const float* __restrict pbt = bt.data().data();
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = simd::Dot(arow, pbt + j * k, k);
+    }
+    return c;
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;  // masks/one-hots make zero rows common
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  Require2D(a, "MatMulTransA: a must be 2-D");
+  Require2D(b, "MatMulTransA: b must be 2-D");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Require(b.dim(0) == k, "MatMulTransA: leading dimension mismatch");
+  Tensor c({m, n});
+  const float* __restrict pa = a.data().data();
+  const float* __restrict pb = b.data().data();
+  float* __restrict pc = c.data().data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  Require2D(a, "MatMulTransB: a must be 2-D");
+  Require2D(b, "MatMulTransB: b must be 2-D");
+  Require(b.dim(1) == a.dim(1), "MatMulTransB: trailing dimension mismatch");
+  // Materializing B^T keeps the multiply in the vectorizable i-k-j kernel —
+  // a dot-product formulation is a float reduction the compiler will not
+  // vectorize without fast-math. The transpose is O(k*n) vs O(m*k*n).
+  return MatMul(a, Transpose2D(b));
+}
+
+namespace {
+
+template <typename F>
+Tensor ZipSameShape(const Tensor& a, const Tensor& b, const char* name, F&& f) {
+  Require(a.SameShape(b), name);
+  Tensor out(a.shape());
+  const auto da = a.data();
+  const auto db = b.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i]);
+  return out;
+}
+
+template <typename F>
+Tensor MapElems(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const auto da = a.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ZipSameShape(a, b, "Add: shape mismatch", [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ZipSameShape(a, b, "Sub: shape mismatch", [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ZipSameShape(a, b, "Mul: shape mismatch", [](float x, float y) { return x * y; });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return MapElems(a, [s](float x) { return x * s; });
+}
+
+Tensor AddRowVector(const Tensor& m, const Tensor& bias) {
+  Require2D(m, "AddRowVector: m must be 2-D");
+  Require(bias.rank() == 1 && bias.dim(0) == m.dim(1), "AddRowVector: bias shape mismatch");
+  Tensor out(m.shape());
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  const float* __restrict pm = m.data().data();
+  const float* __restrict pb = bias.data().data();
+  float* __restrict po = out.data().data();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) po[i * cols + j] = pm[i * cols + j] + pb[j];
+  }
+  return out;
+}
+
+Tensor RowSoftmax(const Tensor& logits, const Tensor* additive_mask) {
+  Require2D(logits, "RowSoftmax: logits must be 2-D");
+  if (additive_mask != nullptr) {
+    Require(additive_mask->SameShape(logits), "RowSoftmax: mask shape mismatch");
+  }
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(logits.shape());
+  const float* pl = logits.data().data();
+  const float* pm = additive_mask != nullptr ? additive_mask->data().data() : nullptr;
+  float* po = out.data().data();
+  constexpr float kNegInfCut = -1e30f;
+  std::vector<float> shifted(static_cast<std::size_t>(cols));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* lrow = pl + i * cols;
+    const float* mrow = pm != nullptr ? pm + i * cols : nullptr;
+    float* orow = po + i * cols;
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const float v = lrow[j] + (mrow != nullptr ? mrow[j] : 0.0f);
+      maxv = std::max(maxv, v);
+    }
+    if (maxv < kNegInfCut) {  // fully masked row
+      std::fill(orow, orow + cols, 0.0f);
+      continue;
+    }
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const float v = lrow[j] + (mrow != nullptr ? mrow[j] : 0.0f);
+      shifted[static_cast<std::size_t>(j)] = v - maxv;  // -inf stays -inf
+    }
+    simd::ExpNonPositiveN(shifted.data(), orow, cols);
+    const float inv = 1.0f / simd::Sum(orow, cols);
+    for (std::int64_t j = 0; j < cols; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  return MapElems(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return MapElems(a, [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  return MapElems(a, [](float x) {
+    const float inner = kC * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return MapElems(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  Require2D(a, "Transpose2D: a must be 2-D");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  Require2D(a, "SumRows: a must be 2-D");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  const float* pa = a.data().data();
+  float* po = out.data().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor SumCols(const Tensor& a) {
+  Require2D(a, "SumCols: a must be 2-D");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  const float* pa = a.data().data();
+  float* po = out.data().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) acc += pa[i * n + j];
+    po[i] = acc;
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) noexcept {
+  float s = 0.0f;
+  for (float v : a.data()) s += v;
+  return s;
+}
+
+}  // namespace predtop::tensor

@@ -1,0 +1,49 @@
+#pragma once
+// Raw numeric kernels over Tensor. These are the forward/backward building
+// blocks wrapped by predtop::autograd; they carry no gradient logic.
+//
+// Matrix kernels are written in i-k-j order over contiguous rows so the
+// compiler auto-vectorizes them (AVX2/AVX-512 with -march=native), which is
+// plenty for the <=512 x 256 shapes this project trains on.
+
+#include "tensor/tensor.h"
+
+namespace predtop::tensor {
+
+/// C = A(m,k) * B(k,n).
+[[nodiscard]] Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = A^T * B where A is (k,m), B is (k,n) -> (m,n). (Gradient helper.)
+[[nodiscard]] Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// C = A * B^T where A is (m,k), B is (n,k) -> (m,n). (Gradient helper.)
+[[nodiscard]] Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+[[nodiscard]] Tensor Add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Mul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Scale(const Tensor& a, float s);
+
+/// rows(m,n) + bias(n), broadcast over rows.
+[[nodiscard]] Tensor AddRowVector(const Tensor& m, const Tensor& bias);
+
+/// Row-wise softmax of logits(m,n); `additive_mask`, if non-null, must have
+/// the same shape and is added to the logits first (DAG reachability masks
+/// use -inf entries). Rows that are fully -inf yield all-zero rows rather
+/// than NaN.
+[[nodiscard]] Tensor RowSoftmax(const Tensor& logits, const Tensor* additive_mask = nullptr);
+
+[[nodiscard]] Tensor Relu(const Tensor& a);
+[[nodiscard]] Tensor LeakyRelu(const Tensor& a, float negative_slope);
+/// tanh-approximation GELU.
+[[nodiscard]] Tensor Gelu(const Tensor& a);
+[[nodiscard]] Tensor Tanh(const Tensor& a);
+
+[[nodiscard]] Tensor Transpose2D(const Tensor& a);
+
+/// (m,n) -> (n): sum over rows.
+[[nodiscard]] Tensor SumRows(const Tensor& a);
+/// (m,n) -> (m): sum over columns.
+[[nodiscard]] Tensor SumCols(const Tensor& a);
+/// Sum of all elements.
+[[nodiscard]] float SumAll(const Tensor& a) noexcept;
+
+}  // namespace predtop::tensor

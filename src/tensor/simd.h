@@ -1,0 +1,130 @@
+#pragma once
+// Explicit SIMD helpers built on GCC/Clang vector extensions. The compiler
+// cannot auto-vectorize float reductions (not associative) or the
+// bit-twiddling exp approximation, so the two hot spots of predictor
+// training — narrow-output GEMMs and attention softmax — use these 8-wide
+// kernels directly. Scalar fallbacks keep other compilers working.
+
+#include <cstdint>
+#include <cstring>
+
+namespace predtop::tensor::simd {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PREDTOP_HAVE_VECTOR_EXT 1
+using F8 = float __attribute__((vector_size(32)));
+using I8 = std::int32_t __attribute__((vector_size(32)));
+
+inline F8 Broadcast(float v) noexcept { return F8{v, v, v, v, v, v, v, v}; }
+
+inline float HorizontalSum(F8 v) noexcept {
+  return v[0] + v[1] + v[2] + v[3] + v[4] + v[5] + v[6] + v[7];
+}
+#endif
+
+/// Dot product of two contiguous float spans of length n.
+[[nodiscard]] inline float Dot(const float* __restrict a, const float* __restrict b,
+                               std::int64_t n) noexcept {
+#ifdef PREDTOP_HAVE_VECTOR_EXT
+  F8 acc0 = Broadcast(0.0f);
+  F8 acc1 = Broadcast(0.0f);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    F8 va0, vb0, va1, vb1;
+    std::memcpy(&va0, a + i, sizeof va0);
+    std::memcpy(&vb0, b + i, sizeof vb0);
+    std::memcpy(&va1, a + i + 8, sizeof va1);
+    std::memcpy(&vb1, b + i + 8, sizeof vb1);
+    acc0 += va0 * vb0;
+    acc1 += va1 * vb1;
+  }
+  float total = HorizontalSum(acc0 + acc1);
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+#else
+  float total = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) total += a[i] * b[i];
+  return total;
+#endif
+}
+
+/// Sum of a contiguous float span.
+[[nodiscard]] inline float Sum(const float* __restrict a, std::int64_t n) noexcept {
+#ifdef PREDTOP_HAVE_VECTOR_EXT
+  F8 acc = Broadcast(0.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    F8 va;
+    std::memcpy(&va, a + i, sizeof va);
+    acc += va;
+  }
+  float total = HorizontalSum(acc);
+  for (; i < n; ++i) total += a[i];
+  return total;
+#else
+  float total = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) total += a[i];
+  return total;
+#endif
+}
+
+/// Scalar exp approximation for non-positive inputs (range-reduced 2^f
+/// polynomial, ~1e-4 relative error on [-87, 0]; underflows to 0 below).
+[[nodiscard]] inline float ExpNonPositive(float x) noexcept {
+  const float y = x * 1.442695041f;
+  const float n = static_cast<float>(static_cast<int>(y - 0.5f));  // floor for y <= 0
+  const float f = y - n;                                           // in [0, 1)
+  float p = 1.8775767e-3f;
+  p = p * f + 8.9893397e-3f;
+  p = p * f + 5.5826318e-2f;
+  p = p * f + 2.4015361e-1f;
+  p = p * f + 6.9315308e-1f;
+  p = p * f + 9.9999994e-1f;
+  const int ni = static_cast<int>(n) + 127;
+  if (ni <= 0) return 0.0f;
+  std::uint32_t bits = static_cast<std::uint32_t>(ni) << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof scale);
+  return p * scale;
+}
+
+/// out[i] = exp(x[i]) for non-positive x, vectorized 8-wide. Values below
+/// the underflow cutoff produce 0.
+inline void ExpNonPositiveN(const float* __restrict x, float* __restrict out,
+                            std::int64_t n) noexcept {
+#ifdef PREDTOP_HAVE_VECTOR_EXT
+  std::int64_t i = 0;
+  const F8 log2e = Broadcast(1.442695041f);
+  const F8 half = Broadcast(0.5f);
+  for (; i + 8 <= n; i += 8) {
+    F8 vx;
+    std::memcpy(&vx, x + i, sizeof vx);
+    // Clamp the argument so fully-masked (-inf) entries stay finite; the
+    // result underflows to exactly 0 via the exponent clamp below.
+    const F8 floor_arg = Broadcast(-100.0f);
+    vx = vx < floor_arg ? floor_arg : vx;
+    const F8 y = vx * log2e;
+    const I8 nint = __builtin_convertvector(y - half, I8);  // floor for y <= 0
+    const F8 nf = __builtin_convertvector(nint, F8);
+    const F8 f = y - nf;
+    F8 p = Broadcast(1.8775767e-3f);
+    p = p * f + Broadcast(8.9893397e-3f);
+    p = p * f + Broadcast(5.5826318e-2f);
+    p = p * f + Broadcast(2.4015361e-1f);
+    p = p * f + Broadcast(6.9315308e-1f);
+    p = p * f + Broadcast(9.9999994e-1f);
+    I8 ni = nint + 127;
+    const I8 underflow = ni <= 0;      // lanewise mask (-1 where true)
+    ni = (ni & ~underflow) << 23;      // exponent bits become 0 on underflow
+    F8 scale;
+    std::memcpy(&scale, &ni, sizeof scale);
+    const F8 result = p * scale;       // scale is +0.0 on underflow lanes
+    std::memcpy(out + i, &result, sizeof result);
+  }
+  for (; i < n; ++i) out[i] = x[i] < -100.0f ? 0.0f : ExpNonPositive(x[i]);
+#else
+  for (std::int64_t i = 0; i < n; ++i) out[i] = x[i] < -100.0f ? 0.0f : ExpNonPositive(x[i]);
+#endif
+}
+
+}  // namespace predtop::tensor::simd

@@ -1,0 +1,75 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace predtop::tensor {
+
+Csr Csr::FromCoo(std::int64_t rows, std::int64_t cols,
+                 const std::vector<std::int32_t>& r,
+                 const std::vector<std::int32_t>& c,
+                 const std::vector<float>& v) {
+  if (r.size() != c.size() || r.size() != v.size()) {
+    throw std::invalid_argument("Csr::FromCoo: triplet arrays must match in length");
+  }
+  // (row, col) -> summed value; std::map keeps entries sorted for CSR layout.
+  std::map<std::pair<std::int32_t, std::int32_t>, float> entries;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (r[i] < 0 || r[i] >= rows || c[i] < 0 || c[i] >= cols) {
+      throw std::out_of_range("Csr::FromCoo: index out of range");
+    }
+    entries[{r[i], c[i]}] += v[i];
+  }
+  Csr out;
+  out.rows = rows;
+  out.cols = cols;
+  out.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+  out.col_idx.reserve(entries.size());
+  out.values.reserve(entries.size());
+  for (const auto& [key, value] : entries) {
+    ++out.row_ptr[static_cast<std::size_t>(key.first) + 1];
+    out.col_idx.push_back(key.second);
+    out.values.push_back(value);
+  }
+  for (std::int64_t i = 0; i < rows; ++i) {
+    out.row_ptr[static_cast<std::size_t>(i) + 1] += out.row_ptr[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+Csr Csr::Transposed() const {
+  std::vector<std::int32_t> r, c;
+  r.reserve(Nnz());
+  c.reserve(Nnz());
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t p = row_ptr[static_cast<std::size_t>(i)];
+         p < row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      r.push_back(col_idx[static_cast<std::size_t>(p)]);
+      c.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  return FromCoo(cols, rows, r, c, values);
+}
+
+Tensor SpMM(const Csr& a, const Tensor& x) {
+  if (x.rank() != 2 || x.dim(0) != a.cols) {
+    throw std::invalid_argument("SpMM: dense operand shape mismatch");
+  }
+  const std::int64_t n = x.dim(1);
+  Tensor y({a.rows, n});
+  const float* px = x.data().data();
+  float* py = y.data().data();
+  for (std::int64_t i = 0; i < a.rows; ++i) {
+    float* yrow = py + i * n;
+    for (std::int64_t p = a.row_ptr[static_cast<std::size_t>(i)];
+         p < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const float av = a.values[static_cast<std::size_t>(p)];
+      const float* xrow = px + static_cast<std::int64_t>(a.col_idx[static_cast<std::size_t>(p)]) * n;
+      for (std::int64_t j = 0; j < n; ++j) yrow[j] += av * xrow[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace predtop::tensor

@@ -1,0 +1,93 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace predtop::tensor {
+
+std::int64_t NumElements(const Shape& shape) noexcept {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(std::max<std::int64_t>(0, NumElements(shape_))), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(std::max<std::int64_t>(0, NumElements(shape_))), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (NumElements(shape_) != static_cast<std::int64_t>(data_.size())) {
+    throw std::invalid_argument("Tensor: data size does not match shape " + ShapeToString(shape_));
+  }
+}
+
+Tensor Tensor::Randn(Shape shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::Reshaped(Shape shape) const {
+  if (NumElements(shape) != numel()) {
+    throw std::invalid_argument("Reshaped: element count mismatch " + ShapeToString(shape_) +
+                                " -> " + ShapeToString(shape));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::AddInPlace(const Tensor& other) {
+  if (!SameShape(other)) {
+    throw std::invalid_argument("AddInPlace: shape mismatch " + ShapeToString(shape_) + " vs " +
+                                ShapeToString(other.shape_));
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float s) noexcept {
+  for (float& v : data_) v *= s;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  if (!a.SameShape(b)) {
+    throw std::invalid_argument("MaxAbsDiff: shape mismatch");
+  }
+  float m = 0.0f;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) m = std::max(m, std::fabs(da[i] - db[i]));
+  return m;
+}
+
+}  // namespace predtop::tensor

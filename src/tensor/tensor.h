@@ -1,0 +1,94 @@
+#pragma once
+// Dense row-major float tensor with value semantics.
+//
+// This is the numeric substrate for the from-scratch NN stack. Shapes in
+// this project are small (node-feature matrices of a few hundred rows by
+// <=256 columns), so a contiguous std::vector<float> buffer with explicit
+// copies is simpler and fast enough; no views/strides are needed.
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace predtop::util {
+class Rng;
+}
+
+namespace predtop::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+[[nodiscard]] std::int64_t NumElements(const Shape& shape) noexcept;
+[[nodiscard]] std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  [[nodiscard]] static Tensor Full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// i.i.d. N(0, stddev^2) entries.
+  [[nodiscard]] static Tensor Randn(Shape shape, util::Rng& rng, float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries.
+  [[nodiscard]] static Tensor RandUniform(Shape shape, util::Rng& rng, float lo, float hi);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t axis) const noexcept {
+    assert(axis < shape_.size());
+    return shape_[axis];
+  }
+  [[nodiscard]] std::int64_t numel() const noexcept { return static_cast<std::int64_t>(data_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  /// 2-D element access (row-major). Requires rank() == 2.
+  [[nodiscard]] float& at(std::int64_t r, std::int64_t c) noexcept {
+    assert(rank() == 2 && r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c) const noexcept {
+    assert(rank() == 2 && r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  /// 1-D element access. Requires rank() == 1 (or any rank, flat index).
+  [[nodiscard]] float& operator[](std::int64_t i) noexcept {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] float operator[](std::int64_t i) const noexcept {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Same data, new shape; element count must match.
+  [[nodiscard]] Tensor Reshaped(Shape shape) const;
+
+  void Fill(float v) noexcept;
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// this *= s.
+  void ScaleInPlace(float s) noexcept;
+
+  [[nodiscard]] bool SameShape(const Tensor& other) const noexcept { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Max |a-b| over all elements; shapes must match. Used by tests.
+[[nodiscard]] float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace predtop::tensor

@@ -1,0 +1,52 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace predtop::util {
+
+std::optional<std::string> EnvString(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+long EnvInt(const char* name, long fallback) {
+  const auto s = EnvString(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s->c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const auto s = EnvString(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+bool EnvBool(const char* name, bool fallback) {
+  const auto s = EnvString(name);
+  if (!s) return fallback;
+  return *s == "1" || *s == "true" || *s == "on" || *s == "yes";
+}
+
+std::vector<int> EnvIntList(const char* name, std::vector<int> fallback) {
+  const auto s = EnvString(name);
+  if (!s) return fallback;
+  std::vector<int> out;
+  std::stringstream ss(*s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      out.push_back(std::stoi(item));
+    } catch (...) {
+      return fallback;
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace predtop::util

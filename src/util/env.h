@@ -1,0 +1,21 @@
+#pragma once
+// Environment-variable configuration for experiment harnesses. Experiments
+// default to sizes that finish quickly on a laptop; PREDTOP_FULL=1 switches
+// to the paper-scale grid, and individual knobs override specific sizes.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace predtop::util {
+
+[[nodiscard]] std::optional<std::string> EnvString(const char* name);
+[[nodiscard]] long EnvInt(const char* name, long fallback);
+[[nodiscard]] double EnvDouble(const char* name, double fallback);
+[[nodiscard]] bool EnvBool(const char* name, bool fallback);
+
+/// Parse a comma-separated list of integers ("10,30,50,80"); returns
+/// `fallback` when unset or unparsable.
+[[nodiscard]] std::vector<int> EnvIntList(const char* name, std::vector<int> fallback);
+
+}  // namespace predtop::util

@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace predtop::util {
+
+namespace {
+
+LogLevel ParseLevel(const std::string& s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{[] {
+    const auto env = EnvString("PREDTOP_LOG");
+    return static_cast<int>(env ? ParseLevel(*env) : LogLevel::kInfo);
+  }()};
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+LogLevel CurrentLogLevel() { return static_cast<LogLevel>(LevelStore().load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) { LevelStore().store(static_cast<int>(level), std::memory_order_relaxed); }
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[predtop %s] %s\n", LevelTag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace predtop::util

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal leveled logging. Experiments narrate progress at Info level;
+// PREDTOP_LOG=debug|info|warn|error|off controls verbosity.
+
+#include <sstream>
+#include <string>
+
+namespace predtop::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current threshold; initialized from PREDTOP_LOG on first use.
+[[nodiscard]] LogLevel CurrentLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define PREDTOP_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::predtop::util::CurrentLogLevel())) \
+    ;                                                                   \
+  else                                                                  \
+    ::predtop::util::detail::LogLine(level)
+
+#define PREDTOP_LOG_INFO PREDTOP_LOG(::predtop::util::LogLevel::kInfo)
+#define PREDTOP_LOG_DEBUG PREDTOP_LOG(::predtop::util::LogLevel::kDebug)
+#define PREDTOP_LOG_WARN PREDTOP_LOG(::predtop::util::LogLevel::kWarn)
+#define PREDTOP_LOG_ERROR PREDTOP_LOG(::predtop::util::LogLevel::kError)
+
+}  // namespace predtop::util

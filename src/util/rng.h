@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in the library flows through Rng so that every experiment
+// (stage sampling, weight init, data splits, simulator noise) is exactly
+// reproducible from a single seed. The generator is xoshiro256**, seeded via
+// splitmix64 as recommended by its authors.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace predtop::util {
+
+/// Stateless 64-bit mixer; used for seeding and for hashing small keys into
+/// per-entity deterministic values (e.g. per-op efficiency jitter).
+[[nodiscard]] constexpr std::uint64_t SplitMix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** PRNG. Small, fast, and good enough for Monte-Carlo style
+/// experiment sampling; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t NextU64() noexcept;
+
+  /// Uniform in [0, n). Requires n > 0.
+  std::uint64_t NextBelow(std::uint64_t n) noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal() noexcept;
+
+  /// Normal with given mean / stddev.
+  double Normal(double mean, double stddev) noexcept;
+
+  /// Lognormal such that the *median* of the distribution is `median` and
+  /// log-space sigma is `sigma`. Used for multiplicative measurement noise.
+  double LogNormal(double median, double sigma) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// k distinct indices from [0, n), in random order. Requires k <= n.
+  [[nodiscard]] std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for parallel-safe sub-streams).
+  [[nodiscard]] Rng Fork() noexcept { return Rng(NextU64() ^ 0xa02e1bd659bb2c1fULL); }
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace predtop::util

@@ -1,0 +1,49 @@
+#pragma once
+// Small statistics helpers used by the experiment harnesses (MRE tables,
+// mean/stddev summaries per paper Figs. 8-9) and by tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace predtop::util {
+
+/// Arithmetic mean; 0 for an empty range.
+[[nodiscard]] double Mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+[[nodiscard]] double StdDev(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double Min(std::span<const double> xs) noexcept;
+[[nodiscard]] double Max(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+[[nodiscard]] double Percentile(std::span<const double> xs, double p);
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+  [[nodiscard]] std::size_t Count() const noexcept { return n_; }
+  [[nodiscard]] double Mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double Variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double StdDev() const noexcept;
+  [[nodiscard]] double Min() const noexcept { return min_; }
+  [[nodiscard]] double Max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean relative error in percent (paper Eqn. 5):
+///   MRE = 100/N * sum_i |(pred_i - true_i) / true_i|.
+/// Entries with |true| < eps are skipped to avoid division blow-up.
+[[nodiscard]] double MeanRelativeErrorPct(std::span<const double> predicted,
+                                          std::span<const double> actual,
+                                          double eps = 1e-12);
+
+}  // namespace predtop::util

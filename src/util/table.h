@@ -1,0 +1,42 @@
+#pragma once
+// ASCII table / CSV emission for the benchmark harnesses. Every experiment
+// binary prints its rows through TablePrinter so the output mirrors the
+// paper's tables and stays machine-parsable (optional CSV sink).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace predtop::util {
+
+/// Column-aligned ASCII table with an optional title row.
+///
+/// Usage:
+///   TablePrinter t({"# of Samples", "GCN", "GAT", "Tran"});
+///   t.AddRow({"80%", "1.88", "4.56", "2.33"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void SetTitle(std::string title) { title_ = std::move(title); }
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
+
+  void Print(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers for table cells.
+[[nodiscard]] std::string FormatF(double v, int precision = 2);
+/// Seconds with adaptive unit (us / ms / s).
+[[nodiscard]] std::string FormatSeconds(double seconds);
+
+}  // namespace predtop::util

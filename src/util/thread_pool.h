@@ -1,0 +1,58 @@
+#pragma once
+// Task-based thread pool (C++ Core Guidelines CP.4: think in terms of tasks).
+//
+// Used to parallelize independent experiment cells (predictor trainings,
+// stage profiling) when more than one hardware thread is available; degrades
+// to inline execution on single-core machines.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace predtop::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t ThreadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future observes its completion/exception.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> Submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n), distributing across the pool, and wait.
+  /// The calling thread participates, so this is safe on a 1-thread pool.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace predtop::util

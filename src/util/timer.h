@@ -1,0 +1,26 @@
+#pragma once
+// Wall-clock timing for the optimization-cost experiments (paper Fig. 10a
+// measures predictor train/infer wall time).
+
+#include <chrono>
+
+namespace predtop::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void Restart() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  [[nodiscard]] double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace predtop::util

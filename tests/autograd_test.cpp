@@ -1,0 +1,230 @@
+// Gradient checks for every autograd primitive: analytic VJPs are compared
+// against central finite differences through a generic harness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/functions.h"
+#include "autograd/variable.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+namespace predtop::autograd {
+namespace {
+
+using tensor::Csr;
+using tensor::Tensor;
+using util::Rng;
+
+/// Reduce an arbitrary 2-D output to a scalar with fixed random weights so
+/// the checker exercises non-uniform upstream gradients:
+///   s = sum(out o W) computed via Mul + GlobalAddPool + Transpose.
+Variable ToScalar(const Variable& out, const Tensor& weights) {
+  const Variable weighted = Mul(out, Variable(weights));
+  const Variable pooled = GlobalAddPool(weighted);            // (1, c)
+  return GlobalAddPool(Transpose(pooled));                    // (1, 1)
+}
+
+/// Central-difference gradient check: `build` constructs a scalar loss from
+/// freshly-wrapped leaf Variables; analytic gradients from one Backward()
+/// pass are compared against (L(x+eps) - L(x-eps)) / 2eps per element.
+void CheckGradientsV(const std::function<Variable(std::vector<Variable>&)>& build,
+                     std::vector<Tensor> leaf_values, float eps = 1e-3f,
+                     float tolerance = 2e-2f) {
+  // Analytic gradients.
+  std::vector<Variable> leaves;
+  leaves.reserve(leaf_values.size());
+  for (const Tensor& t : leaf_values) leaves.emplace_back(t, /*requires_grad=*/true);
+  Variable loss = build(leaves);
+  ASSERT_EQ(loss.value().numel(), 1);
+  Backward(loss);
+
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    const Tensor analytic = leaves[l].grad();
+    for (std::int64_t i = 0; i < leaf_values[l].numel(); ++i) {
+      const float saved = leaf_values[l][i];
+      const auto eval = [&](float v) {
+        leaf_values[l][i] = v;
+        std::vector<Variable> fresh;
+        fresh.reserve(leaf_values.size());
+        for (const Tensor& t : leaf_values) fresh.emplace_back(t, true);
+        return static_cast<double>(build(fresh).value().data()[0]);
+      };
+      const double numeric = (eval(saved + eps) - eval(saved - eps)) / (2.0 * eps);
+      leaf_values[l][i] = saved;
+      const double a = static_cast<double>(analytic[i]);
+      EXPECT_NEAR(a, numeric, tolerance * std::max(1.0, std::fabs(numeric)))
+          << "leaf " << l << " element " << i;
+    }
+  }
+}
+
+Tensor RandT(tensor::Shape shape, std::uint64_t seed, float stddev = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+TEST(Autograd, MatMulGradients) {
+  const Tensor w = RandT({3, 4}, 100);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(MatMul(v[0], v[1]), w); },
+      {RandT({3, 2}, 1), RandT({2, 4}, 2)});
+}
+
+TEST(Autograd, AddSubMulScaleGradients) {
+  const Tensor w = RandT({2, 3}, 101);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) {
+        return ToScalar(Scale(Add(Sub(v[0], v[1]), Mul(v[0], v[1])), 0.7f), w);
+      },
+      {RandT({2, 3}, 3), RandT({2, 3}, 4)});
+}
+
+TEST(Autograd, AddRowVectorGradients) {
+  const Tensor w = RandT({3, 4}, 102);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(AddRowVector(v[0], v[1]), w); },
+      {RandT({3, 4}, 5), RandT({4}, 6)});
+}
+
+TEST(Autograd, ActivationGradients) {
+  const Tensor w = RandT({2, 5}, 103);
+  // Shift inputs away from the ReLU kink for a stable finite difference.
+  Tensor x = RandT({2, 5}, 7);
+  for (float& v : x.data()) v += (v >= 0.0f ? 0.3f : -0.3f);
+  CheckGradientsV([&](std::vector<Variable>& v) { return ToScalar(Relu(v[0]), w); }, {x});
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(LeakyRelu(v[0], 0.2f), w); }, {x});
+  CheckGradientsV([&](std::vector<Variable>& v) { return ToScalar(Gelu(v[0]), w); }, {x});
+  CheckGradientsV([&](std::vector<Variable>& v) { return ToScalar(Tanh(v[0]), w); }, {x});
+}
+
+TEST(Autograd, SoftmaxGradients) {
+  const Tensor w = RandT({3, 4}, 104);
+  CheckGradientsV([&](std::vector<Variable>& v) { return ToScalar(RowSoftmax(v[0]), w); },
+                  {RandT({3, 4}, 8)});
+}
+
+TEST(Autograd, MaskedSoftmaxGradients) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor mask({3, 3});
+  mask.at(0, 2) = -inf;
+  mask.at(2, 0) = -inf;
+  const Tensor w = RandT({3, 3}, 105);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(MaskedRowSoftmax(v[0], mask), w); },
+      {RandT({3, 3}, 9)});
+}
+
+TEST(Autograd, LayerNormGradients) {
+  const Tensor w = RandT({3, 6}, 106);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(LayerNorm(v[0], v[1], v[2]), w); },
+      {RandT({3, 6}, 10), RandT({6}, 11, 0.5f), RandT({6}, 12, 0.5f)}, 1e-3f, 4e-2f);
+}
+
+TEST(Autograd, TransposeSliceConcatGradients) {
+  const Tensor w = RandT({2, 6}, 107);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) {
+        const Variable a = SliceCols(v[0], 0, 2);
+        const Variable b = SliceCols(v[0], 2, 4);
+        const std::vector<Variable> parts{b, a};
+        return ToScalar(ConcatCols(parts), w);
+      },
+      {RandT({2, 6}, 13)});
+}
+
+TEST(Autograd, RowScaleGradients) {
+  const Tensor w = RandT({4, 3}, 108);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(RowScale(v[0], v[1]), w); },
+      {RandT({4, 3}, 14), RandT({4, 1}, 15)});
+}
+
+TEST(Autograd, SpMMGradients) {
+  auto adj = std::make_shared<Csr>(
+      Csr::FromCoo(3, 3, {0, 1, 2, 0}, {1, 2, 0, 0}, {0.5f, 1.5f, -1.0f, 2.0f}));
+  auto adj_t = std::make_shared<Csr>(adj->Transposed());
+  const Tensor w = RandT({3, 4}, 109);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(SpMM(adj, adj_t, v[0]), w); },
+      {RandT({3, 4}, 16)});
+}
+
+TEST(Autograd, IndexSelectRowsGradients) {
+  const std::vector<std::int32_t> idx{2, 0, 2, 1};
+  const Tensor w = RandT({4, 3}, 110);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(IndexSelectRows(v[0], idx), w); },
+      {RandT({3, 3}, 17)});
+}
+
+TEST(Autograd, SegmentSumGradients) {
+  const std::vector<std::int32_t> seg{0, 1, 0, 2, 1};
+  const Tensor w = RandT({3, 2}, 111);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(SegmentSum(v[0], seg, 3), w); },
+      {RandT({5, 2}, 18)});
+}
+
+TEST(Autograd, SegmentSoftmaxGradients) {
+  const std::vector<std::int32_t> seg{0, 0, 1, 1, 1};
+  const Tensor w = RandT({5, 2}, 112);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(SegmentSoftmax(v[0], seg, 2), w); },
+      {RandT({5, 2}, 19)});
+}
+
+TEST(Autograd, GlobalAddPoolGradients) {
+  const Tensor w = RandT({1, 4}, 113);
+  CheckGradientsV(
+      [&](std::vector<Variable>& v) { return ToScalar(GlobalAddPool(v[0]), w); },
+      {RandT({5, 4}, 20)});
+}
+
+TEST(Autograd, LossGradients) {
+  Tensor pred({1, 1});
+  pred[0] = 1.7f;  // away from the |.| kink at target
+  CheckGradientsV([&](std::vector<Variable>& v) { return AbsError(v[0], 0.4f); }, {pred});
+  CheckGradientsV([&](std::vector<Variable>& v) { return SquaredError(v[0], 0.4f); }, {pred});
+}
+
+TEST(Autograd, SharedSubexpressionAccumulates) {
+  // loss = sum(x + x): dx should be 2 everywhere.
+  const Variable x(Tensor({2, 2}, 1.0f), true);
+  const Variable loss = GlobalAddPool(Transpose(GlobalAddPool(Add(x, x))));
+  Backward(loss);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 2.0f);
+}
+
+TEST(Autograd, RequiresGradGatesPropagation) {
+  const Variable x(Tensor({2, 2}, 1.0f), false);
+  const Variable y(Tensor({2, 2}, 2.0f), true);
+  const Variable loss = GlobalAddPool(Transpose(GlobalAddPool(Mul(x, y))));
+  Backward(loss);
+  // x never requested gradients: stays zero (lazily materialized).
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 0.0f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y.grad()[i], 1.0f);
+}
+
+TEST(Autograd, ZeroGradResets) {
+  const Variable x(Tensor({1, 1}, 3.0f), true);
+  Variable loss = SquaredError(x, 0.0f);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  const_cast<Variable&>(x).ZeroGrad();
+  loss = SquaredError(x, 0.0f);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);  // not 12: accumulation was reset
+}
+
+TEST(Autograd, BackwardOnUndefinedThrows) {
+  const Variable undefined;
+  EXPECT_THROW(Backward(undefined), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace predtop::autograd

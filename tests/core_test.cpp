@@ -1,0 +1,285 @@
+// Tests for the PredTOP core: predictor zoo, dataset construction, the
+// latency regressor, the grey-box estimator and the plan-search scaffolding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset.h"
+#include "core/greybox.h"
+#include "core/plan_search.h"
+#include "core/predictors.h"
+#include "core/regressor.h"
+
+namespace predtop::core {
+namespace {
+
+/// Small GPT-3-shaped model so core tests stay fast.
+ir::Gpt3Config TinyGptConfig() {
+  ir::Gpt3Config config;
+  config.seq_len = 64;
+  config.hidden = 64;
+  config.num_layers = 4;
+  config.num_heads = 4;
+  config.vocab = 512;
+  config.microbatch = 2;
+  return config;
+}
+
+PredictorOptions TinyOptions() {
+  PredictorOptions options;
+  options.feature_dim = StageFeatureDim();
+  options.dagt_dim = 16;
+  options.dagt_layers = 2;
+  options.dagt_heads = 2;
+  options.gcn_dim = 32;
+  options.gcn_layers = 3;
+  options.gat_dim = 16;
+  options.gat_layers = 3;
+  return options;
+}
+
+graph::EncodedGraph TinyEncodedStage() {
+  return EncodeStage(ir::BuildGpt3Stage(TinyGptConfig(), {1, 2}));
+}
+
+TEST(Predictors, KindNamesMatchPaperColumns) {
+  EXPECT_STREQ(PredictorKindName(PredictorKind::kDagTransformer), "Tran");
+  EXPECT_STREQ(PredictorKindName(PredictorKind::kGcn), "GCN");
+  EXPECT_STREQ(PredictorKindName(PredictorKind::kGat), "GAT");
+}
+
+TEST(Predictors, AllKindsProduceScalarOutput) {
+  const graph::EncodedGraph g = TinyEncodedStage();
+  for (const PredictorKind kind :
+       {PredictorKind::kDagTransformer, PredictorKind::kGcn, PredictorKind::kGat}) {
+    auto model = MakePredictor(kind, TinyOptions());
+    const autograd::Variable out = model->Forward(g);
+    EXPECT_EQ(out.value().numel(), 1) << model->Name();
+    EXPECT_TRUE(std::isfinite(out.value().data()[0])) << model->Name();
+    EXPECT_GT(model->ParameterCount(), 100u) << model->Name();
+  }
+}
+
+TEST(Predictors, RequiresFeatureDim) {
+  PredictorOptions options;  // feature_dim unset
+  EXPECT_THROW(MakePredictor(PredictorKind::kGcn, options), std::invalid_argument);
+}
+
+TEST(Predictors, DagraAblationChangesOutput) {
+  const graph::EncodedGraph g = TinyEncodedStage();
+  PredictorOptions masked = TinyOptions();
+  PredictorOptions unmasked = TinyOptions();
+  unmasked.use_dagra = false;
+  auto with = MakePredictor(PredictorKind::kDagTransformer, masked);
+  auto without = MakePredictor(PredictorKind::kDagTransformer, unmasked);
+  // Same seed -> same weights; only the mask differs.
+  const float a = with->Forward(g).value().data()[0];
+  const float b = without->Forward(g).value().data()[0];
+  EXPECT_NE(a, b);
+}
+
+TEST(Predictors, DagpeAblationChangesOutput) {
+  const graph::EncodedGraph g = TinyEncodedStage();
+  PredictorOptions base = TinyOptions();
+  PredictorOptions no_pe = TinyOptions();
+  no_pe.use_dagpe = false;
+  const float a = MakePredictor(PredictorKind::kDagTransformer, base)->Forward(g)
+                      .value().data()[0];
+  const float b = MakePredictor(PredictorKind::kDagTransformer, no_pe)->Forward(g)
+                      .value().data()[0];
+  EXPECT_NE(a, b);
+}
+
+TEST(Predictors, DeterministicPerSeed) {
+  const graph::EncodedGraph g = TinyEncodedStage();
+  const float a =
+      MakePredictor(PredictorKind::kGat, TinyOptions())->Forward(g).value().data()[0];
+  const float b =
+      MakePredictor(PredictorKind::kGat, TinyOptions())->Forward(g).value().data()[0];
+  EXPECT_EQ(a, b);
+}
+
+// ---- dataset ----
+
+TEST(Dataset, BuildsLabeledSamples) {
+  const BenchmarkModel benchmark = Gpt3Benchmark(TinyGptConfig());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  sim::Profiler profiler({}, 11);
+  DatasetBuildConfig build;
+  build.num_samples = 6;
+  const StageDataset dataset =
+      BuildStageDataset(benchmark, compiler, {2, 1, 1}, profiler, build);
+  ASSERT_EQ(dataset.Size(), 6u);
+  EXPECT_EQ(dataset.labels.size(), 6u);
+  EXPECT_EQ(profiler.StagesProfiled(), 6);
+  EXPECT_GT(profiler.TotalCostSeconds(), 0.0);
+  for (const StageSample& s : dataset.samples) {
+    EXPECT_GT(s.true_latency_s, 0.0);
+    // Measurement noise is small (~1.5%).
+    EXPECT_NEAR(s.measured_latency_s / s.true_latency_s, 1.0, 0.2);
+    EXPECT_GT(s.encoded.num_nodes, 0);
+    EXPECT_EQ(s.encoded.features.dim(1), StageFeatureDim());
+  }
+}
+
+TEST(Dataset, BestConfigLabelsAreMinOverConfigs) {
+  const BenchmarkModel benchmark = Gpt3Benchmark(TinyGptConfig());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const auto configs = parallel::PaperConfigs(sim::Mesh{1, 2});
+  sim::Profiler profiler({}, 12);
+  DatasetBuildConfig build;
+  build.num_samples = 4;
+  const StageDataset dataset =
+      BuildStageDatasetBestConfig(benchmark, compiler, configs, profiler, build);
+  for (const StageSample& s : dataset.samples) {
+    const auto program = benchmark.build_stage(s.slice);
+    double manual_best = std::numeric_limits<double>::infinity();
+    for (const auto& c : configs) {
+      manual_best = std::min(manual_best, compiler.Compile(program, c).latency_s);
+    }
+    EXPECT_NEAR(s.true_latency_s, manual_best, 1e-12);
+  }
+}
+
+TEST(Dataset, MaxSpanBoundsStageSizes) {
+  const BenchmarkModel benchmark = Gpt3Benchmark(TinyGptConfig());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 1});
+  sim::Profiler profiler({}, 13);
+  DatasetBuildConfig build;
+  build.max_span = 2;
+  const StageDataset dataset =
+      BuildStageDataset(benchmark, compiler, {1, 1, 1}, profiler, build);
+  for (const StageSample& s : dataset.samples) {
+    EXPECT_LE(s.slice.NumLayers(), 2);
+  }
+}
+
+// ---- regressor ----
+
+TEST(Regressor, FitsTinyDatasetToLowTrainError) {
+  const BenchmarkModel benchmark = Gpt3Benchmark(TinyGptConfig());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  sim::Profiler profiler({}, 14);
+  DatasetBuildConfig build;  // all 10 stages of the 4-layer model
+  const StageDataset dataset =
+      BuildStageDataset(benchmark, compiler, {2, 1, 1}, profiler, build);
+  ASSERT_EQ(dataset.Size(), 10u);
+
+  LatencyRegressor regressor(PredictorKind::kDagTransformer, TinyOptions());
+  nn::TrainConfig train;
+  train.max_epochs = 300;
+  train.patience = 300;
+  train.batch_size = 4;
+  std::vector<std::size_t> train_idx{0, 1, 2, 3, 4, 5, 6, 7};
+  // Validate on the training set itself so best-weights restore tracks the
+  // fit (held-out generalization is covered by the integration tests).
+  const nn::TrainResult result = regressor.Fit(dataset, train_idx, train_idx, train);
+  EXPECT_GT(result.epochs_run, 0);
+  const double train_mre = regressor.MrePercent(dataset, train_idx);
+  EXPECT_LT(train_mre, 25.0);
+  for (const StageSample& sample : dataset.samples) {
+    EXPECT_GT(regressor.PredictSeconds(sample.encoded), 0.0);
+  }
+}
+
+TEST(Regressor, RejectsEmptyTrainingSet) {
+  LatencyRegressor regressor(PredictorKind::kGcn, TinyOptions());
+  const StageDataset dataset;
+  EXPECT_THROW(regressor.Fit(dataset, {}, {}, {}), std::invalid_argument);
+}
+
+// ---- grey box ----
+
+TEST(GreyBox, ComposesPredictionsWithEqn4) {
+  const BenchmarkModel benchmark = Gpt3Benchmark(TinyGptConfig());
+  auto regressor =
+      std::make_shared<LatencyRegressor>(PredictorKind::kDagTransformer, TinyOptions());
+  // Untrained is fine: we only check the white-box composition.
+  GreyBoxEstimator estimator(benchmark, {{sim::Mesh{1, 2}, regressor}});
+
+  parallel::PipelinePlan plan;
+  plan.num_microbatches = 3;
+  plan.stages.push_back({ir::StageSlice{0, 2}, sim::Mesh{1, 2}, {}, 0.0});
+  plan.stages.push_back({ir::StageSlice{2, 4}, sim::Mesh{1, 2}, {}, 0.0});
+
+  const double s1 = estimator.EstimateStageLatency({0, 2}, sim::Mesh{1, 2});
+  const double s2 = estimator.EstimateStageLatency({2, 4}, sim::Mesh{1, 2});
+  const double expected = s1 + s2 + 2.0 * std::max(s1, s2);
+  EXPECT_NEAR(estimator.EstimateIterationLatency(plan), expected, 1e-9);
+}
+
+TEST(GreyBox, UnknownMeshThrows) {
+  const BenchmarkModel benchmark = Gpt3Benchmark(TinyGptConfig());
+  auto regressor = std::make_shared<LatencyRegressor>(PredictorKind::kGcn, TinyOptions());
+  GreyBoxEstimator estimator(benchmark, {{sim::Mesh{1, 1}, regressor}});
+  EXPECT_THROW((void)estimator.EstimateStageLatency({0, 1}, sim::Mesh{2, 2}),
+               std::invalid_argument);
+}
+
+TEST(GreyBox, RequiresAtLeastOneRegressor) {
+  EXPECT_THROW(GreyBoxEstimator(Gpt3Benchmark(TinyGptConfig()), {}), std::invalid_argument);
+}
+
+// ---- plan search ----
+
+TEST(PlanSearch, ApproachNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const PlanApproach a :
+       {PlanApproach::kFullProfiling, PlanApproach::kPartialProfiling,
+        PlanApproach::kPredTopDagTransformer, PlanApproach::kPredTopGcn,
+        PlanApproach::kPredTopGat}) {
+    names.insert(PlanApproachName(a));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(PlanSearch, TrueStageLatencyIsMemoizedAndConfigOptimal) {
+  PlanSearchConfig config;
+  PlanSearch search(Gpt3Benchmark(TinyGptConfig()), sim::Platform1(), config);
+  const auto r1 = search.TrueStageLatency({0, 2}, sim::Mesh{1, 2});
+  const auto r2 = search.TrueStageLatency({0, 2}, sim::Mesh{1, 2});
+  EXPECT_DOUBLE_EQ(r1.latency_s, r2.latency_s);
+  EXPECT_GT(r1.latency_s, 0.0);
+  // Must equal the best over the paper configs computed manually.
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const auto program = ir::BuildGpt3Stage(TinyGptConfig(), {0, 2});
+  const auto best =
+      compiler.CompileBest(program, parallel::PaperConfigs(sim::Mesh{1, 2}));
+  EXPECT_DOUBLE_EQ(r1.latency_s, best.latency_s);
+}
+
+TEST(PlanSearch, FullProfilingProducesValidPlan) {
+  PlanSearchConfig config;
+  config.num_microbatches = 4;
+  PlanSearch search(Gpt3Benchmark(TinyGptConfig()), sim::Platform1(), config);
+  const PlanSearchResult result = search.Run(PlanApproach::kFullProfiling);
+  ASSERT_TRUE(result.plan.Valid());
+  EXPECT_GT(result.plan_true_latency_s, 0.0);
+  EXPECT_GT(result.profiling_cost_s, 0.0);
+  EXPECT_EQ(result.optimization_cost_s, result.profiling_cost_s);
+  EXPECT_GT(result.stages_profiled, 0);
+  // Contiguous cover of all 4 layers.
+  std::int32_t cursor = 0;
+  for (const auto& stage : result.plan.stages) {
+    EXPECT_EQ(stage.slice.first_layer, cursor);
+    cursor = stage.slice.last_layer;
+  }
+  EXPECT_EQ(cursor, 4);
+}
+
+TEST(PlanSearch, PartialProfilingIsCheaperThanFull) {
+  PlanSearchConfig config;
+  config.num_microbatches = 4;
+  PlanSearch search(Gpt3Benchmark(TinyGptConfig()), sim::Platform1(), config);
+  const PlanSearchResult full = search.Run(PlanApproach::kFullProfiling);
+  const PlanSearchResult partial = search.Run(PlanApproach::kPartialProfiling);
+  ASSERT_TRUE(partial.plan.Valid());
+  EXPECT_LT(partial.stages_profiled, full.stages_profiled);
+  EXPECT_LT(partial.optimization_cost_s, full.optimization_cost_s);
+  // Heuristic pruning can only degrade (or match) the plan.
+  EXPECT_GE(partial.plan_true_latency_s, full.plan_true_latency_s - 1e-9);
+}
+
+}  // namespace
+}  // namespace predtop::core

@@ -1,0 +1,356 @@
+// Tests for the extension modules: the discrete-event 1F1B pipeline
+// executor (cross-validating Eqn. 4), checkpoint serialization, the jaxpr
+// printer, liveness analysis, DOT export, the analytical baseline and the
+// Wide-ResNet benchmark builder.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/analytical.h"
+#include "core/dataset.h"
+#include "core/regressor.h"
+#include "graph/dot.h"
+#include "ir/liveness.h"
+#include "ir/printer.h"
+#include "ir/resnet.h"
+#include "ir/to_dag.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "parallel/pipeline_executor.h"
+#include "parallel/pipeline_model.h"
+#include "util/stats.h"
+
+namespace predtop {
+namespace {
+
+// ---- pipeline executor vs Eqn. 4 ----
+
+TEST(PipelineExecutor, MatchesEqn4ForConstantTimes) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto stages = static_cast<std::size_t>(1 + rng.NextBelow(6));
+    const auto microbatches = static_cast<std::int32_t>(1 + rng.NextBelow(12));
+    std::vector<double> times;
+    for (std::size_t s = 0; s < stages; ++s) times.push_back(rng.Uniform(0.1, 2.0));
+    const double closed_form = parallel::PipelineLatency(times, microbatches);
+    const double simulated = parallel::ExecutePipelineMakespan(times, microbatches);
+    EXPECT_NEAR(simulated, closed_form, 1e-9 * closed_form)
+        << stages << " stages, " << microbatches << " microbatches";
+  }
+}
+
+TEST(PipelineExecutor, TraceIntervalsRespectDependencies) {
+  const std::vector<double> times{1.0, 2.0, 1.0};
+  const parallel::PipelineTrace trace = parallel::ExecutePipeline(times, 3);
+  ASSERT_EQ(trace.NumStages(), 3u);
+  ASSERT_EQ(trace.NumMicrobatches(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      const auto& iv = trace.intervals[s][m];
+      EXPECT_LT(iv.start_s, iv.end_s);
+      if (m > 0) {
+        EXPECT_GE(iv.start_s, trace.intervals[s][m - 1].end_s - 1e-12);
+      }
+      if (s > 0) {
+        EXPECT_GE(iv.start_s, trace.intervals[s - 1][m].end_s - 1e-12);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(trace.makespan_s, parallel::PipelineLatency(times, 3));
+}
+
+TEST(PipelineExecutor, MakespanRespectsLowerBounds) {
+  // Flow-shop bounds: the makespan is at least each stage's total work and
+  // at least the chain through the first and last microbatches.
+  util::Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t stages = 2 + rng.NextBelow(4);
+    const std::size_t microbatches = 2 + rng.NextBelow(6);
+    std::vector<std::vector<double>> times(stages, std::vector<double>(microbatches));
+    for (auto& row : times) {
+      for (double& t : row) t = rng.Uniform(0.1, 2.0);
+    }
+    const double makespan = parallel::ExecutePipeline(times).makespan_s;
+    for (const auto& row : times) {
+      double stage_total = 0.0;
+      for (const double t : row) stage_total += t;
+      EXPECT_GE(makespan, stage_total - 1e-12);
+    }
+    double first_chain = 0.0, last_chain = 0.0;
+    for (std::size_t s = 0; s < stages; ++s) {
+      first_chain += times[s][0];
+      last_chain += times[s][microbatches - 1];
+    }
+    EXPECT_GE(makespan, first_chain - 1e-12);
+    EXPECT_GE(makespan, last_chain - 1e-12);
+  }
+}
+
+TEST(PipelineExecutor, BubbleAccountingIsConsistent) {
+  const std::vector<double> times{1.0, 3.0};
+  const parallel::PipelineTrace trace = parallel::ExecutePipeline(times, 4);
+  // Total stage-time + bubbles == stages * makespan.
+  double busy = 0.0;
+  for (const auto& stage : trace.intervals) {
+    for (const auto& iv : stage) busy += iv.end_s - iv.start_s;
+  }
+  EXPECT_NEAR(busy + trace.BubbleSeconds(),
+              static_cast<double>(trace.NumStages()) * trace.makespan_s, 1e-9);
+}
+
+TEST(PipelineExecutor, RejectsBadInput) {
+  EXPECT_THROW(parallel::ExecutePipeline({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  EXPECT_THROW(parallel::ExecutePipeline({{-1.0}}), std::invalid_argument);
+}
+
+// ---- serialization ----
+
+ir::Gpt3Config TinyGpt() {
+  ir::Gpt3Config c;
+  c.seq_len = 64;
+  c.hidden = 64;
+  c.num_layers = 4;
+  c.num_heads = 4;
+  c.vocab = 512;
+  c.microbatch = 2;
+  return c;
+}
+
+core::PredictorOptions TinyOptions() {
+  core::PredictorOptions o;
+  o.feature_dim = core::StageFeatureDim();
+  o.dagt_dim = 16;
+  o.dagt_layers = 2;
+  o.dagt_heads = 2;
+  o.gcn_dim = 32;
+  o.gcn_layers = 3;
+  return o;
+}
+
+TEST(Serialize, TensorRoundTrip) {
+  util::Rng rng(2);
+  const tensor::Tensor t = tensor::Tensor::Randn({3, 5}, rng);
+  std::stringstream buffer;
+  nn::WriteTensor(buffer, t);
+  const tensor::Tensor back = nn::ReadTensor(buffer);
+  EXPECT_EQ(tensor::MaxAbsDiff(t, back), 0.0f);
+}
+
+TEST(Serialize, ModuleParametersRoundTrip) {
+  util::Rng rng(3);
+  nn::Mlp a({4, 8, 1}, rng);
+  nn::Mlp b({4, 8, 1}, rng);  // different weights (rng advanced)
+  std::stringstream buffer;
+  nn::WriteParameters(buffer, a);
+  nn::ReadParameters(buffer, b);
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(tensor::MaxAbsDiff(pa[i]->value(), pb[i]->value()), 0.0f);
+  }
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  util::Rng rng(4);
+  nn::Mlp a({4, 8, 1}, rng);
+  nn::Mlp wrong({4, 9, 1}, rng);
+  std::stringstream buffer;
+  nn::WriteParameters(buffer, a);
+  EXPECT_THROW(nn::ReadParameters(buffer, wrong), std::invalid_argument);
+}
+
+TEST(Serialize, RegressorCheckpointRoundTrip) {
+  // Train briefly, save, load, and require identical predictions.
+  const auto benchmark = core::Gpt3Benchmark(TinyGpt());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  sim::Profiler profiler({}, 5);
+  core::DatasetBuildConfig build;
+  const core::StageDataset dataset =
+      core::BuildStageDataset(benchmark, compiler, {2, 1, 1}, profiler, build);
+  core::LatencyRegressor trained(core::PredictorKind::kDagTransformer, TinyOptions());
+  nn::TrainConfig train;
+  train.max_epochs = 20;
+  train.patience = 20;
+  std::vector<std::size_t> all(dataset.Size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  trained.Fit(dataset, all, all, train);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "predtop_ckpt_test.bin").string();
+  trained.Save(path);
+  core::LatencyRegressor loaded = core::LatencyRegressor::Load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.Kind(), trained.Kind());
+  EXPECT_EQ(loaded.Transform(), trained.Transform());
+  for (const auto& sample : dataset.samples) {
+    EXPECT_DOUBLE_EQ(loaded.PredictSeconds(sample.encoded),
+                     trained.PredictSeconds(sample.encoded));
+  }
+}
+
+TEST(Serialize, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "predtop_garbage_test.bin").string();
+  std::ofstream(path) << "not a checkpoint";
+  EXPECT_THROW(core::LatencyRegressor::Load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---- printer ----
+
+TEST(Printer, RendersEquationsAndBoundaries) {
+  ir::StageProgram p;
+  const auto x = p.AddInput({ir::DType::kF16, {2, 3}});
+  const auto w = p.AddLiteral({ir::DType::kF16, {3, 4}});
+  const auto y = p.AddEquation(ir::OpType::kDot, {x, w}, {ir::DType::kF16, {2, 4}}, 3);
+  p.MarkOutput(y);
+  const std::string text = ir::PrintProgram(p);
+  EXPECT_NE(text.find("lambda"), std::string::npos);
+  EXPECT_NE(text.find("v0:f16[2,3]"), std::string::npos);
+  EXPECT_NE(text.find("= dot v0 v1"), std::string::npos);
+  EXPECT_NE(text.find("{k=3}"), std::string::npos);
+  EXPECT_NE(text.find("in (v2,)"), std::string::npos);
+}
+
+TEST(Printer, TruncatesLongPrograms) {
+  const auto stage = ir::BuildGpt3Stage(TinyGpt(), {0, 4});
+  const std::string text = ir::PrintProgram(stage, 5);
+  EXPECT_NE(text.find("more equations"), std::string::npos);
+}
+
+// ---- liveness ----
+
+TEST(Liveness, IntervalsCoverDefsAndUses) {
+  ir::StageProgram p;
+  const auto x = p.AddInput({ir::DType::kF32, {4}});
+  const auto a = p.AddEquation(ir::OpType::kExp, {x}, {ir::DType::kF32, {4}});    // eqn 0
+  const auto b = p.AddEquation(ir::OpType::kTanh, {a}, {ir::DType::kF32, {4}});   // eqn 1
+  const auto c = p.AddEquation(ir::OpType::kAdd, {a, b}, {ir::DType::kF32, {4}}); // eqn 2
+  p.MarkOutput(c);
+  const auto intervals = ir::ComputeLiveIntervals(p);
+  EXPECT_EQ(intervals[static_cast<std::size_t>(x)].def, -1);
+  EXPECT_EQ(intervals[static_cast<std::size_t>(x)].last_use, 0);
+  EXPECT_EQ(intervals[static_cast<std::size_t>(a)].def, 0);
+  EXPECT_EQ(intervals[static_cast<std::size_t>(a)].last_use, 2);  // used by eqn 2
+  EXPECT_EQ(intervals[static_cast<std::size_t>(c)].last_use, 2);  // output stays live
+}
+
+TEST(Liveness, PeakBytesBoundedBySumAndAboveMax) {
+  const auto stage = ir::BuildGpt3Stage(TinyGpt(), {1, 3});
+  const std::int64_t peak = ir::PeakActivationBytes(stage);
+  std::int64_t max_single = 0;
+  std::int64_t total = 0;
+  for (const auto& eqn : stage.equations()) {
+    const std::int64_t bytes = stage.value(eqn.result).spec.Bytes();
+    max_single = std::max(max_single, bytes);
+    total += bytes;
+  }
+  EXPECT_GE(peak, max_single);
+  EXPECT_LT(peak, total);  // liveness frees dead intermediates
+}
+
+TEST(Liveness, EmptyProgramIsZero) {
+  const ir::StageProgram p;
+  EXPECT_EQ(ir::PeakActivationBytes(p), 0);
+}
+
+// ---- DOT export ----
+
+TEST(Dot, EmitsNodesAndEdges) {
+  graph::OpDag dag;
+  const auto a = dag.AddNode({graph::NodeKind::kInput, 0, 0, {1, 1, 1, 1}});
+  const auto b = dag.AddNode({graph::NodeKind::kOperator, 3, 1, {1, 1, 2, 2}});
+  dag.AddEdge(a, b);
+  const std::string dot = graph::ToDot(dag, "test");
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("shape=invhouse"), std::string::npos);  // input marker
+}
+
+TEST(Dot, CustomLabels) {
+  graph::OpDag dag;
+  dag.AddNode({});
+  const std::string dot =
+      graph::ToDot(dag, "g", [](std::int32_t, const graph::DagNode&) { return "CUSTOM"; });
+  EXPECT_NE(dot.find("CUSTOM"), std::string::npos);
+}
+
+// ---- analytical baseline ----
+
+TEST(Analytical, ScalesWithStageSizeAndDevices) {
+  const core::AnalyticalEstimator one(sim::Platform1().device, {1, 1, 1});
+  const core::AnalyticalEstimator two(sim::Platform1().device, {2, 1, 1});
+  const auto small = ir::BuildGpt3Stage(TinyGpt(), {1, 2});
+  const auto large = ir::BuildGpt3Stage(TinyGpt(), {0, 4});
+  EXPECT_LT(one.EstimateStageSeconds(small), one.EstimateStageSeconds(large));
+  EXPECT_NEAR(two.EstimateStageSeconds(small), one.EstimateStageSeconds(small) / 2.0, 1e-12);
+}
+
+TEST(Analytical, IsBiasedAgainstSimulatedTruth) {
+  // The analytical model ignores fusion/quirks/scheduling, so its relative
+  // error against the simulator ground truth is substantial — the motivation
+  // for black-box stage prediction (paper §II-B).
+  const auto benchmark = core::Gpt3Benchmark(TinyGpt());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 1});
+  const core::AnalyticalEstimator analytical(sim::Platform1().device, {1, 1, 1});
+  std::vector<double> predicted, actual;
+  for (std::int32_t first = 0; first < 4; ++first) {
+    const auto program = benchmark.build_stage({first, static_cast<std::int32_t>(first + 1)});
+    predicted.push_back(analytical.EstimateStageSeconds(program));
+    actual.push_back(compiler.Compile(program, {1, 1, 1}).latency_s);
+  }
+  EXPECT_GT(util::MeanRelativeErrorPct(predicted, actual), 10.0);
+}
+
+// ---- Wide-ResNet builder ----
+
+TEST(WideResNet, StageStructure) {
+  ir::WideResNetConfig config;
+  const auto stage = ir::BuildWideResNetStage(config, {0, 12});
+  EXPECT_TRUE(stage.has_embedding);
+  EXPECT_TRUE(stage.has_lm_head);
+  bool has_conv = false;
+  for (const auto& eqn : stage.equations()) {
+    has_conv = has_conv || eqn.op == ir::OpType::kConv2d;
+  }
+  EXPECT_TRUE(has_conv);
+  EXPECT_EQ(stage.outputs().size(), 1u);
+  const auto dag = ir::BuildPrunedOpDag(stage);
+  EXPECT_TRUE(dag.IsAcyclic());
+}
+
+TEST(WideResNet, ChannelsWidenAndSpatialShrinks) {
+  ir::WideResNetConfig config;
+  // Later stages have more FLOPs per block only until downsampling balances
+  // them; just verify both slices build and differ.
+  const auto early = ir::BuildWideResNetStage(config, {0, 4});
+  const auto late = ir::BuildWideResNetStage(config, {8, 12});
+  EXPECT_NE(ir::TotalFlops(early), ir::TotalFlops(late));
+  EXPECT_GT(late.LiteralBytes(), early.LiteralBytes());  // wider channels
+}
+
+TEST(WideResNet, RejectsInvalidSlices) {
+  ir::WideResNetConfig config;
+  EXPECT_THROW(ir::BuildWideResNetStage(config, {5, 5}), std::invalid_argument);
+  EXPECT_THROW(ir::BuildWideResNetStage(config, {0, 13}), std::invalid_argument);
+}
+
+TEST(WideResNet, CompilesAndEncodesLikeOtherBenchmarks) {
+  ir::WideResNetConfig config;
+  const auto stage = ir::BuildWideResNetStage(config, {2, 6});
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const parallel::StagePlan plan = compiler.Compile(stage, {2, 1, 1});
+  EXPECT_TRUE(plan.Valid());
+  EXPECT_GT(plan.latency_s, 0.0);
+  const graph::EncodedGraph encoded = core::EncodeStage(stage);
+  EXPECT_GT(encoded.num_nodes, 20);
+  EXPECT_EQ(encoded.features.dim(1), core::StageFeatureDim());
+}
+
+}  // namespace
+}  // namespace predtop

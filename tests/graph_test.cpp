@@ -1,0 +1,332 @@
+// Tests for the operator-DAG representation and its predictor-facing
+// encodings: reachability (DAGRA), depth (DAGPE), pruning, features.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/depth.h"
+#include "graph/encode.h"
+#include "graph/op_dag.h"
+#include "graph/prune.h"
+#include "graph/reachability.h"
+#include "util/rng.h"
+
+namespace predtop::graph {
+namespace {
+
+using util::Rng;
+
+OpDag ChainDag(std::int32_t n) {
+  OpDag dag;
+  for (std::int32_t i = 0; i < n; ++i) dag.AddNode({});
+  for (std::int32_t i = 0; i + 1 < n; ++i) dag.AddEdge(i, i + 1);
+  return dag;
+}
+
+/// Random DAG: edges only from lower to higher indices (guaranteed acyclic).
+OpDag RandomDag(std::int32_t n, double edge_prob, Rng& rng) {
+  OpDag dag;
+  for (std::int32_t i = 0; i < n; ++i) dag.AddNode({});
+  for (std::int32_t u = 0; u < n; ++u) {
+    for (std::int32_t v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < edge_prob) dag.AddEdge(u, v);
+    }
+  }
+  return dag;
+}
+
+TEST(OpDag, AddNodesAndEdges) {
+  OpDag dag;
+  const auto a = dag.AddNode({});
+  const auto b = dag.AddNode({});
+  dag.AddEdge(a, b);
+  dag.AddEdge(a, b);  // duplicate ignored
+  EXPECT_EQ(dag.NumNodes(), 2);
+  EXPECT_EQ(dag.NumEdges(), 1);
+  EXPECT_EQ(dag.Successors(a).size(), 1u);
+  EXPECT_EQ(dag.Predecessors(b).size(), 1u);
+}
+
+TEST(OpDag, RejectsSelfLoopsAndBadIndices) {
+  OpDag dag;
+  const auto a = dag.AddNode({});
+  EXPECT_THROW(dag.AddEdge(a, a), std::invalid_argument);
+  EXPECT_THROW(dag.AddEdge(a, 5), std::out_of_range);
+}
+
+TEST(OpDag, TopologicalOrderRespectsEdges) {
+  Rng rng(1);
+  const OpDag dag = RandomDag(30, 0.15, rng);
+  const auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::int32_t> position(30);
+  for (std::size_t i = 0; i < order->size(); ++i) position[(*order)[i]] = static_cast<std::int32_t>(i);
+  for (const auto& [u, v] : dag.Edges()) EXPECT_LT(position[u], position[v]);
+}
+
+TEST(ReachabilityClosure, SelfAndDirectEdges) {
+  const OpDag dag = ChainDag(4);
+  const ReachabilityClosure closure(dag);
+  for (std::int32_t i = 0; i < 4; ++i) EXPECT_TRUE(closure.Reaches(i, i));
+  EXPECT_TRUE(closure.Reaches(0, 3));   // transitive
+  EXPECT_FALSE(closure.Reaches(3, 0));  // directed
+}
+
+TEST(ReachabilityClosure, MatchesDfsOnRandomDags) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const OpDag dag = RandomDag(24, 0.12, rng);
+    const ReachabilityClosure closure(dag);
+    // Reference: DFS from each node.
+    for (std::int32_t s = 0; s < 24; ++s) {
+      std::set<std::int32_t> visited{s};
+      std::vector<std::int32_t> stack{s};
+      while (!stack.empty()) {
+        const std::int32_t u = stack.back();
+        stack.pop_back();
+        for (const std::int32_t v : dag.Successors(u)) {
+          if (visited.insert(v).second) stack.push_back(v);
+        }
+      }
+      for (std::int32_t t = 0; t < 24; ++t) {
+        EXPECT_EQ(closure.Reaches(s, t), visited.count(t) > 0) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(ReachabilityClosure, TransitivityProperty) {
+  Rng rng(3);
+  const OpDag dag = RandomDag(20, 0.2, rng);
+  const ReachabilityClosure closure(dag);
+  for (std::int32_t a = 0; a < 20; ++a) {
+    for (std::int32_t b = 0; b < 20; ++b) {
+      if (!closure.Reaches(a, b)) continue;
+      for (std::int32_t c = 0; c < 20; ++c) {
+        if (closure.Reaches(b, c)) {
+          EXPECT_TRUE(closure.Reaches(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(DagraMask, SymmetricAndCoversEdges) {
+  Rng rng(4);
+  const OpDag dag = RandomDag(16, 0.2, rng);
+  const tensor::Tensor mask = BuildDagraMask(dag);
+  for (std::int32_t u = 0; u < 16; ++u) {
+    EXPECT_EQ(mask.at(u, u), 0.0f);  // self-attention always allowed
+    for (std::int32_t v = 0; v < 16; ++v) {
+      EXPECT_EQ(mask.at(u, v), mask.at(v, u));  // mutual relevance
+    }
+  }
+  for (const auto& [u, v] : dag.Edges()) EXPECT_EQ(mask.at(u, v), 0.0f);
+}
+
+TEST(DagraMask, BlocksParallelBranches) {
+  // Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3. Nodes 1 and 2 are not on a
+  // common path, so they must not attend to each other.
+  OpDag dag;
+  for (int i = 0; i < 4; ++i) dag.AddNode({});
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(2, 3);
+  const tensor::Tensor mask = BuildDagraMask(dag);
+  EXPECT_TRUE(std::isinf(mask.at(1, 2)));
+  EXPECT_TRUE(std::isinf(mask.at(2, 1)));
+  EXPECT_EQ(mask.at(0, 3), 0.0f);
+}
+
+TEST(FullAttentionMask, IsAllZero) {
+  const tensor::Tensor mask = BuildFullAttentionMask(5);
+  for (const float v : mask.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(NodeDepths, LongestPathSemantics) {
+  // 0 -> 1 -> 3 and 0 -> 3: depth(3) must be 2 (longest path).
+  OpDag dag;
+  for (int i = 0; i < 4; ++i) dag.AddNode({});
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(0, 3);
+  dag.AddEdge(0, 2);
+  const auto depths = NodeDepths(dag);
+  EXPECT_EQ(depths[0], 0);
+  EXPECT_EQ(depths[1], 1);
+  EXPECT_EQ(depths[2], 1);
+  EXPECT_EQ(depths[3], 2);
+}
+
+TEST(NodeDepths, MonotoneAlongEdges) {
+  Rng rng(5);
+  const OpDag dag = RandomDag(25, 0.15, rng);
+  const auto depths = NodeDepths(dag);
+  for (const auto& [u, v] : dag.Edges()) {
+    EXPECT_LT(depths[u], depths[v]);
+  }
+}
+
+TEST(SinusoidalEncoding, ShapeAndRange) {
+  const tensor::Tensor pe = SinusoidalEncoding({0, 1, 5, 100}, 16);
+  EXPECT_EQ(pe.dim(0), 4);
+  EXPECT_EQ(pe.dim(1), 16);
+  for (const float v : pe.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Position 0: sin terms are 0, cos terms are 1.
+  EXPECT_FLOAT_EQ(pe.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(pe.at(0, 1), 1.0f);
+}
+
+TEST(SinusoidalEncoding, RequiresEvenDim) {
+  EXPECT_THROW(SinusoidalEncoding({0}, 7), std::invalid_argument);
+}
+
+// ---- pruning ----
+
+DagNode OpNode(std::int32_t op_type) {
+  DagNode node;
+  node.kind = NodeKind::kOperator;
+  node.op_type = op_type;
+  return node;
+}
+
+TEST(Prune, CollapsesChainsOfRemovableNodes) {
+  // in -> A -> r1 -> r2 -> B -> out, where r1/r2 are prunable: expect
+  // A -> B directly in the result.
+  OpDag dag;
+  const auto in = dag.AddNode({NodeKind::kInput, 0, 0, {1, 1, 1, 1}});
+  const auto a = dag.AddNode(OpNode(1));
+  const auto r1 = dag.AddNode(OpNode(99));
+  const auto r2 = dag.AddNode(OpNode(99));
+  const auto b = dag.AddNode(OpNode(2));
+  const auto out = dag.AddNode({NodeKind::kOutput, 0, 0, {1, 1, 1, 1}});
+  dag.AddEdge(in, a);
+  dag.AddEdge(a, r1);
+  dag.AddEdge(r1, r2);
+  dag.AddEdge(r2, b);
+  dag.AddEdge(b, out);
+  const PruneResult result =
+      PruneDag(dag, [](const DagNode& n) { return n.op_type == 99; });
+  EXPECT_EQ(result.removed, 2);
+  EXPECT_EQ(result.dag.NumNodes(), 4);
+  EXPECT_TRUE(result.dag.IsAcyclic());
+  // A -> B edge exists through the collapsed chain.
+  const std::int32_t new_a = result.remap[static_cast<std::size_t>(a)];
+  const std::int32_t new_b = result.remap[static_cast<std::size_t>(b)];
+  const auto& succ = result.dag.Successors(new_a);
+  EXPECT_NE(std::find(succ.begin(), succ.end(), new_b), succ.end());
+  EXPECT_EQ(result.remap[static_cast<std::size_t>(r1)], -1);
+}
+
+TEST(Prune, NeverRemovesInputsOrOutputs) {
+  OpDag dag;
+  const auto in = dag.AddNode({NodeKind::kInput, 99, 0, {1, 1, 1, 1}});
+  const auto out = dag.AddNode({NodeKind::kOutput, 99, 0, {1, 1, 1, 1}});
+  dag.AddEdge(in, out);
+  const PruneResult result = PruneDag(dag, [](const DagNode&) { return true; });
+  EXPECT_EQ(result.dag.NumNodes(), 2);
+  EXPECT_EQ(result.removed, 0);
+}
+
+TEST(Prune, PreservesReachabilityAmongSurvivors) {
+  Rng rng(6);
+  for (int trial = 0; trial < 4; ++trial) {
+    OpDag dag;
+    for (int i = 0; i < 30; ++i) {
+      dag.AddNode(OpNode(static_cast<std::int32_t>(rng.NextBelow(4))));
+    }
+    for (std::int32_t u = 0; u < 30; ++u) {
+      for (std::int32_t v = u + 1; v < 30; ++v) {
+        if (rng.NextDouble() < 0.1) dag.AddEdge(u, v);
+      }
+    }
+    const ReachabilityClosure before(dag);
+    const PruneResult result =
+        PruneDag(dag, [](const DagNode& n) { return n.op_type == 0; });
+    ASSERT_TRUE(result.dag.IsAcyclic());
+    const ReachabilityClosure after(result.dag);
+    for (std::int32_t u = 0; u < 30; ++u) {
+      if (result.remap[static_cast<std::size_t>(u)] < 0) continue;
+      for (std::int32_t v = 0; v < 30; ++v) {
+        if (result.remap[static_cast<std::size_t>(v)] < 0) continue;
+        EXPECT_EQ(after.Reaches(result.remap[static_cast<std::size_t>(u)],
+                                result.remap[static_cast<std::size_t>(v)]),
+                  before.Reaches(u, v))
+            << u << "->" << v;
+      }
+    }
+  }
+}
+
+// ---- features / encoding ----
+
+TEST(Features, OneHotLayoutPerPaperTable1) {
+  OpDag dag;
+  DagNode node;
+  node.kind = NodeKind::kLiteral;
+  node.op_type = 2;
+  node.dtype = 1;
+  node.out_dims = {1, 1, 3, 7};
+  dag.AddNode(node);
+  const std::int32_t ops = 5, dtypes = 3;
+  const tensor::Tensor f = EncodeNodeFeatures(dag, ops, dtypes);
+  EXPECT_EQ(f.dim(1), NodeFeatureWidth(ops, dtypes));
+  // op one-hot at index 2
+  EXPECT_EQ(f.at(0, 2), 1.0f);
+  EXPECT_EQ(f.at(0, 0), 0.0f);
+  // log-scaled dims after the op block
+  EXPECT_FLOAT_EQ(f.at(0, ops + 2), std::log2(4.0f));
+  EXPECT_FLOAT_EQ(f.at(0, ops + 3), std::log2(8.0f));
+  // dtype one-hot
+  EXPECT_EQ(f.at(0, ops + 4 + 1), 1.0f);
+  // node-kind one-hot (literal = 1)
+  EXPECT_EQ(f.at(0, ops + 4 + dtypes + 1), 1.0f);
+}
+
+TEST(Features, RejectsOutOfVocabulary) {
+  OpDag dag;
+  DagNode node;
+  node.op_type = 9;
+  dag.AddNode(node);
+  EXPECT_THROW(EncodeNodeFeatures(dag, 5, 3), std::out_of_range);
+}
+
+TEST(EncodeGraph, ProducesConsistentArtifacts) {
+  Rng rng(7);
+  const OpDag dag = RandomDag(12, 0.2, rng);
+  const EncodedGraph g = EncodeGraph(dag, 4, 3);
+  EXPECT_EQ(g.num_nodes, 12);
+  EXPECT_EQ(g.features.dim(0), 12);
+  EXPECT_EQ(g.dagra_mask.dim(0), 12);
+  EXPECT_EQ(g.dagra_mask.dim(1), 12);
+  EXPECT_EQ(g.depths.size(), 12u);
+  // GCN adjacency: symmetric and rows indexable.
+  ASSERT_NE(g.adj_norm, nullptr);
+  EXPECT_EQ(g.adj_norm->rows, 12);
+  // GAT edges: 2 per DAG edge + self-loops.
+  EXPECT_EQ(g.edge_src.size(), static_cast<std::size_t>(2 * dag.NumEdges() + 12));
+  EXPECT_EQ(g.edge_src.size(), g.edge_dst.size());
+}
+
+TEST(EncodeGraph, GcnAdjacencyIsSymmetricallyNormalized) {
+  // Path 0 - 1: degrees with self-loops are 2 and 2; entry = 1/2.
+  OpDag dag;
+  dag.AddNode({});
+  dag.AddNode({});
+  dag.AddEdge(0, 1);
+  const EncodedGraph g = EncodeGraph(dag, 1, 1);
+  // Row 0: entries (0,0) = 1/2, (0,1) = 1/2.
+  const auto& adj = *g.adj_norm;
+  EXPECT_EQ(adj.Nnz(), 4u);
+  for (const float v : adj.values) EXPECT_NEAR(v, 0.5f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace predtop::graph

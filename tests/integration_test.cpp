@@ -1,0 +1,141 @@
+// End-to-end integration tests: the full PredTOP workflow (profile a sample
+// of stages -> train the DAG Transformer -> predict all stages -> generate a
+// pipeline plan) on a scaled-down GPT-3, asserting the paper's qualitative
+// claims — usable MRE on held-out stages, and predictor-driven plan search
+// that is cheaper than profiling-driven search at small latency degradation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/plan_search.h"
+#include "nn/trainer.h"
+
+namespace predtop::core {
+namespace {
+
+ir::Gpt3Config SmallGptConfig() {
+  ir::Gpt3Config config;
+  config.seq_len = 64;
+  config.hidden = 64;
+  config.num_layers = 10;
+  config.num_heads = 4;
+  config.vocab = 512;
+  config.microbatch = 2;
+  return config;
+}
+
+/// Stage spans are capped at 5 layers so the 10-layer model yields 40
+/// moderately sized stage graphs — enough training data for a meaningful
+/// holdout check at test-suite runtimes.
+constexpr std::int32_t kMaxSpan = 5;
+
+PredictorOptions SmallOptions() {
+  PredictorOptions options;
+  options.feature_dim = StageFeatureDim();
+  options.dagt_dim = 16;
+  options.dagt_layers = 2;
+  options.dagt_heads = 2;
+  options.gcn_dim = 32;
+  options.gcn_layers = 3;
+  options.gat_dim = 16;
+  options.gat_layers = 3;
+  return options;
+}
+
+nn::TrainConfig FastTrain() {
+  nn::TrainConfig train;
+  train.max_epochs = 200;
+  train.patience = 60;
+  train.batch_size = 8;
+  train.base_lr = 2e-3f;
+  return train;
+}
+
+TEST(Integration, DagTransformerReachesUsableHoldoutMre) {
+  // Profile-train-predict on one (mesh, config) scenario; held-out MRE
+  // should be in the usable range (the paper reports a few percent on the
+  // real grid; this is a heavily scaled-down run).
+  const BenchmarkModel benchmark = Gpt3Benchmark(SmallGptConfig());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  sim::Profiler profiler({}, 21);
+  DatasetBuildConfig build;
+  build.max_span = kMaxSpan;  // all 40 stages up to 5 layers
+  const StageDataset dataset =
+      BuildStageDataset(benchmark, compiler, {1, 2, 1}, profiler, build);
+  ASSERT_EQ(dataset.Size(), 40u);
+
+  util::Rng rng(7);
+  const nn::DataSplit split = nn::SplitDataset(dataset.Size(), 0.7, 0.1, rng);
+  LatencyRegressor regressor(PredictorKind::kDagTransformer, SmallOptions());
+  regressor.Fit(dataset, split.train, split.validation, FastTrain());
+  const double test_mre = regressor.MrePercent(dataset, split.test);
+  EXPECT_LT(test_mre, 35.0) << "held-out MRE too high for a usable predictor";
+}
+
+TEST(Integration, PredictionsTrackStageSizeOrdering) {
+  // A trained predictor must rank a 1-layer stage below a 5-layer stage.
+  const BenchmarkModel benchmark = Gpt3Benchmark(SmallGptConfig());
+  const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 1});
+  sim::Profiler profiler({}, 22);
+  DatasetBuildConfig build;
+  build.max_span = kMaxSpan;
+  const StageDataset dataset =
+      BuildStageDataset(benchmark, compiler, {1, 1, 1}, profiler, build);
+  std::vector<std::size_t> all_idx(dataset.Size());
+  for (std::size_t i = 0; i < all_idx.size(); ++i) all_idx[i] = i;
+  LatencyRegressor regressor(PredictorKind::kDagTransformer, SmallOptions());
+  regressor.Fit(dataset, all_idx, {}, FastTrain());
+
+  const double small =
+      regressor.PredictSeconds(EncodeStage(benchmark.build_stage({2, 3})));
+  const double large =
+      regressor.PredictSeconds(EncodeStage(benchmark.build_stage({1, 6})));
+  EXPECT_LT(small, large);
+  (void)kMaxSpan;
+}
+
+TEST(Integration, PredTopPlanSearchBeatsProfilingOnCost) {
+  // The headline trade-off (paper Fig. 10): PredTOP's optimization cost is
+  // well below full profiling, with bounded plan-quality degradation.
+  PlanSearchConfig config;
+  config.num_microbatches = 4;
+  config.sample_fraction = 0.5;
+  config.max_span = kMaxSpan;
+  config.predictor = SmallOptions();
+  config.train = FastTrain();
+  PlanSearch search(Gpt3Benchmark(SmallGptConfig()), sim::Platform1(), config);
+
+  const PlanSearchResult full = search.Run(PlanApproach::kFullProfiling);
+  const PlanSearchResult pred = search.Run(PlanApproach::kPredTopDagTransformer);
+  ASSERT_TRUE(full.plan.Valid());
+  ASSERT_TRUE(pred.plan.Valid());
+
+  EXPECT_LT(pred.profiling_cost_s, full.profiling_cost_s);
+  EXPECT_LT(pred.optimization_cost_s, full.optimization_cost_s);
+  EXPECT_GT(pred.training_wall_s, 0.0);
+  EXPECT_GT(pred.inference_wall_s, 0.0);
+
+  // Plan degradation bounded (paper: <= 2.1% on the real grid; allow slack
+  // for this heavily scaled-down setup).
+  EXPECT_LT(pred.plan_true_latency_s, 2.0 * full.plan_true_latency_s);
+}
+
+TEST(Integration, WorkflowIsDeterministicPerSeed) {
+  PlanSearchConfig config;
+  config.num_microbatches = 4;
+  config.sample_fraction = 0.5;
+  config.max_span = kMaxSpan;
+  config.predictor = SmallOptions();
+  config.train = FastTrain();
+  PlanSearch s1(Gpt3Benchmark(SmallGptConfig()), sim::Platform1(), config);
+  PlanSearch s2(Gpt3Benchmark(SmallGptConfig()), sim::Platform1(), config);
+  const PlanSearchResult r1 = s1.Run(PlanApproach::kFullProfiling);
+  const PlanSearchResult r2 = s2.Run(PlanApproach::kFullProfiling);
+  EXPECT_DOUBLE_EQ(r1.plan_true_latency_s, r2.plan_true_latency_s);
+  EXPECT_DOUBLE_EQ(r1.optimization_cost_s, r2.optimization_cost_s);
+  EXPECT_EQ(r1.plan.stages.size(), r2.plan.stages.size());
+}
+
+}  // namespace
+}  // namespace predtop::core

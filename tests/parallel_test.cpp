@@ -1,0 +1,336 @@
+// Tests for parallelization configs, the intra-op compiler/scheduler, the
+// pipeline formula (Eqn. 4) and the inter-op DP optimizer (vs brute force).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "parallel/config.h"
+#include "parallel/inter_op.h"
+#include "parallel/intra_op.h"
+#include "parallel/pipeline_model.h"
+#include "util/rng.h"
+
+namespace predtop::parallel {
+namespace {
+
+TEST(Config, PaperTable3Configurations) {
+  const auto mesh1 = PaperConfigs(sim::Mesh{1, 1});
+  ASSERT_EQ(mesh1.size(), 1u);
+  EXPECT_EQ(mesh1[0].Degree(), 1);
+
+  const auto mesh2 = PaperConfigs(sim::Mesh{1, 2});
+  ASSERT_EQ(mesh2.size(), 2u);
+  EXPECT_EQ(mesh2[0], (ParallelConfig{2, 1, 1}));  // 2-way DP
+  EXPECT_EQ(mesh2[1], (ParallelConfig{1, 2, 1}));  // 2-way MP
+
+  const auto mesh3 = PaperConfigs(sim::Mesh{2, 2});
+  ASSERT_EQ(mesh3.size(), 3u);
+  EXPECT_EQ(mesh3[0], (ParallelConfig{4, 1, 1}));
+  EXPECT_EQ(mesh3[1], (ParallelConfig{2, 2, 1}));
+  EXPECT_EQ(mesh3[2], (ParallelConfig{1, 4, 1}));
+}
+
+TEST(Config, AllConfigsEnumeratesFactorizations) {
+  const auto configs = AllConfigs(sim::Mesh{2, 2});
+  // Factorizations of 4 into (dp, mp, tp): 4 = 1*1*4,1*2*2,1*4*1,2*1*2,
+  // 2*2*1,4*1*1 -> 6 total.
+  EXPECT_EQ(configs.size(), 6u);
+  for (const auto& c : configs) EXPECT_EQ(c.Degree(), 4);
+}
+
+TEST(Config, ToStringReadable) {
+  EXPECT_EQ((ParallelConfig{1, 1, 1}).ToString(), "no parallelism");
+  EXPECT_EQ((ParallelConfig{2, 1, 1}).ToString(), "2-way DP");
+  EXPECT_EQ((ParallelConfig{2, 2, 1}).ToString(), "2-way DP x 2-way MP");
+}
+
+// ---- pipeline formula ----
+
+TEST(PipelineModel, MatchesEqn4) {
+  const std::vector<double> t{1.0, 3.0, 2.0};
+  // T = sum + (B-1) * max = 6 + 2*3 = 12.
+  EXPECT_DOUBLE_EQ(PipelineLatency(t, 3), 12.0);
+}
+
+TEST(PipelineModel, SingleMicrobatchIsSum) {
+  const std::vector<double> t{1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(PipelineLatency(t, 1), 6.0);
+}
+
+TEST(PipelineModel, PermutationInvariant) {
+  const std::vector<double> a{1.0, 3.0, 2.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(PipelineLatency(a, 5), PipelineLatency(b, 5));
+}
+
+TEST(PipelineModel, BottleneckDominatesAtManyMicrobatches) {
+  const std::vector<double> balanced{2.0, 2.0};
+  const std::vector<double> skewed{1.0, 3.0};  // same sum, worse bottleneck
+  EXPECT_LT(PipelineLatency(balanced, 100), PipelineLatency(skewed, 100));
+}
+
+TEST(PipelineModel, EmptyAndDegenerate) {
+  EXPECT_EQ(PipelineLatency({}, 4), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(PipelineLatency(one, 4), 5.0 + 3.0 * 5.0);
+}
+
+// ---- intra-op compiler ----
+
+/// Small synthetic stage: a chain with a parallel branch, sized so compute
+/// dominates launch overhead.
+ir::StageProgram BranchyProgram() {
+  ir::StageProgram p;
+  const auto x = p.AddInput({ir::DType::kF16, {64, 1024}});
+  const auto w1 = p.AddLiteral({ir::DType::kF16, {1024, 1024}});
+  const auto w2 = p.AddLiteral({ir::DType::kF16, {1024, 1024}});
+  const auto a = p.AddEquation(ir::OpType::kDot, {x, w1}, {ir::DType::kF16, {64, 1024}}, 1024);
+  const auto b = p.AddEquation(ir::OpType::kDot, {x, w2}, {ir::DType::kF16, {64, 1024}}, 1024);
+  const auto sum = p.AddEquation(ir::OpType::kAdd, {a, b}, {ir::DType::kF16, {64, 1024}});
+  p.MarkOutput(sum);
+  return p;
+}
+
+TEST(IntraOp, ConfigDegreeMustMatchMesh) {
+  const IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const auto program = BranchyProgram();
+  EXPECT_THROW(compiler.Compile(program, {1, 1, 1}), std::invalid_argument);
+  EXPECT_NO_THROW(compiler.Compile(program, {2, 1, 1}));
+}
+
+TEST(IntraOp, MeshMustFitCluster) {
+  EXPECT_THROW(IntraOpCompiler(sim::Platform1(), sim::Mesh{2, 2}), std::invalid_argument);
+}
+
+TEST(IntraOp, PlanAssignsEveryEquationToValidGroup) {
+  const IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const auto program = BranchyProgram();
+  const StagePlan plan = compiler.Compile(program, {1, 2, 1});
+  ASSERT_TRUE(plan.Valid());
+  ASSERT_EQ(plan.group_of_equation.size(),
+            static_cast<std::size_t>(program.NumEquations()));
+  for (const std::int32_t g : plan.group_of_equation) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, 2);
+  }
+}
+
+TEST(IntraOp, GreedyBeatsOrMatchesSingleGroup) {
+  // Assigning everything to group 0 wastes the second lane; greedy must not
+  // be worse.
+  const IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const auto program = BranchyProgram();
+  const StagePlan greedy = compiler.Compile(program, {1, 2, 1});
+  const std::vector<std::int32_t> all_zero(
+      static_cast<std::size_t>(program.NumEquations()), 0);
+  const double single = compiler.SimulateLatency(program, {1, 2, 1}, all_zero);
+  EXPECT_LE(greedy.latency_s, single + 1e-12);
+}
+
+TEST(IntraOp, GreedyWithinFactorOfBruteForceOnSmallPrograms) {
+  const IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const auto program = BranchyProgram();
+  const std::size_t n = static_cast<std::size_t>(program.NumEquations());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::int32_t> groups(n);
+    for (std::size_t i = 0; i < n; ++i) groups[i] = (mask >> i) & 1u;
+    best = std::min(best, compiler.SimulateLatency(program, {1, 2, 1}, groups));
+  }
+  const StagePlan greedy = compiler.Compile(program, {1, 2, 1});
+  EXPECT_LE(greedy.latency_s, 1.2 * best);
+}
+
+TEST(IntraOp, DataParallelSpeedsUpComputeBoundStages) {
+  const IntraOpCompiler mesh1(sim::Platform1(), sim::Mesh{1, 1});
+  const IntraOpCompiler mesh2(sim::Platform1(), sim::Mesh{1, 2});
+  ir::Gpt3Config config;
+  const auto stage = ir::BuildGpt3Stage(config, {4, 8});
+  const double single = mesh1.Compile(stage, {1, 1, 1}).latency_s;
+  const double dp2 = mesh2.Compile(stage, {2, 1, 1}).latency_s;
+  EXPECT_LT(dp2, single);
+  EXPECT_GT(dp2, single / 2.0);  // all-reduce + overheads prevent ideal scaling
+}
+
+TEST(IntraOp, SimulateMatchesCompileForSamePlan) {
+  const IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  ir::Gpt3Config config;
+  const auto stage = ir::BuildGpt3Stage(config, {0, 2});
+  const StagePlan plan = compiler.Compile(stage, {1, 2, 1});
+  const double replay = compiler.SimulateLatency(stage, {1, 2, 1}, plan.group_of_equation);
+  EXPECT_NEAR(replay, plan.latency_s, 1e-9);
+}
+
+TEST(IntraOp, OutOfMemoryStagesAreInvalid) {
+  // A stage with enormous weights cannot fit on one 24 GiB A5500.
+  ir::StageProgram p;
+  const auto x = p.AddInput({ir::DType::kF16, {1, 1024}});
+  const auto w = p.AddLiteral({ir::DType::kF32, {1024, 8LL * 1024 * 1024 * 1024}});
+  p.AddEquation(ir::OpType::kDot, {x, w}, {ir::DType::kF16, {1, 1024}}, 1024);
+  const IntraOpCompiler compiler(sim::Platform2(), sim::Mesh{1, 1});
+  EXPECT_FALSE(compiler.MemoryFeasible(p, {1, 1, 1}));
+  EXPECT_FALSE(compiler.Compile(p, {1, 1, 1}).Valid());
+}
+
+TEST(IntraOp, TensorParallelHelpsHugeDots) {
+  // One giant dot: TP-2 halves compute at the cost of an all-reduce; should
+  // win for sufficiently large matrices.
+  ir::StageProgram p;
+  const auto x = p.AddInput({ir::DType::kF16, {8192, 8192}});
+  const auto w = p.AddLiteral({ir::DType::kF16, {8192, 8192}});
+  const auto y = p.AddEquation(ir::OpType::kDot, {x, w}, {ir::DType::kF16, {8192, 8192}}, 8192);
+  p.MarkOutput(y);
+  const IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  const double tp2 = compiler.Compile(p, {1, 1, 2}).latency_s;
+  // Compare against MP-2, which cannot split a single operator.
+  const double mp2 = compiler.Compile(p, {1, 2, 1}).latency_s;
+  EXPECT_LT(tp2, mp2);
+}
+
+TEST(IntraOp, CompileBestPicksMinimum) {
+  const IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+  ir::Gpt3Config config;
+  const auto stage = ir::BuildGpt3Stage(config, {4, 6});
+  const auto configs = PaperConfigs(sim::Mesh{1, 2});
+  const StagePlan best = compiler.CompileBest(stage, configs);
+  for (const auto& c : configs) {
+    EXPECT_LE(best.latency_s, compiler.Compile(stage, c).latency_s + 1e-12);
+  }
+}
+
+// ---- inter-op optimizer ----
+
+TEST(InterOp, RequiresPositiveLayers) {
+  InterOpOptions options;
+  options.num_layers = 0;
+  EXPECT_THROW(InterOpOptimizer(sim::Platform1(), options), std::invalid_argument);
+}
+
+/// Synthetic oracle with controllable per-(span, devices) latencies.
+StageLatencyOracle MakeSyntheticOracle(double base_per_layer) {
+  return [base_per_layer](ir::StageSlice slice, sim::Mesh mesh) {
+    // Perfectly divisible work: span layers spread over the mesh.
+    const double latency =
+        base_per_layer * slice.NumLayers() / mesh.NumDevices();
+    return StageLatencyResult{latency, {mesh.NumDevices(), 1, 1}};
+  };
+}
+
+TEST(InterOp, PlanCoversAllLayersContiguously) {
+  InterOpOptions options;
+  options.num_layers = 8;
+  options.num_microbatches = 4;
+  const InterOpOptimizer optimizer(sim::Platform2(), options);
+  const PipelinePlan plan = optimizer.Optimize(MakeSyntheticOracle(1.0));
+  ASSERT_TRUE(plan.Valid());
+  std::int32_t cursor = 0;
+  std::int32_t devices = 0;
+  for (const auto& stage : plan.stages) {
+    EXPECT_EQ(stage.slice.first_layer, cursor);
+    cursor = stage.slice.last_layer;
+    devices += stage.mesh.NumDevices();
+  }
+  EXPECT_EQ(cursor, 8);
+  EXPECT_LE(devices, sim::Platform2().TotalDevices());
+}
+
+TEST(InterOp, MatchesBruteForceOnSmallInstance) {
+  // Brute-force all contiguous partitions x mesh assignments for 4 layers on
+  // Platform 2 and compare with the DP result.
+  InterOpOptions options;
+  options.num_layers = 4;
+  options.num_microbatches = 6;
+  const InterOpOptimizer optimizer(sim::Platform2(), options);
+
+  // Irregular synthetic latencies keyed deterministically.
+  const StageLatencyOracle oracle = [](ir::StageSlice slice, sim::Mesh mesh) {
+    const std::uint64_t h = util::SplitMix64(
+        static_cast<std::uint64_t>(slice.first_layer * 131 + slice.last_layer * 17 +
+                                   mesh.NumDevices()));
+    const double latency = 0.05 + static_cast<double>(h % 1000) / 1000.0 *
+                                      slice.NumLayers() / mesh.NumDevices();
+    return StageLatencyResult{latency, {}};
+  };
+
+  const PipelinePlan dp_plan = optimizer.Optimize(oracle);
+  ASSERT_TRUE(dp_plan.Valid());
+
+  // Brute force: enumerate compositions of 4 layers and mesh choices.
+  const auto meshes = sim::PaperMeshes(sim::Platform2());
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<std::int32_t, std::size_t>> stack;  // (cut, mesh idx)
+  const std::function<void(std::int32_t, std::int32_t, std::vector<double>&)> recurse =
+      [&](std::int32_t layer, std::int32_t devices_left, std::vector<double>& lats) {
+        if (layer == 4) {
+          best = std::min(best, PipelineLatency(lats, 6));
+          return;
+        }
+        for (std::int32_t next = layer + 1; next <= 4; ++next) {
+          for (const sim::Mesh mesh : meshes) {
+            if (mesh.NumDevices() > devices_left) continue;
+            lats.push_back(oracle(ir::StageSlice{layer, next}, mesh).latency_s);
+            recurse(next, devices_left - mesh.NumDevices(), lats);
+            lats.pop_back();
+          }
+        }
+      };
+  std::vector<double> lats;
+  recurse(0, sim::Platform2().TotalDevices(), lats);
+  EXPECT_NEAR(dp_plan.iteration_latency_s, best, 1e-9);
+}
+
+TEST(InterOp, MoreMicrobatchesFavorMoreStages) {
+  // With sub-linear device scaling, B=1 favors one big stage on the largest
+  // mesh, while large B's bottleneck term pushes toward a deeper pipeline of
+  // small balanced stages.
+  const StageLatencyOracle oracle = [](ir::StageSlice slice, sim::Mesh mesh) {
+    const double d = mesh.NumDevices();
+    const double latency = slice.NumLayers() * (0.5 + 0.5 * d) / d;
+    return StageLatencyResult{latency, {}};
+  };
+  InterOpOptions few;
+  few.num_layers = 8;
+  few.num_microbatches = 1;
+  InterOpOptions many = few;
+  many.num_microbatches = 64;
+  const PipelinePlan plan_few = InterOpOptimizer(sim::Platform2(), few).Optimize(oracle);
+  const PipelinePlan plan_many = InterOpOptimizer(sim::Platform2(), many).Optimize(oracle);
+  ASSERT_TRUE(plan_few.Valid());
+  ASSERT_TRUE(plan_many.Valid());
+  EXPECT_EQ(plan_few.stages.size(), 1u);          // one (2,2) stage: T = 5
+  EXPECT_DOUBLE_EQ(plan_few.iteration_latency_s, 5.0);
+  EXPECT_EQ(plan_many.stages.size(), 4u);         // 4 x (1,1) stages: T = 8 + 63*2
+  EXPECT_DOUBLE_EQ(plan_many.iteration_latency_s, 8.0 + 63.0 * 2.0);
+}
+
+TEST(InterOp, EvaluatePlanAppliesEqn4) {
+  InterOpOptions options;
+  options.num_layers = 4;
+  options.num_microbatches = 3;
+  const InterOpOptimizer optimizer(sim::Platform2(), options);
+  PipelinePlan plan;
+  plan.num_microbatches = 3;
+  plan.stages.push_back({ir::StageSlice{0, 2}, sim::Mesh{1, 2}, {}, 0.0});
+  plan.stages.push_back({ir::StageSlice{2, 4}, sim::Mesh{1, 2}, {}, 0.0});
+  const StageLatencyOracle oracle = [](ir::StageSlice slice, sim::Mesh) {
+    return StageLatencyResult{slice.first_layer == 0 ? 1.0 : 2.0, {}};
+  };
+  // T = (1 + 2) + 2 * 2 = 7.
+  EXPECT_DOUBLE_EQ(optimizer.EvaluatePlan(plan, oracle), 7.0);
+}
+
+TEST(InterOp, MaxStagesBoundRespected) {
+  InterOpOptions options;
+  options.num_layers = 8;
+  options.num_microbatches = 16;
+  options.max_stages = 2;
+  const InterOpOptimizer optimizer(sim::Platform2(), options);
+  const PipelinePlan plan = optimizer.Optimize(MakeSyntheticOracle(1.0));
+  ASSERT_TRUE(plan.Valid());
+  EXPECT_LE(plan.stages.size(), 2u);
+}
+
+}  // namespace
+}  // namespace predtop::parallel

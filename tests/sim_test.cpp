@@ -1,0 +1,183 @@
+// Tests for the cluster simulator: platform specs, collective model,
+// roofline op cost model and the profiler's noise/cost ledger.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/models.h"
+#include "sim/cluster.h"
+#include "sim/collective.h"
+#include "sim/cost_model.h"
+#include "sim/profiler.h"
+#include "util/stats.h"
+
+namespace predtop::sim {
+namespace {
+
+TEST(Cluster, PaperPlatformSpecs) {
+  const ClusterSpec p1 = Platform1();
+  EXPECT_EQ(p1.num_nodes, 1);
+  EXPECT_EQ(p1.gpus_per_node, 2);
+  EXPECT_EQ(p1.TotalDevices(), 2);
+  EXPECT_EQ(p1.device.memory_gib, 48);  // A40
+  const ClusterSpec p2 = Platform2();
+  EXPECT_EQ(p2.TotalDevices(), 4);
+  EXPECT_EQ(p2.device.memory_gib, 24);  // RTX A5500
+  EXPECT_LT(p2.interconnect.inter_node_gbps, p2.interconnect.intra_node_gbps);
+}
+
+TEST(Cluster, PaperMeshesFitPlatforms) {
+  // Platform 1 supports meshes (1,1) and (1,2); Platform 2 adds (2,2).
+  EXPECT_EQ(PaperMeshes(Platform1()).size(), 2u);
+  EXPECT_EQ(PaperMeshes(Platform2()).size(), 3u);
+  for (const Mesh m : PaperMeshes(Platform2())) {
+    EXPECT_TRUE(m.FitsIn(Platform2()));
+  }
+}
+
+TEST(Mesh, SpanProperties) {
+  EXPECT_FALSE((Mesh{1, 2}).SpansNodes());
+  EXPECT_TRUE((Mesh{2, 2}).SpansNodes());
+  EXPECT_EQ((Mesh{2, 2}).NumDevices(), 4);
+}
+
+// ---- collectives ----
+
+TEST(Collective, AllReduceScalesWithBytes) {
+  const CollectiveModel model(Platform1(), Mesh{1, 2});
+  const double t1 = model.AllReduceSeconds(1e6, 2);
+  const double t2 = model.AllReduceSeconds(2e6, 2);
+  const double t3 = model.AllReduceSeconds(3e6, 2);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t3 - t2, t2 - t1, 1e-12);  // linear in bytes
+}
+
+TEST(Collective, SingleParticipantIsFree) {
+  const CollectiveModel model(Platform1(), Mesh{1, 2});
+  EXPECT_EQ(model.AllReduceSeconds(1e9, 1), 0.0);
+  EXPECT_EQ(model.AllGatherSeconds(1e9, 1), 0.0);
+}
+
+TEST(Collective, InterNodeMeshIsSlower) {
+  const CollectiveModel intra(Platform2(), Mesh{1, 2});
+  const CollectiveModel inter(Platform2(), Mesh{2, 2});
+  EXPECT_GT(inter.AllReduceSeconds(1e8, 2), intra.AllReduceSeconds(1e8, 2));
+  EXPECT_GT(intra.BottleneckBandwidth(), inter.BottleneckBandwidth());
+}
+
+TEST(Collective, RingAllReduceFormula) {
+  // t = 2(p-1)/p * bytes/bw + 2(p-1) * latency.
+  const CollectiveModel model(Platform1(), Mesh{1, 2});
+  const double bytes = 1e8;
+  const double expected = 2.0 * 0.5 * bytes / model.BottleneckBandwidth() +
+                          2.0 * model.LinkLatencySeconds();
+  EXPECT_NEAR(model.AllReduceSeconds(bytes, 2), expected, 1e-12);
+}
+
+TEST(Collective, AllGatherCheaperThanAllReduce) {
+  const CollectiveModel model(Platform2(), Mesh{2, 2});
+  EXPECT_LT(model.AllGatherSeconds(1e8, 4), model.AllReduceSeconds(1e8, 4));
+}
+
+// ---- op cost model ----
+
+ir::StageProgram DotProgram(std::int64_t m, std::int64_t k, std::int64_t n,
+                            ir::DType dtype = ir::DType::kF16) {
+  ir::StageProgram p;
+  const auto x = p.AddInput({dtype, {m, k}});
+  const auto w = p.AddLiteral({dtype, {k, n}});
+  p.AddEquation(ir::OpType::kDot, {x, w}, {dtype, {m, n}}, k);
+  return p;
+}
+
+TEST(OpCostModel, MonotoneInWork) {
+  const OpCostModel model(Platform1().device, 7);
+  const auto small = DotProgram(256, 256, 256);
+  const auto large = DotProgram(1024, 1024, 1024);
+  EXPECT_LT(model.EquationSeconds(small, small.equations()[0]),
+            model.EquationSeconds(large, large.equations()[0]));
+}
+
+TEST(OpCostModel, ShardingScaleReducesTime) {
+  const OpCostModel model(Platform1().device, 7);
+  const auto p = DotProgram(1024, 1024, 1024);
+  const double full = model.EquationSeconds(p, p.equations()[0], 1.0, 1.0);
+  const double half = model.EquationSeconds(p, p.equations()[0], 0.5, 0.5);
+  EXPECT_LT(half, full);
+  EXPECT_GT(half, full / 2.2);  // launch overhead keeps it above perfect scaling
+}
+
+TEST(OpCostModel, F16FasterThanF32ForComputeBound) {
+  const OpCostModel model(Platform1().device, 7);
+  const auto f16 = DotProgram(2048, 2048, 2048, ir::DType::kF16);
+  const auto f32 = DotProgram(2048, 2048, 2048, ir::DType::kF32);
+  EXPECT_LT(model.EquationSeconds(f16, f16.equations()[0]),
+            model.EquationSeconds(f32, f32.equations()[0]));
+}
+
+TEST(OpCostModel, LaunchOverheadBoundsTinyOps) {
+  const OpCostModel model(Platform1().device, 7);
+  const auto tiny = DotProgram(1, 1, 1);
+  EXPECT_GE(model.EquationSeconds(tiny, tiny.equations()[0]),
+            Platform1().device.kernel_launch_us * 1e-6);
+}
+
+TEST(OpCostModel, QuirksAreDeterministicAndSeedDependent) {
+  const OpCostModel a(Platform1().device, 7);
+  const OpCostModel b(Platform1().device, 7);
+  const OpCostModel c(Platform1().device, 8);
+  const auto p = DotProgram(512, 512, 512);
+  const double ta = a.EquationSeconds(p, p.equations()[0]);
+  EXPECT_DOUBLE_EQ(ta, b.EquationSeconds(p, p.equations()[0]));
+  EXPECT_NE(ta, c.EquationSeconds(p, p.equations()[0]));
+}
+
+TEST(OpCostModel, TrainingFactorsPerOpClass) {
+  EXPECT_DOUBLE_EQ(OpCostModel::TrainingFactor(ir::OpType::kDot), 3.0);
+  EXPECT_DOUBLE_EQ(OpCostModel::TrainingFactor(ir::OpType::kBatchedDot), 3.0);
+  EXPECT_DOUBLE_EQ(OpCostModel::TrainingFactor(ir::OpType::kAdd), 2.0);
+  EXPECT_DOUBLE_EQ(OpCostModel::TrainingFactor(ir::OpType::kTopK), 1.0);
+  EXPECT_DOUBLE_EQ(OpCostModel::TrainingFactor(ir::OpType::kNone), 0.0);
+}
+
+TEST(OpCostModel, WeightUpdateScalesWithBytes) {
+  const OpCostModel model(Platform1().device, 7);
+  EXPECT_NEAR(model.WeightUpdateSeconds(2'000'000'000) /
+                  model.WeightUpdateSeconds(1'000'000'000),
+              2.0, 1e-9);
+}
+
+// ---- profiler ----
+
+TEST(Profiler, NoiseIsCenteredOnTruth) {
+  Profiler profiler({}, 42);
+  util::RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.Add(profiler.Observe(0.1));
+  EXPECT_NEAR(stats.Mean(), 0.1, 0.002);
+  EXPECT_GT(stats.StdDev(), 0.0005);  // sigma ~1.5% of 0.1
+  EXPECT_LT(stats.StdDev(), 0.004);
+}
+
+TEST(Profiler, LedgerChargesCompileAndRuns) {
+  ProfilerConfig config;
+  Profiler profiler(config, 1);
+  EXPECT_EQ(profiler.TotalCostSeconds(), 0.0);
+  (void)profiler.ProfileStage(0.2, 100);
+  const double expected = config.compile_base_s + 100 * config.compile_per_equation_s +
+                          config.setup_s +
+                          (config.warmup_iters + config.measure_iters) * 0.2;
+  EXPECT_NEAR(profiler.TotalCostSeconds(), expected, 1e-12);
+  EXPECT_EQ(profiler.StagesProfiled(), 1);
+  profiler.ResetLedger();
+  EXPECT_EQ(profiler.TotalCostSeconds(), 0.0);
+}
+
+TEST(Profiler, ObserveDoesNotCharge) {
+  Profiler profiler({}, 2);
+  (void)profiler.Observe(1.0);
+  EXPECT_EQ(profiler.TotalCostSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace predtop::sim

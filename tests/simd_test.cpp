@@ -1,0 +1,95 @@
+// Tests for the explicit-SIMD helpers against scalar references: these
+// kernels sit under every hot path of predictor training, so they get their
+// own exhaustive sweeps (lengths crossing vector-width boundaries, subnormal
+// and -inf inputs for the exp approximation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/simd.h"
+#include "util/rng.h"
+
+namespace predtop::tensor::simd {
+namespace {
+
+class SimdLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdLengths, DotMatchesScalar) {
+  const int n = GetParam();
+  util::Rng rng(n + 1);
+  std::vector<float> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+  double expected = 0.0;
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<float>(rng.Normal());
+    b[static_cast<std::size_t>(i)] = static_cast<float>(rng.Normal());
+    expected += static_cast<double>(a[static_cast<std::size_t>(i)]) *
+                b[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(Dot(a.data(), b.data(), n), expected, 1e-4 * std::max(1.0, std::fabs(expected)));
+}
+
+TEST_P(SimdLengths, SumMatchesScalar) {
+  const int n = GetParam();
+  util::Rng rng(n + 2);
+  std::vector<float> a(static_cast<std::size_t>(n));
+  double expected = 0.0;
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<float>(rng.Normal());
+    expected += a[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(Sum(a.data(), n), expected, 1e-4 * std::max(1.0, std::fabs(expected)));
+}
+
+TEST_P(SimdLengths, ExpMatchesStdExp) {
+  const int n = GetParam();
+  util::Rng rng(n + 3);
+  std::vector<float> x(static_cast<std::size_t>(n)), out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = static_cast<float>(-rng.Uniform(0.0, 40.0));
+  }
+  ExpNonPositiveN(x.data(), out.data(), n);
+  for (int i = 0; i < n; ++i) {
+    const double reference = std::exp(static_cast<double>(x[static_cast<std::size_t>(i)]));
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)], reference, 5e-4 * reference + 1e-30)
+        << "x=" << x[static_cast<std::size_t>(i)];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SimdLengths,
+                         ::testing::Values(0, 1, 7, 8, 9, 15, 16, 17, 31, 64, 100, 257));
+
+TEST(SimdExp, HandlesBoundaryInputs) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> x{0.0f, -1e-8f, -87.0f, -100.0f, -1000.0f, -inf, -0.5f, -20.0f};
+  std::vector<float> out(x.size());
+  ExpNonPositiveN(x.data(), out.data(), static_cast<std::int64_t>(x.size()));
+  EXPECT_NEAR(out[0], 1.0f, 2e-6f);
+  EXPECT_NEAR(out[1], 1.0f, 2e-6f);
+  EXPECT_EQ(out[4], 0.0f);  // deep underflow clamps to zero
+  EXPECT_EQ(out[5], 0.0f);  // -inf (masked attention) is exactly zero
+  for (const float v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(SimdExp, ScalarVariantAgreesWithVector) {
+  std::vector<float> x, vec_out;
+  for (float v = -50.0f; v <= 0.0f; v += 0.37f) x.push_back(v);
+  vec_out.resize(x.size());
+  ExpNonPositiveN(x.data(), vec_out.data(), static_cast<std::int64_t>(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(ExpNonPositive(x[i]), vec_out[i], 1e-5f * std::max(1e-20f, vec_out[i]));
+  }
+}
+
+TEST(SimdDot, ZeroLengthIsZero) {
+  EXPECT_EQ(Dot(nullptr, nullptr, 0), 0.0f);
+  EXPECT_EQ(Sum(nullptr, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace predtop::tensor::simd

@@ -1,0 +1,265 @@
+// Unit tests for the dense tensor type, numeric kernels and sparse CSR.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace predtop::tensor {
+namespace {
+
+using util::Rng;
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillAndScale) {
+  Tensor t({4}, 2.0f);
+  t.ScaleInPlace(2.5f);
+  for (const float v : t.data()) EXPECT_FLOAT_EQ(v, 5.0f);
+  t.Fill(-1.0f);
+  for (const float v : t.data()) EXPECT_FLOAT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, ConstructFromDataValidatesShape) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.Reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, AddInPlaceShapeMismatchThrows) {
+  Tensor a({2, 2});
+  const Tensor b({4});
+  EXPECT_THROW(a.AddInPlace(b), std::invalid_argument);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng r1(42), r2(42);
+  const Tensor a = Tensor::Randn({8}, r1);
+  const Tensor b = Tensor::Randn({8}, r2);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0f);
+}
+
+// ---- matmul ----
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i) {
+    for (std::int64_t j = 0; j < b.dim(1); ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < a.dim(1); ++k) {
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+class MatMulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(7);
+  const Tensor a = Tensor::Randn({m, k}, rng);
+  const Tensor b = Tensor::Randn({k, n}, rng);
+  EXPECT_LT(MaxAbsDiff(MatMul(a, b), NaiveMatMul(a, b)), 1e-3f);
+}
+
+TEST_P(MatMulShapes, TransAMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(8);
+  const Tensor at = Tensor::Randn({k, m}, rng);  // A^T stored
+  const Tensor b = Tensor::Randn({k, n}, rng);
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(at, b), MatMul(Transpose2D(at), b)), 1e-3f);
+}
+
+TEST_P(MatMulShapes, TransBMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(9);
+  const Tensor a = Tensor::Randn({m, k}, rng);
+  const Tensor bt = Tensor::Randn({n, k}, rng);  // B^T stored
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, bt), MatMul(a, Transpose2D(bt))), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                                           std::make_tuple(5, 1, 7), std::make_tuple(16, 16, 16),
+                                           std::make_tuple(33, 17, 9),
+                                           std::make_tuple(64, 48, 32)));
+
+TEST(MatMul, InnerDimensionMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({4, 2});
+  EXPECT_THROW(MatMul(a, b), std::invalid_argument);
+}
+
+// ---- elementwise ----
+
+TEST(Elementwise, AddSubMul) {
+  const Tensor a({2}, std::vector<float>{1, 2});
+  const Tensor b({2}, std::vector<float>{3, 5});
+  EXPECT_FLOAT_EQ(Add(a, b)[0], 4.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b)[1], -3.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)[1], 10.0f);
+  EXPECT_FLOAT_EQ(Scale(a, -2.0f)[0], -2.0f);
+}
+
+TEST(Elementwise, AddRowVectorBroadcasts) {
+  const Tensor m({2, 3}, std::vector<float>{0, 0, 0, 1, 1, 1});
+  const Tensor bias({3}, std::vector<float>{10, 20, 30});
+  const Tensor out = AddRowVector(m, bias);
+  EXPECT_FLOAT_EQ(out.at(0, 2), 30.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 11.0f);
+}
+
+TEST(Elementwise, Activations) {
+  const Tensor x({4}, std::vector<float>{-2, -0.5f, 0, 3});
+  const Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[3], 3.0f);
+  const Tensor l = LeakyRelu(x, 0.1f);
+  EXPECT_FLOAT_EQ(l[0], -0.2f);
+  const Tensor t = Tanh(x);
+  EXPECT_NEAR(t[3], std::tanh(3.0f), 1e-6f);
+  const Tensor g = Gelu(x);
+  EXPECT_NEAR(g[2], 0.0f, 1e-6f);
+  EXPECT_GT(g[3], 2.9f);  // gelu(3) ~ 2.996
+}
+
+// ---- softmax ----
+
+TEST(RowSoftmax, RowsSumToOne) {
+  Rng rng(3);
+  const Tensor x = Tensor::Randn({5, 7}, rng, 3.0f);
+  const Tensor s = RowSoftmax(x);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      EXPECT_GE(s.at(i, j), 0.0f);
+      sum += s.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(RowSoftmax, MaskBlocksEntries) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const Tensor x({1, 3}, std::vector<float>{1, 2, 3});
+  const Tensor mask({1, 3}, std::vector<float>{0, -inf, 0});
+  const Tensor s = RowSoftmax(x, &mask);
+  EXPECT_FLOAT_EQ(s.at(0, 1), 0.0f);
+  EXPECT_NEAR(s.at(0, 0) + s.at(0, 2), 1.0f, 1e-6f);
+}
+
+TEST(RowSoftmax, FullyMaskedRowIsZeroNotNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const Tensor x({1, 2}, std::vector<float>{1, 2});
+  const Tensor mask({1, 2}, std::vector<float>{-inf, -inf});
+  const Tensor s = RowSoftmax(x, &mask);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(s.at(0, 1), 0.0f);
+}
+
+TEST(RowSoftmax, InvariantToConstantShift) {
+  Rng rng(11);
+  const Tensor x = Tensor::Randn({3, 4}, rng);
+  Tensor shifted = x;
+  for (float& v : shifted.data()) v += 100.0f;
+  EXPECT_LT(MaxAbsDiff(RowSoftmax(x), RowSoftmax(shifted)), 1e-5f);
+}
+
+// ---- reductions / transpose ----
+
+TEST(Reductions, SumRowsColsAll) {
+  const Tensor m({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor rows = SumRows(m);
+  EXPECT_FLOAT_EQ(rows[0], 5.0f);
+  EXPECT_FLOAT_EQ(rows[2], 9.0f);
+  const Tensor cols = SumCols(m);
+  EXPECT_FLOAT_EQ(cols[0], 6.0f);
+  EXPECT_FLOAT_EQ(cols[1], 15.0f);
+  EXPECT_FLOAT_EQ(SumAll(m), 21.0f);
+}
+
+TEST(Transpose, RoundTrips) {
+  Rng rng(5);
+  const Tensor m = Tensor::Randn({3, 5}, rng);
+  EXPECT_EQ(MaxAbsDiff(Transpose2D(Transpose2D(m)), m), 0.0f);
+}
+
+// ---- sparse ----
+
+TEST(Csr, FromCooSumsDuplicates) {
+  const Csr a = Csr::FromCoo(2, 2, {0, 0, 1}, {1, 1, 0}, {1.0f, 2.0f, 5.0f});
+  EXPECT_EQ(a.Nnz(), 2u);
+  EXPECT_FLOAT_EQ(a.values[0], 3.0f);  // (0,1) summed
+  EXPECT_FLOAT_EQ(a.values[1], 5.0f);
+}
+
+TEST(Csr, OutOfRangeThrows) {
+  EXPECT_THROW(Csr::FromCoo(2, 2, {2}, {0}, {1.0f}), std::out_of_range);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  Rng rng(6);
+  std::vector<std::int32_t> r, c;
+  std::vector<float> v;
+  for (int i = 0; i < 30; ++i) {
+    r.push_back(static_cast<std::int32_t>(rng.NextBelow(7)));
+    c.push_back(static_cast<std::int32_t>(rng.NextBelow(9)));
+    v.push_back(static_cast<float>(rng.Normal()));
+  }
+  const Csr a = Csr::FromCoo(7, 9, r, c, v);
+  const Csr att = a.Transposed().Transposed();
+  EXPECT_EQ(a.row_ptr, att.row_ptr);
+  EXPECT_EQ(a.col_idx, att.col_idx);
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.values[i], att.values[i]);
+  }
+}
+
+TEST(SpMM, MatchesDenseMatMul) {
+  Rng rng(12);
+  Tensor dense({6, 5});
+  std::vector<std::int32_t> r, c;
+  std::vector<float> v;
+  for (int i = 0; i < 12; ++i) {
+    const auto ri = static_cast<std::int32_t>(rng.NextBelow(6));
+    const auto ci = static_cast<std::int32_t>(rng.NextBelow(5));
+    const auto vi = static_cast<float>(rng.Normal());
+    r.push_back(ri);
+    c.push_back(ci);
+    v.push_back(vi);
+    dense.at(ri, ci) += vi;
+  }
+  const Csr sparse = Csr::FromCoo(6, 5, r, c, v);
+  const Tensor x = Tensor::Randn({5, 4}, rng);
+  EXPECT_LT(MaxAbsDiff(SpMM(sparse, x), MatMul(dense, x)), 1e-4f);
+}
+
+TEST(SpMM, ShapeMismatchThrows) {
+  const Csr a = Csr::FromCoo(2, 3, {0}, {0}, {1.0f});
+  const Tensor x({2, 2});
+  EXPECT_THROW(SpMM(a, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace predtop::tensor

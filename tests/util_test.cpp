@@ -1,0 +1,232 @@
+// Unit tests for RNG, statistics, tables, env parsing and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace predtop::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Normal());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalMedianIsParameter) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.LogNormal(5.0, 0.3));
+  EXPECT_NEAR(Percentile(xs, 50.0), 5.0, 0.15);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(10);
+  const auto s = rng.SampleWithoutReplacement(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  const std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (const std::size_t i : s) EXPECT_LT(i, 20u);
+}
+
+TEST(Rng, SampleAllReturnsEverything) {
+  Rng rng(11);
+  const auto s = rng.SampleWithoutReplacement(5, 5);
+  const std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng a(12);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(SplitMix, IsPureFunction) {
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+  EXPECT_NE(SplitMix64(42), SplitMix64(43));
+}
+
+// ---- stats ----
+
+TEST(Stats, MeanAndStdDev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+}
+
+TEST(Stats, MinMaxPercentile) {
+  const std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6};
+  EXPECT_DOUBLE_EQ(Min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 9.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 9.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.5);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  Rng rng(13);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    xs.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_NEAR(rs.Mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(rs.StdDev(), StdDev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.Min(), Min(xs));
+  EXPECT_DOUBLE_EQ(rs.Max(), Max(xs));
+}
+
+TEST(Stats, MreMatchesPaperFormula) {
+  // Eqn. 5: MRE = 100/N sum |(pred - true)/true|.
+  const std::vector<double> pred{11, 9, 20};
+  const std::vector<double> truth{10, 10, 10};
+  EXPECT_NEAR(MeanRelativeErrorPct(pred, truth), 100.0 * (0.1 + 0.1 + 1.0) / 3.0, 1e-9);
+}
+
+TEST(Stats, MreSkipsZeroTruth) {
+  const std::vector<double> pred{11, 123};
+  const std::vector<double> truth{10, 0};
+  EXPECT_NEAR(MeanRelativeErrorPct(pred, truth), 10.0, 1e-9);
+}
+
+// ---- table ----
+
+TEST(Table, AlignsAndCounts) {
+  TablePrinter t({"a", "bbbb"});
+  t.AddRow({"xx", "y"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.RowCount(), 2u);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| xx"), std::string::npos);
+  EXPECT_NE(s.find("bbbb"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(FormatF(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatSeconds(0.5), "500.00 ms");
+  EXPECT_EQ(FormatSeconds(2.0), "2.00 s");
+  EXPECT_EQ(FormatSeconds(5e-6), "5.0 us");
+}
+
+// ---- env ----
+
+TEST(Env, ParsesTypes) {
+  ::setenv("PREDTOP_TEST_INT", "42", 1);
+  ::setenv("PREDTOP_TEST_DBL", "2.5", 1);
+  ::setenv("PREDTOP_TEST_BOOL", "1", 1);
+  ::setenv("PREDTOP_TEST_LIST", "10,30,80", 1);
+  EXPECT_EQ(EnvInt("PREDTOP_TEST_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("PREDTOP_TEST_DBL", 0.0), 2.5);
+  EXPECT_TRUE(EnvBool("PREDTOP_TEST_BOOL", false));
+  EXPECT_EQ(EnvIntList("PREDTOP_TEST_LIST", {}), (std::vector<int>{10, 30, 80}));
+}
+
+TEST(Env, FallsBackWhenUnsetOrInvalid) {
+  ::unsetenv("PREDTOP_TEST_MISSING");
+  EXPECT_EQ(EnvInt("PREDTOP_TEST_MISSING", 7), 7);
+  EXPECT_FALSE(EnvString("PREDTOP_TEST_MISSING").has_value());
+  ::setenv("PREDTOP_TEST_BADINT", "abc", 1);
+  EXPECT_EQ(EnvInt("PREDTOP_TEST_BADINT", 7), 7);
+  EXPECT_EQ(EnvIntList("PREDTOP_TEST_BADINT", {1}), (std::vector<int>{1}));
+}
+
+// ---- thread pool ----
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 40 + 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWorksSingleThreaded) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(37, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 37);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(Stopwatch, MeasuresForwardProgress) {
+  Stopwatch w;
+  const double t1 = w.ElapsedSeconds();
+  const double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  w.Restart();
+  EXPECT_LT(w.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace predtop::util
