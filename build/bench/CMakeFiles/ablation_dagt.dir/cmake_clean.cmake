@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dagt.dir/ablation_dagt.cpp.o"
+  "CMakeFiles/ablation_dagt.dir/ablation_dagt.cpp.o.d"
+  "ablation_dagt"
+  "ablation_dagt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dagt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_dagt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_plan_variation.dir/fig02_plan_variation.cpp.o"
+  "CMakeFiles/fig02_plan_variation.dir/fig02_plan_variation.cpp.o.d"
+  "fig02_plan_variation"
+  "fig02_plan_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_plan_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_gcn_vs_dagt.dir/fig03_gcn_vs_dagt.cpp.o"
+  "CMakeFiles/fig03_gcn_vs_dagt.dir/fig03_gcn_vs_dagt.cpp.o.d"
+  "fig03_gcn_vs_dagt"
+  "fig03_gcn_vs_dagt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_gcn_vs_dagt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

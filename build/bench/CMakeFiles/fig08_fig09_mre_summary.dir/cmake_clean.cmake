@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fig09_mre_summary.dir/fig08_fig09_mre_summary.cpp.o"
+  "CMakeFiles/fig08_fig09_mre_summary.dir/fig08_fig09_mre_summary.cpp.o.d"
+  "fig08_fig09_mre_summary"
+  "fig08_fig09_mre_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fig09_mre_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_fig09_mre_summary.
+# This may be replaced when dependencies are built.

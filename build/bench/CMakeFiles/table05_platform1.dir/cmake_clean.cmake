@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_platform1.dir/table05_platform1.cpp.o"
+  "CMakeFiles/table05_platform1.dir/table05_platform1.cpp.o.d"
+  "table05_platform1"
+  "table05_platform1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_platform1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table05_platform1.
+# This may be replaced when dependencies are built.

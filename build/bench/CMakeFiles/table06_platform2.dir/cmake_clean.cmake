@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_platform2.dir/table06_platform2.cpp.o"
+  "CMakeFiles/table06_platform2.dir/table06_platform2.cpp.o.d"
+  "table06_platform2"
+  "table06_platform2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_platform2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_search.dir/plan_search.cpp.o"
+  "CMakeFiles/plan_search.dir/plan_search.cpp.o.d"
+  "plan_search"
+  "plan_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_cli.dir/predtop_cli.cpp.o"
+  "CMakeFiles/predtop_cli.dir/predtop_cli.cpp.o.d"
+  "predtop_cli"
+  "predtop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

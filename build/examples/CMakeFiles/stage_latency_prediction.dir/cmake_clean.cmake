@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_latency_prediction.dir/stage_latency_prediction.cpp.o"
+  "CMakeFiles/stage_latency_prediction.dir/stage_latency_prediction.cpp.o.d"
+  "stage_latency_prediction"
+  "stage_latency_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_latency_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_cluster.dir/whatif_cluster.cpp.o"
+  "CMakeFiles/whatif_cluster.dir/whatif_cluster.cpp.o.d"
+  "whatif_cluster"
+  "whatif_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_autograd.dir/functions.cpp.o"
+  "CMakeFiles/predtop_autograd.dir/functions.cpp.o.d"
+  "CMakeFiles/predtop_autograd.dir/variable.cpp.o"
+  "CMakeFiles/predtop_autograd.dir/variable.cpp.o.d"
+  "libpredtop_autograd.a"
+  "libpredtop_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

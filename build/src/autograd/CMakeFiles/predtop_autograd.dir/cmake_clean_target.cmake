@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredtop_autograd.a"
+)

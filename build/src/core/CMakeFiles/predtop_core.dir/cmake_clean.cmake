@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_core.dir/analytical.cpp.o"
+  "CMakeFiles/predtop_core.dir/analytical.cpp.o.d"
+  "CMakeFiles/predtop_core.dir/dataset.cpp.o"
+  "CMakeFiles/predtop_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/predtop_core.dir/greybox.cpp.o"
+  "CMakeFiles/predtop_core.dir/greybox.cpp.o.d"
+  "CMakeFiles/predtop_core.dir/plan_search.cpp.o"
+  "CMakeFiles/predtop_core.dir/plan_search.cpp.o.d"
+  "CMakeFiles/predtop_core.dir/predictors.cpp.o"
+  "CMakeFiles/predtop_core.dir/predictors.cpp.o.d"
+  "CMakeFiles/predtop_core.dir/regressor.cpp.o"
+  "CMakeFiles/predtop_core.dir/regressor.cpp.o.d"
+  "libpredtop_core.a"
+  "libpredtop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

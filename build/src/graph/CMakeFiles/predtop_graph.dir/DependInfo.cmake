@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/depth.cpp" "src/graph/CMakeFiles/predtop_graph.dir/depth.cpp.o" "gcc" "src/graph/CMakeFiles/predtop_graph.dir/depth.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/predtop_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/predtop_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/encode.cpp" "src/graph/CMakeFiles/predtop_graph.dir/encode.cpp.o" "gcc" "src/graph/CMakeFiles/predtop_graph.dir/encode.cpp.o.d"
+  "/root/repo/src/graph/op_dag.cpp" "src/graph/CMakeFiles/predtop_graph.dir/op_dag.cpp.o" "gcc" "src/graph/CMakeFiles/predtop_graph.dir/op_dag.cpp.o.d"
+  "/root/repo/src/graph/prune.cpp" "src/graph/CMakeFiles/predtop_graph.dir/prune.cpp.o" "gcc" "src/graph/CMakeFiles/predtop_graph.dir/prune.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "src/graph/CMakeFiles/predtop_graph.dir/reachability.cpp.o" "gcc" "src/graph/CMakeFiles/predtop_graph.dir/reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/predtop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/predtop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_graph.dir/depth.cpp.o"
+  "CMakeFiles/predtop_graph.dir/depth.cpp.o.d"
+  "CMakeFiles/predtop_graph.dir/dot.cpp.o"
+  "CMakeFiles/predtop_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/predtop_graph.dir/encode.cpp.o"
+  "CMakeFiles/predtop_graph.dir/encode.cpp.o.d"
+  "CMakeFiles/predtop_graph.dir/op_dag.cpp.o"
+  "CMakeFiles/predtop_graph.dir/op_dag.cpp.o.d"
+  "CMakeFiles/predtop_graph.dir/prune.cpp.o"
+  "CMakeFiles/predtop_graph.dir/prune.cpp.o.d"
+  "CMakeFiles/predtop_graph.dir/reachability.cpp.o"
+  "CMakeFiles/predtop_graph.dir/reachability.cpp.o.d"
+  "libpredtop_graph.a"
+  "libpredtop_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

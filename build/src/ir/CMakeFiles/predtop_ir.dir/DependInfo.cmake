@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder_common.cpp" "src/ir/CMakeFiles/predtop_ir.dir/builder_common.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/builder_common.cpp.o.d"
+  "/root/repo/src/ir/liveness.cpp" "src/ir/CMakeFiles/predtop_ir.dir/liveness.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/liveness.cpp.o.d"
+  "/root/repo/src/ir/models.cpp" "src/ir/CMakeFiles/predtop_ir.dir/models.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/models.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/predtop_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/predtop_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/resnet.cpp" "src/ir/CMakeFiles/predtop_ir.dir/resnet.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/resnet.cpp.o.d"
+  "/root/repo/src/ir/stages.cpp" "src/ir/CMakeFiles/predtop_ir.dir/stages.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/stages.cpp.o.d"
+  "/root/repo/src/ir/to_dag.cpp" "src/ir/CMakeFiles/predtop_ir.dir/to_dag.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/to_dag.cpp.o.d"
+  "/root/repo/src/ir/types.cpp" "src/ir/CMakeFiles/predtop_ir.dir/types.cpp.o" "gcc" "src/ir/CMakeFiles/predtop_ir.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/predtop_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/predtop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/predtop_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

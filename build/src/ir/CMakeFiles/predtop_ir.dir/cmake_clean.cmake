@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_ir.dir/builder_common.cpp.o"
+  "CMakeFiles/predtop_ir.dir/builder_common.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/liveness.cpp.o"
+  "CMakeFiles/predtop_ir.dir/liveness.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/models.cpp.o"
+  "CMakeFiles/predtop_ir.dir/models.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/printer.cpp.o"
+  "CMakeFiles/predtop_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/program.cpp.o"
+  "CMakeFiles/predtop_ir.dir/program.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/resnet.cpp.o"
+  "CMakeFiles/predtop_ir.dir/resnet.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/stages.cpp.o"
+  "CMakeFiles/predtop_ir.dir/stages.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/to_dag.cpp.o"
+  "CMakeFiles/predtop_ir.dir/to_dag.cpp.o.d"
+  "CMakeFiles/predtop_ir.dir/types.cpp.o"
+  "CMakeFiles/predtop_ir.dir/types.cpp.o.d"
+  "libpredtop_ir.a"
+  "libpredtop_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/predtop_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/dag_transformer.cpp" "src/nn/CMakeFiles/predtop_nn.dir/dag_transformer.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/dag_transformer.cpp.o.d"
+  "/root/repo/src/nn/gat.cpp" "src/nn/CMakeFiles/predtop_nn.dir/gat.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/gat.cpp.o.d"
+  "/root/repo/src/nn/gcn.cpp" "src/nn/CMakeFiles/predtop_nn.dir/gcn.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/gcn.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/predtop_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/predtop_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/predtop_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/predtop_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/predtop_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/predtop_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/predtop_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/predtop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/predtop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

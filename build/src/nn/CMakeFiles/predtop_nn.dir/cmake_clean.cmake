@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_nn.dir/attention.cpp.o"
+  "CMakeFiles/predtop_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/dag_transformer.cpp.o"
+  "CMakeFiles/predtop_nn.dir/dag_transformer.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/gat.cpp.o"
+  "CMakeFiles/predtop_nn.dir/gat.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/gcn.cpp.o"
+  "CMakeFiles/predtop_nn.dir/gcn.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/linear.cpp.o"
+  "CMakeFiles/predtop_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/module.cpp.o"
+  "CMakeFiles/predtop_nn.dir/module.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/predtop_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/serialize.cpp.o"
+  "CMakeFiles/predtop_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/predtop_nn.dir/trainer.cpp.o"
+  "CMakeFiles/predtop_nn.dir/trainer.cpp.o.d"
+  "libpredtop_nn.a"
+  "libpredtop_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for predtop_nn.
+# This may be replaced when dependencies are built.

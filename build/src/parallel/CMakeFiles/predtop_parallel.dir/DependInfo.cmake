@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/config.cpp" "src/parallel/CMakeFiles/predtop_parallel.dir/config.cpp.o" "gcc" "src/parallel/CMakeFiles/predtop_parallel.dir/config.cpp.o.d"
+  "/root/repo/src/parallel/inter_op.cpp" "src/parallel/CMakeFiles/predtop_parallel.dir/inter_op.cpp.o" "gcc" "src/parallel/CMakeFiles/predtop_parallel.dir/inter_op.cpp.o.d"
+  "/root/repo/src/parallel/intra_op.cpp" "src/parallel/CMakeFiles/predtop_parallel.dir/intra_op.cpp.o" "gcc" "src/parallel/CMakeFiles/predtop_parallel.dir/intra_op.cpp.o.d"
+  "/root/repo/src/parallel/pipeline_executor.cpp" "src/parallel/CMakeFiles/predtop_parallel.dir/pipeline_executor.cpp.o" "gcc" "src/parallel/CMakeFiles/predtop_parallel.dir/pipeline_executor.cpp.o.d"
+  "/root/repo/src/parallel/pipeline_model.cpp" "src/parallel/CMakeFiles/predtop_parallel.dir/pipeline_model.cpp.o" "gcc" "src/parallel/CMakeFiles/predtop_parallel.dir/pipeline_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/predtop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/predtop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/predtop_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/predtop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/predtop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_parallel.dir/config.cpp.o"
+  "CMakeFiles/predtop_parallel.dir/config.cpp.o.d"
+  "CMakeFiles/predtop_parallel.dir/inter_op.cpp.o"
+  "CMakeFiles/predtop_parallel.dir/inter_op.cpp.o.d"
+  "CMakeFiles/predtop_parallel.dir/intra_op.cpp.o"
+  "CMakeFiles/predtop_parallel.dir/intra_op.cpp.o.d"
+  "CMakeFiles/predtop_parallel.dir/pipeline_executor.cpp.o"
+  "CMakeFiles/predtop_parallel.dir/pipeline_executor.cpp.o.d"
+  "CMakeFiles/predtop_parallel.dir/pipeline_model.cpp.o"
+  "CMakeFiles/predtop_parallel.dir/pipeline_model.cpp.o.d"
+  "libpredtop_parallel.a"
+  "libpredtop_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/predtop_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/predtop_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/collective.cpp" "src/sim/CMakeFiles/predtop_sim.dir/collective.cpp.o" "gcc" "src/sim/CMakeFiles/predtop_sim.dir/collective.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/predtop_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/predtop_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/profiler.cpp" "src/sim/CMakeFiles/predtop_sim.dir/profiler.cpp.o" "gcc" "src/sim/CMakeFiles/predtop_sim.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/predtop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/predtop_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/predtop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/predtop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

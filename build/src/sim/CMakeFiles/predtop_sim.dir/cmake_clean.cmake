@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_sim.dir/cluster.cpp.o"
+  "CMakeFiles/predtop_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/predtop_sim.dir/collective.cpp.o"
+  "CMakeFiles/predtop_sim.dir/collective.cpp.o.d"
+  "CMakeFiles/predtop_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/predtop_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/predtop_sim.dir/profiler.cpp.o"
+  "CMakeFiles/predtop_sim.dir/profiler.cpp.o.d"
+  "libpredtop_sim.a"
+  "libpredtop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_tensor.dir/ops.cpp.o"
+  "CMakeFiles/predtop_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/predtop_tensor.dir/sparse.cpp.o"
+  "CMakeFiles/predtop_tensor.dir/sparse.cpp.o.d"
+  "CMakeFiles/predtop_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/predtop_tensor.dir/tensor.cpp.o.d"
+  "libpredtop_tensor.a"
+  "libpredtop_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

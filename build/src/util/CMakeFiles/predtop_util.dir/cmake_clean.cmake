@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predtop_util.dir/env.cpp.o"
+  "CMakeFiles/predtop_util.dir/env.cpp.o.d"
+  "CMakeFiles/predtop_util.dir/logging.cpp.o"
+  "CMakeFiles/predtop_util.dir/logging.cpp.o.d"
+  "CMakeFiles/predtop_util.dir/rng.cpp.o"
+  "CMakeFiles/predtop_util.dir/rng.cpp.o.d"
+  "CMakeFiles/predtop_util.dir/stats.cpp.o"
+  "CMakeFiles/predtop_util.dir/stats.cpp.o.d"
+  "CMakeFiles/predtop_util.dir/table.cpp.o"
+  "CMakeFiles/predtop_util.dir/table.cpp.o.d"
+  "CMakeFiles/predtop_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/predtop_util.dir/thread_pool.cpp.o.d"
+  "libpredtop_util.a"
+  "libpredtop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predtop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

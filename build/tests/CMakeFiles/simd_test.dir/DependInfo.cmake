@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simd_test.cpp" "tests/CMakeFiles/simd_test.dir/simd_test.cpp.o" "gcc" "tests/CMakeFiles/simd_test.dir/simd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/predtop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/predtop_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predtop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/predtop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/predtop_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/predtop_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/predtop_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/predtop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/predtop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
