@@ -4,19 +4,25 @@
 // DAG Transformer predictors; report the optimization cost (Fig. 10a) and
 // the ground-truth iteration latency of each plan (Fig. 10b).
 
+// PREDTOP_SERVE_MODE=1 additionally runs the plan search through the
+// predtop::serve PredictionService (cold cache, then warm) and reports the
+// repeat-search speedup the fingerprint cache buys.
+
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/plan_search.h"
+#include "serve/oracle.h"
+#include "serve/service.h"
 
 using namespace predtop;
 using core::PlanApproach;
 
 namespace {
 
-void RunBenchmark(const core::BenchmarkModel& benchmark, std::int32_t max_span,
-                  const bench::GridConfig& grid) {
+core::PlanSearchConfig MakePlanConfig(const core::BenchmarkModel& benchmark,
+                                      std::int32_t max_span, const bench::GridConfig& grid) {
   // The span cap must leave a real plan space: covering all layers with at
   // most one stage per device requires spans of at least
   // ceil(layers / devices), and meaningful search needs headroom above that.
@@ -33,7 +39,59 @@ void RunBenchmark(const core::BenchmarkModel& benchmark, std::int32_t max_span,
   config.train.patience = config.train.max_epochs;
   config.predictor = grid.predictor;
   config.seed = grid.seed;
-  core::PlanSearch search(benchmark, sim::Platform2(), config);
+  return config;
+}
+
+// Serving mode: the same trained predictors, but every stage-latency query
+// goes through the PredictionService. The second Optimize() call runs with a
+// warm fingerprint cache — the regime of repeated what-if plan searches.
+void RunServingMode(const core::BenchmarkModel& benchmark, std::int32_t max_span,
+                    const bench::GridConfig& grid) {
+  core::PlanSearch search(benchmark, sim::Platform2(), MakePlanConfig(benchmark, max_span, grid));
+  std::cerr << "[bench] fig10 " << benchmark.name << ": serving mode (train)\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const std::vector<serve::ModelKey> keys = serve::RegisterMeshPredictors(
+      *registry, benchmark.name, "platform2", search.Meshes(), trained);
+  serve::ServiceOptions service_options;
+  service_options.threads = 2;
+  serve::PredictionService service(registry, service_options);
+  const serve::ServingOracle oracle(
+      service, search.Meshes(), keys,
+      [&search](ir::StageSlice s) -> const graph::EncodedGraph& {
+        return search.EncodedFor(s);
+      },
+      search.EffectiveMaxSpan());
+  const parallel::InterOpOptimizer optimizer = search.MakeOptimizer();
+
+  util::Stopwatch cold_watch;
+  const parallel::PipelinePlan cold_plan = optimizer.Optimize(oracle.AsOracle());
+  const double cold_s = cold_watch.ElapsedSeconds();
+
+  service.ResetStats();
+  util::Stopwatch warm_watch;
+  const parallel::PipelinePlan warm_plan = optimizer.Optimize(oracle.AsOracle());
+  const double warm_s = warm_watch.ElapsedSeconds();
+  const serve::ServiceStats stats = service.Stats();
+
+  util::TablePrinter table({"pass", "optimize wall", "cache hit rate", "plan latency"});
+  table.SetTitle("Fig. 10 serving mode — " + benchmark.name +
+                 " (PredTOP DAG Transformer via PredictionService)");
+  table.AddRow({"cold cache", util::FormatSeconds(cold_s), "0.0 %",
+                util::FormatSeconds(cold_plan.iteration_latency_s)});
+  table.AddRow({"warm cache", util::FormatSeconds(warm_s),
+                util::FormatF(100.0 * stats.cache.HitRate(), 1) + " %",
+                util::FormatSeconds(warm_plan.iteration_latency_s)});
+  table.Print(std::cout);
+  std::cout << "warm repeat search: " << util::FormatF(cold_s / warm_s, 1)
+            << "x faster than cold\n\n";
+}
+
+void RunBenchmark(const core::BenchmarkModel& benchmark, std::int32_t max_span,
+                  const bench::GridConfig& grid) {
+  core::PlanSearch search(benchmark, sim::Platform2(), MakePlanConfig(benchmark, max_span, grid));
 
   util::TablePrinter table({"approach", "optimization cost", "vs full profiling cost",
                             "iteration latency", "latency vs baseline"});
@@ -71,6 +129,9 @@ int main() {
   const bench::GridConfig grid = bench::LoadGridConfig();
   RunBenchmark(bench::PaperGpt3(), grid.gpt_max_span, grid);
   RunBenchmark(bench::PaperMoe(), grid.moe_max_span, grid);
+  if (util::EnvBool("PREDTOP_SERVE_MODE", false)) {
+    RunServingMode(bench::PaperGpt3(), grid.gpt_max_span, grid);
+  }
   std::cout << "Shape check vs paper Fig. 10: PredTOP cuts the optimization cost well\n"
                "below profiling-based Alpa (paper: -46.6% GPT-3 / -41.6% MoE vs partial\n"
                "profiling) while the chosen plan's iteration latency stays within a few\n"

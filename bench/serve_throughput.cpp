@@ -1,0 +1,100 @@
+// Throughput of the predtop::serve PredictionService: queries/sec for a
+// stream of stage-latency queries against a DAG-Transformer model, cold
+// (every query pays a model forward) vs warm (the fingerprint cache absorbs
+// repeats), at 1/2/4 service threads. The warm path is the regime a plan
+// search exercises — the inter-op DP asks for the same (stage, mesh) latency
+// from many enumeration branches.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+#include "ir/stages.h"
+#include "serve/service.h"
+
+using namespace predtop;
+
+namespace {
+
+constexpr std::int32_t kLayers = 8;
+constexpr std::int32_t kMaxSpan = 4;
+
+struct ServeFixture {
+  std::vector<graph::EncodedGraph> graphs;
+  std::vector<const graph::EncodedGraph*> batch;
+  std::shared_ptr<serve::ModelRegistry> registry;
+  serve::ModelKey key;
+
+  ServeFixture() {
+    const core::BenchmarkModel benchmark = core::Gpt3Benchmark([] {
+      ir::Gpt3Config config;
+      config.seq_len = 64;
+      config.hidden = 64;
+      config.num_layers = kLayers;
+      config.num_heads = 4;
+      config.vocab = 512;
+      config.microbatch = 2;
+      return config;
+    }());
+    for (const ir::StageSlice slice : ir::EnumerateStageSlices(kLayers, kMaxSpan)) {
+      graphs.push_back(core::EncodeStage(benchmark.build_stage(slice)));
+    }
+    for (const auto& g : graphs) batch.push_back(&g);
+
+    // Serving throughput does not depend on trained weights; a freshly
+    // initialized predictor exercises the same forward path.
+    core::PredictorOptions options;
+    options.feature_dim = core::StageFeatureDim();
+    options.dagt_dim = 32;
+    options.dagt_layers = 2;
+    options.dagt_heads = 2;
+    registry = std::make_shared<serve::ModelRegistry>();
+    key = serve::ModelKey{"gpt3", "platform2", sim::Mesh{1, 2}, {}};
+    registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                                core::PredictorKind::kDagTransformer, options));
+  }
+};
+
+ServeFixture& Fixture() {
+  static ServeFixture fixture;
+  return fixture;
+}
+
+void BM_ServeCold(benchmark::State& state) {
+  ServeFixture& f = Fixture();
+  serve::ServiceOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  serve::PredictionService service(f.registry, options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    service.ClearCache();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(service.PredictMany(f.key, f.batch));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.batch.size()));
+  const serve::ServiceStats stats = service.Stats();
+  state.SetLabel("hit rate " + std::to_string(100.0 * stats.cache.HitRate()) + " %");
+}
+BENCHMARK(BM_ServeCold)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ServeWarm(benchmark::State& state) {
+  ServeFixture& f = Fixture();
+  serve::ServiceOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  serve::PredictionService service(f.registry, options);
+  benchmark::DoNotOptimize(service.PredictMany(f.key, f.batch));  // prewarm
+  service.ResetStats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.PredictMany(f.key, f.batch));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.batch.size()));
+  const serve::ServiceStats stats = service.Stats();
+  state.SetLabel("hit rate " + std::to_string(100.0 * stats.cache.HitRate()) + " %");
+}
+BENCHMARK(BM_ServeWarm)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

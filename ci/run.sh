@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification via the CMake presets (CMakePresets.json):
+#   ci/run.sh            Release build + ctest
+#   ci/run.sh sanitize   additional ASan/UBSan build + ctest (build-asan/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+if [[ "${1:-}" == "sanitize" ]]; then
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)"
+  ctest --preset asan -j "$(nproc)"
+fi

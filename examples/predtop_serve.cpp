@@ -1,0 +1,159 @@
+// predtop::serve quickstart: the full checkpoint-and-serve lifecycle.
+//   1. profile + train one DAG-Transformer predictor per mesh (paper §VI
+//      phases 1-2) for a scaled-down GPT-3 on Platform 2;
+//   2. checkpoint each predictor to a `.ptck` file and reload it in a fresh
+//      LatencyRegressor, verifying the reload predicts bit-identically;
+//   3. register the reloaded models in a ModelRegistry and stand up a
+//      PredictionService in front of it;
+//   4. run the inter-op plan search through the service (ServingOracle) and
+//      check it returns the same plan as querying the predictors directly;
+//   5. serve a repeated query stream and report throughput + cache hit rate.
+//
+// Environment knobs:
+//   PREDTOP_EX_LAYERS   model depth (default 8)
+//   PREDTOP_EX_EPOCHS   max predictor training epochs (default 120)
+
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "core/plan_search.h"
+#include "ir/stages.h"
+#include "serve/oracle.h"
+#include "serve/service.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace predtop;
+
+int main() {
+  ir::Gpt3Config model_config;
+  model_config.seq_len = 64;
+  model_config.hidden = 64;
+  model_config.num_layers = util::EnvInt("PREDTOP_EX_LAYERS", 8);
+  model_config.num_heads = 4;
+  model_config.vocab = 512;
+  model_config.microbatch = 2;
+
+  core::PlanSearchConfig config;
+  config.num_microbatches = 8;
+  config.sample_fraction = 0.3;
+  config.max_span = 5;
+  config.train.max_epochs = util::EnvInt("PREDTOP_EX_EPOCHS", 120);
+  config.train.patience = config.train.max_epochs;
+  config.train.batch_size = 8;
+  config.train.base_lr = 2e-3f;
+  config.predictor.dagt_dim = 16;
+  config.predictor.dagt_layers = 2;
+  config.predictor.dagt_heads = 2;
+
+  core::PlanSearch search(core::Gpt3Benchmark(model_config), sim::Platform2(), config);
+  const auto& meshes = search.Meshes();
+
+  // --- 1. Train one predictor per mesh. -----------------------------------
+  std::cout << "training " << meshes.size() << " per-mesh predictors...\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+
+  // --- 2. Checkpoint to .ptck and reload; predictions must be bit-identical.
+  const auto all_slices =
+      ir::EnumerateStageSlices(search.Benchmark().num_layers, search.EffectiveMaxSpan());
+  const std::filesystem::path ckpt_dir =
+      std::filesystem::temp_directory_path() / "predtop_serve_demo";
+  std::filesystem::create_directories(ckpt_dir);
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  std::vector<serve::ModelKey> keys;
+  for (std::size_t m = 0; m < meshes.size(); ++m) {
+    const std::string path =
+        (ckpt_dir / ("gpt3_mesh" + std::to_string(m) + ".ptck")).string();
+    trained.per_mesh[m]->Save(path);
+    serve::ModelKey key{"gpt3", "platform2", meshes[m], {}};
+    registry->RegisterFromFile(key, path);
+    keys.push_back(key);
+
+    const auto reloaded = registry->Find(key);
+    for (const ir::StageSlice slice : all_slices) {
+      const auto& g = search.EncodedFor(slice);
+      if (reloaded->PredictSeconds(g) != trained.per_mesh[m]->PredictSeconds(g)) {
+        std::cerr << "FAIL: reloaded checkpoint diverged on mesh " << m << "\n";
+        return 1;
+      }
+    }
+    std::cout << "checkpoint " << path << " reloads bit-identically ("
+              << all_slices.size() << " stages checked)\n";
+  }
+
+  // --- 3+4. Plan search through the service vs the raw predictors. --------
+  serve::ServiceOptions service_options;
+  service_options.threads = 2;
+  serve::PredictionService service(registry, service_options);
+  serve::ServingOracle oracle(
+      service, meshes, keys, [&](ir::StageSlice s) -> const graph::EncodedGraph& {
+        return search.EncodedFor(s);
+      },
+      search.EffectiveMaxSpan());
+
+  const parallel::InterOpOptimizer optimizer = search.MakeOptimizer();
+  util::Stopwatch served_watch;
+  const parallel::PipelinePlan served_plan = optimizer.Optimize(oracle.AsOracle());
+  const double served_s = served_watch.ElapsedSeconds();
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const parallel::StageLatencyOracle direct = [&](ir::StageSlice slice, sim::Mesh mesh) {
+    if (slice.NumLayers() > search.EffectiveMaxSpan())
+      return parallel::StageLatencyResult{kInf, {}};
+    for (std::size_t m = 0; m < meshes.size(); ++m) {
+      if (meshes[m] == mesh) {
+        return parallel::StageLatencyResult{
+            trained.per_mesh[m]->PredictSeconds(search.EncodedFor(slice)), {}};
+      }
+    }
+    return parallel::StageLatencyResult{kInf, {}};
+  };
+  util::Stopwatch direct_watch;
+  const parallel::PipelinePlan direct_plan = optimizer.Optimize(direct);
+  const double direct_s = direct_watch.ElapsedSeconds();
+
+  bool same = served_plan.stages.size() == direct_plan.stages.size() &&
+              served_plan.iteration_latency_s == direct_plan.iteration_latency_s;
+  for (std::size_t i = 0; same && i < served_plan.stages.size(); ++i) {
+    same = served_plan.stages[i].slice.first_layer == direct_plan.stages[i].slice.first_layer &&
+           served_plan.stages[i].slice.last_layer == direct_plan.stages[i].slice.last_layer &&
+           served_plan.stages[i].mesh == direct_plan.stages[i].mesh;
+  }
+  std::cout << (same ? "plan search via the service matches direct predictor calls"
+                     : "WARNING: served plan differs from direct plan")
+            << " (" << served_plan.stages.size() << " stages)\n";
+  if (!same) return 1;
+
+  // --- 5. Serve a repeated query stream. ----------------------------------
+  service.ResetStats();
+  service.ClearCache();
+  constexpr int kRounds = 20;
+  util::Stopwatch stream_watch;
+  double checksum = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t m = 0; m < meshes.size(); ++m) {
+      std::vector<const graph::EncodedGraph*> batch;
+      batch.reserve(all_slices.size());
+      for (const ir::StageSlice slice : all_slices) batch.push_back(&search.EncodedFor(slice));
+      for (const double v : service.PredictMany(keys[m], batch)) checksum += v;
+    }
+  }
+  const double stream_s = stream_watch.ElapsedSeconds();
+  const serve::ServiceStats stats = service.Stats();
+
+  util::TablePrinter table({"metric", "value"});
+  table.SetTitle("predtop::serve query stream (" + std::to_string(kRounds) + " rounds)");
+  table.AddRow({"queries", std::to_string(stats.queries)});
+  table.AddRow({"model forwards", std::to_string(stats.forwards)});
+  table.AddRow({"cache hit rate", util::FormatF(100.0 * stats.cache.HitRate(), 1) + " %"});
+  table.AddRow({"throughput", util::FormatF(static_cast<double>(stats.queries) / stream_s, 0) +
+                                  " queries/s"});
+  table.AddRow({"plan search (served)", util::FormatF(1e3 * served_s, 1) + " ms"});
+  table.AddRow({"plan search (direct)", util::FormatF(1e3 * direct_s, 1) + " ms"});
+  table.Print(std::cout);
+  std::cout << "(checksum " << checksum << ")\n";
+  return 0;
+}

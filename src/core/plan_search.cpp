@@ -119,11 +119,7 @@ PlanSearchResult PlanSearch::RunProfiling(PlanApproach approach) {
     return parallel::StageLatencyResult{measured, truth.config};
   };
 
-  parallel::InterOpOptions options;
-  options.num_layers = benchmark_.num_layers;
-  options.num_microbatches = config_.num_microbatches;
-  options.submeshes = meshes_;
-  const parallel::InterOpOptimizer optimizer(cluster_, options);
+  const parallel::InterOpOptimizer optimizer = MakeOptimizer();
   result.plan = optimizer.Optimize(oracle);
   result.plan_true_latency_s = optimizer.EvaluatePlan(
       result.plan, [&](ir::StageSlice s, sim::Mesh m) { return TrueStageLatency(s, m); });
@@ -133,22 +129,15 @@ PlanSearchResult PlanSearch::RunProfiling(PlanApproach approach) {
   return result;
 }
 
-PlanSearchResult PlanSearch::RunPredTop(PlanApproach approach) {
-  PlanSearchResult result;
-  result.approach = approach;
-  PredictorKind kind = PredictorKind::kDagTransformer;
-  if (approach == PlanApproach::kPredTopGcn) kind = PredictorKind::kGcn;
-  if (approach == PlanApproach::kPredTopGat) kind = PredictorKind::kGat;
-
+TrainedMeshPredictors PlanSearch::TrainPredictors(PredictorKind kind) {
+  TrainedMeshPredictors trained;
   sim::Profiler profiler(config_.profiler, config_.seed ^ 0xbeefULL);
   const std::int32_t max_span = EffectiveMaxSpan();
   const auto all_slices = ir::EnumerateStageSlices(benchmark_.num_layers, max_span);
   const auto sample_count = static_cast<std::size_t>(
       std::ceil(config_.sample_fraction * static_cast<double>(all_slices.size())));
 
-  // Phase 1 + 2 per mesh: profile a sampled subset, train a regressor.
-  // Phase 3: predict the optimal latency of every candidate stage.
-  std::vector<std::vector<double>> predicted(meshes_.size());
+  trained.per_mesh.reserve(meshes_.size());
   for (std::size_t m = 0; m < meshes_.size(); ++m) {
     const auto configs = parallel::PaperConfigs(meshes_[m]);
     DatasetBuildConfig build;
@@ -165,15 +154,39 @@ PlanSearchResult PlanSearch::RunPredTop(PlanApproach approach) {
     const nn::DataSplit split =
         nn::SplitDataset(dataset.Size(), train_fraction, config_.val_fraction, split_rng);
 
-    LatencyRegressor regressor(kind, config_.predictor, config_.transform);
+    auto regressor =
+        std::make_shared<LatencyRegressor>(kind, config_.predictor, config_.transform);
     util::Stopwatch train_watch;
-    regressor.Fit(dataset, split.train, split.validation, config_.train);
-    result.training_wall_s += train_watch.ElapsedSeconds();
+    regressor->Fit(dataset, split.train, split.validation, config_.train);
+    trained.training_wall_s += train_watch.ElapsedSeconds();
+    trained.per_mesh.push_back(std::move(regressor));
+  }
+  trained.profiling_cost_s = profiler.TotalCostSeconds();
+  trained.stages_profiled = profiler.StagesProfiled();
+  return trained;
+}
 
+PlanSearchResult PlanSearch::RunPredTop(PlanApproach approach) {
+  PlanSearchResult result;
+  result.approach = approach;
+  PredictorKind kind = PredictorKind::kDagTransformer;
+  if (approach == PlanApproach::kPredTopGcn) kind = PredictorKind::kGcn;
+  if (approach == PlanApproach::kPredTopGat) kind = PredictorKind::kGat;
+
+  const std::int32_t max_span = EffectiveMaxSpan();
+  const auto all_slices = ir::EnumerateStageSlices(benchmark_.num_layers, max_span);
+
+  // Phase 1 + 2 per mesh: profile a sampled subset, train a regressor.
+  // Phase 3: predict the optimal latency of every candidate stage.
+  const TrainedMeshPredictors trained = TrainPredictors(kind);
+  result.training_wall_s = trained.training_wall_s;
+
+  std::vector<std::vector<double>> predicted(meshes_.size());
+  for (std::size_t m = 0; m < meshes_.size(); ++m) {
     util::Stopwatch infer_watch;
     predicted[m].assign(all_slices.size(), kInf);
     for (std::size_t s = 0; s < all_slices.size(); ++s) {
-      predicted[m][s] = regressor.PredictSeconds(EncodedFor(all_slices[s]));
+      predicted[m][s] = trained.per_mesh[m]->PredictSeconds(EncodedFor(all_slices[s]));
     }
     result.inference_wall_s += infer_watch.ElapsedSeconds();
   }
@@ -194,11 +207,7 @@ PlanSearchResult PlanSearch::RunPredTop(PlanApproach approach) {
     return parallel::StageLatencyResult{kInf, {}};
   };
 
-  parallel::InterOpOptions options;
-  options.num_layers = benchmark_.num_layers;
-  options.num_microbatches = config_.num_microbatches;
-  options.submeshes = meshes_;
-  const parallel::InterOpOptimizer optimizer(cluster_, options);
+  const parallel::InterOpOptimizer optimizer = MakeOptimizer();
   result.plan = optimizer.Optimize(oracle);
   // The deployed system compiles the chosen stages for real; recover each
   // stage's actual config and latency from the ground-truth compiler.
@@ -208,11 +217,19 @@ PlanSearchResult PlanSearch::RunPredTop(PlanApproach approach) {
   }
   result.plan_true_latency_s = optimizer.EvaluatePlan(
       result.plan, [&](ir::StageSlice s, sim::Mesh m) { return TrueStageLatency(s, m); });
-  result.profiling_cost_s = profiler.TotalCostSeconds();
-  result.stages_profiled = profiler.StagesProfiled();
+  result.profiling_cost_s = trained.profiling_cost_s;
+  result.stages_profiled = trained.stages_profiled;
   result.optimization_cost_s =
       result.profiling_cost_s + result.training_wall_s + result.inference_wall_s;
   return result;
+}
+
+parallel::InterOpOptimizer PlanSearch::MakeOptimizer() const {
+  parallel::InterOpOptions options;
+  options.num_layers = benchmark_.num_layers;
+  options.num_microbatches = config_.num_microbatches;
+  options.submeshes = meshes_;
+  return parallel::InterOpOptimizer(cluster_, options);
 }
 
 }  // namespace predtop::core

@@ -57,11 +57,27 @@ struct PlanSearchResult {
   std::int64_t stages_profiled = 0;
 };
 
+/// Per-mesh predictors trained by one profiling+training pass (paper §VI
+/// phases 1+2), plus the cost ledger of producing them. The regressors are
+/// shared_ptr so callers can hand them to a serving registry without
+/// retraining.
+struct TrainedMeshPredictors {
+  std::vector<std::shared_ptr<LatencyRegressor>> per_mesh;  // parallel to Meshes()
+  double profiling_cost_s = 0.0;
+  double training_wall_s = 0.0;
+  std::int64_t stages_profiled = 0;
+};
+
 class PlanSearch {
  public:
   PlanSearch(BenchmarkModel benchmark, sim::ClusterSpec cluster, PlanSearchConfig config);
 
   [[nodiscard]] PlanSearchResult Run(PlanApproach approach);
+
+  /// Phases 1+2 only: profile a sampled stage subset per mesh and train one
+  /// regressor per mesh. Exposed so a serving layer can checkpoint/register
+  /// the trained predictors and drive phase 3 through a PredictionService.
+  [[nodiscard]] TrainedMeshPredictors TrainPredictors(PredictorKind kind);
 
   /// Noiseless optimal intra-stage latency of (slice, mesh) — the scoring
   /// oracle (memoized).
@@ -69,13 +85,21 @@ class PlanSearch {
                                                               sim::Mesh mesh);
 
   [[nodiscard]] const BenchmarkModel& Benchmark() const noexcept { return benchmark_; }
+  [[nodiscard]] const std::vector<sim::Mesh>& Meshes() const noexcept { return meshes_; }
+  [[nodiscard]] const PlanSearchConfig& Config() const noexcept { return config_; }
+  [[nodiscard]] std::int32_t EffectiveMaxSpan() const noexcept;
+
+  /// Stage program / encoded predictor input of a slice (memoized — shared
+  /// by the plan-search oracles and the serving integration).
+  [[nodiscard]] const ir::StageProgram& ProgramFor(ir::StageSlice slice);
+  [[nodiscard]] const graph::EncodedGraph& EncodedFor(ir::StageSlice slice);
+
+  /// Build the inter-op optimizer this search's plans are produced with.
+  [[nodiscard]] parallel::InterOpOptimizer MakeOptimizer() const;
 
  private:
   [[nodiscard]] PlanSearchResult RunProfiling(PlanApproach approach);
   [[nodiscard]] PlanSearchResult RunPredTop(PlanApproach approach);
-  [[nodiscard]] const ir::StageProgram& ProgramFor(ir::StageSlice slice);
-  [[nodiscard]] const graph::EncodedGraph& EncodedFor(ir::StageSlice slice);
-  [[nodiscard]] std::int32_t EffectiveMaxSpan() const noexcept;
 
   BenchmarkModel benchmark_;
   sim::ClusterSpec cluster_;

@@ -1,10 +1,13 @@
 #include "core/predictors.h"
 
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "autograd/functions.h"
 #include "graph/depth.h"
 #include "graph/reachability.h"
+#include "nn/serialize.h"
 
 namespace predtop::core {
 
@@ -75,6 +78,16 @@ class DagTransformerPredictor final : public StagePredictor {
     return out;
   }
 
+  std::vector<nn::NamedParameter> NamedParameters() override {
+    std::vector<nn::NamedParameter> out;
+    nn::AppendNamedParameters(out, "input_proj", input_proj_);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      nn::AppendNamedParameters(out, "layers." + std::to_string(i), *layers_[i]);
+    }
+    nn::AppendNamedParameters(out, "head", *head_);
+    return out;
+  }
+
  private:
   PredictorOptions options_;
   util::Rng rng_;
@@ -111,6 +124,15 @@ class GcnPredictor final : public StagePredictor {
       for (auto* p : layer->Parameters()) out.push_back(p);
     }
     for (auto* p : head_->Parameters()) out.push_back(p);
+    return out;
+  }
+
+  std::vector<nn::NamedParameter> NamedParameters() override {
+    std::vector<nn::NamedParameter> out;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      nn::AppendNamedParameters(out, "layers." + std::to_string(i), *layers_[i]);
+    }
+    nn::AppendNamedParameters(out, "head", *head_);
     return out;
   }
 
@@ -151,6 +173,15 @@ class GatPredictor final : public StagePredictor {
     return out;
   }
 
+  std::vector<nn::NamedParameter> NamedParameters() override {
+    std::vector<nn::NamedParameter> out;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      nn::AppendNamedParameters(out, "layers." + std::to_string(i), *layers_[i]);
+    }
+    nn::AppendNamedParameters(out, "head", *head_);
+    return out;
+  }
+
  private:
   util::Rng rng_;
   std::vector<std::unique_ptr<nn::GatConv>> layers_;
@@ -173,6 +204,71 @@ std::unique_ptr<StagePredictor> MakePredictor(PredictorKind kind,
       return std::make_unique<GatPredictor>(options);
   }
   throw std::invalid_argument("MakePredictor: unknown kind");
+}
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("predictor checkpoint: truncated stream");
+  return value;
+}
+
+void WriteOptions(std::ostream& out, const PredictorOptions& o) {
+  for (const std::int64_t v : {o.feature_dim, o.dagt_dim, o.dagt_layers, o.dagt_heads,
+                               o.dagt_ffn_mult, o.gcn_dim, o.gcn_layers, o.gat_dim,
+                               o.gat_layers}) {
+    WritePod<std::int64_t>(out, v);
+  }
+  WritePod<std::uint8_t>(out, o.use_dagra ? 1 : 0);
+  WritePod<std::uint8_t>(out, o.use_dagpe ? 1 : 0);
+  WritePod<std::uint64_t>(out, o.seed);
+}
+
+PredictorOptions ReadOptions(std::istream& in) {
+  PredictorOptions o;
+  for (std::int64_t* field : {&o.feature_dim, &o.dagt_dim, &o.dagt_layers, &o.dagt_heads,
+                              &o.dagt_ffn_mult, &o.gcn_dim, &o.gcn_layers, &o.gat_dim,
+                              &o.gat_layers}) {
+    *field = ReadPod<std::int64_t>(in);
+  }
+  o.use_dagra = ReadPod<std::uint8_t>(in) != 0;
+  o.use_dagpe = ReadPod<std::uint8_t>(in) != 0;
+  o.seed = ReadPod<std::uint64_t>(in);
+  return o;
+}
+
+}  // namespace
+
+void SavePredictor(std::ostream& out, PredictorKind kind, const PredictorOptions& options,
+                   StagePredictor& model) {
+  WritePod<std::int32_t>(out, static_cast<std::int32_t>(kind));
+  WriteOptions(out, options);
+  nn::WriteStateDict(out, model);
+}
+
+LoadedPredictor LoadPredictor(std::istream& in) {
+  const auto tag = ReadPod<std::int32_t>(in);
+  if (tag < 0 || tag > static_cast<std::int32_t>(PredictorKind::kGat)) {
+    throw std::runtime_error("predictor checkpoint: unknown model kind tag " +
+                             std::to_string(tag));
+  }
+  LoadedPredictor loaded;
+  loaded.kind = static_cast<PredictorKind>(tag);
+  loaded.options = ReadOptions(in);
+  if (loaded.options.feature_dim <= 0 || loaded.options.feature_dim > (1 << 20)) {
+    throw std::runtime_error("predictor checkpoint: implausible feature_dim");
+  }
+  loaded.model = MakePredictor(loaded.kind, loaded.options);
+  nn::ReadStateDict(in, *loaded.model);
+  return loaded;
 }
 
 }  // namespace predtop::core

@@ -4,6 +4,7 @@
 // training and evaluation harnesses are architecture-agnostic.
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -48,5 +49,29 @@ class StagePredictor : public nn::Module {
 
 [[nodiscard]] std::unique_ptr<StagePredictor> MakePredictor(PredictorKind kind,
                                                             const PredictorOptions& options);
+
+// ---- predictor checkpoint section (the payload of *.ptck files) ----
+//
+// Layout: kind tag (i32), PredictorOptions, named-parameter state dict.
+// The loader reconstructs the architecture from (kind, options) and then
+// restores weights by name, so a load into the wrong architecture is
+// rejected instead of silently misassigning tensors. Framing (magic,
+// format version, normalization stats) is added by the callers
+// (core::LatencyRegressor, predtop::serve).
+
+/// Serialize a trained predictor (architecture tag + options + weights).
+void SavePredictor(std::ostream& out, PredictorKind kind, const PredictorOptions& options,
+                   StagePredictor& model);
+
+struct LoadedPredictor {
+  PredictorKind kind{};
+  PredictorOptions options;
+  std::unique_ptr<StagePredictor> model;
+};
+
+/// Rebuild a predictor from a checkpoint section written by SavePredictor.
+/// Throws std::runtime_error on truncation, unknown kind, or weight-name /
+/// shape mismatches.
+[[nodiscard]] LoadedPredictor LoadPredictor(std::istream& in);
 
 }  // namespace predtop::core

@@ -22,8 +22,11 @@ LatencyRegressor::LatencyRegressor(PredictorKind kind, PredictorOptions options,
 
 namespace {
 
-constexpr std::uint32_t kCheckpointMagic = 0x50545247;  // "PTRG"
-constexpr std::uint32_t kCheckpointVersion = 1;
+// `.ptck` framing: "PTCK" magic + format version, then the target transform
+// and its normalization stats, then the predictor section (kind tag,
+// architecture options, named state dict — see core::SavePredictor).
+constexpr std::uint32_t kCheckpointMagic = 0x5054434b;  // "PTCK"
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -38,64 +41,55 @@ T ReadPod(std::istream& in) {
   return value;
 }
 
-void WriteOptions(std::ostream& out, const PredictorOptions& o) {
-  for (const std::int64_t v : {o.feature_dim, o.dagt_dim, o.dagt_layers, o.dagt_heads,
-                               o.dagt_ffn_mult, o.gcn_dim, o.gcn_layers, o.gat_dim,
-                               o.gat_layers}) {
-    WritePod<std::int64_t>(out, v);
-  }
-  WritePod<std::uint8_t>(out, o.use_dagra ? 1 : 0);
-  WritePod<std::uint8_t>(out, o.use_dagpe ? 1 : 0);
-  WritePod<std::uint64_t>(out, o.seed);
-}
-
-PredictorOptions ReadOptions(std::istream& in) {
-  PredictorOptions o;
-  for (std::int64_t* field : {&o.feature_dim, &o.dagt_dim, &o.dagt_layers, &o.dagt_heads,
-                              &o.dagt_ffn_mult, &o.gcn_dim, &o.gcn_layers, &o.gat_dim,
-                              &o.gat_layers}) {
-    *field = ReadPod<std::int64_t>(in);
-  }
-  o.use_dagra = ReadPod<std::uint8_t>(in) != 0;
-  o.use_dagpe = ReadPod<std::uint8_t>(in) != 0;
-  o.seed = ReadPod<std::uint64_t>(in);
-  return o;
-}
-
 }  // namespace
+
+void LatencyRegressor::Save(std::ostream& out) {
+  WritePod(out, kCheckpointMagic);
+  WritePod(out, kCheckpointVersion);
+  WritePod<std::int32_t>(out, static_cast<std::int32_t>(transform_));
+  WritePod<double>(out, scale_);
+  WritePod<double>(out, log_mean_);
+  WritePod<double>(out, log_std_);
+  SavePredictor(out, kind_, options_, *model_);
+}
 
 void LatencyRegressor::Save(const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("LatencyRegressor::Save: cannot open " + path);
-  WritePod(out, kCheckpointMagic);
-  WritePod(out, kCheckpointVersion);
-  WritePod<std::int32_t>(out, static_cast<std::int32_t>(kind_));
-  WritePod<std::int32_t>(out, static_cast<std::int32_t>(transform_));
-  WriteOptions(out, options_);
-  WritePod<double>(out, scale_);
-  WritePod<double>(out, log_mean_);
-  WritePod<double>(out, log_std_);
-  nn::WriteParameters(out, *model_);
+  Save(out);
+  if (!out) throw std::runtime_error("LatencyRegressor::Save: write failed for " + path);
+}
+
+LatencyRegressor LatencyRegressor::Load(std::istream& in) {
+  if (ReadPod<std::uint32_t>(in) != kCheckpointMagic) {
+    throw std::runtime_error("LatencyRegressor::Load: bad checkpoint magic");
+  }
+  if (const auto version = ReadPod<std::uint32_t>(in); version != kCheckpointVersion) {
+    throw std::runtime_error("LatencyRegressor::Load: unsupported checkpoint version " +
+                             std::to_string(version));
+  }
+  const auto transform_tag = ReadPod<std::int32_t>(in);
+  if (transform_tag < 0 ||
+      transform_tag > static_cast<std::int32_t>(TargetTransform::kLogStandardized)) {
+    throw std::runtime_error("LatencyRegressor::Load: unknown target transform");
+  }
+  const double scale = ReadPod<double>(in);
+  const double log_mean = ReadPod<double>(in);
+  const double log_std = ReadPod<double>(in);
+  LoadedPredictor predictor = LoadPredictor(in);
+  LatencyRegressor regressor(predictor.kind, predictor.options,
+                             static_cast<TargetTransform>(transform_tag));
+  regressor.model_ = std::move(predictor.model);
+  regressor.scale_ = scale;
+  regressor.log_mean_ = log_mean;
+  regressor.log_std_ = log_std;
+  return regressor;
 }
 
 LatencyRegressor LatencyRegressor::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("LatencyRegressor::Load: cannot open " + path);
-  if (ReadPod<std::uint32_t>(in) != kCheckpointMagic) {
-    throw std::runtime_error("LatencyRegressor::Load: bad magic in " + path);
-  }
-  if (ReadPod<std::uint32_t>(in) != kCheckpointVersion) {
-    throw std::runtime_error("LatencyRegressor::Load: unsupported version in " + path);
-  }
-  const auto kind = static_cast<PredictorKind>(ReadPod<std::int32_t>(in));
-  const auto transform = static_cast<TargetTransform>(ReadPod<std::int32_t>(in));
-  const PredictorOptions options = ReadOptions(in);
-  LatencyRegressor regressor(kind, options, transform);
-  regressor.scale_ = ReadPod<double>(in);
-  regressor.log_mean_ = ReadPod<double>(in);
-  regressor.log_std_ = ReadPod<double>(in);
-  nn::ReadParameters(in, *regressor.model_);
-  return regressor;
+  return Load(in);
 }
 
 float LatencyRegressor::Normalize(double latency_s) const noexcept {

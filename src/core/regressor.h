@@ -7,6 +7,7 @@
 // graph size the same way latency does). A standardized-log transform is
 // available as an ablation.
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 
@@ -40,9 +41,16 @@ class LatencyRegressor {
   [[nodiscard]] StagePredictor& Model() noexcept { return *model_; }
   [[nodiscard]] TargetTransform Transform() const noexcept { return transform_; }
 
-  /// Persist the trained predictor (architecture options, target transform
-  /// and weights) so one profiling+training pass serves many plan searches.
+  /// Persist the trained predictor as a versioned `.ptck` checkpoint —
+  /// magic, format version, model-kind tag, architecture options, target
+  /// transform + normalization stats, and a named-parameter state dict —
+  /// so one profiling+training pass serves many plan searches and a reload
+  /// in a fresh process reproduces bit-identical predictions. Load throws
+  /// std::runtime_error on bad magic, unsupported version, truncation, or
+  /// weight-name/shape mismatches.
+  void Save(std::ostream& out);
   void Save(const std::string& path);
+  [[nodiscard]] static LatencyRegressor Load(std::istream& in);
   [[nodiscard]] static LatencyRegressor Load(const std::string& path);
 
  private:

@@ -1,0 +1,121 @@
+#include "graph/fingerprint.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+namespace predtop::graph {
+
+namespace {
+
+/// splitmix64 finalizer — full avalanche, so commutative sums of mixed
+/// values still separate inputs well.
+constexpr std::uint64_t Mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t Combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return Mix(h ^ Mix(v));
+}
+
+std::uint64_t FloatBits(float f) noexcept {
+  // +0.0f and -0.0f compare equal but differ in bits; canonicalize so equal
+  // feature matrices always fingerprint equally.
+  if (f == 0.0f) f = 0.0f;
+  return std::bit_cast<std::uint32_t>(f);
+}
+
+/// One WL refinement round: each node's hash absorbs the (commutative) sums
+/// of its in- and out-neighbor hashes, kept separate so direction matters.
+void RefineRound(std::vector<std::uint64_t>& node_hash,
+                 const std::vector<std::vector<std::int32_t>>& preds,
+                 const std::vector<std::vector<std::int32_t>>& succs) {
+  std::vector<std::uint64_t> next(node_hash.size());
+  for (std::size_t i = 0; i < node_hash.size(); ++i) {
+    std::uint64_t in_sum = 0;
+    std::uint64_t out_sum = 0;
+    for (const std::int32_t p : preds[i]) in_sum += Mix(node_hash[static_cast<std::size_t>(p)]);
+    for (const std::int32_t s : succs[i]) out_sum += Mix(node_hash[static_cast<std::size_t>(s)]);
+    next[i] = Combine(Combine(node_hash[i], in_sum), Mix(out_sum) ^ 0x5bd1e995ULL);
+  }
+  node_hash.swap(next);
+}
+
+std::uint64_t FinishFingerprint(std::vector<std::uint64_t> node_hash,
+                                const std::vector<std::vector<std::int32_t>>& preds,
+                                const std::vector<std::vector<std::int32_t>>& succs,
+                                std::uint64_t num_edges) {
+  RefineRound(node_hash, preds, succs);
+  RefineRound(node_hash, preds, succs);
+  // Commutative reduction over nodes and over refined edge endpoint pairs.
+  std::uint64_t node_sum = 0;
+  for (const std::uint64_t h : node_hash) node_sum += Mix(h);
+  std::uint64_t edge_sum = 0;
+  for (std::size_t v = 0; v < succs.size(); ++v) {
+    for (const std::int32_t u : preds[v]) {
+      edge_sum += Mix(node_hash[static_cast<std::size_t>(u)] ^
+                      std::rotl(node_hash[v], 17));
+    }
+  }
+  std::uint64_t fp = Combine(0x70726564746f70ULL, static_cast<std::uint64_t>(node_hash.size()));
+  fp = Combine(fp, num_edges);
+  fp = Combine(fp, node_sum);
+  fp = Combine(fp, edge_sum);
+  return fp;
+}
+
+}  // namespace
+
+std::uint64_t DagFingerprint(const OpDag& dag) {
+  const auto n = static_cast<std::size_t>(dag.NumNodes());
+  std::vector<std::uint64_t> node_hash(n);
+  std::vector<std::vector<std::int32_t>> preds(n);
+  std::vector<std::vector<std::int32_t>> succs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DagNode& node = dag.Node(static_cast<std::int32_t>(i));
+    std::uint64_t h = Combine(0x6461676eULL, static_cast<std::uint64_t>(node.kind));
+    h = Combine(h, static_cast<std::uint64_t>(node.op_type));
+    h = Combine(h, static_cast<std::uint64_t>(node.dtype));
+    for (const std::int64_t d : node.out_dims) h = Combine(h, static_cast<std::uint64_t>(d));
+    node_hash[i] = h;
+    preds[i] = dag.Predecessors(static_cast<std::int32_t>(i));
+    succs[i] = dag.Successors(static_cast<std::int32_t>(i));
+  }
+  return FinishFingerprint(std::move(node_hash), preds, succs,
+                           static_cast<std::uint64_t>(dag.NumEdges()));
+}
+
+std::uint64_t EncodedGraphFingerprint(const EncodedGraph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes);
+  std::vector<std::uint64_t> node_hash(n);
+  const std::int64_t width = n > 0 ? g.features.dim(1) : 0;
+  const auto features = g.features.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t h = Combine(0x656e63ULL,
+                              i < g.depths.size()
+                                  ? static_cast<std::uint64_t>(g.depths[i])
+                                  : 0ULL);
+    for (std::int64_t c = 0; c < width; ++c) {
+      h = Combine(h, FloatBits(features[static_cast<std::size_t>(
+                       static_cast<std::int64_t>(i) * width + c)]));
+    }
+    node_hash[i] = h;
+  }
+  // The GAT edge list (bidirectional + self-loops) is a deterministic
+  // function of the DAG's edges, so it carries the full structure.
+  std::vector<std::vector<std::int32_t>> preds(n);
+  std::vector<std::vector<std::int32_t>> succs(n);
+  for (std::size_t e = 0; e < g.edge_src.size(); ++e) {
+    const std::int32_t u = g.edge_src[e];
+    const std::int32_t v = g.edge_dst[e];
+    succs[static_cast<std::size_t>(u)].push_back(v);
+    preds[static_cast<std::size_t>(v)].push_back(u);
+  }
+  return FinishFingerprint(std::move(node_hash), preds, succs,
+                           static_cast<std::uint64_t>(g.edge_src.size()));
+}
+
+}  // namespace predtop::graph

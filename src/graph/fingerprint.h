@@ -1,0 +1,31 @@
+#pragma once
+// Canonical 64-bit fingerprints of stage DAGs — the cache key of the
+// prediction service. Identical stages reached from different plan-search
+// branches (or different processes) must hash equally, so the hash is
+// *order-independent*: it depends only on the multiset of node payloads and
+// the edge structure between them, not on node insertion order. Two rounds
+// of Weisfeiler-Leman-style neighborhood refinement (separate predecessor /
+// successor sums, so edge direction matters) distinguish graphs whose raw
+// node multisets coincide but whose wiring differs.
+//
+// This is a hash, not a canonical form: distinct graphs can collide with
+// probability ~2^-64 per pair — fine for a latency cache, where a collision
+// costs a slightly wrong latency estimate, not a correctness violation.
+
+#include <cstdint>
+
+#include "graph/encode.h"
+#include "graph/op_dag.h"
+
+namespace predtop::graph {
+
+/// Fingerprint of a (pruned) operator DAG from its semantic node payloads
+/// (kind, op type, dtype, output dims) and edges.
+[[nodiscard]] std::uint64_t DagFingerprint(const OpDag& dag);
+
+/// Fingerprint of an encoded predictor input: node feature rows + depths +
+/// the (directed) GAT edge list. Equal EncodeGraph outputs fingerprint
+/// equally regardless of how the caller obtained them.
+[[nodiscard]] std::uint64_t EncodedGraphFingerprint(const EncodedGraph& g);
+
+}  // namespace predtop::graph

@@ -56,4 +56,13 @@ std::vector<Variable*> MultiheadMaskedAttention::Parameters() {
   return out;
 }
 
+std::vector<NamedParameter> MultiheadMaskedAttention::NamedParameters() {
+  std::vector<NamedParameter> out;
+  AppendNamedParameters(out, "wq", wq_);
+  AppendNamedParameters(out, "wk", wk_);
+  AppendNamedParameters(out, "wv", wv_);
+  AppendNamedParameters(out, "wo", wo_);
+  return out;
+}
+
 }  // namespace predtop::nn

@@ -20,6 +20,7 @@ class MultiheadMaskedAttention : public Module {
                                            const tensor::Tensor& additive_mask) const;
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
   [[nodiscard]] std::int64_t Heads() const noexcept { return heads_; }
 

@@ -34,4 +34,16 @@ std::vector<Variable*> DagTransformerLayer::Parameters() {
   return out;
 }
 
+std::vector<NamedParameter> DagTransformerLayer::NamedParameters() {
+  std::vector<NamedParameter> out;
+  AppendNamedParameters(out, "attention", attention_);
+  AppendNamedParameters(out, "ffn_in", ffn_in_);
+  AppendNamedParameters(out, "ffn_out", ffn_out_);
+  out.push_back({"norm1.gain", &norm1_gain_});
+  out.push_back({"norm1.bias", &norm1_bias_});
+  out.push_back({"norm2.gain", &norm2_gain_});
+  out.push_back({"norm2.bias", &norm2_bias_});
+  return out;
+}
+
 }  // namespace predtop::nn

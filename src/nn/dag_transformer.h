@@ -21,6 +21,7 @@ class DagTransformerLayer : public Module {
                                            const tensor::Tensor& reachability_mask) const;
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
  private:
   MultiheadMaskedAttention attention_;

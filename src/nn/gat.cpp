@@ -47,4 +47,13 @@ std::vector<Variable*> GatConv::Parameters() {
   return out;
 }
 
+std::vector<NamedParameter> GatConv::NamedParameters() {
+  std::vector<NamedParameter> out;
+  AppendNamedParameters(out, "linear", linear_);
+  out.push_back({"attn_src", &attn_src_});
+  out.push_back({"attn_dst", &attn_dst_});
+  out.push_back({"bias", &bias_});
+  return out;
+}
+
 }  // namespace predtop::nn

@@ -23,6 +23,7 @@ class GatConv : public Module {
                                            const std::vector<std::int32_t>& edge_dst) const;
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
  private:
   Linear linear_;

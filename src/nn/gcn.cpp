@@ -15,4 +15,10 @@ Variable GcnConv::Forward(const Variable& x, std::shared_ptr<const tensor::Csr> 
 
 std::vector<Variable*> GcnConv::Parameters() { return linear_.Parameters(); }
 
+std::vector<NamedParameter> GcnConv::NamedParameters() {
+  std::vector<NamedParameter> out;
+  AppendNamedParameters(out, "linear", linear_);
+  return out;
+}
+
 }  // namespace predtop::nn

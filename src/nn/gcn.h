@@ -21,6 +21,7 @@ class GcnConv : public Module {
       std::shared_ptr<const tensor::Csr> adj_norm_t) const;
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
  private:
   Linear linear_;

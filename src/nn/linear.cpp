@@ -33,6 +33,12 @@ std::vector<Variable*> Linear::Parameters() {
   return out;
 }
 
+std::vector<NamedParameter> Linear::NamedParameters() {
+  std::vector<NamedParameter> out{{"weight", &weight_}};
+  if (bias_.defined()) out.push_back({"bias", &bias_});
+  return out;
+}
+
 Mlp::Mlp(std::vector<std::int64_t> dims, util::Rng& rng) {
   if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least input and output dims");
   layers_.reserve(dims.size() - 1);
@@ -54,6 +60,14 @@ std::vector<Variable*> Mlp::Parameters() {
   std::vector<Variable*> out;
   for (auto& l : layers_) {
     for (auto* p : l.Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<NamedParameter> Mlp::NamedParameters() {
+  std::vector<NamedParameter> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    AppendNamedParameters(out, "layers." + std::to_string(i), layers_[i]);
   }
   return out;
 }

@@ -19,6 +19,7 @@ class Linear : public Module {
   [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x) const;
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
   [[nodiscard]] std::int64_t InFeatures() const noexcept { return in_; }
   [[nodiscard]] std::int64_t OutFeatures() const noexcept { return out_; }
@@ -44,6 +45,7 @@ class Mlp : public Module {
   [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x) const;
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
  private:
   std::vector<Linear> layers_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/serialize.h"
+
 namespace predtop::nn {
 
 std::size_t Module::ParameterCount() {
@@ -12,6 +14,16 @@ std::size_t Module::ParameterCount() {
 
 void Module::ZeroGrad() {
   for (auto* p : Parameters()) p->ZeroGrad();
+}
+
+std::vector<NamedParameter> Module::NamedParameters() {
+  std::vector<NamedParameter> out;
+  const auto params = Parameters();
+  out.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out.push_back({"param." + std::to_string(i), params[i]});
+  }
+  return out;
 }
 
 std::vector<tensor::Tensor> Module::SnapshotParameters() {
@@ -30,6 +42,17 @@ void Module::RestoreParameters(const std::vector<tensor::Tensor>& snapshot) {
       throw std::invalid_argument("RestoreParameters: parameter shape mismatch");
     }
     params[i]->mutable_value() = snapshot[i];
+  }
+}
+
+void Module::Save(std::ostream& out) { WriteStateDict(out, *this); }
+
+void Module::Load(std::istream& in) { ReadStateDict(in, *this); }
+
+void AppendNamedParameters(std::vector<NamedParameter>& out, const std::string& prefix,
+                           Module& child) {
+  for (const NamedParameter& p : child.NamedParameters()) {
+    out.push_back({prefix + "." + p.name, p.variable});
   }
 }
 

@@ -1,14 +1,25 @@
 #pragma once
 // Base class for parameterized models. Modules own their parameter
 // Variables; optimizers and checkpoint snapshots operate on the flat
-// parameter list.
+// parameter list, while serialization walks the *named* parameter list
+// (a state dict) so checkpoints are self-describing and loads can reject
+// architecture mismatches by name instead of by position.
 
 #include <cstddef>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
 
 namespace predtop::nn {
+
+/// One entry of a module's state dict: a dotted path ("layers.2.ffn_in.weight")
+/// plus a handle to the parameter it names.
+struct NamedParameter {
+  std::string name;
+  autograd::Variable* variable = nullptr;
+};
 
 class Module {
  public:
@@ -16,6 +27,11 @@ class Module {
 
   /// Flat list of trainable parameters (stable order across calls).
   [[nodiscard]] virtual std::vector<autograd::Variable*> Parameters() = 0;
+
+  /// Named parameters in Parameters() order. The default derives positional
+  /// names ("param.0", ...); layers override with structural names so
+  /// checkpoints survive refactors that keep the module graph shape.
+  [[nodiscard]] virtual std::vector<NamedParameter> NamedParameters();
 
   /// Total scalar parameter count.
   [[nodiscard]] std::size_t ParameterCount();
@@ -26,6 +42,16 @@ class Module {
   [[nodiscard]] std::vector<tensor::Tensor> SnapshotParameters();
   /// Restore a snapshot taken from the same module.
   void RestoreParameters(const std::vector<tensor::Tensor>& snapshot);
+
+  /// Serialize / restore the state dict (see nn/serialize.h for the format).
+  /// Load validates parameter names and shapes and throws on any mismatch.
+  void Save(std::ostream& out);
+  void Load(std::istream& in);
 };
+
+/// Append `child`'s named parameters under `prefix` + "." (helper for
+/// composite modules building their own NamedParameters()).
+void AppendNamedParameters(std::vector<NamedParameter>& out, const std::string& prefix,
+                           Module& child);
 
 }  // namespace predtop::nn

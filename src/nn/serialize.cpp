@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace predtop::nn {
 
@@ -62,6 +63,66 @@ void ReadParameters(std::istream& in, Module& module) {
   loaded.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) loaded.push_back(ReadTensor(in));
   module.RestoreParameters(loaded);  // validates shapes
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& in) {
+  const auto len = ReadPod<std::uint32_t>(in);
+  if (len > (1u << 20)) throw std::runtime_error("serialize: implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw std::runtime_error("serialize: truncated string");
+  return s;
+}
+
+void WriteStateDict(std::ostream& out, Module& module) {
+  const auto named = module.NamedParameters();
+  WritePod<std::uint32_t>(out, static_cast<std::uint32_t>(named.size()));
+  for (const NamedParameter& p : named) {
+    WriteString(out, p.name);
+    WriteTensor(out, p.variable->value());
+  }
+}
+
+void ReadStateDict(std::istream& in, Module& module) {
+  const auto named = module.NamedParameters();
+  std::unordered_map<std::string, autograd::Variable*> by_name;
+  by_name.reserve(named.size());
+  for (const NamedParameter& p : named) {
+    if (!by_name.emplace(p.name, p.variable).second) {
+      throw std::runtime_error("serialize: duplicate parameter name " + p.name);
+    }
+  }
+  const auto count = ReadPod<std::uint32_t>(in);
+  if (count != named.size()) {
+    throw std::runtime_error("serialize: state dict has " + std::to_string(count) +
+                             " parameters, module expects " + std::to_string(named.size()));
+  }
+  // Stage into a scratch map first so a mid-stream failure leaves the module
+  // untouched.
+  std::unordered_map<std::string, tensor::Tensor> loaded;
+  loaded.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = ReadString(in);
+    tensor::Tensor t = ReadTensor(in);
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("serialize: unexpected parameter " + name + " in state dict");
+    }
+    if (!it->second->value().SameShape(t)) {
+      throw std::runtime_error("serialize: shape mismatch for parameter " + name);
+    }
+    if (!loaded.emplace(std::move(name), std::move(t)).second) {
+      throw std::runtime_error("serialize: state dict repeats a parameter");
+    }
+  }
+  for (const NamedParameter& p : named) {
+    p.variable->mutable_value() = loaded.at(p.name);
+  }
 }
 
 void SaveParameters(const std::string& path, Module& module) {

@@ -1,11 +1,18 @@
 #pragma once
 // Binary (de)serialization of module parameters — a trained stage predictor
 // is an artifact the workflow produces once per mesh and reuses across plan
-// searches, so it must survive process restarts.
+// searches and serving processes, so it must survive process restarts.
 //
-// Format per tensor: rank (u32), dims (i64 each), data (f32 LE). The
-// parameter list order is the Module's Parameters() order, which is stable
-// by construction.
+// Two layers:
+//  - raw tensor stream: rank (u32), dims (i64 each), data (f32 LE);
+//  - state dict: count (u32), then per parameter a length-prefixed dotted
+//    name followed by its tensor. Loading matches by *name* (order
+//    independent) and rejects unknown/missing/duplicate names and shape
+//    mismatches, so a corrupt file or a different architecture fails loudly
+//    instead of silently misassigning weights.
+//
+// Higher-level checkpoint formats (core::LatencyRegressor, serve::) frame a
+// state dict with magic/version/hyperparameter headers.
 
 #include <iosfwd>
 #include <string>
@@ -14,9 +21,14 @@
 
 namespace predtop::nn {
 
+/// Positional parameter stream (legacy; kept for flat snapshots).
 void WriteParameters(std::ostream& out, Module& module);
 /// Shapes must match the module's current parameters exactly.
 void ReadParameters(std::istream& in, Module& module);
+
+/// Named state dict (preferred checkpoint payload).
+void WriteStateDict(std::ostream& out, Module& module);
+void ReadStateDict(std::istream& in, Module& module);
 
 void SaveParameters(const std::string& path, Module& module);
 void LoadParameters(const std::string& path, Module& module);
@@ -24,5 +36,9 @@ void LoadParameters(const std::string& path, Module& module);
 /// Raw tensor stream helpers (shared with higher-level checkpoint formats).
 void WriteTensor(std::ostream& out, const tensor::Tensor& t);
 [[nodiscard]] tensor::Tensor ReadTensor(std::istream& in);
+
+/// Length-prefixed string helpers for checkpoint headers.
+void WriteString(std::ostream& out, const std::string& s);
+[[nodiscard]] std::string ReadString(std::istream& in);
 
 }  // namespace predtop::nn

@@ -1,0 +1,73 @@
+#include "serve/lru_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace predtop::serve {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t shard_count = std::bit_ceil(std::max<std::size_t>(1, shards));
+  shard_mask_ = shard_count - 1;
+  per_shard_capacity_ = std::max<std::size_t>(1, (capacity + shard_count - 1) / shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<double> ShardedLruCache::Get(std::uint64_t key) {
+  Shard& shard = ShardFor(key);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+  return it->second->value;
+}
+
+void ShardedLruCache::Put(std::uint64_t key, double value) {
+  Shard& shard = ShardFor(key);
+  const std::scoped_lock lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front({key, value});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.index.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ShardedLruCache::Clear() {
+  for (auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+void ShardedLruCache::ResetStats() {
+  for (auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    shard->hits = shard->misses = shard->evictions = 0;
+  }
+}
+
+CacheStats ShardedLruCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->index.size();
+  }
+  return stats;
+}
+
+}  // namespace predtop::serve

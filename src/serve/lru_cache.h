@@ -1,0 +1,75 @@
+#pragma once
+// Sharded LRU cache for predicted stage latencies. Keys are 64-bit
+// fingerprints (model key hash mixed with the stage-DAG fingerprint); values
+// are predicted latencies in seconds. Sharding by key bits keeps lock
+// contention bounded when many service threads hit the cache concurrently —
+// each shard has its own mutex, intrusive LRU list, and index.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace predtop::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  [[nodiscard]] double HitRate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards.
+  /// `shards` is rounded up to a power of two (key bits select the shard).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  [[nodiscard]] std::optional<double> Get(std::uint64_t key);
+  void Put(std::uint64_t key, double value);
+
+  /// Drop every entry (stats for hits/misses are kept; use ResetStats too
+  /// for a cold-start measurement).
+  void Clear();
+  void ResetStats();
+
+  [[nodiscard]] CacheStats Stats() const;
+  [[nodiscard]] std::size_t Capacity() const noexcept { return per_shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    double value = 0.0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& ShardFor(std::uint64_t key) noexcept {
+    return *shards_[(key >> 48) & shard_mask_];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::uint64_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace predtop::serve

@@ -1,0 +1,59 @@
+#include "serve/oracle.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace predtop::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ServingOracle::ServingOracle(PredictionService& service, std::vector<sim::Mesh> meshes,
+                             std::vector<ModelKey> mesh_keys, StageEncoder encoder,
+                             std::int32_t max_span)
+    : service_(service),
+      meshes_(std::move(meshes)),
+      mesh_keys_(std::move(mesh_keys)),
+      encoder_(std::move(encoder)),
+      max_span_(max_span) {
+  if (meshes_.size() != mesh_keys_.size()) {
+    throw std::invalid_argument("ServingOracle: meshes/mesh_keys size mismatch");
+  }
+  if (!encoder_) throw std::invalid_argument("ServingOracle: null encoder");
+}
+
+parallel::StageLatencyResult ServingOracle::operator()(ir::StageSlice slice,
+                                                       sim::Mesh mesh) const {
+  if (max_span_ > 0 && slice.NumLayers() > max_span_) return {kInf, {}};
+  for (std::size_t m = 0; m < meshes_.size(); ++m) {
+    if (meshes_[m] == mesh) {
+      return {service_.Predict(mesh_keys_[m], encoder_(slice)), {}};
+    }
+  }
+  return {kInf, {}};
+}
+
+parallel::StageLatencyOracle ServingOracle::AsOracle() const {
+  return [this](ir::StageSlice slice, sim::Mesh mesh) { return (*this)(slice, mesh); };
+}
+
+std::vector<ModelKey> RegisterMeshPredictors(ModelRegistry& registry,
+                                             const std::string& benchmark,
+                                             const std::string& platform,
+                                             const std::vector<sim::Mesh>& meshes,
+                                             const core::TrainedMeshPredictors& trained) {
+  if (meshes.size() != trained.per_mesh.size()) {
+    throw std::invalid_argument("RegisterMeshPredictors: meshes/predictors size mismatch");
+  }
+  std::vector<ModelKey> keys;
+  keys.reserve(meshes.size());
+  for (std::size_t m = 0; m < meshes.size(); ++m) {
+    ModelKey key{benchmark, platform, meshes[m], {}};
+    registry.Register(key, trained.per_mesh[m]);
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace predtop::serve

@@ -1,0 +1,52 @@
+#pragma once
+// Plan-search integration: adapt a PredictionService to the
+// parallel::StageLatencyOracle interface, so the Alpa-style inter-op DP
+// consults the serving layer instead of a raw predictor. The DP queries the
+// same (stage, mesh) pair from many enumeration branches; the service's
+// fingerprint cache turns those repeats into O(1) hits, which is where the
+// optimization-cost reduction beyond plain prediction comes from.
+
+#include <functional>
+#include <vector>
+
+#include "core/plan_search.h"
+#include "parallel/inter_op.h"
+#include "serve/service.h"
+
+namespace predtop::serve {
+
+/// Resolves a stage slice to its encoded predictor input (memoization is the
+/// resolver's business — core::PlanSearch::EncodedFor already caches).
+using StageEncoder = std::function<const graph::EncodedGraph&(ir::StageSlice)>;
+
+class ServingOracle {
+ public:
+  /// `mesh_keys[i]` names the registered model serving mesh `meshes[i]`.
+  /// Slices longer than `max_span` layers (0 = unbounded) and unknown meshes
+  /// yield +inf, matching the direct-predictor oracle's pruning.
+  ServingOracle(PredictionService& service, std::vector<sim::Mesh> meshes,
+                std::vector<ModelKey> mesh_keys, StageEncoder encoder,
+                std::int32_t max_span = 0);
+
+  [[nodiscard]] parallel::StageLatencyResult operator()(ir::StageSlice slice,
+                                                        sim::Mesh mesh) const;
+
+  /// Wrap as the std::function the inter-op optimizer consumes. The oracle
+  /// must outlive the returned function.
+  [[nodiscard]] parallel::StageLatencyOracle AsOracle() const;
+
+ private:
+  PredictionService& service_;
+  std::vector<sim::Mesh> meshes_;
+  std::vector<ModelKey> mesh_keys_;
+  StageEncoder encoder_;
+  std::int32_t max_span_;
+};
+
+/// Register one trained regressor per mesh of `search` under
+/// (benchmark, platform) coordinates and return the per-mesh keys.
+[[nodiscard]] std::vector<ModelKey> RegisterMeshPredictors(
+    ModelRegistry& registry, const std::string& benchmark, const std::string& platform,
+    const std::vector<sim::Mesh>& meshes, const core::TrainedMeshPredictors& trained);
+
+}  // namespace predtop::serve

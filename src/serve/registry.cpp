@@ -1,0 +1,86 @@
+#include "serve/registry.h"
+
+#include <stdexcept>
+
+namespace predtop::serve {
+
+namespace {
+
+constexpr std::uint64_t Mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashString(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t ModelKey::Hash() const noexcept {
+  std::uint64_t h = Mix(HashString(benchmark));
+  h = Mix(h ^ HashString(platform));
+  h = Mix(h ^ static_cast<std::uint64_t>(mesh.num_nodes) << 32 ^
+          static_cast<std::uint64_t>(mesh.gpus_per_node));
+  h = Mix(h ^ static_cast<std::uint64_t>(config.dp) << 42 ^
+          static_cast<std::uint64_t>(config.mp) << 21 ^ static_cast<std::uint64_t>(config.tp));
+  return h;
+}
+
+std::string ModelKey::ToString() const {
+  return benchmark + "/" + platform + "/mesh" + std::to_string(mesh.num_nodes) + "x" +
+         std::to_string(mesh.gpus_per_node) + "/" + config.ToString();
+}
+
+void ModelRegistry::Register(const ModelKey& key,
+                             std::shared_ptr<core::LatencyRegressor> model) {
+  if (!model) throw std::invalid_argument("ModelRegistry::Register: null model");
+  const std::scoped_lock lock(mutex_);
+  const std::uint64_t h = key.Hash();
+  if (const auto it = models_.find(h); it != models_.end() && !(it->second.key == key)) {
+    throw std::runtime_error("ModelRegistry: hash collision between " + key.ToString() +
+                             " and " + it->second.key.ToString());
+  }
+  models_[h] = Entry{key, std::move(model)};
+}
+
+void ModelRegistry::RegisterFromFile(const ModelKey& key, const std::string& path) {
+  Register(key, std::make_shared<core::LatencyRegressor>(core::LatencyRegressor::Load(path)));
+}
+
+void ModelRegistry::SaveToFile(const ModelKey& key, const std::string& path) const {
+  const auto model = Find(key);
+  if (!model) {
+    throw std::runtime_error("ModelRegistry::SaveToFile: no model for " + key.ToString());
+  }
+  model->Save(path);
+}
+
+std::shared_ptr<core::LatencyRegressor> ModelRegistry::Find(const ModelKey& key) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = models_.find(key.Hash());
+  if (it == models_.end() || !(it->second.key == key)) return nullptr;
+  return it->second.model;
+}
+
+std::vector<ModelKey> ModelRegistry::Keys() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<ModelKey> keys;
+  keys.reserve(models_.size());
+  for (const auto& [hash, entry] : models_) keys.push_back(entry.key);
+  return keys;
+}
+
+std::size_t ModelRegistry::Size() const {
+  const std::scoped_lock lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace predtop::serve

@@ -1,0 +1,68 @@
+#pragma once
+// ModelRegistry: the serving-side catalog of trained stage predictors.
+// PredTOP trains one predictor per (benchmark, platform, mesh, parallel
+// config) scenario; the registry keys each checkpointed LatencyRegressor by
+// that tuple so a plan search (or any latency query stream) can look up the
+// right model without knowing how or when it was trained. Thread-safe;
+// models register from memory (just trained) or from `.ptck` checkpoint
+// files (trained in an earlier process).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/regressor.h"
+#include "parallel/config.h"
+#include "sim/cluster.h"
+
+namespace predtop::serve {
+
+/// Identity of one served predictor (paper Tbls. II/III scenario coordinates).
+struct ModelKey {
+  std::string benchmark;  // e.g. "gpt3"
+  std::string platform;   // e.g. "platform2"
+  sim::Mesh mesh;
+  parallel::ParallelConfig config;  // {} when the model predicts best-config latency
+
+  bool operator==(const ModelKey&) const = default;
+
+  /// Stable 64-bit hash (mixed into cache keys alongside DAG fingerprints).
+  [[nodiscard]] std::uint64_t Hash() const noexcept;
+  [[nodiscard]] std::string ToString() const;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Register a trained (or freshly loaded) regressor; replaces any previous
+  /// model under the same key.
+  void Register(const ModelKey& key, std::shared_ptr<core::LatencyRegressor> model);
+
+  /// Load a `.ptck` checkpoint from disk and register it.
+  void RegisterFromFile(const ModelKey& key, const std::string& path);
+
+  /// Checkpoint a registered model to disk (throws if the key is unknown).
+  void SaveToFile(const ModelKey& key, const std::string& path) const;
+
+  /// nullptr when no model is registered under `key`.
+  [[nodiscard]] std::shared_ptr<core::LatencyRegressor> Find(const ModelKey& key) const;
+
+  [[nodiscard]] std::vector<ModelKey> Keys() const;
+  [[nodiscard]] std::size_t Size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  struct Entry {
+    ModelKey key;
+    std::shared_ptr<core::LatencyRegressor> model;
+  };
+  std::unordered_map<std::uint64_t, Entry> models_;  // key.Hash() -> entry
+};
+
+}  // namespace predtop::serve

@@ -1,0 +1,127 @@
+#include "serve/service.h"
+
+#include <stdexcept>
+
+#include "graph/fingerprint.h"
+
+namespace predtop::serve {
+
+namespace {
+
+constexpr std::uint64_t Mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PredictionService::PredictionService(std::shared_ptr<ModelRegistry> registry,
+                                     ServiceOptions options)
+    : registry_(std::move(registry)),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.threads) {
+  if (!registry_) throw std::invalid_argument("PredictionService: null registry");
+}
+
+std::uint64_t PredictionService::CacheKey(const ModelKey& key, const graph::EncodedGraph& g) {
+  return Mix(key.Hash() ^ graph::EncodedGraphFingerprint(g));
+}
+
+double PredictionService::Predict(const ModelKey& key, const graph::EncodedGraph& g) {
+  return PredictWithKey(key, g, CacheKey(key, g));
+}
+
+double PredictionService::PredictWithKey(const ModelKey& key, const graph::EncodedGraph& g,
+                                         std::uint64_t cache_key) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (const auto hit = cache_.Get(cache_key)) return *hit;
+
+  // Join an in-flight computation of the same query, or become its owner.
+  std::promise<double> promise;
+  std::shared_future<double> joined;
+  {
+    const std::scoped_lock lock(inflight_mutex_);
+    if (const auto it = inflight_.find(cache_key); it != inflight_.end()) {
+      joined = it->second;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      inflight_.emplace(cache_key, promise.get_future().share());
+    }
+  }
+  // Wait outside the lock so unrelated queries keep flowing; get() rethrows
+  // the owner's exception, if any.
+  if (joined.valid()) return joined.get();
+
+  double value = 0.0;
+  try {
+    const auto model = registry_->Find(key);
+    if (!model) {
+      throw std::runtime_error("PredictionService: no model registered for " +
+                               key.ToString());
+    }
+    value = model->PredictSeconds(g);
+    forwards_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    const std::scoped_lock lock(inflight_mutex_);
+    inflight_.erase(cache_key);
+    throw;
+  }
+  cache_.Put(cache_key, value);
+  promise.set_value(value);
+  {
+    const std::scoped_lock lock(inflight_mutex_);
+    inflight_.erase(cache_key);
+  }
+  return value;
+}
+
+std::vector<double> PredictionService::PredictMany(
+    const ModelKey& key, std::span<const graph::EncodedGraph* const> graphs) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_queries_.fetch_add(graphs.size(), std::memory_order_relaxed);
+
+  // Micro-batch: collapse duplicate stages to one computation each.
+  std::vector<std::uint64_t> cache_keys(graphs.size());
+  std::unordered_map<std::uint64_t, std::size_t> first_of;  // cache key -> distinct slot
+  std::vector<std::size_t> distinct;                        // positions of first occurrences
+  first_of.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    cache_keys[i] = CacheKey(key, *graphs[i]);
+    if (first_of.emplace(cache_keys[i], distinct.size()).second) distinct.push_back(i);
+  }
+
+  std::vector<double> distinct_values(distinct.size(), 0.0);
+  pool_.ParallelFor(distinct.size(), [&](std::size_t d) {
+    const std::size_t i = distinct[d];
+    distinct_values[d] = PredictWithKey(key, *graphs[i], cache_keys[i]);
+  });
+
+  std::vector<double> results(graphs.size(), 0.0);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    results[i] = distinct_values[first_of.at(cache_keys[i])];
+  }
+  return results;
+}
+
+ServiceStats PredictionService::Stats() const {
+  ServiceStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.forwards = forwards_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  stats.cache = cache_.Stats();
+  return stats;
+}
+
+void PredictionService::ResetStats() {
+  queries_ = forwards_ = coalesced_ = batches_ = batched_queries_ = 0;
+  cache_.ResetStats();
+}
+
+void PredictionService::ClearCache() { cache_.Clear(); }
+
+}  // namespace predtop::serve

@@ -1,0 +1,102 @@
+#pragma once
+// PredictionService: the in-process serving layer between a plan search (or
+// any other latency-query stream) and the trained predictors.
+//
+// Query path, fastest first:
+//   1. sharded LRU cache keyed by Mix(model-key hash, DAG fingerprint) —
+//      identical stages queried from different plan-search branches hit here
+//      without touching a model;
+//   2. in-flight coalescing — concurrent requests for the same (model,
+//      stage) join one computation instead of duplicating the forward pass
+//      (micro-batching of an identical-query burst into a single forward);
+//   3. a predictor forward pass, safe to run concurrently across requests
+//      because inference builds independent autograd tapes that only *read*
+//      the shared parameters.
+//
+// PredictMany additionally batches a caller-provided query set: duplicates
+// inside the batch collapse to one forward each, and the distinct misses fan
+// out across the service's ThreadPool. Failures propagate to every waiter
+// (never swallowed) via the pool's exception plumbing.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/encode.h"
+#include "serve/lru_cache.h"
+#include "serve/registry.h"
+#include "util/thread_pool.h"
+
+namespace predtop::serve {
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 8;
+  /// Worker threads for PredictMany fan-out (0 = hardware_concurrency).
+  std::size_t threads = 1;
+};
+
+struct ServiceStats {
+  std::uint64_t queries = 0;
+  std::uint64_t forwards = 0;   // actual model forward passes
+  std::uint64_t coalesced = 0;  // requests that joined an in-flight forward
+  std::uint64_t batches = 0;    // PredictMany calls
+  std::uint64_t batched_queries = 0;
+  CacheStats cache;
+};
+
+class PredictionService {
+ public:
+  PredictionService(std::shared_ptr<ModelRegistry> registry, ServiceOptions options = {});
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Predict the stage latency (seconds) of one encoded stage DAG under the
+  /// model registered for `key`. Throws std::runtime_error when no model is
+  /// registered.
+  [[nodiscard]] double Predict(const ModelKey& key, const graph::EncodedGraph& g);
+
+  /// Micro-batched query: duplicate stages inside the batch are predicted
+  /// once, distinct misses run concurrently on the service pool. Returns
+  /// latencies parallel to `graphs`.
+  [[nodiscard]] std::vector<double> PredictMany(
+      const ModelKey& key, std::span<const graph::EncodedGraph* const> graphs);
+
+  /// Cache key of one (model, stage) query — exposed for tests and for
+  /// callers that precompute fingerprints.
+  [[nodiscard]] static std::uint64_t CacheKey(const ModelKey& key,
+                                              const graph::EncodedGraph& g);
+
+  [[nodiscard]] ServiceStats Stats() const;
+  void ResetStats();
+  /// Drop all cached predictions (cold-start measurements).
+  void ClearCache();
+
+  [[nodiscard]] ModelRegistry& Registry() noexcept { return *registry_; }
+  [[nodiscard]] util::ThreadPool& Pool() noexcept { return pool_; }
+
+ private:
+  [[nodiscard]] double PredictWithKey(const ModelKey& key, const graph::EncodedGraph& g,
+                                      std::uint64_t cache_key);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ShardedLruCache cache_;
+  util::ThreadPool pool_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_future<double>> inflight_;
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> forwards_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_queries_{0};
+};
+
+}  // namespace predtop::serve

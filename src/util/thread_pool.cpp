@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace predtop::util {
 
@@ -41,19 +42,34 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
   const auto drain = [&] {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        // Keep the first exception; later ones (often cascades of the same
+        // root cause) are dropped once the loop is already failing.
+        const std::scoped_lock lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
     }
   };
-  const std::size_t helpers = std::min(workers_.size(), n > 0 ? n - 1 : 0);
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
   std::vector<std::future<void>> futures;
   futures.reserve(helpers);
   for (std::size_t i = 0; i < helpers; ++i) futures.push_back(Submit(drain));
   drain();  // the caller works too
+  // Join every helper before rethrowing: no task may outlive the call and
+  // touch captured state after the caller has unwound.
   for (auto& f : futures) f.get();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace predtop::util

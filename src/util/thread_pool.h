@@ -43,6 +43,10 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n), distributing across the pool, and wait.
   /// The calling thread participates, so this is safe on a 1-thread pool.
+  /// If any fn(i) throws, remaining iterations are abandoned, every worker
+  /// is joined, and the *first* exception is rethrown to the caller — tasks
+  /// never outlive the call and failures are never silently dropped (the
+  /// serving path relies on this to fail loudly).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

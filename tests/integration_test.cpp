@@ -11,6 +11,17 @@
 #include "core/plan_search.h"
 #include "nn/trainer.h"
 
+// Sanitizer instrumentation inflates the *measured* train/infer wall time
+// ~20x while the *simulated* profiling budget stays fixed, so wall-clock
+// cost comparisons only hold uninstrumented.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PREDTOP_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PREDTOP_SANITIZED 1
+#endif
+
 namespace predtop::core {
 namespace {
 
@@ -112,7 +123,9 @@ TEST(Integration, PredTopPlanSearchBeatsProfilingOnCost) {
   ASSERT_TRUE(pred.plan.Valid());
 
   EXPECT_LT(pred.profiling_cost_s, full.profiling_cost_s);
+#if !defined(PREDTOP_SANITIZED)
   EXPECT_LT(pred.optimization_cost_s, full.optimization_cost_s);
+#endif
   EXPECT_GT(pred.training_wall_s, 0.0);
   EXPECT_GT(pred.inference_wall_s, 0.0);
 

@@ -1,0 +1,405 @@
+// Tests for the predtop::serve subsystem: checkpoint round-trips (and their
+// failure modes), DAG fingerprints, the sharded LRU cache, the model
+// registry, the prediction service, and the serving-backed plan search.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "core/plan_search.h"
+#include "graph/fingerprint.h"
+#include "ir/stages.h"
+#include "nn/linear.h"
+#include "serve/lru_cache.h"
+#include "serve/oracle.h"
+#include "serve/service.h"
+#include "util/thread_pool.h"
+
+namespace predtop::serve {
+namespace {
+
+ir::Gpt3Config TinyGptConfig() {
+  ir::Gpt3Config config;
+  config.seq_len = 64;
+  config.hidden = 64;
+  config.num_layers = 4;
+  config.num_heads = 4;
+  config.vocab = 512;
+  config.microbatch = 2;
+  return config;
+}
+
+core::PredictorOptions TinyOptions() {
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  options.dagt_dim = 16;
+  options.dagt_layers = 2;
+  options.dagt_heads = 2;
+  options.gcn_dim = 32;
+  options.gcn_layers = 3;
+  options.gat_dim = 16;
+  options.gat_layers = 3;
+  return options;
+}
+
+/// One labeled tiny dataset shared by the checkpoint tests (built once —
+/// compilation is the slow part).
+const core::StageDataset& TinyDataset() {
+  static const core::StageDataset dataset = [] {
+    const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+    const parallel::IntraOpCompiler compiler(sim::Platform1(), sim::Mesh{1, 2});
+    sim::Profiler profiler({}, 21);
+    core::DatasetBuildConfig build;  // all 10 stages of the 4-layer model
+    return BuildStageDataset(benchmark, compiler, {2, 1, 1}, profiler, build);
+  }();
+  return dataset;
+}
+
+core::LatencyRegressor TrainTinyRegressor(core::PredictorKind kind) {
+  const core::StageDataset& dataset = TinyDataset();
+  core::LatencyRegressor regressor(kind, TinyOptions());
+  nn::TrainConfig train;
+  train.max_epochs = 30;
+  train.patience = 30;
+  train.batch_size = 4;
+  std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5, 6, 7};
+  regressor.Fit(dataset, idx, idx, train);
+  return regressor;
+}
+
+// ---- checkpoint round-trip ----
+
+TEST(Checkpoint, RoundTripIsBitIdenticalForAllPredictorKinds) {
+  for (const core::PredictorKind kind :
+       {core::PredictorKind::kDagTransformer, core::PredictorKind::kGcn,
+        core::PredictorKind::kGat}) {
+    core::LatencyRegressor trained = TrainTinyRegressor(kind);
+    std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+    trained.Save(buffer);
+    core::LatencyRegressor reloaded = core::LatencyRegressor::Load(buffer);
+    EXPECT_EQ(reloaded.Kind(), kind);
+    for (const core::StageSample& sample : TinyDataset().samples) {
+      // Bit-identical, not approximately equal: the state dict stores exact
+      // f32 weights and f64 normalization stats.
+      EXPECT_EQ(reloaded.PredictSeconds(sample.encoded),
+                trained.PredictSeconds(sample.encoded))
+          << core::PredictorKindName(kind);
+    }
+  }
+}
+
+TEST(Checkpoint, FileRoundTripMatches) {
+  core::LatencyRegressor trained = TrainTinyRegressor(core::PredictorKind::kDagTransformer);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "predtop_serve_test.ptck").string();
+  trained.Save(path);
+  core::LatencyRegressor reloaded = core::LatencyRegressor::Load(path);
+  for (const core::StageSample& sample : TinyDataset().samples) {
+    EXPECT_EQ(reloaded.PredictSeconds(sample.encoded), trained.PredictSeconds(sample.encoded));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  core::LatencyRegressor trained = TrainTinyRegressor(core::PredictorKind::kGcn);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trained.Save(buffer);
+  std::string bytes = buffer.str();
+  bytes[0] = 'X';
+  std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)core::LatencyRegressor::Load(corrupt), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsUnsupportedVersion) {
+  core::LatencyRegressor trained = TrainTinyRegressor(core::PredictorKind::kGcn);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trained.Save(buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = static_cast<char>(0x7f);  // version field follows the u32 magic
+  std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)core::LatencyRegressor::Load(corrupt), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  core::LatencyRegressor trained = TrainTinyRegressor(core::PredictorKind::kGat);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trained.Save(buffer);
+  const std::string bytes = buffer.str();
+  // Cut at several depths: inside the header, the options, and the weights.
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{9}, bytes.size() / 2, bytes.size() - 5}) {
+    std::stringstream truncated(bytes.substr(0, keep), std::ios::in | std::ios::binary);
+    EXPECT_THROW((void)core::LatencyRegressor::Load(truncated), std::runtime_error)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+}
+
+TEST(Checkpoint, StateDictRejectsShapeMismatch) {
+  util::Rng rng(7);
+  nn::Linear small(4, 2, rng);
+  nn::Linear large(4, 3, rng);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  small.Save(buffer);
+  EXPECT_THROW(large.Load(buffer), std::runtime_error);
+}
+
+// ---- fingerprints ----
+
+graph::OpDag DiamondDag(std::int32_t perturb_op = 0, bool extra_edge = false) {
+  graph::OpDag dag;
+  graph::DagNode a{graph::NodeKind::kInput, 0, 0, {8, 1, 1, 1}};
+  graph::DagNode b{graph::NodeKind::kOperator, 3, 0, {8, 4, 1, 1}};
+  graph::DagNode c{graph::NodeKind::kOperator, 5 + perturb_op, 0, {8, 4, 1, 1}};
+  graph::DagNode d{graph::NodeKind::kOutput, 0, 0, {8, 4, 1, 1}};
+  const auto ia = dag.AddNode(a), ib = dag.AddNode(b), ic = dag.AddNode(c),
+             id = dag.AddNode(d);
+  dag.AddEdge(ia, ib);
+  dag.AddEdge(ia, ic);
+  dag.AddEdge(ib, id);
+  dag.AddEdge(ic, id);
+  if (extra_edge) dag.AddEdge(ib, ic);
+  return dag;
+}
+
+TEST(Fingerprint, InsertionOrderIndependent) {
+  // The same diamond with its middle nodes inserted in swapped order (and
+  // edges remapped accordingly) must fingerprint identically.
+  graph::OpDag permuted;
+  graph::DagNode a{graph::NodeKind::kInput, 0, 0, {8, 1, 1, 1}};
+  graph::DagNode b{graph::NodeKind::kOperator, 3, 0, {8, 4, 1, 1}};
+  graph::DagNode c{graph::NodeKind::kOperator, 5, 0, {8, 4, 1, 1}};
+  graph::DagNode d{graph::NodeKind::kOutput, 0, 0, {8, 4, 1, 1}};
+  const auto id = permuted.AddNode(d), ic = permuted.AddNode(c), ib = permuted.AddNode(b),
+             ia = permuted.AddNode(a);
+  permuted.AddEdge(ia, ib);
+  permuted.AddEdge(ia, ic);
+  permuted.AddEdge(ib, id);
+  permuted.AddEdge(ic, id);
+  EXPECT_EQ(graph::DagFingerprint(DiamondDag()), graph::DagFingerprint(permuted));
+}
+
+TEST(Fingerprint, SensitiveToNodeAndEdgePerturbations) {
+  const std::uint64_t base = graph::DagFingerprint(DiamondDag());
+  EXPECT_NE(base, graph::DagFingerprint(DiamondDag(/*perturb_op=*/1)));
+  EXPECT_NE(base, graph::DagFingerprint(DiamondDag(0, /*extra_edge=*/true)));
+
+  graph::OpDag bigger_dims = DiamondDag();
+  bigger_dims.Node(1).out_dims[1] = 16;
+  EXPECT_NE(base, graph::DagFingerprint(bigger_dims));
+
+  graph::OpDag other_kind = DiamondDag();
+  other_kind.Node(2).kind = graph::NodeKind::kLiteral;
+  EXPECT_NE(base, graph::DagFingerprint(other_kind));
+}
+
+TEST(Fingerprint, EncodedGraphEqualStagesHashEqual) {
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g1 = core::EncodeStage(benchmark.build_stage({1, 3}));
+  const graph::EncodedGraph g2 = core::EncodeStage(benchmark.build_stage({1, 3}));
+  const graph::EncodedGraph other = core::EncodeStage(benchmark.build_stage({0, 3}));
+  EXPECT_EQ(graph::EncodedGraphFingerprint(g1), graph::EncodedGraphFingerprint(g2));
+  EXPECT_NE(graph::EncodedGraphFingerprint(g1), graph::EncodedGraphFingerprint(other));
+}
+
+// ---- LRU cache ----
+
+TEST(LruCache, HitsMissesAndEviction) {
+  ShardedLruCache cache(/*capacity=*/4, /*shards=*/1);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  for (std::uint64_t k = 1; k <= 4; ++k) cache.Put(k, static_cast<double>(k));
+  EXPECT_EQ(cache.Get(1), 1.0);
+  cache.Put(5, 5.0);  // evicts 2, the least recently used
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.Get(1), 1.0);
+  EXPECT_EQ(cache.Get(5), 5.0);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(LruCache, PutUpdatesExistingKey) {
+  ShardedLruCache cache(4, 2);
+  cache.Put(42, 1.0);
+  cache.Put(42, 2.0);
+  EXPECT_EQ(cache.Get(42), 2.0);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+// ---- registry ----
+
+TEST(Registry, RegisterFindAndKeys) {
+  ModelRegistry registry;
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 2}, {}};
+  EXPECT_EQ(registry.Find(key), nullptr);
+  registry.Register(key, std::make_shared<core::LatencyRegressor>(
+                             core::PredictorKind::kGcn, TinyOptions()));
+  EXPECT_NE(registry.Find(key), nullptr);
+  EXPECT_EQ(registry.Size(), 1u);
+  ASSERT_EQ(registry.Keys().size(), 1u);
+  EXPECT_EQ(registry.Keys()[0], key);
+
+  const ModelKey other{"gpt3", "platform1", sim::Mesh{2, 2}, {}};
+  EXPECT_EQ(registry.Find(other), nullptr);
+  EXPECT_NE(key.Hash(), other.Hash());
+  EXPECT_THROW(registry.Register(key, nullptr), std::invalid_argument);
+}
+
+// ---- prediction service ----
+
+TEST(Service, CachesRepeatQueriesAndCountsForwards) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kDagTransformer, TinyOptions()));
+  PredictionService service(registry);
+
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g = core::EncodeStage(benchmark.build_stage({0, 2}));
+  const double first = service.Predict(key, g);
+  const double second = service.Predict(key, g);
+  EXPECT_EQ(first, second);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.forwards, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+
+  service.ClearCache();
+  EXPECT_EQ(service.Predict(key, g), first);
+  EXPECT_EQ(service.Stats().forwards, 2u);
+}
+
+TEST(Service, UnknownModelThrows) {
+  PredictionService service(std::make_shared<ModelRegistry>());
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g = core::EncodeStage(benchmark.build_stage({0, 1}));
+  EXPECT_THROW((void)service.Predict({"gpt3", "p1", sim::Mesh{1, 1}, {}}, g),
+               std::runtime_error);
+}
+
+TEST(Service, PredictManyDedupesAndFansOut) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kGcn, TinyOptions()));
+  ServiceOptions options;
+  options.threads = 2;
+  PredictionService service(registry, options);
+
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g1 = core::EncodeStage(benchmark.build_stage({0, 2}));
+  const graph::EncodedGraph g2 = core::EncodeStage(benchmark.build_stage({2, 4}));
+  const std::vector<const graph::EncodedGraph*> batch{&g1, &g2, &g1, &g2, &g1};
+  const std::vector<double> results = service.PredictMany(key, batch);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0], results[2]);
+  EXPECT_EQ(results[0], results[4]);
+  EXPECT_EQ(results[1], results[3]);
+  EXPECT_NE(results[0], results[1]);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_queries, 5u);
+  EXPECT_EQ(stats.forwards, 2u);  // the three duplicates never reach a model
+}
+
+TEST(Service, ConcurrentIdenticalQueriesCoalesceOrHitCache) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kGat, TinyOptions()));
+  PredictionService service(registry);
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g = core::EncodeStage(benchmark.build_stage({0, 3}));
+
+  constexpr int kThreads = 8;
+  std::vector<double> values(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { values[static_cast<std::size_t>(t)] = service.Predict(key, g); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(values[0], values[static_cast<std::size_t>(t)]);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.forwards, 1u);  // everyone else hit the cache or coalesced
+  EXPECT_EQ(stats.cache.hits + stats.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// ---- thread pool failure propagation ----
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [](std::size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a failed loop and keeps serving work.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+// ---- serving-backed plan search ----
+
+TEST(ServingOracle, PlanSearchMatchesDirectPredictorCalls) {
+  core::PlanSearchConfig config;
+  config.num_microbatches = 4;
+  config.sample_fraction = 0.6;
+  config.max_span = 3;
+  config.train.max_epochs = 20;
+  config.train.patience = 20;
+  config.train.batch_size = 4;
+  core::PlanSearch search(core::Gpt3Benchmark(TinyGptConfig()), sim::Platform1(), config);
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+
+  auto registry = std::make_shared<ModelRegistry>();
+  const std::vector<ModelKey> keys =
+      RegisterMeshPredictors(*registry, "gpt3", "platform1", search.Meshes(), trained);
+  PredictionService service(registry);
+  const ServingOracle oracle(
+      service, search.Meshes(), keys,
+      [&search](ir::StageSlice s) -> const graph::EncodedGraph& { return search.EncodedFor(s); },
+      search.EffectiveMaxSpan());
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const parallel::StageLatencyOracle direct = [&](ir::StageSlice slice, sim::Mesh mesh) {
+    if (slice.NumLayers() > search.EffectiveMaxSpan())
+      return parallel::StageLatencyResult{kInf, {}};
+    for (std::size_t m = 0; m < search.Meshes().size(); ++m) {
+      if (search.Meshes()[m] == mesh) {
+        return parallel::StageLatencyResult{
+            trained.per_mesh[m]->PredictSeconds(search.EncodedFor(slice)), {}};
+      }
+    }
+    return parallel::StageLatencyResult{kInf, {}};
+  };
+
+  const parallel::InterOpOptimizer optimizer = search.MakeOptimizer();
+  const parallel::PipelinePlan served = optimizer.Optimize(oracle.AsOracle());
+  const parallel::PipelinePlan direct_plan = optimizer.Optimize(direct);
+
+  ASSERT_TRUE(served.Valid());
+  EXPECT_EQ(served.iteration_latency_s, direct_plan.iteration_latency_s);
+  ASSERT_EQ(served.stages.size(), direct_plan.stages.size());
+  for (std::size_t i = 0; i < served.stages.size(); ++i) {
+    EXPECT_EQ(served.stages[i].slice.first_layer, direct_plan.stages[i].slice.first_layer);
+    EXPECT_EQ(served.stages[i].slice.last_layer, direct_plan.stages[i].slice.last_layer);
+    EXPECT_EQ(served.stages[i].mesh, direct_plan.stages[i].mesh);
+  }
+  // Unknown meshes and over-span slices are pruned exactly like the direct path.
+  EXPECT_EQ(oracle({0, 4}, sim::Mesh{1, 1}).latency_s, kInf);
+  EXPECT_EQ(oracle({0, 1}, sim::Mesh{8, 8}).latency_s, kInf);
+  EXPECT_GT(service.Stats().cache.hits, 0u);
+}
+
+}  // namespace
+}  // namespace predtop::serve
