@@ -2,6 +2,10 @@
 # Tier-1 verification via the CMake presets (CMakePresets.json):
 #   ci/run.sh            Release build + ctest
 #   ci/run.sh sanitize   additional ASan/UBSan build + ctest (build-asan/)
+#   ci/run.sh tsan       additional TSan build of the concurrency-sensitive
+#                        suites (thread pool, prediction service, plan
+#                        search) run directly — the full suite is too slow
+#                        under TSan and the other suites are single-threaded
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,4 +17,13 @@ if [[ "${1:-}" == "sanitize" ]]; then
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)"
   ctest --preset asan -j "$(nproc)"
+fi
+
+if [[ "${1:-}" == "tsan" ]]; then
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$(nproc)" --target util_test serve_test parallel_test
+  export TSAN_OPTIONS="halt_on_error=1"
+  ./build-tsan/tests/util_test
+  ./build-tsan/tests/parallel_test
+  ./build-tsan/tests/serve_test --gtest_filter='LruCache.*:Service.*:ServingOracle.PredictBatchMatchesScalarQueries:ThreadPool.*'
 fi

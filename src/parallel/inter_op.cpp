@@ -10,6 +10,15 @@
 
 namespace predtop::parallel {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Candidates closer than this (relatively) collapse into one DP pass.
+constexpr double kCandidateRelEps = 1e-12;
+
+}  // namespace
+
 InterOpOptimizer::InterOpOptimizer(const sim::ClusterSpec& cluster, InterOpOptions options)
     : cluster_(cluster), options_(std::move(options)) {
   if (options_.num_layers <= 0) {
@@ -25,76 +34,147 @@ InterOpOptimizer::InterOpOptimizer(const sim::ClusterSpec& cluster, InterOpOptio
   }
 }
 
-PipelinePlan InterOpOptimizer::Optimize(const StageLatencyOracle& oracle) const {
+std::vector<StageQuery> InterOpOptimizer::BuildQueries() const {
   const std::int32_t layer_count = options_.num_layers;
-  const std::int32_t device_count = cluster_.TotalDevices();
-  const auto mesh_count = static_cast<std::int32_t>(options_.submeshes.size());
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-
-  // Stage latency table: lat[i][j][m] for layers [i, j) on submesh m.
-  const auto slice_index = [&](std::int32_t i, std::int32_t j) {
-    return (i * (2 * layer_count - i + 1)) / 2 + (j - i - 1);
-  };
-  const std::int32_t num_slices = layer_count * (layer_count + 1) / 2;
-  std::vector<double> lat(static_cast<std::size_t>(num_slices) * mesh_count, kInf);
-  std::vector<ParallelConfig> cfg(static_cast<std::size_t>(num_slices) * mesh_count);
-  std::vector<double> tmax_candidates;
+  std::vector<StageQuery> queries;
+  queries.reserve(static_cast<std::size_t>(layer_count) * (layer_count + 1) / 2 *
+                  options_.submeshes.size());
+  // Loop order matches SliceIndex(i, j) * mesh_count + m, so results land in
+  // table order without a scatter step.
   for (std::int32_t i = 0; i < layer_count; ++i) {
     for (std::int32_t j = i + 1; j <= layer_count; ++j) {
-      for (std::int32_t m = 0; m < mesh_count; ++m) {
-        const StageLatencyResult r =
-            oracle(ir::StageSlice{i, j}, options_.submeshes[static_cast<std::size_t>(m)]);
-        const std::size_t idx =
-            static_cast<std::size_t>(slice_index(i, j)) * mesh_count + static_cast<std::size_t>(m);
-        lat[idx] = r.latency_s;
-        cfg[idx] = r.config;
-        if (std::isfinite(r.latency_s)) tmax_candidates.push_back(r.latency_s);
+      for (const sim::Mesh& mesh : options_.submeshes) {
+        queries.push_back(StageQuery{ir::StageSlice{i, j}, mesh});
       }
     }
   }
+  return queries;
+}
+
+PipelinePlan InterOpOptimizer::Optimize(const StageLatencyOracle& oracle) const {
+  const std::vector<StageQuery> queries = BuildQueries();
+  std::vector<StageLatencyResult> results(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q] = oracle(queries[q].slice, queries[q].mesh);
+  }
+  return OptimizeFromResults(results);
+}
+
+PipelinePlan InterOpOptimizer::Optimize(const StageLatencyOracle& oracle,
+                                        util::ThreadPool& pool) const {
+  const std::vector<StageQuery> queries = BuildQueries();
+  std::vector<StageLatencyResult> results(queries.size());
+  pool.ParallelFor(queries.size(), [&](std::size_t q) {
+    results[q] = oracle(queries[q].slice, queries[q].mesh);
+  });
+  return OptimizeFromResults(results);
+}
+
+PipelinePlan InterOpOptimizer::Optimize(const StageLatencyBatchOracle& oracle) const {
+  const std::vector<StageQuery> queries = BuildQueries();
+  const std::vector<StageLatencyResult> results(oracle(queries));
+  if (results.size() != queries.size()) {
+    throw std::runtime_error("InterOpOptimizer: batch oracle returned " +
+                             std::to_string(results.size()) + " results for " +
+                             std::to_string(queries.size()) + " queries");
+  }
+  return OptimizeFromResults(results);
+}
+
+PipelinePlan InterOpOptimizer::OptimizeFromResults(
+    std::span<const StageLatencyResult> results) const {
+  const std::int32_t layer_count = options_.num_layers;
+  const std::int32_t device_count = cluster_.TotalDevices();
+  const auto mesh_count = static_cast<std::int32_t>(options_.submeshes.size());
+  const std::int32_t microbatches = std::max<std::int32_t>(1, options_.num_microbatches);
+
+  const auto slice_index = [&](std::int32_t i, std::int32_t j) {
+    return (i * (2 * layer_count - i + 1)) / 2 + (j - i - 1);
+  };
+  const auto table = [&](std::int32_t i, std::int32_t j, std::int32_t m) -> const
+      StageLatencyResult& {
+        return results[static_cast<std::size_t>(slice_index(i, j)) * mesh_count +
+                       static_cast<std::size_t>(m)];
+      };
+
+  // Bottleneck candidates: every finite stage latency, ascending, with
+  // near-equal values collapsed onto the *largest* of their group (so every
+  // member still passes the t <= t_max filter of the group's DP pass; the
+  // final score uses the true bottleneck, not the candidate).
+  std::vector<double> tmax_candidates;
+  for (const StageLatencyResult& r : results) {
+    if (std::isfinite(r.latency_s)) tmax_candidates.push_back(r.latency_s);
+  }
   std::sort(tmax_candidates.begin(), tmax_candidates.end());
-  tmax_candidates.erase(std::unique(tmax_candidates.begin(), tmax_candidates.end()),
-                        tmax_candidates.end());
+  std::size_t kept = 0;
+  for (const double t : tmax_candidates) {
+    if (kept > 0 && t <= tmax_candidates[kept - 1] * (1.0 + kCandidateRelEps)) {
+      tmax_candidates[kept - 1] = t;
+    } else {
+      tmax_candidates[kept++] = t;
+    }
+  }
+  tmax_candidates.resize(kept);
 
-  PipelinePlan best;
-  best.num_microbatches = options_.num_microbatches;
+  // Stage count is a DP dimension: g[k][d][s] = min sum of stage latencies
+  // covering layers [0, k) with d devices in exactly s stages. The seed code
+  // tracked a stages_used side table updated only when g improved, so a
+  // cheaper-but-deeper path overwrote the count of a shallower one and the
+  // max_stages check rejected feasible plans.
+  const std::int32_t structural_cap = std::min(layer_count, device_count);
+  const std::int32_t stage_cap = options_.max_stages > 0
+                                     ? std::min(options_.max_stages, structural_cap)
+                                     : structural_cap;
 
-  // Alpa's t_max enumeration: for each bottleneck bound, minimize the sum of
-  // stage latencies with a DP over (layers covered, devices used).
   struct Choice {
     std::int32_t prev_layer = -1;
     std::int32_t prev_devices = -1;
     std::int32_t mesh = -1;
   };
-  const auto state = [&](std::int32_t k, std::int32_t d) {
-    return static_cast<std::size_t>(k) * (device_count + 1) + static_cast<std::size_t>(d);
+  const auto state = [&](std::int32_t k, std::int32_t d, std::int32_t s) {
+    return (static_cast<std::size_t>(k) * (device_count + 1) + static_cast<std::size_t>(d)) *
+               (stage_cap + 1) +
+           static_cast<std::size_t>(s);
   };
 
+  PipelinePlan best;
+  best.num_microbatches = options_.num_microbatches;
+
+  // Per-candidate DP state is allocated once and refilled — the lat/cfg
+  // table and the candidate list are shared across all passes.
+  std::vector<double> g(
+      static_cast<std::size_t>(layer_count + 1) * (device_count + 1) * (stage_cap + 1), kInf);
+  std::vector<Choice> choice(g.size());
+  std::vector<std::int32_t> mesh_devices(static_cast<std::size_t>(mesh_count));
+  for (std::int32_t m = 0; m < mesh_count; ++m) {
+    mesh_devices[static_cast<std::size_t>(m)] =
+        options_.submeshes[static_cast<std::size_t>(m)].NumDevices();
+  }
+
   for (const double tmax : tmax_candidates) {
-    std::vector<double> g(static_cast<std::size_t>(layer_count + 1) * (device_count + 1), kInf);
-    std::vector<std::int32_t> stages_used(g.size(), 0);
-    std::vector<Choice> choice(g.size());
-    g[state(0, 0)] = 0.0;
+    // Any plan not already covered by a smaller candidate has bottleneck
+    // exactly tmax, hence sum >= tmax and iteration >= tmax + (B-1)*tmax.
+    if (static_cast<double>(microbatches) * tmax >= best.iteration_latency_s) break;
+
+    std::fill(g.begin(), g.end(), kInf);
+    g[state(0, 0, 0)] = 0.0;
 
     for (std::int32_t k = 0; k < layer_count; ++k) {
       for (std::int32_t d = 0; d <= device_count; ++d) {
-        const double base = g[state(k, d)];
-        if (!std::isfinite(base)) continue;
-        if (options_.max_stages > 0 && stages_used[state(k, d)] >= options_.max_stages) continue;
-        for (std::int32_t j = k + 1; j <= layer_count; ++j) {
-          for (std::int32_t m = 0; m < mesh_count; ++m) {
-            const std::int32_t dev =
-                options_.submeshes[static_cast<std::size_t>(m)].NumDevices();
-            if (d + dev > device_count) continue;
-            const double t =
-                lat[static_cast<std::size_t>(slice_index(k, j)) * mesh_count +
-                    static_cast<std::size_t>(m)];
-            if (!std::isfinite(t) || t > tmax) continue;
-            const std::size_t next = state(j, d + dev);
-            if (base + t < g[next]) {
-              g[next] = base + t;
-              stages_used[next] = stages_used[state(k, d)] + 1;
-              choice[next] = Choice{k, d, m};
+        for (std::int32_t s = 0; s < stage_cap; ++s) {
+          const double base = g[state(k, d, s)];
+          if (!std::isfinite(base)) continue;
+          for (std::int32_t j = k + 1; j <= layer_count; ++j) {
+            for (std::int32_t m = 0; m < mesh_count; ++m) {
+              const std::int32_t dev = mesh_devices[static_cast<std::size_t>(m)];
+              if (d + dev > device_count) continue;
+              const double t = table(k, j, m).latency_s;
+              if (!std::isfinite(t) || t > tmax) continue;
+              const std::size_t next = state(j, d + dev, s + 1);
+              if (base + t < g[next]) {
+                g[next] = base + t;
+                choice[next] = Choice{k, d, m};
+              }
             }
           }
         }
@@ -102,37 +182,38 @@ PipelinePlan InterOpOptimizer::Optimize(const StageLatencyOracle& oracle) const 
     }
 
     for (std::int32_t d = 1; d <= device_count; ++d) {
-      const double total_sum = g[state(layer_count, d)];
-      if (!std::isfinite(total_sum)) continue;
-      const double iteration =
-          total_sum + static_cast<double>(options_.num_microbatches - 1) * tmax;
-      if (iteration >= best.iteration_latency_s) continue;
-      // Reconstruct the stage chain.
-      PipelinePlan plan;
-      plan.num_microbatches = options_.num_microbatches;
-      std::int32_t k = layer_count, dd = d;
-      std::vector<double> stage_lats;
-      while (k > 0) {
-        const Choice& c = choice[state(k, dd)];
-        const std::size_t idx = static_cast<std::size_t>(slice_index(c.prev_layer, k)) *
-                                    mesh_count +
-                                static_cast<std::size_t>(c.mesh);
-        PipelineStageChoice stage;
-        stage.slice = ir::StageSlice{c.prev_layer, k};
-        stage.mesh = options_.submeshes[static_cast<std::size_t>(c.mesh)];
-        stage.config = cfg[idx];
-        stage.latency_s = lat[idx];
-        stage_lats.push_back(stage.latency_s);
-        plan.stages.push_back(stage);
-        k = c.prev_layer;
-        dd = c.prev_devices;
+      for (std::int32_t s = 1; s <= stage_cap; ++s) {
+        const double total_sum = g[state(layer_count, d, s)];
+        if (!std::isfinite(total_sum)) continue;
+        const double iteration =
+            total_sum + static_cast<double>(microbatches - 1) * tmax;
+        if (iteration >= best.iteration_latency_s) continue;
+        // Reconstruct the stage chain.
+        PipelinePlan plan;
+        plan.num_microbatches = options_.num_microbatches;
+        std::int32_t k = layer_count, dd = d, ss = s;
+        std::vector<double> stage_lats;
+        while (k > 0) {
+          const Choice& c = choice[state(k, dd, ss)];
+          const StageLatencyResult& cell = table(c.prev_layer, k, c.mesh);
+          PipelineStageChoice stage;
+          stage.slice = ir::StageSlice{c.prev_layer, k};
+          stage.mesh = options_.submeshes[static_cast<std::size_t>(c.mesh)];
+          stage.config = cell.config;
+          stage.latency_s = cell.latency_s;
+          stage_lats.push_back(stage.latency_s);
+          plan.stages.push_back(stage);
+          k = c.prev_layer;
+          dd = c.prev_devices;
+          --ss;
+        }
+        std::reverse(plan.stages.begin(), plan.stages.end());
+        std::reverse(stage_lats.begin(), stage_lats.end());
+        // Score with the true bottleneck, not the bound.
+        plan.iteration_latency_s =
+            PipelineLatency(stage_lats, options_.num_microbatches);
+        if (plan.iteration_latency_s < best.iteration_latency_s) best = std::move(plan);
       }
-      std::reverse(plan.stages.begin(), plan.stages.end());
-      std::reverse(stage_lats.begin(), stage_lats.end());
-      // Score with the true bottleneck, not the bound.
-      plan.iteration_latency_s =
-          PipelineLatency(stage_lats, options_.num_microbatches);
-      if (plan.iteration_latency_s < best.iteration_latency_s) best = std::move(plan);
     }
   }
   return best;

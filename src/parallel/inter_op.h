@@ -4,11 +4,24 @@
 // submesh, and minimizes the 1F1B iteration latency (Eqn. 4). The optimizer
 // is agnostic to where stage latencies come from: a profiling oracle (vanilla
 // Alpa) or a PredTOP predictor (paper §VI phase 3).
+//
+// The search runs in two phases:
+//   1. fill the L(L+1)/2 x M stage-latency table — every (contiguous layer
+//      slice, submesh) pair is queried once. This is the expensive phase and
+//      can be fanned out across a util::ThreadPool or delegated wholesale to
+//      a batched oracle (e.g. serve::PredictionService::PredictMany, which
+//      coalesces duplicates and parallelizes the model forwards itself);
+//   2. the t_max-enumeration DP over the filled table, with stage count as
+//      an explicit DP dimension g[k][d][s] so a max_stages bound prunes
+//      exactly, and with candidate pruning: candidates ascend, and any plan
+//      first reachable at bottleneck t costs at least t + (B-1)*t, so the
+//      enumeration stops once that lower bound reaches the incumbent.
 
 #include <functional>
 #include <span>
 
 #include "parallel/plan.h"
+#include "util/thread_pool.h"
 
 namespace predtop::parallel {
 
@@ -23,12 +36,25 @@ struct StageLatencyResult {
 using StageLatencyOracle =
     std::function<StageLatencyResult(ir::StageSlice, sim::Mesh)>;
 
+/// One cell of the stage-latency table: layers `slice` on submesh `mesh`.
+struct StageQuery {
+  ir::StageSlice slice;
+  sim::Mesh mesh;
+};
+
+/// Batched oracle: must return one result per query, in query order. Lets a
+/// serving backend dedupe repeated stages and fan the distinct misses out
+/// across its own thread pool (see serve::ServingOracle::AsBatchOracle).
+using StageLatencyBatchOracle =
+    std::function<std::vector<StageLatencyResult>(std::span<const StageQuery>)>;
+
 struct InterOpOptions {
   std::int32_t num_layers = 0;
   std::int32_t num_microbatches = 8;
   /// Candidate submeshes; defaults to the paper's Tbl. II meshes that fit.
   std::vector<sim::Mesh> submeshes;
-  /// Upper bound on the number of pipeline stages (0 = no bound).
+  /// Upper bound on the number of pipeline stages (0 = no bound beyond the
+  /// structural min(num_layers, total devices) cap).
   std::int32_t max_stages = 0;
 };
 
@@ -36,8 +62,19 @@ class InterOpOptimizer {
  public:
   InterOpOptimizer(const sim::ClusterSpec& cluster, InterOpOptions options);
 
-  /// Run the t_max-enumeration DP and return the best pipeline plan.
+  /// Run the t_max-enumeration DP and return the best pipeline plan, filling
+  /// the stage-latency table serially on the calling thread.
   [[nodiscard]] PipelinePlan Optimize(const StageLatencyOracle& oracle) const;
+
+  /// Same, but fan the table fill out across `pool`. The oracle is invoked
+  /// concurrently and must be thread-safe (a serve::ServingOracle is; the
+  /// memoizing core::PlanSearch oracles are not).
+  [[nodiscard]] PipelinePlan Optimize(const StageLatencyOracle& oracle,
+                                      util::ThreadPool& pool) const;
+
+  /// Same, but hand the whole table to one batched-oracle call, which may
+  /// dedupe and parallelize internally.
+  [[nodiscard]] PipelinePlan Optimize(const StageLatencyBatchOracle& oracle) const;
 
   /// Evaluate a fixed plan's iteration latency under a (possibly different)
   /// oracle — used to score predicted plans against ground truth.
@@ -47,6 +84,12 @@ class InterOpOptimizer {
   [[nodiscard]] const InterOpOptions& Options() const noexcept { return options_; }
 
  private:
+  /// Every (slice, mesh) cell, in table order: queries[SliceIndex(i,j)*M + m].
+  [[nodiscard]] std::vector<StageQuery> BuildQueries() const;
+  /// Phase 2: the pruned DP over a filled stage-latency table.
+  [[nodiscard]] PipelinePlan OptimizeFromResults(
+      std::span<const StageLatencyResult> results) const;
+
   sim::ClusterSpec cluster_;
   InterOpOptions options_;
 };

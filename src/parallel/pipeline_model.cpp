@@ -6,7 +6,11 @@ namespace predtop::parallel {
 
 double PipelineLatency(std::span<const double> stage_latencies,
                        std::int32_t num_microbatches) noexcept {
-  if (stage_latencies.empty() || num_microbatches < 1) return 0.0;
+  if (stage_latencies.empty()) return 0.0;
+  // A non-empty pipeline always runs at least one microbatch: a caller
+  // passing B < 1 (e.g. an unset config field) gets the single-microbatch
+  // latency, not a silent 0.0 that would make every such plan look free.
+  num_microbatches = std::max<std::int32_t>(1, num_microbatches);
   double sum = 0.0;
   double bottleneck = 0.0;
   for (const double t : stage_latencies) {

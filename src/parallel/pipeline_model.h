@@ -10,6 +10,8 @@
 
 namespace predtop::parallel {
 
+/// Empty pipelines cost 0; `num_microbatches` is clamped to >= 1 (a
+/// non-empty pipeline runs at least one microbatch).
 [[nodiscard]] double PipelineLatency(std::span<const double> stage_latencies,
                                      std::int32_t num_microbatches) noexcept;
 

@@ -8,9 +8,20 @@ namespace predtop::serve {
 ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards) {
   const std::size_t shard_count = std::bit_ceil(std::max<std::size_t>(1, shards));
   shard_mask_ = shard_count - 1;
-  per_shard_capacity_ = std::max<std::size_t>(1, (capacity + shard_count - 1) / shard_count);
+  // Split the budget without inflating it: the first (capacity % shards)
+  // shards take the remainder, and every shard keeps at least one entry.
+  // Rounding every shard up used to make Capacity() over-report by up to
+  // shard_count - 1 entries versus what eviction actually allowed.
+  const std::size_t base = capacity / shard_count;
+  const std::size_t remainder = capacity % shard_count;
+  capacity_ = 0;
   shards_.reserve(shard_count);
-  for (std::size_t i = 0; i < shard_count; ++i) shards_.push_back(std::make_unique<Shard>());
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = std::max<std::size_t>(1, base + (i < remainder ? 1 : 0));
+    capacity_ += shard->capacity;
+    shards_.push_back(std::move(shard));
+  }
 }
 
 std::optional<double> ShardedLruCache::Get(std::uint64_t key) {
@@ -36,7 +47,7 @@ void ShardedLruCache::Put(std::uint64_t key, double value) {
   }
   shard.lru.push_front({key, value});
   shard.index.emplace(key, shard.lru.begin());
-  if (shard.index.size() > per_shard_capacity_) {
+  if (shard.index.size() > shard.capacity) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;

@@ -4,6 +4,11 @@
 // are predicted latencies in seconds. Sharding by key bits keeps lock
 // contention bounded when many service threads hit the cache concurrently —
 // each shard has its own mutex, intrusive LRU list, and index.
+//
+// Shard selection uses key bits 48-63 (`(key >> 48) & mask`), NOT the low
+// bits: callers must pass well-mixed keys (PredictionService::CacheKey runs
+// a splitmix64 finalizer) or every entry lands in shard 0 and the per-shard
+// budgets below silently shrink the effective capacity.
 
 #include <atomic>
 #include <cstddef>
@@ -31,8 +36,11 @@ struct CacheStats {
 
 class ShardedLruCache {
  public:
-  /// `capacity` is the total entry budget, split evenly across shards.
-  /// `shards` is rounded up to a power of two (key bits select the shard).
+  /// `capacity` is the total entry budget, split across shards (a shard
+  /// never gets a budget below one entry, so the effective total is
+  /// max(capacity, shard count) — exactly what Capacity() reports).
+  /// `shards` is rounded up to a power of two (key bits 48-63 select the
+  /// shard — see the class comment).
   explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8);
 
   ShardedLruCache(const ShardedLruCache&) = delete;
@@ -47,7 +55,10 @@ class ShardedLruCache {
   void ResetStats();
 
   [[nodiscard]] CacheStats Stats() const;
-  [[nodiscard]] std::size_t Capacity() const noexcept { return per_shard_capacity_ * shards_.size(); }
+  /// Total entry budget actually enforced: the sum of per-shard budgets.
+  /// Equals max(requested capacity, shard count) — the requested budget is
+  /// no longer rounded up per shard and then multiplied back.
+  [[nodiscard]] std::size_t Capacity() const noexcept { return capacity_; }
 
  private:
   struct Entry {
@@ -56,6 +67,7 @@ class ShardedLruCache {
   };
   struct Shard {
     std::mutex mutex;
+    std::size_t capacity = 1;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
     std::uint64_t hits = 0;
@@ -67,7 +79,7 @@ class ShardedLruCache {
     return *shards_[(key >> 48) & shard_mask_];
   }
 
-  std::size_t per_shard_capacity_;
+  std::size_t capacity_;
   std::uint64_t shard_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -34,8 +34,42 @@ parallel::StageLatencyResult ServingOracle::operator()(ir::StageSlice slice,
   return {kInf, {}};
 }
 
+std::vector<parallel::StageLatencyResult> ServingOracle::PredictBatch(
+    std::span<const parallel::StageQuery> queries) const {
+  std::vector<parallel::StageLatencyResult> results(queries.size(),
+                                                    parallel::StageLatencyResult{kInf, {}});
+  // Bucket resolvable queries per mesh model; the rest stay at +inf.
+  std::vector<std::vector<std::size_t>> by_mesh(meshes_.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (max_span_ > 0 && queries[q].slice.NumLayers() > max_span_) continue;
+    for (std::size_t m = 0; m < meshes_.size(); ++m) {
+      if (meshes_[m] == queries[q].mesh) {
+        by_mesh[m].push_back(q);
+        break;
+      }
+    }
+  }
+  for (std::size_t m = 0; m < meshes_.size(); ++m) {
+    if (by_mesh[m].empty()) continue;
+    std::vector<const graph::EncodedGraph*> graphs;
+    graphs.reserve(by_mesh[m].size());
+    for (const std::size_t q : by_mesh[m]) graphs.push_back(&encoder_(queries[q].slice));
+    const std::vector<double> latencies = service_.PredictMany(mesh_keys_[m], graphs);
+    for (std::size_t i = 0; i < by_mesh[m].size(); ++i) {
+      results[by_mesh[m][i]].latency_s = latencies[i];
+    }
+  }
+  return results;
+}
+
 parallel::StageLatencyOracle ServingOracle::AsOracle() const {
   return [this](ir::StageSlice slice, sim::Mesh mesh) { return (*this)(slice, mesh); };
+}
+
+parallel::StageLatencyBatchOracle ServingOracle::AsBatchOracle() const {
+  return [this](std::span<const parallel::StageQuery> queries) {
+    return PredictBatch(queries);
+  };
 }
 
 std::vector<ModelKey> RegisterMeshPredictors(ModelRegistry& registry,

@@ -31,9 +31,22 @@ class ServingOracle {
   [[nodiscard]] parallel::StageLatencyResult operator()(ir::StageSlice slice,
                                                         sim::Mesh mesh) const;
 
+  /// Answer a whole stage-latency table at once: queries are encoded on the
+  /// calling thread (the encoder may memoize and need not be thread-safe),
+  /// grouped per mesh model, and handed to PredictionService::PredictMany,
+  /// which dedupes repeated stages and fans the distinct misses across the
+  /// service pool. Unknown meshes / over-span slices yield +inf, exactly
+  /// like operator().
+  [[nodiscard]] std::vector<parallel::StageLatencyResult> PredictBatch(
+      std::span<const parallel::StageQuery> queries) const;
+
   /// Wrap as the std::function the inter-op optimizer consumes. The oracle
   /// must outlive the returned function.
   [[nodiscard]] parallel::StageLatencyOracle AsOracle() const;
+
+  /// Batched counterpart of AsOracle() for InterOpOptimizer::Optimize's
+  /// batch overload. The oracle must outlive the returned function.
+  [[nodiscard]] parallel::StageLatencyBatchOracle AsBatchOracle() const;
 
  private:
   PredictionService& service_;

@@ -56,13 +56,21 @@ double PredictionService::PredictWithKey(const ModelKey& key, const graph::Encod
 
   double value = 0.0;
   try {
-    const auto model = registry_->Find(key);
-    if (!model) {
-      throw std::runtime_error("PredictionService: no model registered for " +
-                               key.ToString());
+    // Double-checked probe: a finisher puts into the cache *before* erasing
+    // its in-flight entry, so a requester racing that gap can miss the cache
+    // and then find no computation to join. Re-probing after winning
+    // ownership turns that race into a hit instead of a duplicate forward.
+    if (const auto cached = cache_.Get(cache_key)) {
+      value = *cached;
+    } else {
+      const auto model = registry_->Find(key);
+      if (!model) {
+        throw std::runtime_error("PredictionService: no model registered for " +
+                                 key.ToString());
+      }
+      value = model->PredictSeconds(g);
+      forwards_.fetch_add(1, std::memory_order_relaxed);
     }
-    value = model->PredictSeconds(g);
-    forwards_.fetch_add(1, std::memory_order_relaxed);
   } catch (...) {
     promise.set_exception(std::current_exception());
     const std::scoped_lock lock(inflight_mutex_);

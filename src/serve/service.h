@@ -16,7 +16,10 @@
 // PredictMany additionally batches a caller-provided query set: duplicates
 // inside the batch collapse to one forward each, and the distinct misses fan
 // out across the service's ThreadPool. Failures propagate to every waiter
-// (never swallowed) via the pool's exception plumbing.
+// (never swallowed) via the pool's exception plumbing. The inter-op plan
+// search feeds its whole stage-latency table through this path via
+// serve::ServingOracle::AsBatchOracle — one PredictMany call per mesh model
+// instead of one Predict per DP table cell.
 
 #include <atomic>
 #include <cstdint>

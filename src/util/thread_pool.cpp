@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace predtop::util {
 
@@ -25,6 +26,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -41,34 +50,73 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  const auto drain = [&] {
+
+  // All loop state lives in a shared block that helper tasks keep alive, so
+  // a helper that only gets scheduled after the caller has returned (e.g. a
+  // nested call drained the whole range itself) finds `open == false` and
+  // returns without touching `fn` or the caller's stack. The caller waits
+  // only for helpers that actually *started* (they run on other workers and
+  // make progress without us), never for queued-but-unstarted ones — that
+  // blocking join is what deadlocked nested ParallelFor calls: every worker
+  // sat in f.get() on helper tasks no thread was left to run.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int active = 0;            // helpers inside the loop (guarded by mutex)
+    bool open = true;          // cleared when the caller is done (guarded by mutex)
+    std::exception_ptr error;  // first failure only (guarded by mutex)
+  };
+  auto st = std::make_shared<State>();
+  st->fn = &fn;
+  st->n = n;
+
+  const auto drain = [](State& s) {
     for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (s.failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.n) return;
       try {
-        fn(i);
+        (*s.fn)(i);
       } catch (...) {
         // Keep the first exception; later ones (often cascades of the same
         // root cause) are dropped once the loop is already failing.
-        const std::scoped_lock lock(error_mutex);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        const std::scoped_lock lock(s.mutex);
+        if (!s.error) s.error = std::current_exception();
+        s.failed.store(true, std::memory_order_relaxed);
       }
     }
   };
+
   const std::size_t helpers = std::min(workers_.size(), n - 1);
-  std::vector<std::future<void>> futures;
-  futures.reserve(helpers);
-  for (std::size_t i = 0; i < helpers; ++i) futures.push_back(Submit(drain));
-  drain();  // the caller works too
-  // Join every helper before rethrowing: no task may outlive the call and
-  // touch captured state after the caller has unwound.
-  for (auto& f : futures) f.get();
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Enqueue([st, drain] {
+      {
+        const std::scoped_lock lock(st->mutex);
+        if (!st->open) return;  // stale task: the loop is already over
+        ++st->active;
+      }
+      drain(*st);
+      {
+        const std::scoped_lock lock(st->mutex);
+        --st->active;
+      }
+      st->done_cv.notify_all();
+    });
+  }
+
+  drain(*st);  // the caller works too
+
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(st->mutex);
+    st->open = false;  // unstarted helpers become no-ops instead of work we wait on
+    st->done_cv.wait(lock, [&] { return st->active == 0; });
+    error = st->error;
+  }
   if (error) std::rethrow_exception(error);
 }
 

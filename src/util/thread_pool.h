@@ -33,23 +33,24 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    {
-      const std::scoped_lock lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    Enqueue([task] { (*task)(); });
     return fut;
   }
 
   /// Run fn(i) for i in [0, n), distributing across the pool, and wait.
-  /// The calling thread participates, so this is safe on a 1-thread pool.
-  /// If any fn(i) throws, remaining iterations are abandoned, every worker
-  /// is joined, and the *first* exception is rethrown to the caller — tasks
-  /// never outlive the call and failures are never silently dropped (the
-  /// serving path relies on this to fail loudly).
+  /// The calling thread participates, so this is safe on a 1-thread pool and
+  /// safe to call from inside a pool task (nested ParallelFor): the caller
+  /// waits only for helper tasks that actually started running — helpers
+  /// still sitting in the queue when the range is exhausted are skipped, so
+  /// no thread ever blocks on work that only it could run.
+  /// If any fn(i) throws, remaining iterations are abandoned, every started
+  /// helper is waited for, and the *first* exception is rethrown to the
+  /// caller — no task touches `fn` after the call returns and failures are
+  /// never silently dropped (the serving path relies on this to fail loudly).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

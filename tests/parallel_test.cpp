@@ -3,14 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <utility>
 
 #include "parallel/config.h"
 #include "parallel/inter_op.h"
 #include "parallel/intra_op.h"
 #include "parallel/pipeline_model.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace predtop::parallel {
 namespace {
@@ -75,6 +79,16 @@ TEST(PipelineModel, EmptyAndDegenerate) {
   EXPECT_EQ(PipelineLatency({}, 4), 0.0);
   const std::vector<double> one{5.0};
   EXPECT_DOUBLE_EQ(PipelineLatency(one, 4), 5.0 + 3.0 * 5.0);
+}
+
+TEST(PipelineModel, MicrobatchCountIsClampedToOne) {
+  // Regression: B < 1 used to return 0.0 for non-empty pipelines, making any
+  // plan scored with an unset microbatch count look free.
+  const std::vector<double> t{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PipelineLatency(t, 0), 3.0);
+  EXPECT_DOUBLE_EQ(PipelineLatency(t, -3), 3.0);
+  EXPECT_DOUBLE_EQ(PipelineLatency(t, 1), 3.0);
+  EXPECT_EQ(PipelineLatency({}, 0), 0.0);  // empty still costs nothing
 }
 
 // ---- intra-op compiler ----
@@ -330,6 +344,211 @@ TEST(InterOp, MaxStagesBoundRespected) {
   const PipelinePlan plan = optimizer.Optimize(MakeSyntheticOracle(1.0));
   ASSERT_TRUE(plan.Valid());
   EXPECT_LE(plan.stages.size(), 2u);
+}
+
+/// Verbatim transcription of the seed (pre-rewrite) inter-op DP, including
+/// its stages_used side table. For max_stages == 0 it is the correctness
+/// baseline the rewritten search must match; for max_stages > 0 it exhibits
+/// the bug the rewrite fixes (stale stage counts reject feasible plans).
+PipelinePlan SeedReferenceOptimize(const sim::ClusterSpec& cluster,
+                                   const InterOpOptions& options,
+                                   const StageLatencyOracle& oracle) {
+  const std::int32_t layer_count = options.num_layers;
+  const std::int32_t device_count = cluster.TotalDevices();
+  const auto mesh_count = static_cast<std::int32_t>(options.submeshes.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  const auto slice_index = [&](std::int32_t i, std::int32_t j) {
+    return (i * (2 * layer_count - i + 1)) / 2 + (j - i - 1);
+  };
+  const std::int32_t num_slices = layer_count * (layer_count + 1) / 2;
+  std::vector<double> lat(static_cast<std::size_t>(num_slices) * mesh_count, kInf);
+  std::vector<ParallelConfig> cfg(static_cast<std::size_t>(num_slices) * mesh_count);
+  std::vector<double> tmax_candidates;
+  for (std::int32_t i = 0; i < layer_count; ++i) {
+    for (std::int32_t j = i + 1; j <= layer_count; ++j) {
+      for (std::int32_t m = 0; m < mesh_count; ++m) {
+        const StageLatencyResult r =
+            oracle(ir::StageSlice{i, j}, options.submeshes[static_cast<std::size_t>(m)]);
+        const std::size_t idx =
+            static_cast<std::size_t>(slice_index(i, j)) * mesh_count + static_cast<std::size_t>(m);
+        lat[idx] = r.latency_s;
+        cfg[idx] = r.config;
+        if (std::isfinite(r.latency_s)) tmax_candidates.push_back(r.latency_s);
+      }
+    }
+  }
+  std::sort(tmax_candidates.begin(), tmax_candidates.end());
+  tmax_candidates.erase(std::unique(tmax_candidates.begin(), tmax_candidates.end()),
+                        tmax_candidates.end());
+
+  PipelinePlan best;
+  best.num_microbatches = options.num_microbatches;
+
+  struct Choice {
+    std::int32_t prev_layer = -1;
+    std::int32_t prev_devices = -1;
+    std::int32_t mesh = -1;
+  };
+  const auto state = [&](std::int32_t k, std::int32_t d) {
+    return static_cast<std::size_t>(k) * (device_count + 1) + static_cast<std::size_t>(d);
+  };
+
+  for (const double tmax : tmax_candidates) {
+    std::vector<double> g(static_cast<std::size_t>(layer_count + 1) * (device_count + 1), kInf);
+    std::vector<std::int32_t> stages_used(g.size(), 0);
+    std::vector<Choice> choice(g.size());
+    g[state(0, 0)] = 0.0;
+
+    for (std::int32_t k = 0; k < layer_count; ++k) {
+      for (std::int32_t d = 0; d <= device_count; ++d) {
+        const double base = g[state(k, d)];
+        if (!std::isfinite(base)) continue;
+        if (options.max_stages > 0 && stages_used[state(k, d)] >= options.max_stages) continue;
+        for (std::int32_t j = k + 1; j <= layer_count; ++j) {
+          for (std::int32_t m = 0; m < mesh_count; ++m) {
+            const std::int32_t dev = options.submeshes[static_cast<std::size_t>(m)].NumDevices();
+            if (d + dev > device_count) continue;
+            const double t = lat[static_cast<std::size_t>(slice_index(k, j)) * mesh_count +
+                                 static_cast<std::size_t>(m)];
+            if (!std::isfinite(t) || t > tmax) continue;
+            const std::size_t next = state(j, d + dev);
+            if (base + t < g[next]) {
+              g[next] = base + t;
+              stages_used[next] = stages_used[state(k, d)] + 1;
+              choice[next] = Choice{k, d, m};
+            }
+          }
+        }
+      }
+    }
+
+    for (std::int32_t d = 1; d <= device_count; ++d) {
+      const double total_sum = g[state(layer_count, d)];
+      if (!std::isfinite(total_sum)) continue;
+      const double iteration =
+          total_sum + static_cast<double>(options.num_microbatches - 1) * tmax;
+      if (iteration >= best.iteration_latency_s) continue;
+      PipelinePlan plan;
+      plan.num_microbatches = options.num_microbatches;
+      std::int32_t k = layer_count, dd = d;
+      std::vector<double> stage_lats;
+      while (k > 0) {
+        const Choice& c = choice[state(k, dd)];
+        const std::size_t idx = static_cast<std::size_t>(slice_index(c.prev_layer, k)) *
+                                    mesh_count +
+                                static_cast<std::size_t>(c.mesh);
+        PipelineStageChoice stage;
+        stage.slice = ir::StageSlice{c.prev_layer, k};
+        stage.mesh = options.submeshes[static_cast<std::size_t>(c.mesh)];
+        stage.config = cfg[idx];
+        stage.latency_s = lat[idx];
+        stage_lats.push_back(stage.latency_s);
+        plan.stages.push_back(stage);
+        k = c.prev_layer;
+        dd = c.prev_devices;
+      }
+      std::reverse(plan.stages.begin(), plan.stages.end());
+      std::reverse(stage_lats.begin(), stage_lats.end());
+      plan.iteration_latency_s = PipelineLatency(stage_lats, options.num_microbatches);
+      if (plan.iteration_latency_s < best.iteration_latency_s) best = std::move(plan);
+    }
+  }
+  return best;
+}
+
+/// Deterministic, thread-safe, irregular synthetic oracle for equality tests.
+StageLatencyOracle IrregularOracle() {
+  return [](ir::StageSlice slice, sim::Mesh mesh) {
+    const std::uint64_t h = util::SplitMix64(
+        static_cast<std::uint64_t>(slice.first_layer * 977 + slice.last_layer * 31 +
+                                   mesh.NumDevices() * 7));
+    const double latency = 0.02 + static_cast<double>(h % 4096) / 4096.0 *
+                                      slice.NumLayers() / mesh.NumDevices();
+    return StageLatencyResult{latency, {mesh.NumDevices(), 1, 1}};
+  };
+}
+
+TEST(InterOp, PrunedSearchMatchesSeedSerialOnBothPlatforms) {
+  // The rewritten search (explicit stage dimension, candidate pruning,
+  // parallel / batched table fill) must return a plan with the same
+  // iteration latency as the serial seed implementation on both paper
+  // platforms, through every fill path.
+  for (const sim::ClusterSpec& cluster : {sim::Platform1(), sim::Platform2()}) {
+    InterOpOptions options;
+    options.num_layers = 6;
+    options.num_microbatches = 8;
+    const InterOpOptimizer optimizer(cluster, options);
+    const StageLatencyOracle oracle = IrregularOracle();
+
+    const PipelinePlan seed = SeedReferenceOptimize(cluster, optimizer.Options(), oracle);
+    ASSERT_TRUE(seed.Valid()) << cluster.name;
+
+    const PipelinePlan serial = optimizer.Optimize(oracle);
+    util::ThreadPool pool(4);
+    const PipelinePlan pooled = optimizer.Optimize(oracle, pool);
+    const StageLatencyBatchOracle batch = [&](std::span<const StageQuery> queries) {
+      std::vector<StageLatencyResult> out(queries.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        out[q] = oracle(queries[q].slice, queries[q].mesh);
+      }
+      return out;
+    };
+    const PipelinePlan batched = optimizer.Optimize(batch);
+
+    EXPECT_NEAR(serial.iteration_latency_s, seed.iteration_latency_s, 1e-9) << cluster.name;
+    EXPECT_NEAR(pooled.iteration_latency_s, seed.iteration_latency_s, 1e-9) << cluster.name;
+    EXPECT_NEAR(batched.iteration_latency_s, seed.iteration_latency_s, 1e-9) << cluster.name;
+    // The three fill paths are deterministic and identical beyond latency.
+    ASSERT_EQ(serial.stages.size(), pooled.stages.size());
+    ASSERT_EQ(serial.stages.size(), batched.stages.size());
+    for (std::size_t s = 0; s < serial.stages.size(); ++s) {
+      EXPECT_EQ(serial.stages[s].mesh, pooled.stages[s].mesh);
+      EXPECT_EQ(serial.stages[s].mesh, batched.stages[s].mesh);
+      EXPECT_EQ(serial.stages[s].slice.first_layer, batched.stages[s].slice.first_layer);
+      EXPECT_EQ(serial.stages[s].slice.last_layer, batched.stages[s].slice.last_layer);
+    }
+  }
+}
+
+TEST(InterOp, MaxStagesAdmitsFeasiblePlanTheSeedDpRejected) {
+  // Regression for the stale stages_used pruning: state (layers=2, devices=2)
+  // is reached both by two cheap 1-layer stages (sum 2.0) and by one pricier
+  // 2-layer stage (sum 2.5). The seed DP keeps only the cheaper path's stage
+  // count, so with max_stages = 2 it refuses to extend the state and rejects
+  // the only feasible plan [0,2)+[2,3); the stage-dimension DP finds it.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  InterOpOptions options;
+  options.num_layers = 3;
+  options.num_microbatches = 4;
+  options.max_stages = 2;
+  options.submeshes = {sim::Mesh{1, 1}, sim::Mesh{1, 2}};
+  const StageLatencyOracle oracle = [](ir::StageSlice slice, sim::Mesh mesh) {
+    if (slice.NumLayers() == 1) {
+      return StageLatencyResult{mesh.NumDevices() == 1 ? 1.0 : 10.0, {}};
+    }
+    if (slice.NumLayers() == 2 && slice.first_layer == 0) {
+      return StageLatencyResult{mesh.NumDevices() == 2 ? 2.5 : kInf, {}};
+    }
+    return StageLatencyResult{kInf, {}};
+  };
+
+  const InterOpOptimizer optimizer(sim::Platform2(), options);
+  const PipelinePlan seed =
+      SeedReferenceOptimize(sim::Platform2(), optimizer.Options(), oracle);
+  EXPECT_FALSE(seed.Valid());  // the seed DP finds no plan at all
+
+  const PipelinePlan plan = optimizer.Optimize(oracle);
+  ASSERT_TRUE(plan.Valid());
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_EQ(plan.stages[0].slice.first_layer, 0);
+  EXPECT_EQ(plan.stages[0].slice.last_layer, 2);
+  EXPECT_EQ(plan.stages[0].mesh, (sim::Mesh{1, 2}));
+  EXPECT_EQ(plan.stages[1].slice.first_layer, 2);
+  EXPECT_EQ(plan.stages[1].slice.last_layer, 3);
+  EXPECT_EQ(plan.stages[1].mesh, (sim::Mesh{1, 1}));
+  // T = (2.5 + 1.0) + (4 - 1) * 2.5.
+  EXPECT_NEAR(plan.iteration_latency_s, 11.0, 1e-12);
 }
 
 }  // namespace

@@ -7,8 +7,11 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
+#include <map>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "core/plan_search.h"
 #include "graph/fingerprint.h"
@@ -231,6 +234,38 @@ TEST(LruCache, PutUpdatesExistingKey) {
   EXPECT_EQ(cache.Stats().entries, 1u);
 }
 
+TEST(LruCache, CapacityReportsEnforcedBudget) {
+  // Regression: per-shard budgets used to be rounded up and multiplied back,
+  // so ShardedLruCache(10, 8).Capacity() reported 16 while the requested
+  // budget was 10. Capacity() now equals the sum of per-shard budgets.
+  EXPECT_EQ(ShardedLruCache(10, 8).Capacity(), 10u);
+  EXPECT_EQ(ShardedLruCache(16, 8).Capacity(), 16u);
+  EXPECT_EQ(ShardedLruCache(100, 1).Capacity(), 100u);
+  // A shard never drops below one entry, so tiny budgets round up to the
+  // shard count — the one case where Capacity() may exceed the request.
+  EXPECT_EQ(ShardedLruCache(3, 8).Capacity(), 8u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedInOrder) {
+  // Single shard so the global LRU order is observable: shard selection uses
+  // key bits 48-63, so with multiple shards small keys would all collide in
+  // shard 0 anyway — but we pin shards=1 to make the budget exact too.
+  ShardedLruCache cache(/*capacity=*/3, /*shards=*/1);
+  cache.Put(1, 1.0);
+  cache.Put(2, 2.0);
+  cache.Put(3, 3.0);
+  EXPECT_EQ(cache.Get(1), 1.0);  // refresh 1: order now (LRU) 2, 3, 1 (MRU)
+  cache.Put(4, 4.0);             // evicts 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  cache.Put(5, 5.0);  // evicts 3
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.Get(1), 1.0);  // the refreshed key survived both evictions
+  EXPECT_EQ(cache.Get(4), 4.0);
+  EXPECT_EQ(cache.Get(5), 5.0);
+  EXPECT_EQ(cache.Stats().evictions, 2u);
+  EXPECT_EQ(cache.Stats().entries, 3u);
+}
+
 // ---- registry ----
 
 TEST(Registry, RegisterFindAndKeys) {
@@ -331,6 +366,45 @@ TEST(Service, ConcurrentIdenticalQueriesCoalesceOrHitCache) {
   EXPECT_EQ(stats.cache.hits + stats.coalesced, static_cast<std::uint64_t>(kThreads - 1));
 }
 
+TEST(Service, ConcurrentPredictManyWithOverlappingKeys) {
+  // Two callers batch overlapping query sets concurrently. The shared stage
+  // must be forwarded exactly once: either one caller's owner coalesces the
+  // other, or the second owner's double-checked cache probe catches the
+  // Put-before-erase window. Total forwards == number of distinct stages,
+  // deterministically.
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kGcn, TinyOptions()));
+  ServiceOptions options;
+  options.threads = 2;
+  PredictionService service(registry, options);
+
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g1 = core::EncodeStage(benchmark.build_stage({0, 2}));
+  const graph::EncodedGraph shared = core::EncodeStage(benchmark.build_stage({1, 3}));
+  const graph::EncodedGraph g3 = core::EncodeStage(benchmark.build_stage({2, 4}));
+
+  std::vector<double> a, b;
+  std::thread ta([&] {
+    a = service.PredictMany(key, std::vector<const graph::EncodedGraph*>{&g1, &shared});
+  });
+  std::thread tb([&] {
+    b = service.PredictMany(key, std::vector<const graph::EncodedGraph*>{&shared, &g3});
+  });
+  ta.join();
+  tb.join();
+
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(a[1], b[0]);  // both callers see the same value for the shared stage
+  EXPECT_NE(a[0], b[1]);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.batched_queries, 4u);
+  EXPECT_EQ(stats.forwards, 3u);  // g1, shared (once), g3
+}
+
 // ---- thread pool failure propagation ----
 
 TEST(ThreadPool, ParallelForPropagatesExceptions) {
@@ -399,6 +473,69 @@ TEST(ServingOracle, PlanSearchMatchesDirectPredictorCalls) {
   EXPECT_EQ(oracle({0, 4}, sim::Mesh{1, 1}).latency_s, kInf);
   EXPECT_EQ(oracle({0, 1}, sim::Mesh{8, 8}).latency_s, kInf);
   EXPECT_GT(service.Stats().cache.hits, 0u);
+}
+
+TEST(ServingOracle, PredictBatchMatchesScalarQueries) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const std::vector<sim::Mesh> meshes{sim::Mesh{1, 1}, sim::Mesh{1, 2}};
+  // Distinct predictor kinds so the two mesh models predict distinct values
+  // (two untrained regressors of the same kind initialize identically).
+  const core::PredictorKind kinds[] = {core::PredictorKind::kGcn, core::PredictorKind::kGat};
+  std::vector<ModelKey> keys;
+  for (std::size_t m = 0; m < meshes.size(); ++m) {
+    ModelKey key{"gpt3", "platform1", meshes[m], {}};
+    registry->Register(key,
+                       std::make_shared<core::LatencyRegressor>(kinds[m], TinyOptions()));
+    keys.push_back(std::move(key));
+  }
+  ServiceOptions options;
+  options.threads = 2;
+  PredictionService service(registry, options);
+
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  std::map<std::pair<std::int32_t, std::int32_t>, graph::EncodedGraph> encoded;
+  const auto encoder = [&](ir::StageSlice s) -> const graph::EncodedGraph& {
+    const auto key = std::make_pair(s.first_layer, s.last_layer);
+    if (const auto it = encoded.find(key); it != encoded.end()) return it->second;
+    return encoded.emplace(key, core::EncodeStage(benchmark.build_stage(s))).first->second;
+  };
+  const ServingOracle oracle(service, meshes, keys, encoder, /*max_span=*/2);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<parallel::StageQuery> queries{
+      {{0, 2}, sim::Mesh{1, 1}},  //
+      {{0, 2}, sim::Mesh{1, 2}},  // same slice, other mesh model
+      {{2, 4}, sim::Mesh{1, 1}},  //
+      {{0, 3}, sim::Mesh{1, 1}},  // over max_span -> +inf, never queried
+      {{1, 2}, sim::Mesh{8, 8}},  // unknown mesh -> +inf, never queried
+      {{0, 2}, sim::Mesh{1, 1}},  // duplicate of queries[0]
+  };
+  const std::vector<parallel::StageLatencyResult> batch = oracle.PredictBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const parallel::StageLatencyResult scalar = oracle(queries[q].slice, queries[q].mesh);
+    EXPECT_EQ(batch[q].latency_s, scalar.latency_s) << "query " << q;
+  }
+  EXPECT_EQ(batch[3].latency_s, kInf);
+  EXPECT_EQ(batch[4].latency_s, kInf);
+  EXPECT_EQ(batch[0].latency_s, batch[5].latency_s);
+  EXPECT_NE(batch[0].latency_s, batch[1].latency_s);
+
+  // The batch ran before the scalar re-queries, so it did all the forwards:
+  // one per distinct resolvable (slice, mesh) pair — the duplicate, the
+  // over-span slice and the unknown mesh never reached a model.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 2u);  // one PredictMany per mesh model
+  EXPECT_EQ(stats.forwards, 3u);
+
+  // AsBatchOracle adapts the same path for InterOpOptimizer::Optimize.
+  const parallel::StageLatencyBatchOracle fn = oracle.AsBatchOracle();
+  const std::vector<parallel::StageLatencyResult> again = fn(queries);
+  ASSERT_EQ(again.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(again[q].latency_s, batch[q].latency_s);
+  }
+  EXPECT_EQ(service.Stats().forwards, 3u);  // all cache hits the second time
 }
 
 }  // namespace

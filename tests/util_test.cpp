@@ -213,6 +213,42 @@ TEST(ThreadPool, ParallelForWorksSingleThreaded) {
   EXPECT_EQ(total.load(), 37);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: a worker running an outer ParallelFor iteration used to
+  // block in f.get() on inner helper tasks that no thread was left to run.
+  // Depth 2 on a 1-thread pool is the worst case: the single worker must
+  // finish the inner loop itself and skip its queued-but-unstarted helpers.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(3, [&](std::size_t) {
+    pool.ParallelFor(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 12);
+
+  // Same shape with contention across several workers.
+  ThreadPool wide(4);
+  std::atomic<int> wide_total{0};
+  wide.ParallelFor(8, [&](std::size_t) {
+    wide.ParallelFor(8, [&](std::size_t) { wide_total.fetch_add(1); });
+  });
+  EXPECT_EQ(wide_total.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(2,
+                                [&](std::size_t) {
+                                  pool.ParallelFor(2, [](std::size_t j) {
+                                    if (j == 1) throw std::runtime_error("inner");
+                                  });
+                                }),
+               std::runtime_error);
+  // The pool survives and keeps serving work.
+  std::atomic<int> count{0};
+  pool.ParallelFor(5, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 5);
+}
+
 TEST(ThreadPool, PropagatesExceptions) {
   ThreadPool pool(1);
   auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
