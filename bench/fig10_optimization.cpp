@@ -9,12 +9,28 @@
 // serial per-cell query path against the batched PredictMany path (cold
 // cache), plus a warm repeat search — the speedups batching and the
 // fingerprint cache buy.
+//
+// PREDTOP_FAULT_DRILL=1 runs the fault drill instead of the approach grid:
+// train the DAG Transformer predictors, checkpoint them, corrupt one
+// checkpoint on disk, reload under fault injection (bounded retries +
+// quarantine), then run the plan search through the hardened ServingOracle
+// with the analytical FallbackOracle as the bottom rung. The drill passes
+// when both platforms produce a finite, valid plan and it reports the
+// degraded-query fraction. PREDTOP_FAULT overrides the injected spec;
+// PREDTOP_FAULT_SEED replays a specific decision sequence.
 
 #include <algorithm>
+#include <cmath>
+#include <filesystem>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/plan_search.h"
+#include "fault/injector.h"
+#include "serve/fallback.h"
 #include "serve/oracle.h"
 #include "serve/service.h"
 
@@ -111,6 +127,123 @@ void RunServingMode(const core::BenchmarkModel& benchmark, const sim::ClusterSpe
             << "x vs serial cold\n\n";
 }
 
+// Fault drill: the degradation ladder end to end on one platform.
+//   1. train + checkpoint one DAG Transformer predictor per mesh;
+//   2. truncate the last mesh's checkpoint mid-frame (a torn write);
+//   3. reload every checkpoint with TryRegisterFromFile under ckpt_read
+//      injection — the torn file quarantines, transient faults retry;
+//   4. search with predict_nan / predict_delay injection live, degrading to
+//      the analytical FallbackOracle wherever the ladder bottoms out.
+// Returns true when the plan is valid and finite despite all of the above.
+bool RunFaultDrill(const core::BenchmarkModel& benchmark, const sim::ClusterSpec& cluster,
+                   const std::string& platform_label, std::int32_t max_span,
+                   const bench::GridConfig& grid) {
+  namespace fs = std::filesystem;
+  core::PlanSearch search(benchmark, cluster,
+                          MakePlanConfig(benchmark, cluster, max_span, grid));
+  std::cerr << "[bench] fig10 " << benchmark.name << ": fault drill (train, "
+            << platform_label << ")\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+
+  // Checkpoint every mesh predictor, then tear the last one mid-frame.
+  const fs::path ckpt_dir = fs::temp_directory_path() / "predtop_fault_drill";
+  fs::create_directories(ckpt_dir);
+  serve::ModelRegistry trained_registry;
+  const std::vector<serve::ModelKey> keys = serve::RegisterMeshPredictors(
+      trained_registry, benchmark.name, platform_label, search.Meshes(), trained);
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    paths.push_back(
+        (ckpt_dir / (platform_label + "_mesh" + std::to_string(i) + ".ptck")).string());
+    trained_registry.SaveToFile(keys[i], paths.back());
+  }
+  const auto torn_size = static_cast<std::uintmax_t>(fs::file_size(paths.back()) / 2);
+  fs::resize_file(paths.back(), torn_size);
+
+  // Everything below runs under injection: PREDTOP_FAULT's spec when set
+  // (it configured the global injector at bootstrap), the drill's default
+  // storm otherwise. Reconfiguring per platform restarts every site's
+  // decision sequence from PREDTOP_FAULT_SEED, so each platform's drill is
+  // independently replayable.
+  auto& injector = fault::Injector::Global();
+  const std::string spec =
+      injector.Enabled() ? injector.SpecString()
+                         : "ckpt_read:0.3;predict_nan:0.05;predict_delay_ms:2;"
+                           "predict_delay_p:0.02";
+  const auto seed = static_cast<std::uint64_t>(util::EnvInt(
+      "PREDTOP_FAULT_SEED", static_cast<long>(fault::Injector::kDefaultSeed)));
+  injector.Configure(spec, seed);
+
+  // Reload from disk the way a serving process would: bounded retries,
+  // quarantine on exhaustion, never an exception.
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  serve::ModelRegistry::RetryPolicy retry;
+  retry.max_attempts = 4;
+  std::size_t reloaded = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const fault::Status status = registry->TryRegisterFromFile(keys[i], paths[i], retry);
+    if (status.ok()) {
+      ++reloaded;
+    } else {
+      std::cerr << "[bench] fault drill: " << paths[i] << " -> " << status.ToString()
+                << "\n";
+    }
+  }
+  const std::size_t quarantined = registry->Quarantined().size();
+
+  serve::ServiceOptions service_options;
+  service_options.threads = 0;
+  serve::PredictionService service(registry, service_options);
+  serve::ServingOracleOptions oracle_options;
+  oracle_options.max_attempts = 3;
+  oracle_options.deadline_ms = 250.0;
+  oracle_options.fallback = std::make_shared<serve::FallbackOracle>(
+      cluster.device, [&search](ir::StageSlice s) -> const ir::StageProgram& {
+        return search.ProgramFor(s);
+      });
+  const serve::ServingOracle oracle(
+      service, search.Meshes(), keys,
+      [&search](ir::StageSlice s) -> const graph::EncodedGraph& {
+        return search.EncodedFor(s);
+      },
+      search.EffectiveMaxSpan(), oracle_options);
+
+  util::Stopwatch watch;
+  const parallel::PipelinePlan plan =
+      search.MakeOptimizer().Optimize(oracle.AsBatchOracle());
+  const double search_s = watch.ElapsedSeconds();
+  const serve::OracleStats stats = oracle.Stats();
+
+  std::size_t degraded_stages = 0;
+  for (const parallel::PipelineStageChoice& stage : plan.stages) {
+    if (stage.degraded) ++degraded_stages;
+  }
+  const bool ok = plan.Valid() && std::isfinite(plan.iteration_latency_s);
+  const double degraded_fraction =
+      stats.queries > 0 ? static_cast<double>(stats.degraded) / stats.queries : 0.0;
+
+  util::TablePrinter table({"metric", "value"});
+  table.SetTitle("Fig. 10 fault drill — " + benchmark.name + " on " + platform_label +
+                 " (PREDTOP_FAULT=\"" + injector.SpecString() + "\")");
+  table.AddRow({"checkpoints reloaded",
+                std::to_string(reloaded) + " / " + std::to_string(keys.size())});
+  table.AddRow({"checkpoints quarantined", std::to_string(quarantined)});
+  table.AddRow({"plan valid + finite", ok ? "yes" : "NO"});
+  table.AddRow({"plan latency", util::FormatSeconds(plan.iteration_latency_s)});
+  table.AddRow({"degraded stages", std::to_string(degraded_stages) + " / " +
+                                       std::to_string(plan.stages.size())});
+  table.AddRow({"degraded queries",
+                std::to_string(stats.degraded) + " / " + std::to_string(stats.queries) +
+                    " (" + util::FormatF(100.0 * degraded_fraction, 1) + " %)"});
+  table.AddRow({"search wall", util::FormatSeconds(search_s)});
+  table.Print(std::cout);
+  std::cout << '\n';
+
+  fs::remove_all(ckpt_dir);
+  return ok;
+}
+
 void RunBenchmark(const core::BenchmarkModel& benchmark, std::int32_t max_span,
                   const bench::GridConfig& grid) {
   core::PlanSearch search(benchmark, sim::Platform2(),
@@ -150,6 +283,19 @@ void RunBenchmark(const core::BenchmarkModel& benchmark, std::int32_t max_span,
 
 int main() {
   const bench::GridConfig grid = bench::LoadGridConfig();
+  // PREDTOP_FAULT_DRILL=1 runs only the fault drill (both platforms) and
+  // exits non-zero if either platform fails to produce a valid finite plan.
+  if (util::EnvBool("PREDTOP_FAULT_DRILL", false)) {
+    bool ok = RunFaultDrill(bench::PaperGpt3(), sim::Platform1(), "platform1",
+                            grid.gpt_max_span, grid);
+    ok &= RunFaultDrill(bench::PaperGpt3(), sim::Platform2(), "platform2",
+                        grid.gpt_max_span, grid);
+    fault::Injector::Global().Disable();
+    std::cout << (ok ? "fault drill PASSED: plan search completed with a valid finite "
+                       "plan on both platforms under injection\n"
+                     : "fault drill FAILED\n");
+    return ok ? 0 : 1;
+  }
   // PREDTOP_SERVE_ONLY=1 skips the (slow) approach grid and measures just
   // the serving-mode passes — implies PREDTOP_SERVE_MODE.
   const bool serve_only = util::EnvBool("PREDTOP_SERVE_ONLY", false);

@@ -6,6 +6,11 @@
 #                        suites (thread pool, prediction service, plan
 #                        search) run directly — the full suite is too slow
 #                        under TSan and the other suites are single-threaded
+#   ci/run.sh fault      additional ASan/UBSan build of the fault/serving/
+#                        plan-search suites plus the fig10 fault drill
+#                        (checkpoint corruption + quarantine + injected
+#                        NaN/delay faults during a real plan search, which
+#                        must still produce a valid finite plan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +22,21 @@ if [[ "${1:-}" == "sanitize" ]]; then
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)"
   ctest --preset asan -j "$(nproc)"
+fi
+
+if [[ "${1:-}" == "fault" ]]; then
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" \
+    --target fault_test serve_test parallel_test fig10_optimization
+  # The suites configure injection themselves (and must also pass clean).
+  ./build-asan/tests/fault_test
+  ./build-asan/tests/serve_test
+  ./build-asan/tests/parallel_test
+  # Full drill under ASan with an env-driven fault storm: torn checkpoint,
+  # flaky reads, NaN forwards, delayed forwards, delayed pool dispatch.
+  PREDTOP_FAULT="ckpt_read:0.3;predict_nan:0.1;predict_delay_ms:2;predict_delay_p:0.05;pool_delay_ms:1;pool_delay_p:0.02" \
+    PREDTOP_FAULT_SEED=7 PREDTOP_FAULT_DRILL=1 PREDTOP_EPOCHS=40 \
+    ./build-asan/bench/fig10_optimization
 fi
 
 if [[ "${1:-}" == "tsan" ]]; then

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "autograd/functions.h"
+#include "fault/status.h"
 #include "graph/depth.h"
 #include "graph/reachability.h"
 #include "nn/serialize.h"
@@ -217,7 +218,7 @@ template <typename T>
 T ReadPod(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("predictor checkpoint: truncated stream");
+  if (!in) throw fault::CorruptionError("predictor checkpoint: truncated stream");
   return value;
 }
 
@@ -257,14 +258,14 @@ void SavePredictor(std::ostream& out, PredictorKind kind, const PredictorOptions
 LoadedPredictor LoadPredictor(std::istream& in) {
   const auto tag = ReadPod<std::int32_t>(in);
   if (tag < 0 || tag > static_cast<std::int32_t>(PredictorKind::kGat)) {
-    throw std::runtime_error("predictor checkpoint: unknown model kind tag " +
+    throw fault::CorruptionError("predictor checkpoint: unknown model kind tag " +
                              std::to_string(tag));
   }
   LoadedPredictor loaded;
   loaded.kind = static_cast<PredictorKind>(tag);
   loaded.options = ReadOptions(in);
   if (loaded.options.feature_dim <= 0 || loaded.options.feature_dim > (1 << 20)) {
-    throw std::runtime_error("predictor checkpoint: implausible feature_dim");
+    throw fault::CorruptionError("predictor checkpoint: implausible feature_dim");
   }
   loaded.model = MakePredictor(loaded.kind, loaded.options);
   nn::ReadStateDict(in, *loaded.model);

@@ -4,10 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "fault/crc32.h"
+#include "fault/injector.h"
+#include "fault/status.h"
 #include "nn/serialize.h"
 #include "util/stats.h"
 
@@ -22,11 +27,16 @@ LatencyRegressor::LatencyRegressor(PredictorKind kind, PredictorOptions options,
 
 namespace {
 
-// `.ptck` framing: "PTCK" magic + format version, then the target transform
-// and its normalization stats, then the predictor section (kind tag,
-// architecture options, named state dict — see core::SavePredictor).
+// `.ptck` framing, version 3 (hardened): "PTCK" magic, format version,
+// payload length (u64), payload, CRC32 footer over the payload. The payload
+// is the version-2 body — target transform + normalization stats, then the
+// predictor section (kind tag, architecture options, named state dict — see
+// core::SavePredictor). The length prefix is validated against the remaining
+// stream size before the payload is buffered, and the CRC turns any bit rot
+// or truncation inside the payload into a typed CorruptionError instead of
+// subtly-wrong weights.
 constexpr std::uint32_t kCheckpointMagic = 0x5054434b;  // "PTCK"
-constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -37,46 +47,100 @@ template <typename T>
 T ReadPod(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("LatencyRegressor: truncated checkpoint");
+  if (!in) throw fault::CorruptionError("LatencyRegressor: truncated checkpoint");
   return value;
 }
 
 }  // namespace
 
 void LatencyRegressor::Save(std::ostream& out) {
+  std::ostringstream payload_stream(std::ios::binary);
+  WritePod<std::int32_t>(payload_stream, static_cast<std::int32_t>(transform_));
+  WritePod<double>(payload_stream, scale_);
+  WritePod<double>(payload_stream, log_mean_);
+  WritePod<double>(payload_stream, log_std_);
+  SavePredictor(payload_stream, kind_, options_, *model_);
+  const std::string payload = payload_stream.str();
+
   WritePod(out, kCheckpointMagic);
   WritePod(out, kCheckpointVersion);
-  WritePod<std::int32_t>(out, static_cast<std::int32_t>(transform_));
-  WritePod<double>(out, scale_);
-  WritePod<double>(out, log_mean_);
-  WritePod<double>(out, log_std_);
-  SavePredictor(out, kind_, options_, *model_);
+  WritePod<std::uint64_t>(out, payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  WritePod<std::uint32_t>(out, fault::Crc32(payload));
+  if (!out) throw fault::IoError("LatencyRegressor::Save: stream write failed");
 }
 
 void LatencyRegressor::Save(const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("LatencyRegressor::Save: cannot open " + path);
-  Save(out);
-  if (!out) throw std::runtime_error("LatencyRegressor::Save: write failed for " + path);
+  // Atomic save: write the full frame to a sibling temp file, then rename it
+  // over the target. A crash (or an injected ckpt_write fault) mid-save
+  // leaves either the previous checkpoint or nothing — never a torn frame
+  // under the real name.
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  std::error_code discard;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw fault::IoError("LatencyRegressor::Save: cannot open " + tmp);
+    try {
+      Save(out);
+    } catch (...) {
+      out.close();
+      fs::remove(tmp, discard);
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, discard);
+      throw fault::IoError("LatencyRegressor::Save: write failed for " + tmp);
+    }
+  }
+  if (fault::Injector::Global().ShouldInject(fault::sites::kCkptWrite)) {
+    fs::remove(tmp, discard);
+    throw fault::IoError("LatencyRegressor::Save: injected ckpt_write fault for " + path);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, discard);
+    throw fault::IoError("LatencyRegressor::Save: rename to " + path +
+                         " failed: " + ec.message());
+  }
 }
 
 LatencyRegressor LatencyRegressor::Load(std::istream& in) {
   if (ReadPod<std::uint32_t>(in) != kCheckpointMagic) {
-    throw std::runtime_error("LatencyRegressor::Load: bad checkpoint magic");
+    throw fault::CorruptionError("LatencyRegressor::Load: bad checkpoint magic");
   }
   if (const auto version = ReadPod<std::uint32_t>(in); version != kCheckpointVersion) {
-    throw std::runtime_error("LatencyRegressor::Load: unsupported checkpoint version " +
-                             std::to_string(version));
+    throw fault::CorruptionError(
+        "LatencyRegressor::Load: unsupported checkpoint version " +
+        std::to_string(version));
   }
-  const auto transform_tag = ReadPod<std::int32_t>(in);
+  const auto payload_size = ReadPod<std::uint64_t>(in);
+  nn::CheckClaimedSize(in, payload_size, "checkpoint payload");
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in) throw fault::CorruptionError("LatencyRegressor::Load: truncated payload");
+  const auto stored_crc = ReadPod<std::uint32_t>(in);
+  if (const std::uint32_t actual = fault::Crc32(payload); actual != stored_crc) {
+    throw fault::CorruptionError("LatencyRegressor::Load: checkpoint CRC mismatch");
+  }
+
+  std::istringstream body(payload, std::ios::binary);
+  const auto transform_tag = ReadPod<std::int32_t>(body);
   if (transform_tag < 0 ||
       transform_tag > static_cast<std::int32_t>(TargetTransform::kLogStandardized)) {
-    throw std::runtime_error("LatencyRegressor::Load: unknown target transform");
+    throw fault::CorruptionError("LatencyRegressor::Load: unknown target transform");
   }
-  const double scale = ReadPod<double>(in);
-  const double log_mean = ReadPod<double>(in);
-  const double log_std = ReadPod<double>(in);
-  LoadedPredictor predictor = LoadPredictor(in);
+  const double scale = ReadPod<double>(body);
+  const double log_mean = ReadPod<double>(body);
+  const double log_std = ReadPod<double>(body);
+  LoadedPredictor predictor = LoadPredictor(body);
+  if (body.peek() != std::istringstream::traits_type::eof()) {
+    throw fault::CorruptionError(
+        "LatencyRegressor::Load: trailing bytes after checkpoint payload");
+  }
   LatencyRegressor regressor(predictor.kind, predictor.options,
                              static_cast<TargetTransform>(transform_tag));
   regressor.model_ = std::move(predictor.model);
@@ -87,8 +151,11 @@ LatencyRegressor LatencyRegressor::Load(std::istream& in) {
 }
 
 LatencyRegressor LatencyRegressor::Load(const std::string& path) {
+  if (fault::Injector::Global().ShouldInject(fault::sites::kCkptRead)) {
+    throw fault::IoError("LatencyRegressor::Load: injected ckpt_read fault for " + path);
+  }
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("LatencyRegressor::Load: cannot open " + path);
+  if (!in) throw fault::IoError("LatencyRegressor::Load: cannot open " + path);
   return Load(in);
 }
 

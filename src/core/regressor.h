@@ -42,12 +42,16 @@ class LatencyRegressor {
   [[nodiscard]] TargetTransform Transform() const noexcept { return transform_; }
 
   /// Persist the trained predictor as a versioned `.ptck` checkpoint —
-  /// magic, format version, model-kind tag, architecture options, target
-  /// transform + normalization stats, and a named-parameter state dict —
-  /// so one profiling+training pass serves many plan searches and a reload
-  /// in a fresh process reproduces bit-identical predictions. Load throws
-  /// std::runtime_error on bad magic, unsupported version, truncation, or
-  /// weight-name/shape mismatches.
+  /// magic, format version, length-prefixed payload (model-kind tag,
+  /// architecture options, target transform + normalization stats,
+  /// named-parameter state dict) and a CRC32 footer — so one
+  /// profiling+training pass serves many plan searches and a reload in a
+  /// fresh process reproduces bit-identical predictions. The file overload
+  /// saves atomically (write temp, then rename). Load throws
+  /// fault::CorruptionError (a std::runtime_error) on bad magic, unsupported
+  /// version, truncation, CRC mismatch, hostile length prefixes, or
+  /// weight-name/shape mismatches, and fault::IoError on open/read failures
+  /// (including injected ckpt_read/ckpt_write faults).
   void Save(std::ostream& out);
   void Save(const std::string& path);
   [[nodiscard]] static LatencyRegressor Load(std::istream& in);

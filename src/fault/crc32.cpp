@@ -1,0 +1,34 @@
+#include "fault/crc32.h"
+
+#include <array>
+
+namespace predtop::fault {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32(const void* bytes, std::size_t size, std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace predtop::fault

@@ -1,0 +1,25 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+// footer of `.ptck` checkpoint frames. A bit flip anywhere in a multi-KB
+// payload would otherwise load as slightly-wrong weights and serve silently
+// skewed latencies; the CRC turns it into a typed corruption error at load
+// time. Not cryptographic — it defends against rot and truncation, not
+// adversaries.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace predtop::fault {
+
+/// CRC of `bytes`, continuing from `crc` (pass 0 to start; feed chunks by
+/// threading the return value back in).
+[[nodiscard]] std::uint32_t Crc32(const void* bytes, std::size_t size,
+                                  std::uint32_t crc = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t Crc32(std::string_view bytes,
+                                         std::uint32_t crc = 0) noexcept {
+  return Crc32(bytes.data(), bytes.size(), crc);
+}
+
+}  // namespace predtop::fault

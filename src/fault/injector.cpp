@@ -1,0 +1,224 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace predtop::fault {
+
+namespace {
+
+const char* const kKnownSites[] = {
+    sites::kCkptRead,      sites::kCkptWrite,    sites::kPredictNan,
+    sites::kPredictDelayMs, sites::kPredictDelayP, sites::kPoolDelayMs,
+    sites::kPoolDelayP,
+};
+
+bool IsKnownSite(const std::string& name) {
+  for (const char* s : kKnownSites) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+std::uint64_t HashSiteName(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string Trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+struct Injector::Config {
+  struct Site {
+    std::string name;
+    double value = 0.0;
+    std::uint64_t name_hash = 0;
+    mutable std::atomic<std::uint64_t> evaluations{0};
+    mutable std::atomic<std::uint64_t> fires{0};
+  };
+  std::uint64_t seed = Injector::kDefaultSeed;
+  // A handful of sites at most: linear scan beats hashing small strings.
+  std::vector<std::unique_ptr<Site>> sites;
+
+  [[nodiscard]] const Site* Find(const char* name) const noexcept {
+    for (const auto& s : sites) {
+      if (s->name == name) return s.get();
+    }
+    return nullptr;
+  }
+};
+
+Injector& Injector::Global() {
+  static Injector* instance = [] {
+    auto* injector = new Injector();
+    if (const auto spec = util::EnvString("PREDTOP_FAULT")) {
+      const auto seed = static_cast<std::uint64_t>(
+          util::EnvInt("PREDTOP_FAULT_SEED", static_cast<long>(kDefaultSeed)));
+      try {
+        injector->Configure(*spec, seed);
+      } catch (const std::exception& e) {
+        std::cerr << "[predtop::fault] ignoring malformed PREDTOP_FAULT: " << e.what()
+                  << "\n";
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+void Injector::Configure(const std::string& spec, std::uint64_t seed) {
+  auto config = std::make_shared<Config>();
+  config->seed = seed;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    const std::string entry = Trim(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("fault spec entry '" + entry + "' is not site:value");
+    }
+    const std::string name = Trim(entry.substr(0, colon));
+    const std::string value_str = Trim(entry.substr(colon + 1));
+    if (!IsKnownSite(name)) {
+      throw std::invalid_argument("unknown fault site '" + name + "'");
+    }
+    char* parse_end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &parse_end);
+    if (value_str.empty() || parse_end == nullptr || *parse_end != '\0' || value < 0.0) {
+      throw std::invalid_argument("bad value '" + value_str + "' for fault site " + name);
+    }
+    if (config->Find(name.c_str()) != nullptr) {
+      throw std::invalid_argument("fault site '" + name + "' configured twice");
+    }
+    auto site = std::make_unique<Config::Site>();
+    site->name = name;
+    site->value = value;
+    site->name_hash = HashSiteName(name);
+    config->sites.push_back(std::move(site));
+  }
+
+  const bool has_pool_site = config->Find(sites::kPoolDelayMs) != nullptr;
+  const bool any = !config->sites.empty();
+  {
+    const std::scoped_lock lock(mutex_);
+    config_ = any ? std::move(config) : nullptr;
+    enabled_.store(any, std::memory_order_release);
+  }
+  if (has_pool_site) {
+    util::ThreadPool::SetTaskHook([] {
+      const double ms =
+          Injector::Global().FireDelayMs(sites::kPoolDelayMs, sites::kPoolDelayP);
+      if (ms > 0.0) SleepForMs(ms);
+    });
+  } else {
+    util::ThreadPool::SetTaskHook(nullptr);
+  }
+}
+
+void Injector::Disable() { Configure(""); }
+
+bool Injector::Enabled() const noexcept {
+  return enabled_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const Injector::Config> Injector::Snapshot() const {
+  if (!Enabled()) return nullptr;
+  const std::scoped_lock lock(mutex_);
+  return config_;
+}
+
+bool Injector::ShouldInject(const char* site) {
+  const auto config = Snapshot();
+  if (!config) return false;
+  const Config::Site* s = config->Find(site);
+  if (s == nullptr) return false;
+  const std::uint64_t k = s->evaluations.fetch_add(1, std::memory_order_relaxed);
+  // Deterministic Bernoulli: mix (seed, site, call index) to a u64, take the
+  // top 53 bits as a uniform double in [0, 1).
+  const std::uint64_t mixed =
+      util::SplitMix64(config->seed ^ s->name_hash ^ (k * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  const bool fire = u < s->value;
+  if (fire) s->fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+double Injector::Value(const char* site, double fallback) const {
+  const auto config = Snapshot();
+  if (!config) return fallback;
+  const Config::Site* s = config->Find(site);
+  return s != nullptr ? s->value : fallback;
+}
+
+double Injector::FireDelayMs(const char* delay_site, const char* prob_site) {
+  const auto config = Snapshot();
+  if (!config) return 0.0;
+  const Config::Site* delay = config->Find(delay_site);
+  if (delay == nullptr || delay->value <= 0.0) return 0.0;
+  // Absent companion probability site = fire every time. The delay site's
+  // own counters always record the outcome, so drills can read fire rates
+  // off the *_ms site regardless of how the companion is configured.
+  const bool fire = config->Find(prob_site) == nullptr || ShouldInject(prob_site);
+  delay->evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (fire) delay->fires.fetch_add(1, std::memory_order_relaxed);
+  return fire ? delay->value : 0.0;
+}
+
+SiteStats Injector::Stats(const char* site) const {
+  SiteStats stats;
+  const auto config = Snapshot();
+  if (!config) return stats;
+  if (const Config::Site* s = config->Find(site)) {
+    stats.evaluations = s->evaluations.load(std::memory_order_relaxed);
+    stats.fires = s->fires.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void Injector::ResetCounters() {
+  const auto config = Snapshot();
+  if (!config) return;
+  for (const auto& s : config->sites) {
+    s->evaluations.store(0, std::memory_order_relaxed);
+    s->fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string Injector::SpecString() const {
+  const auto config = Snapshot();
+  if (!config) return "";
+  std::ostringstream out;  // default float formatting: "0.25", not "0.250000"
+  for (const auto& s : config->sites) {
+    if (out.tellp() > 0) out << ';';
+    out << s->name << ':' << s->value;
+  }
+  return out.str();
+}
+
+void SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace predtop::fault

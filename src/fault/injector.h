@@ -1,0 +1,106 @@
+#pragma once
+// Deterministic, seed-driven fault injection for robustness drills. The
+// serving path has three places where production failures concentrate —
+// checkpoint IO, predictor forwards, and thread-pool task dispatch — and
+// each gets a named injection site. A drill turns sites on via the
+// PREDTOP_FAULT environment variable, e.g.
+//
+//   PREDTOP_FAULT="ckpt_read:0.3;predict_nan:0.05;predict_delay_ms:50"
+//   PREDTOP_FAULT_SEED=7   (optional; decisions derive from this seed)
+//
+// Probability sites (ckpt_read, ckpt_write, predict_nan) fire with the given
+// probability; *_ms sites carry a magnitude (delay in milliseconds) and fire
+// on every evaluation unless a companion *_p site caps the fraction
+// (predict_delay_p, pool_delay_p).
+//
+// Decisions are deterministic: the k-th evaluation of a site hashes
+// (seed, site name, k) through SplitMix64, so a failing drill replays
+// exactly from its seed regardless of thread interleaving *per site*. With
+// no sites configured every probe is a single relaxed atomic load — the
+// subsystem costs nothing when idle, and results are bit-identical to a
+// build without it.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace predtop::fault {
+
+/// Canonical site names, threaded through the serving path:
+///  - ckpt_read / ckpt_write: checkpoint load/save throws fault::IoError;
+///  - predict_nan: a PredictionService forward returns NaN;
+///  - predict_delay_ms (+ predict_delay_p): a forward sleeps first;
+///  - pool_delay_ms (+ pool_delay_p): a ThreadPool task sleeps at dispatch.
+namespace sites {
+inline constexpr const char* kCkptRead = "ckpt_read";
+inline constexpr const char* kCkptWrite = "ckpt_write";
+inline constexpr const char* kPredictNan = "predict_nan";
+inline constexpr const char* kPredictDelayMs = "predict_delay_ms";
+inline constexpr const char* kPredictDelayP = "predict_delay_p";
+inline constexpr const char* kPoolDelayMs = "pool_delay_ms";
+inline constexpr const char* kPoolDelayP = "pool_delay_p";
+}  // namespace sites
+
+struct SiteStats {
+  std::uint64_t evaluations = 0;  // times the site's dice were rolled
+  std::uint64_t fires = 0;        // times it injected
+};
+
+class Injector {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x5eedfa17ULL;
+
+  /// Process-wide injector. First use bootstraps from PREDTOP_FAULT /
+  /// PREDTOP_FAULT_SEED; a malformed env spec warns and leaves injection off
+  /// (a typo in a drill knob must not crash the server being drilled).
+  [[nodiscard]] static Injector& Global();
+
+  /// (Re)configure from a spec string ("site:value;site:value"); empty spec
+  /// disables. Throws std::invalid_argument on malformed entries or unknown
+  /// site names. Installs/clears the ThreadPool dispatch hook as needed.
+  /// Not safe to call while other threads are mid-drill.
+  void Configure(const std::string& spec, std::uint64_t seed = kDefaultSeed);
+
+  /// Turn all sites off (equivalent to Configure("")).
+  void Disable();
+
+  /// Fast path: false means no site is configured anywhere.
+  [[nodiscard]] bool Enabled() const noexcept;
+
+  /// Roll the site's dice: true with the configured probability, false
+  /// always when the site is absent (absent sites don't count evaluations).
+  [[nodiscard]] bool ShouldInject(const char* site);
+
+  /// Configured magnitude of a site (e.g. delay ms), or `fallback`.
+  [[nodiscard]] double Value(const char* site, double fallback = 0.0) const;
+
+  /// Delay-site helper: when `delay_site` is configured and its companion
+  /// probability site fires (absent companion = always), returns the delay
+  /// in milliseconds; otherwise 0.
+  [[nodiscard]] double FireDelayMs(const char* delay_site, const char* prob_site);
+
+  [[nodiscard]] SiteStats Stats(const char* site) const;
+  void ResetCounters();
+
+  /// Canonical "site:value;..." form of the active config ("" when off).
+  [[nodiscard]] std::string SpecString() const;
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+ private:
+  Injector() = default;
+  struct Config;
+  [[nodiscard]] std::shared_ptr<const Config> Snapshot() const;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Config> config_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Sleep helper shared by the delay sites (plain this_thread::sleep_for).
+void SleepForMs(double ms);
+
+}  // namespace predtop::fault

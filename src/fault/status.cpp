@@ -1,0 +1,36 @@
+#include "fault/status.h"
+
+namespace predtop::fault {
+
+const char* StatusCodeName(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+Status StatusFromCurrentException() {
+  try {
+    throw;
+  } catch (const FaultError& e) {
+    return e.ToStatus();
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status(StatusCode::kInternal, "unknown exception");
+  }
+}
+
+}  // namespace predtop::fault

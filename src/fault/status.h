@@ -1,0 +1,88 @@
+#pragma once
+// Recoverable-error vocabulary for the serving path. The seed code reported
+// every failure by throwing std::runtime_error, which is the right call deep
+// inside a parser (nn::serialize cannot continue past a truncated stream) but
+// the wrong call at subsystem boundaries: a corrupt checkpoint on disk must
+// not take down a registry that is serving a hundred healthy models.
+//
+// Two layers:
+//  - typed exceptions (`FaultError` and subclasses) thrown by the low-level
+//    readers/writers — all derive from std::runtime_error so pre-existing
+//    callers and tests keep working;
+//  - `Status`, the value type boundaries return instead of throwing. A
+//    FaultError caught at a boundary converts losslessly via ToStatus();
+//    anything else maps to kInternal.
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace predtop::fault {
+
+enum class StatusCode {
+  kOk = 0,
+  kIoError,            // open/read/write/rename failed (possibly transient)
+  kCorruption,         // bytes present but wrong: bad magic/CRC/length/shape
+  kNotFound,           // no such model/file
+  kDeadlineExceeded,   // query answered too late to be useful
+  kUnavailable,        // quarantined or otherwise refused without retrying
+  kInvalidArgument,
+  kInternal,           // unexpected exception type crossed the boundary
+};
+
+[[nodiscard]] const char* StatusCodeName(StatusCode code) noexcept;
+
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() noexcept { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Base of the typed exceptions thrown by checkpoint IO. Derives from
+/// std::runtime_error so existing catch sites (and EXPECT_THROW assertions)
+/// are unaffected; boundaries that want a Status catch this type.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(StatusCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] Status ToStatus() const { return Status(code_, what()); }
+
+ private:
+  StatusCode code_;
+};
+
+/// Bytes are present but wrong: bad magic, bad CRC, hostile length prefix,
+/// shape/name mismatch, truncation mid-frame.
+class CorruptionError : public FaultError {
+ public:
+  explicit CorruptionError(const std::string& message)
+      : FaultError(StatusCode::kCorruption, message) {}
+};
+
+/// The byte transport itself failed: cannot open/read/write/rename. Unlike
+/// corruption this may be transient, so retry loops treat it as retryable.
+class IoError : public FaultError {
+ public:
+  explicit IoError(const std::string& message)
+      : FaultError(StatusCode::kIoError, message) {}
+};
+
+/// Convert the in-flight exception into a Status (FaultError keeps its code,
+/// everything else becomes kInternal). Call from inside a catch block.
+[[nodiscard]] Status StatusFromCurrentException();
+
+}  // namespace predtop::fault

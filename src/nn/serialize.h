@@ -12,9 +12,17 @@
 //    instead of silently misassigning weights.
 //
 // Higher-level checkpoint formats (core::LatencyRegressor, serve::) frame a
-// state dict with magic/version/hyperparameter headers.
+// state dict with magic/version/hyperparameter headers and a CRC32 footer.
+//
+// Hardening: every length/rank prefix is validated against the remaining
+// stream size (or a hard cap on non-seekable streams) *before* it sizes an
+// allocation, and every failure is a typed fault::CorruptionError /
+// fault::IoError — a 4-byte hostile prefix can neither trigger a multi-GB
+// allocation nor masquerade as an unrelated error.
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "nn/module.h"
@@ -40,5 +48,14 @@ void WriteTensor(std::ostream& out, const tensor::Tensor& t);
 /// Length-prefixed string helpers for checkpoint headers.
 void WriteString(std::ostream& out, const std::string& s);
 [[nodiscard]] std::string ReadString(std::istream& in);
+
+/// Bytes left between the stream's current position and its end, or nullopt
+/// when the stream is not seekable. Restores the read position and state.
+[[nodiscard]] std::optional<std::uint64_t> RemainingBytes(std::istream& in);
+
+/// Throw fault::CorruptionError if a length prefix claims more bytes than
+/// the stream can still supply (falls back to a 1 GiB cap when the remaining
+/// size is unknowable). `what` names the claimed blob in the error message.
+void CheckClaimedSize(std::istream& in, std::uint64_t claimed_bytes, const char* what);
 
 }  // namespace predtop::nn

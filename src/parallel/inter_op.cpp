@@ -17,6 +17,15 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Candidates closer than this (relatively) collapse into one DP pass.
 constexpr double kCandidateRelEps = 1e-12;
 
+/// A stage latency must be a finite non-negative number to enter the DP; a
+/// NaN or negative value from a misbehaving oracle (e.g. an untrained or
+/// corrupted predictor) becomes +inf — "this cell is unusable" — instead of
+/// poisoning candidate enumeration or the pipeline-latency arithmetic.
+StageLatencyResult Sanitize(StageLatencyResult r) {
+  if (!(r.latency_s >= 0.0) || !std::isfinite(r.latency_s)) r.latency_s = kInf;
+  return r;
+}
+
 }  // namespace
 
 InterOpOptimizer::InterOpOptimizer(const sim::ClusterSpec& cluster, InterOpOptions options)
@@ -55,7 +64,7 @@ PipelinePlan InterOpOptimizer::Optimize(const StageLatencyOracle& oracle) const 
   const std::vector<StageQuery> queries = BuildQueries();
   std::vector<StageLatencyResult> results(queries.size());
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    results[q] = oracle(queries[q].slice, queries[q].mesh);
+    results[q] = Sanitize(oracle(queries[q].slice, queries[q].mesh));
   }
   return OptimizeFromResults(results);
 }
@@ -65,19 +74,20 @@ PipelinePlan InterOpOptimizer::Optimize(const StageLatencyOracle& oracle,
   const std::vector<StageQuery> queries = BuildQueries();
   std::vector<StageLatencyResult> results(queries.size());
   pool.ParallelFor(queries.size(), [&](std::size_t q) {
-    results[q] = oracle(queries[q].slice, queries[q].mesh);
+    results[q] = Sanitize(oracle(queries[q].slice, queries[q].mesh));
   });
   return OptimizeFromResults(results);
 }
 
 PipelinePlan InterOpOptimizer::Optimize(const StageLatencyBatchOracle& oracle) const {
   const std::vector<StageQuery> queries = BuildQueries();
-  const std::vector<StageLatencyResult> results(oracle(queries));
+  std::vector<StageLatencyResult> results(oracle(queries));
   if (results.size() != queries.size()) {
     throw std::runtime_error("InterOpOptimizer: batch oracle returned " +
                              std::to_string(results.size()) + " results for " +
                              std::to_string(queries.size()) + " queries");
   }
+  for (StageLatencyResult& r : results) r = Sanitize(r);
   return OptimizeFromResults(results);
 }
 
@@ -201,6 +211,7 @@ PipelinePlan InterOpOptimizer::OptimizeFromResults(
           stage.mesh = options_.submeshes[static_cast<std::size_t>(c.mesh)];
           stage.config = cell.config;
           stage.latency_s = cell.latency_s;
+          stage.degraded = cell.degraded;
           stage_lats.push_back(stage.latency_s);
           plan.stages.push_back(stage);
           k = c.prev_layer;

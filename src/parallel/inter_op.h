@@ -32,6 +32,11 @@ namespace predtop::parallel {
 struct StageLatencyResult {
   double latency_s = 0.0;
   ParallelConfig config;
+  /// True when the latency did not come from the primary (learned) oracle —
+  /// e.g. serve::ServingOracle degraded to its analytical fallback after a
+  /// missing model, deadline overrun, or non-finite prediction. Carried into
+  /// the chosen plan's stages so callers can report the degraded fraction.
+  bool degraded = false;
 };
 using StageLatencyOracle =
     std::function<StageLatencyResult(ir::StageSlice, sim::Mesh)>;

@@ -31,6 +31,9 @@ struct PipelineStageChoice {
   sim::Mesh mesh;
   ParallelConfig config;
   double latency_s = 0.0;
+  /// Latency came from a degraded (fallback) oracle answer, not the primary
+  /// predictor — see parallel::StageLatencyResult::degraded.
+  bool degraded = false;
 };
 
 /// End-to-end parallelization plan (paper Fig. 6 / Eqn. 4 semantics).

@@ -1,0 +1,32 @@
+#include "serve/fallback.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/analytical.h"
+#include "parallel/config.h"
+
+namespace predtop::serve {
+
+FallbackOracle::FallbackOracle(sim::DeviceSpec device, ProgramResolver programs,
+                               double assumed_efficiency)
+    : device_(std::move(device)),
+      programs_(std::move(programs)),
+      efficiency_(assumed_efficiency) {
+  if (!programs_) throw std::invalid_argument("FallbackOracle: null program resolver");
+}
+
+parallel::StageLatencyResult FallbackOracle::Estimate(ir::StageSlice slice, sim::Mesh mesh) {
+  const std::scoped_lock lock(mutex_);
+  const ir::StageProgram& program = programs_(slice);
+  parallel::StageLatencyResult best{std::numeric_limits<double>::infinity(), {}, true};
+  for (const parallel::ParallelConfig& config : parallel::PaperConfigs(mesh)) {
+    const core::AnalyticalEstimator estimator(device_, config, efficiency_);
+    const double latency = estimator.EstimateStageSeconds(program);
+    if (latency < best.latency_s) best = {latency, config, true};
+  }
+  return best;
+}
+
+}  // namespace predtop::serve

@@ -1,0 +1,47 @@
+#pragma once
+// FallbackOracle: the bottom rung of the serving path's degradation ladder.
+// When the learned predictor cannot answer — model missing from the registry,
+// checkpoint quarantined, prediction deadline blown, or a forward returned a
+// non-finite latency — the ServingOracle answers from this oracle instead: a
+// Paleo-style analytical roofline estimate (core::AnalyticalEstimator) that
+// needs no trained weights, only device specs. The estimate is worse than a
+// trained predictor (that gap is the paper's whole point) but it is always
+// finite and always available, which is what keeps a plan search completing
+// with a valid plan instead of failing outright.
+
+#include <functional>
+#include <mutex>
+
+#include "ir/program.h"
+#include "parallel/inter_op.h"
+#include "sim/cluster.h"
+
+namespace predtop::serve {
+
+/// Resolves a stage slice to its lowered stage program. Typically bound to
+/// core::PlanSearch::ProgramFor, whose memoization is NOT thread-safe — the
+/// oracle serializes all resolver calls behind a mutex for exactly that
+/// reason.
+using ProgramResolver = std::function<const ir::StageProgram&(ir::StageSlice)>;
+
+class FallbackOracle {
+ public:
+  /// `assumed_efficiency` is the analytical model's flat percent-of-peak
+  /// utilization factor (see core::AnalyticalEstimator).
+  FallbackOracle(sim::DeviceSpec device, ProgramResolver programs,
+                 double assumed_efficiency = 0.5);
+
+  /// Analytical stage latency, minimized over the mesh's paper parallel
+  /// configurations; the winning config rides along so a degraded plan stage
+  /// still names a concrete (mesh, config) assignment. Always finite.
+  /// Thread-safe (serialized internally).
+  [[nodiscard]] parallel::StageLatencyResult Estimate(ir::StageSlice slice, sim::Mesh mesh);
+
+ private:
+  mutable std::mutex mutex_;
+  sim::DeviceSpec device_;
+  ProgramResolver programs_;
+  double efficiency_;
+};
+
+}  // namespace predtop::serve

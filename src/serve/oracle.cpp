@@ -1,5 +1,7 @@
 #include "serve/oracle.h"
 
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -7,29 +9,78 @@ namespace predtop::serve {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
 }  // namespace
 
 ServingOracle::ServingOracle(PredictionService& service, std::vector<sim::Mesh> meshes,
                              std::vector<ModelKey> mesh_keys, StageEncoder encoder,
-                             std::int32_t max_span)
+                             std::int32_t max_span, ServingOracleOptions options)
     : service_(service),
       meshes_(std::move(meshes)),
       mesh_keys_(std::move(mesh_keys)),
       encoder_(std::move(encoder)),
-      max_span_(max_span) {
+      max_span_(max_span),
+      options_(std::move(options)) {
   if (meshes_.size() != mesh_keys_.size()) {
     throw std::invalid_argument("ServingOracle: meshes/mesh_keys size mismatch");
   }
   if (!encoder_) throw std::invalid_argument("ServingOracle: null encoder");
+  if (options_.max_attempts < 1) {
+    throw std::invalid_argument("ServingOracle: max_attempts must be >= 1");
+  }
+}
+
+parallel::StageLatencyResult ServingOracle::PredictOne(std::size_t mesh_index,
+                                                       ir::StageSlice slice,
+                                                       sim::Mesh mesh) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const graph::EncodedGraph& g = encoder_(slice);
+  if (!Hardened()) {
+    // Legacy pass-through: no retries, no deadline, exceptions propagate.
+    return {service_.Predict(mesh_keys_[mesh_index], g), {}};
+  }
+
+  // Ladder rung 1: the learned predictor, up to max_attempts times. Retrying
+  // is worthwhile because the service does not cache non-finite answers.
+  double late_value = kInf;  // finite answer that missed the deadline, if any
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      const double value = service_.Predict(mesh_keys_[mesh_index], g);
+      const bool late = options_.deadline_ms > 0.0 && ElapsedMs(start) > options_.deadline_ms;
+      if (std::isfinite(value) && !late) return {value, {}, false};
+      if (late) {
+        // The answer is now cached, so a retry would "beat" the deadline
+        // vacuously; degrade instead, but remember the value in case there
+        // is no fallback to degrade to.
+        if (std::isfinite(value)) late_value = value;
+        break;
+      }
+      // Non-finite: fall through and retry.
+    } catch (...) {
+      // Missing/quarantined model or a (possibly injected) IO failure;
+      // retry, then degrade.
+    }
+  }
+
+  // Ladder rung 2: the analytical fallback. Always finite, tagged degraded.
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.fallback) return options_.fallback->Estimate(slice, mesh);
+  // No fallback configured: a late-but-finite learned answer is still the
+  // best available; otherwise surrender the cell to the DP as +inf so the
+  // search completes on the remaining cells.
+  return {late_value, {}, true};
 }
 
 parallel::StageLatencyResult ServingOracle::operator()(ir::StageSlice slice,
                                                        sim::Mesh mesh) const {
   if (max_span_ > 0 && slice.NumLayers() > max_span_) return {kInf, {}};
   for (std::size_t m = 0; m < meshes_.size(); ++m) {
-    if (meshes_[m] == mesh) {
-      return {service_.Predict(mesh_keys_[m], encoder_(slice)), {}};
-    }
+    if (meshes_[m] == mesh) return PredictOne(m, slice, mesh);
   }
   return {kInf, {}};
 }
@@ -54,9 +105,33 @@ std::vector<parallel::StageLatencyResult> ServingOracle::PredictBatch(
     std::vector<const graph::EncodedGraph*> graphs;
     graphs.reserve(by_mesh[m].size());
     for (const std::size_t q : by_mesh[m]) graphs.push_back(&encoder_(queries[q].slice));
-    const std::vector<double> latencies = service_.PredictMany(mesh_keys_[m], graphs);
+    if (!Hardened()) {
+      queries_.fetch_add(by_mesh[m].size(), std::memory_order_relaxed);
+      const std::vector<double> latencies = service_.PredictMany(mesh_keys_[m], graphs);
+      for (std::size_t i = 0; i < by_mesh[m].size(); ++i) {
+        results[by_mesh[m][i]].latency_s = latencies[i];
+      }
+      continue;
+    }
+    // Hardened batch path: one PredictMany per bucket; a failed bucket (or
+    // any individual non-finite answer) is re-priced query-by-query down the
+    // scalar ladder. PredictOne counts those queries itself; only the
+    // batch-satisfied remainder is counted here.
+    std::vector<double> latencies;
+    bool batch_ok = true;
+    try {
+      latencies = service_.PredictMany(mesh_keys_[m], graphs);
+    } catch (...) {
+      batch_ok = false;
+    }
     for (std::size_t i = 0; i < by_mesh[m].size(); ++i) {
-      results[by_mesh[m][i]].latency_s = latencies[i];
+      const std::size_t q = by_mesh[m][i];
+      if (batch_ok && std::isfinite(latencies[i])) {
+        queries_.fetch_add(1, std::memory_order_relaxed);
+        results[q] = {latencies[i], {}, false};
+      } else {
+        results[q] = PredictOne(m, queries[q].slice, queries[q].mesh);
+      }
     }
   }
   return results;
@@ -70,6 +145,15 @@ parallel::StageLatencyBatchOracle ServingOracle::AsBatchOracle() const {
   return [this](std::span<const parallel::StageQuery> queries) {
     return PredictBatch(queries);
   };
+}
+
+OracleStats ServingOracle::Stats() const {
+  return {queries_.load(std::memory_order_relaxed), degraded_.load(std::memory_order_relaxed)};
+}
+
+void ServingOracle::ResetStats() {
+  queries_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<ModelKey> RegisterMeshPredictors(ModelRegistry& registry,

@@ -1,6 +1,9 @@
 #include "serve/registry.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 namespace predtop::serve {
 
@@ -52,7 +55,55 @@ void ModelRegistry::Register(const ModelKey& key,
 }
 
 void ModelRegistry::RegisterFromFile(const ModelKey& key, const std::string& path) {
+  // Strong guarantee by construction: Load() fully materializes the model (or
+  // throws) before Register() touches the map, and Register() itself only
+  // mutates on its final assignment.
   Register(key, std::make_shared<core::LatencyRegressor>(core::LatencyRegressor::Load(path)));
+}
+
+fault::Status ModelRegistry::TryRegisterFromFile(const ModelKey& key, const std::string& path,
+                                                 const RetryPolicy& retry) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (const auto it = quarantine_.find(path); it != quarantine_.end()) {
+      return fault::Status(fault::StatusCode::kUnavailable,
+                           "ModelRegistry: " + path + " is quarantined after: " +
+                               it->second.ToString());
+    }
+  }
+  const int attempts = std::max(1, retry.max_attempts);
+  std::chrono::milliseconds backoff = retry.initial_backoff;
+  fault::Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(retry.max_backoff,
+                         std::chrono::milliseconds(static_cast<long long>(
+                             static_cast<double>(backoff.count()) * retry.multiplier)));
+    }
+    try {
+      RegisterFromFile(key, path);
+      return fault::Status::Ok();
+    } catch (...) {
+      last = fault::StatusFromCurrentException();
+    }
+  }
+  const std::scoped_lock lock(mutex_);
+  quarantine_.emplace(path, last);
+  return last;
+}
+
+std::vector<std::pair<std::string, fault::Status>> ModelRegistry::Quarantined() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, fault::Status>> out;
+  out.reserve(quarantine_.size());
+  for (const auto& [path, status] : quarantine_) out.emplace_back(path, status);
+  return out;
+}
+
+void ModelRegistry::ClearQuarantine() {
+  const std::scoped_lock lock(mutex_);
+  quarantine_.clear();
 }
 
 void ModelRegistry::SaveToFile(const ModelKey& key, const std::string& path) const {

@@ -7,6 +7,7 @@
 // models register from memory (just trained) or from `.ptck` checkpoint
 // files (trained in an earlier process).
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "core/regressor.h"
+#include "fault/status.h"
 #include "parallel/config.h"
 #include "sim/cluster.h"
 
@@ -40,12 +42,45 @@ class ModelRegistry {
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
 
+  /// Bounded-retry policy for checkpoint reloads: `max_attempts` total tries
+  /// with exponential backoff between them (initial_backoff doubling via
+  /// `multiplier`, capped at `max_backoff`). Defaults keep drill/test wall
+  /// time negligible; production deployments raise the backoff.
+  struct RetryPolicy {
+    int max_attempts = 3;
+    std::chrono::milliseconds initial_backoff{1};
+    double multiplier = 2.0;
+    std::chrono::milliseconds max_backoff{100};
+  };
+
   /// Register a trained (or freshly loaded) regressor; replaces any previous
   /// model under the same key.
   void Register(const ModelKey& key, std::shared_ptr<core::LatencyRegressor> model);
 
-  /// Load a `.ptck` checkpoint from disk and register it.
+  /// Load a `.ptck` checkpoint from disk and register it. Strong exception
+  /// guarantee: a load that fails mid-read (truncation, corruption, IO
+  /// error) throws and leaves the registry untouched — a previous model
+  /// under `key` stays registered and findable.
   void RegisterFromFile(const ModelKey& key, const std::string& path);
+
+  /// Recoverable-load variant: retries transient failures per `retry`
+  /// (exponential backoff) and returns a fault::Status instead of throwing.
+  /// After the attempts are exhausted the path is *quarantined* — further
+  /// calls for it return kUnavailable immediately (no disk IO, no retries)
+  /// until ClearQuarantine(). Same strong guarantee as RegisterFromFile: on
+  /// any non-OK status the previously registered model (if any) remains.
+  [[nodiscard]] fault::Status TryRegisterFromFile(const ModelKey& key,
+                                                  const std::string& path,
+                                                  const RetryPolicy& retry);
+  [[nodiscard]] fault::Status TryRegisterFromFile(const ModelKey& key,
+                                                  const std::string& path) {
+    return TryRegisterFromFile(key, path, RetryPolicy{});
+  }
+
+  /// Paths currently quarantined by TryRegisterFromFile, with the failure
+  /// that quarantined them.
+  [[nodiscard]] std::vector<std::pair<std::string, fault::Status>> Quarantined() const;
+  void ClearQuarantine();
 
   /// Checkpoint a registered model to disk (throws if the key is unknown).
   void SaveToFile(const ModelKey& key, const std::string& path) const;
@@ -63,6 +98,7 @@ class ModelRegistry {
     std::shared_ptr<core::LatencyRegressor> model;
   };
   std::unordered_map<std::uint64_t, Entry> models_;  // key.Hash() -> entry
+  std::unordered_map<std::string, fault::Status> quarantine_;  // path -> failure
 };
 
 }  // namespace predtop::serve

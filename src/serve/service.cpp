@@ -1,7 +1,10 @@
 #include "serve/service.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "fault/injector.h"
 #include "graph/fingerprint.h"
 
 namespace predtop::serve {
@@ -70,6 +73,16 @@ double PredictionService::PredictWithKey(const ModelKey& key, const graph::Encod
       }
       value = model->PredictSeconds(g);
       forwards_.fetch_add(1, std::memory_order_relaxed);
+      if (auto& injector = fault::Injector::Global(); injector.Enabled()) {
+        if (const double delay_ms = injector.FireDelayMs(fault::sites::kPredictDelayMs,
+                                                         fault::sites::kPredictDelayP);
+            delay_ms > 0.0) {
+          fault::SleepForMs(delay_ms);
+        }
+        if (injector.ShouldInject(fault::sites::kPredictNan)) {
+          value = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
     }
   } catch (...) {
     promise.set_exception(std::current_exception());
@@ -77,7 +90,10 @@ double PredictionService::PredictWithKey(const ModelKey& key, const graph::Encod
     inflight_.erase(cache_key);
     throw;
   }
-  cache_.Put(cache_key, value);
+  // Never cache a non-finite answer: a NaN/inf forward (injected or from a
+  // corrupted model) must stay retryable, not become a sticky cache hit that
+  // poisons every later query of the same stage.
+  if (std::isfinite(value)) cache_.Put(cache_key, value);
   promise.set_value(value);
   {
     const std::scoped_lock lock(inflight_mutex_);

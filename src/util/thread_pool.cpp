@@ -7,6 +7,38 @@
 
 namespace predtop::util {
 
+namespace {
+
+// Dispatch hook shared by all pools. The common case is "no hook", so probes
+// are a single relaxed atomic load; installation swaps a shared_ptr under a
+// mutex so a worker mid-call keeps a live copy while the hook is replaced.
+std::mutex g_task_hook_mutex;
+std::shared_ptr<const std::function<void()>> g_task_hook;
+std::atomic<bool> g_task_hook_set{false};
+
+void RunTaskHook() {
+  if (!g_task_hook_set.load(std::memory_order_acquire)) return;
+  std::shared_ptr<const std::function<void()>> hook;
+  {
+    const std::scoped_lock lock(g_task_hook_mutex);
+    hook = g_task_hook;
+  }
+  if (hook) (*hook)();
+}
+
+}  // namespace
+
+void ThreadPool::SetTaskHook(std::function<void()> hook) {
+  const std::scoped_lock lock(g_task_hook_mutex);
+  if (hook) {
+    g_task_hook = std::make_shared<const std::function<void()>>(std::move(hook));
+    g_task_hook_set.store(true, std::memory_order_release);
+  } else {
+    g_task_hook.reset();
+    g_task_hook_set.store(false, std::memory_order_release);
+  }
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -44,6 +76,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    RunTaskHook();
     task();
   }
 }

@@ -37,6 +37,13 @@ class ThreadPool {
     return fut;
   }
 
+  /// Process-wide hook run by every pool's workers immediately before each
+  /// dequeued task executes (fault-injection drills, test instrumentation).
+  /// Pass nullptr to clear. The hook runs on worker threads concurrently and
+  /// MUST NOT throw — there is no task context to absorb its exception (it
+  /// may delay, record, or abort, not fail the task).
+  static void SetTaskHook(std::function<void()> hook);
+
   /// Run fn(i) for i in [0, n), distributing across the pool, and wait.
   /// The calling thread participates, so this is safe on a 1-thread pool and
   /// safe to call from inside a pool task (nested ParallelFor): the caller

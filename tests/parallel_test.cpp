@@ -551,5 +551,48 @@ TEST(InterOp, MaxStagesAdmitsFeasiblePlanTheSeedDpRejected) {
   EXPECT_NEAR(plan.iteration_latency_s, 11.0, 1e-12);
 }
 
+TEST(InterOp, NanAndNegativeOracleAnswersBecomeUnusableCells) {
+  // A misbehaving oracle (untrained predictor, corrupted weights, injected
+  // NaN) must not poison the DP: non-finite and negative latencies sanitize
+  // to +inf on every fill path, so the search still returns the best plan
+  // over the remaining healthy cells — and identical across all three paths.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  InterOpOptions options;
+  options.num_layers = 4;
+  options.num_microbatches = 4;
+  options.submeshes = {sim::Mesh{1, 1}, sim::Mesh{1, 2}};
+  const StageLatencyOracle oracle = [](ir::StageSlice slice, sim::Mesh mesh) {
+    // Poison every multi-layer slice (NaN) and the 2-device single-layer
+    // cells (negative); only 1-layer 1-device stages stay healthy.
+    if (slice.NumLayers() > 1) return StageLatencyResult{kNan, {}};
+    if (mesh.NumDevices() == 2) return StageLatencyResult{-1.0, {}};
+    return StageLatencyResult{1.0, {}};
+  };
+  const InterOpOptimizer optimizer(sim::Platform2(), options);
+  const PipelinePlan serial = optimizer.Optimize(oracle);
+  util::ThreadPool pool(2);
+  const PipelinePlan pooled = optimizer.Optimize(oracle, pool);
+  const StageLatencyBatchOracle batch = [&](std::span<const StageQuery> queries) {
+    std::vector<StageLatencyResult> results;
+    results.reserve(queries.size());
+    for (const StageQuery& q : queries) results.push_back(oracle(q.slice, q.mesh));
+    return results;
+  };
+  const PipelinePlan batched = optimizer.Optimize(batch);
+
+  for (const PipelinePlan* plan : {&serial, &pooled, &batched}) {
+    ASSERT_TRUE(plan->Valid());
+    EXPECT_TRUE(std::isfinite(plan->iteration_latency_s));
+    ASSERT_EQ(plan->stages.size(), 4u);  // only the healthy 1-layer cells remain
+    for (const PipelineStageChoice& stage : plan->stages) {
+      EXPECT_EQ(stage.slice.NumLayers(), 1);
+      EXPECT_EQ(stage.mesh.NumDevices(), 1);
+      EXPECT_EQ(stage.latency_s, 1.0);
+    }
+    // T = 4 * 1.0 + (4 - 1) * 1.0.
+    EXPECT_NEAR(plan->iteration_latency_s, 7.0, 1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace predtop::parallel

@@ -7,6 +7,8 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -283,6 +285,43 @@ TEST(Registry, RegisterFindAndKeys) {
   EXPECT_EQ(registry.Find(other), nullptr);
   EXPECT_NE(key.Hash(), other.Hash());
   EXPECT_THROW(registry.Register(key, nullptr), std::invalid_argument);
+}
+
+TEST(Registry, RegisterFromFileIsStrongExceptionSafe) {
+  // A reload that hits a truncated checkpoint must throw and leave the
+  // previously registered model in place — never a half-registered or
+  // evicted entry.
+  ModelRegistry registry;
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 2}, {}};
+  const auto original = std::make_shared<core::LatencyRegressor>(
+      core::PredictorKind::kGcn, TinyOptions());
+  registry.Register(key, original);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string good = (dir / "predtop_registry_good.ptck").string();
+  const std::string corrupt = (dir / "predtop_registry_corrupt.ptck").string();
+  registry.SaveToFile(key, good);
+  {
+    std::ifstream in(good, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(corrupt, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  EXPECT_THROW(registry.RegisterFromFile(key, corrupt), std::runtime_error);
+  EXPECT_EQ(registry.Find(key), original);  // untouched, same instance
+  EXPECT_EQ(registry.Size(), 1u);
+
+  EXPECT_THROW(registry.RegisterFromFile(key, (dir / "predtop_no_such.ptck").string()),
+               std::runtime_error);
+  EXPECT_EQ(registry.Find(key), original);
+
+  registry.RegisterFromFile(key, good);  // a healthy reload still replaces
+  EXPECT_NE(registry.Find(key), nullptr);
+  EXPECT_NE(registry.Find(key), original);
+  std::remove(good.c_str());
+  std::remove(corrupt.c_str());
 }
 
 // ---- prediction service ----
