@@ -1,22 +1,206 @@
-// google-benchmark microbenchmarks for the performance-critical components:
-// the NN kernels behind predictor training, graph encoding, and the two
-// optimizers. Guards against regressions in the pieces that dominate the
-// experiment harnesses' wall time.
+// Microbenchmarks for the performance-critical kernels. Two layers:
+//
+//  1. A headline comparison suite (runs first, always) that times the GEMM
+//     tiers (naive i-k-j vs packed vs packed+threads), arena vs malloc
+//     allocation, and warm tape vs tape-free PredictSeconds on a real GPT-3
+//     stage graph, and writes the results to BENCH_kernels.json (path
+//     overridable via PREDTOP_BENCH_JSON). PREDTOP_BENCH_SMOKE=1 shrinks
+//     repetitions so CI can exercise the harness in seconds.
+//  2. The google-benchmark registrations kept from the original harness
+//     (softmax, encoding, compilation, DP, forwards), skipped in smoke mode.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "core/dataset.h"
 #include "core/predictors.h"
+#include "core/regressor.h"
 #include "graph/reachability.h"
 #include "ir/to_dag.h"
+#include "nn/infer.h"
 #include "parallel/inter_op.h"
 #include "parallel/intra_op.h"
+#include "tensor/arena.h"
 #include "tensor/ops.h"
+#include "util/env.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 using namespace predtop;
 
 namespace {
+
+// ---- headline comparisons -> BENCH_kernels.json ----
+
+/// Best-of-N wall time of `fn` (seconds); one warm-up call first.
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+struct GemmRow {
+  std::int64_t size = 0;  // m = k = n
+  double naive_s = 0.0;
+  double packed_s = 0.0;
+  double threaded_s = 0.0;
+};
+
+std::vector<GemmRow> RunGemmSweep(bool smoke) {
+  const std::vector<std::int64_t> sizes =
+      smoke ? std::vector<std::int64_t>{64, 256} : std::vector<std::int64_t>{64, 128, 256, 512};
+  const int reps = smoke ? 3 : 10;
+  std::vector<GemmRow> rows;
+  util::Rng rng(21);
+  for (const std::int64_t s : sizes) {
+    const tensor::Tensor a = tensor::Tensor::Randn({s, s}, rng);
+    const tensor::Tensor b = tensor::Tensor::Randn({s, s}, rng);
+    const tensor::PackedB packed = tensor::PackB(b);
+    tensor::Tensor c({s, s});
+    GemmRow row;
+    row.size = s;
+    row.naive_s = BestOf(reps, [&] { benchmark::DoNotOptimize(tensor::MatMulNaive(a, b)); });
+    row.packed_s = BestOf(reps, [&] {
+      tensor::MatMulPackedInto(a.data().data(), s, packed, c.data().data(),
+                               /*allow_threads=*/false);
+      benchmark::DoNotOptimize(c.data().data());
+    });
+    row.threaded_s = BestOf(reps, [&] {
+      tensor::MatMulPackedInto(a.data().data(), s, packed, c.data().data(),
+                               /*allow_threads=*/true);
+      benchmark::DoNotOptimize(c.data().data());
+    });
+    const double gflop = 2.0 * static_cast<double>(s) * s * s * 1e-9;
+    std::cerr << "[bench] gemm " << s << "^3: naive " << gflop / row.naive_s
+              << " GFLOP/s, packed " << gflop / row.packed_s << " GFLOP/s ("
+              << row.naive_s / row.packed_s << "x), +threads " << gflop / row.threaded_s
+              << " GFLOP/s (" << row.naive_s / row.threaded_s << "x)\n";
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct ArenaResult {
+  std::int64_t allocs_per_epoch = 0;
+  std::int64_t floats_per_alloc = 0;
+  double arena_s = 0.0;
+  double malloc_s = 0.0;
+};
+
+ArenaResult RunArenaVsMalloc(bool smoke) {
+  // Shape mimics one DAG Transformer forward: dozens of medium matrices whose
+  // lifetimes end together.
+  ArenaResult result;
+  result.allocs_per_epoch = 64;
+  result.floats_per_alloc = 200 * 32;
+  const int reps = smoke ? 20 : 200;
+  tensor::Arena arena;
+  result.arena_s = BestOf(reps, [&] {
+    arena.Reset();
+    for (std::int64_t i = 0; i < result.allocs_per_epoch; ++i) {
+      float* p = arena.AllocFloats(result.floats_per_alloc);
+      p[0] = static_cast<float>(i);  // touch so the alloc is not elided
+      benchmark::DoNotOptimize(p);
+    }
+  });
+  result.malloc_s = BestOf(reps, [&] {
+    std::vector<std::vector<float>> live;
+    live.reserve(static_cast<std::size_t>(result.allocs_per_epoch));
+    for (std::int64_t i = 0; i < result.allocs_per_epoch; ++i) {
+      live.emplace_back(static_cast<std::size_t>(result.floats_per_alloc));
+      live.back()[0] = static_cast<float>(i);
+      benchmark::DoNotOptimize(live.back().data());
+    }
+  });
+  std::cerr << "[bench] arena epoch " << result.arena_s * 1e6 << " us vs malloc "
+            << result.malloc_s * 1e6 << " us (" << result.malloc_s / result.arena_s << "x)\n";
+  return result;
+}
+
+const ir::StageProgram& SampleStage() {
+  static const ir::StageProgram program = [] {
+    ir::Gpt3Config config;
+    return ir::BuildGpt3Stage(config, {0, 4});
+  }();
+  return program;
+}
+
+struct PredictResult {
+  std::int64_t graph_nodes = 0;
+  double tape_s = 0.0;      // autograd Forward, packed-GEMM dispatch (today's tape)
+  double tape_ikj_s = 0.0;  // autograd Forward forced onto the i-k-j kernel (pre-PR path)
+  double fast_s = 0.0;      // tape-free InferScalar
+};
+
+PredictResult RunPredictComparison(bool smoke) {
+  // Paper-size DAG Transformer (4 x 64, 4 heads) on a real GPT-3 stage graph:
+  // the shape the prediction service actually serves.
+  const graph::EncodedGraph encoded = core::EncodeStage(SampleStage());
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  core::LatencyRegressor regressor(core::PredictorKind::kDagTransformer, options);
+  const int reps = smoke ? 3 : 20;
+  PredictResult result;
+  result.graph_nodes = encoded.num_nodes;
+  result.tape_s = BestOf(reps, [&] {
+    benchmark::DoNotOptimize(regressor.PredictSecondsTape(encoded));
+  });
+  // The autograd path as it stood before this optimization pass: same tape,
+  // i-k-j GEMM kernel (the packed tier landed together with the fast path).
+  tensor::SetPackedGemmEnabled(false);
+  result.tape_ikj_s = BestOf(reps, [&] {
+    benchmark::DoNotOptimize(regressor.PredictSecondsTape(encoded));
+  });
+  tensor::SetPackedGemmEnabled(true);
+  result.fast_s = BestOf(reps, [&] {
+    benchmark::DoNotOptimize(regressor.PredictSeconds(encoded));
+  });
+  std::cerr << "[bench] warm PredictSeconds (" << result.graph_nodes << " nodes): tape "
+            << result.tape_s * 1e3 << " ms, tape(i-k-j) " << result.tape_ikj_s * 1e3
+            << " ms, fast " << result.fast_s * 1e3 << " ms ("
+            << result.tape_s / result.fast_s << "x vs tape, "
+            << result.tape_ikj_s / result.fast_s << "x vs i-k-j tape)\n";
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::vector<GemmRow>& gemm,
+               const ArenaResult& arena, const PredictResult& predict, bool smoke) {
+  std::ofstream out(path);
+  out << "{\n  \"smoke\": " << (smoke ? "true" : "false") << ",\n  \"gemm\": [\n";
+  for (std::size_t i = 0; i < gemm.size(); ++i) {
+    const GemmRow& row = gemm[i];
+    out << "    {\"size\": " << row.size << ", \"naive_s\": " << row.naive_s
+        << ", \"packed_s\": " << row.packed_s << ", \"packed_threads_s\": " << row.threaded_s
+        << ", \"speedup_packed\": " << row.naive_s / row.packed_s
+        << ", \"speedup_packed_threads\": " << row.naive_s / row.threaded_s << "}"
+        << (i + 1 < gemm.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"arena\": {\"allocs_per_epoch\": " << arena.allocs_per_epoch
+      << ", \"floats_per_alloc\": " << arena.floats_per_alloc
+      << ", \"arena_s\": " << arena.arena_s << ", \"malloc_s\": " << arena.malloc_s
+      << ", \"speedup\": " << arena.malloc_s / arena.arena_s << "},\n";
+  out << "  \"predict_gpt3_stage\": {\"graph_nodes\": " << predict.graph_nodes
+      << ", \"tape_s\": " << predict.tape_s << ", \"tape_ikj_s\": " << predict.tape_ikj_s
+      << ", \"fast_s\": " << predict.fast_s
+      << ", \"speedup_vs_tape\": " << predict.tape_s / predict.fast_s
+      << ", \"speedup_vs_ikj_tape\": " << predict.tape_ikj_s / predict.fast_s << "}\n}\n";
+  std::cerr << "[bench] wrote " << path << "\n";
+}
+
+// ---- google-benchmark registrations (full mode only) ----
 
 void BM_MatMul(benchmark::State& state) {
   const auto m = state.range(0), k = state.range(1), n = state.range(2);
@@ -46,14 +230,6 @@ void BM_MaskedSoftmax(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_MaskedSoftmax)->Arg(128)->Arg(256)->Arg(512);
-
-const ir::StageProgram& SampleStage() {
-  static const ir::StageProgram program = [] {
-    ir::Gpt3Config config;
-    return ir::BuildGpt3Stage(config, {0, 4});
-  }();
-  return program;
-}
 
 void BM_ReachabilityClosure(benchmark::State& state) {
   const graph::OpDag dag = ir::BuildPrunedOpDag(SampleStage());
@@ -114,6 +290,22 @@ void BM_DagTransformerForward(benchmark::State& state) {
 }
 BENCHMARK(BM_DagTransformerForward);
 
+void BM_DagTransformerInferForward(benchmark::State& state) {
+  const graph::EncodedGraph encoded = core::EncodeStage(SampleStage());
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  options.dagt_dim = 32;
+  options.dagt_layers = 2;
+  options.dagt_heads = 2;
+  auto model = core::MakePredictor(core::PredictorKind::kDagTransformer, options);
+  auto& ctx = nn::ThreadLocalInferenceContext();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->InferScalar(encoded, ctx));
+  }
+  state.SetLabel(std::to_string(encoded.num_nodes) + " nodes");
+}
+BENCHMARK(BM_DagTransformerInferForward);
+
 void BM_GcnForward(benchmark::State& state) {
   const graph::EncodedGraph encoded = core::EncodeStage(SampleStage());
   core::PredictorOptions options;
@@ -129,4 +321,17 @@ BENCHMARK(BM_GcnForward);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = util::EnvInt("PREDTOP_BENCH_SMOKE", 0) != 0;
+  const std::string json_path =
+      util::EnvString("PREDTOP_BENCH_JSON").value_or("BENCH_kernels.json");
+  const std::vector<GemmRow> gemm = RunGemmSweep(smoke);
+  const ArenaResult arena = RunArenaVsMalloc(smoke);
+  const PredictResult predict = RunPredictComparison(smoke);
+  WriteJson(json_path, gemm, arena, predict, smoke);
+  if (smoke) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,10 @@
 #                        (checkpoint corruption + quarantine + injected
 #                        NaN/delay faults during a real plan search, which
 #                        must still produce a valid finite plan)
+#   ci/run.sh perf       additional -march=native build (build-native/), the
+#                        fast-path parity + tensor suites under it, and a
+#                        smoke micro_kernels run recording GEMM / arena /
+#                        warm-predict speedups to build-native/BENCH_kernels.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,9 +45,25 @@ fi
 
 if [[ "${1:-}" == "tsan" ]]; then
   cmake --preset tsan >/dev/null
-  cmake --build --preset tsan -j "$(nproc)" --target util_test serve_test parallel_test
+  cmake --build --preset tsan -j "$(nproc)" \
+    --target util_test serve_test parallel_test infer_test
   export TSAN_OPTIONS="halt_on_error=1"
   ./build-tsan/tests/util_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/serve_test --gtest_filter='LruCache.*:Service.*:ServingOracle.PredictBatchMatchesScalarQueries:ThreadPool.*'
+  # Concurrent tape-free forwards on one shared model (arena-per-thread,
+  # lazy packed-weight cache) plus the parity suites that drive every fast
+  # kernel at least once under TSan.
+  ./build-tsan/tests/infer_test --gtest_filter='InferConcurrency.*:InferParity.*'
+fi
+
+if [[ "${1:-}" == "perf" ]]; then
+  cmake --preset native >/dev/null
+  cmake --build --preset native -j "$(nproc)" \
+    --target infer_test tensor_test nn_test micro_kernels
+  ./build-native/tests/tensor_test
+  ./build-native/tests/nn_test
+  ./build-native/tests/infer_test
+  PREDTOP_BENCH_SMOKE=1 PREDTOP_BENCH_JSON=build-native/BENCH_kernels.json \
+    ./build-native/bench/micro_kernels
 fi

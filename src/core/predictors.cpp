@@ -4,15 +4,25 @@
 #include <ostream>
 #include <stdexcept>
 
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
 #include "autograd/functions.h"
 #include "fault/status.h"
 #include "graph/depth.h"
+#include "graph/fingerprint.h"
 #include "graph/reachability.h"
 #include "nn/serialize.h"
 
 namespace predtop::core {
 
 using autograd::Variable;
+
+float StagePredictor::InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) {
+  (void)ctx;
+  return Forward(g).value().data()[0];
+}
 
 const char* PredictorKindName(PredictorKind kind) noexcept {
   switch (kind) {
@@ -68,6 +78,26 @@ class DagTransformerPredictor final : public StagePredictor {
     return head_->Forward(autograd::ConcatCols(pooled));
   }
 
+  float InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) override {
+    ctx.BeginForward();
+    const tensor::ConstMat features = nn::infer::View(g.features);
+    tensor::MatRef h = input_proj_.InferForward(features, ctx);
+    if (options_.use_dagpe) {
+      const auto pe = CachedDepthEncoding(g);
+      nn::infer::AddInPlace(h, nn::infer::View(*pe));
+    }
+    // DAGRA masks are precomputed per graph (g.dagra_mask); the ablation's
+    // all-zero mask is numerically a no-op, so pass no mask at all.
+    const tensor::Tensor* mask = options_.use_dagra ? &g.dagra_mask : nullptr;
+    for (const auto& layer : layers_) h = layer->InferForward(h, mask, ctx);
+    const tensor::MatRef pooled_h = nn::infer::GlobalAddPool(ctx, h);
+    tensor::MatRef pooled_f = nn::infer::GlobalAddPool(ctx, features);
+    nn::infer::ScaleInPlace(pooled_f, 1.0f / 256.0f);
+    const std::array<tensor::ConstMat, 2> pooled{pooled_h, pooled_f};
+    const tensor::MatRef cat = nn::infer::ConcatCols(ctx, pooled);
+    return head_->InferForward(cat, ctx).data[0];
+  }
+
   std::string Name() const override { return "DagTransformer"; }
 
   std::vector<Variable*> Parameters() override {
@@ -90,11 +120,34 @@ class DagTransformerPredictor final : public StagePredictor {
   }
 
  private:
+  /// Depth positional encodings are pure functions of the graph topology, so
+  /// repeated predictions for the same DAG (the common case when searching
+  /// plans) reuse one tensor keyed by the graph fingerprint. The encoding is
+  /// computed outside the lock; the map only ever stores immutable tensors
+  /// behind shared_ptr, so readers are safe against a concurrent clear.
+  std::shared_ptr<const tensor::Tensor> CachedDepthEncoding(const graph::EncodedGraph& g) {
+    const std::uint64_t key = graph::EncodedGraphFingerprint(g);
+    {
+      std::lock_guard<std::mutex> lock(pe_mutex_);
+      const auto it = pe_cache_.find(key);
+      if (it != pe_cache_.end()) return it->second;
+    }
+    auto pe = std::make_shared<const tensor::Tensor>(
+        graph::SinusoidalEncoding(g.depths, options_.dagt_dim));
+    std::lock_guard<std::mutex> lock(pe_mutex_);
+    if (pe_cache_.size() >= kPeCacheCapacity) pe_cache_.clear();
+    return pe_cache_.try_emplace(key, std::move(pe)).first->second;
+  }
+
+  static constexpr std::size_t kPeCacheCapacity = 1024;
+
   PredictorOptions options_;
   util::Rng rng_;
   nn::Linear input_proj_;
   std::vector<std::unique_ptr<nn::DagTransformerLayer>> layers_;
   std::unique_ptr<nn::Mlp> head_;
+  std::mutex pe_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const tensor::Tensor>> pe_cache_;
 };
 
 /// GCN baseline (paper §VII-D): stacked GcnConv + ReLU, add pool, MLP head.
@@ -115,6 +168,18 @@ class GcnPredictor final : public StagePredictor {
       h = autograd::Relu(layer->Forward(h, g.adj_norm, g.adj_norm_t));
     }
     return head_->Forward(autograd::GlobalAddPool(h));
+  }
+
+  float InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) override {
+    ctx.BeginForward();
+    tensor::ConstMat h = nn::infer::View(g.features);
+    for (const auto& layer : layers_) {
+      tensor::MatRef t = layer->InferForward(h, *g.adj_norm, ctx);
+      nn::infer::ReluInPlace(t);
+      h = t;
+    }
+    const tensor::MatRef pooled = nn::infer::GlobalAddPool(ctx, h);
+    return head_->InferForward(pooled, ctx).data[0];
   }
 
   std::string Name() const override { return "GCN"; }
@@ -161,6 +226,18 @@ class GatPredictor final : public StagePredictor {
       h = autograd::Relu(layer->Forward(h, g.edge_src, g.edge_dst));
     }
     return head_->Forward(autograd::GlobalAddPool(h));
+  }
+
+  float InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) override {
+    ctx.BeginForward();
+    tensor::ConstMat h = nn::infer::View(g.features);
+    for (const auto& layer : layers_) {
+      tensor::MatRef t = layer->InferForward(h, g.edge_src, g.edge_dst, ctx);
+      nn::infer::ReluInPlace(t);
+      h = t;
+    }
+    const tensor::MatRef pooled = nn::infer::GlobalAddPool(ctx, h);
+    return head_->InferForward(pooled, ctx).data[0];
   }
 
   std::string Name() const override { return "GAT"; }

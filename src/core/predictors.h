@@ -10,6 +10,7 @@
 
 #include "graph/encode.h"
 #include "nn/dag_transformer.h"
+#include "nn/infer.h"
 #include "nn/gat.h"
 #include "nn/gcn.h"
 #include "nn/linear.h"
@@ -44,6 +45,16 @@ class StagePredictor : public nn::Module {
  public:
   /// Prediction in normalized target space, shape (1, 1).
   [[nodiscard]] virtual autograd::Variable Forward(const graph::EncodedGraph& g) = 0;
+
+  /// Tape-free prediction (same normalized scalar as Forward) running on
+  /// ctx's arena with cached packed weights and fingerprint-keyed per-graph
+  /// encodings. Mirrors Forward's kernels exactly; safe to call from many
+  /// threads concurrently (one ctx per thread), but not concurrently with
+  /// parameter mutation. The base implementation falls back to the autograd
+  /// tape so predictors without a fast path stay correct.
+  [[nodiscard]] virtual float InferScalar(const graph::EncodedGraph& g,
+                                          nn::InferenceContext& ctx);
+
   [[nodiscard]] virtual std::string Name() const = 0;
 };
 

@@ -14,6 +14,7 @@
 #include "fault/injector.h"
 #include "fault/status.h"
 #include "nn/serialize.h"
+#include "util/env.h"
 #include "util/stats.h"
 
 namespace predtop::core {
@@ -202,11 +203,33 @@ nn::TrainResult LatencyRegressor::Fit(const StageDataset& dataset,
       targets, train_indices, val_indices);
 }
 
+namespace {
+
+bool FastInferEnabled() noexcept {
+  static const bool enabled = util::EnvInt("PREDTOP_FAST_INFER", 1) != 0;
+  return enabled;
+}
+
+}  // namespace
+
 double LatencyRegressor::PredictSeconds(const graph::EncodedGraph& g) {
-  const autograd::Variable pred = model_->Forward(g);
+  if (!FastInferEnabled()) return PredictSecondsTape(g);
+  const float pred = model_->InferScalar(g, nn::ThreadLocalInferenceContext());
   // Latencies are positive by definition; the linear head can extrapolate
   // below zero early in training, so clamp to a 1 us floor.
+  return std::max(1e-6, Denormalize(pred));
+}
+
+double LatencyRegressor::PredictSecondsTape(const graph::EncodedGraph& g) {
+  const autograd::Variable pred = model_->Forward(g);
   return std::max(1e-6, Denormalize(pred.value().data()[0]));
+}
+
+std::vector<double> LatencyRegressor::PredictBatch(std::span<const graph::EncodedGraph> graphs) {
+  std::vector<double> out;
+  out.reserve(graphs.size());
+  for (const graph::EncodedGraph& g : graphs) out.push_back(PredictSeconds(g));
+  return out;
 }
 
 double LatencyRegressor::MrePercent(const StageDataset& dataset,

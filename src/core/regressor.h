@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/dataset.h"
 #include "core/predictors.h"
@@ -30,8 +31,18 @@ class LatencyRegressor {
                       std::span<const std::size_t> val_indices,
                       const nn::TrainConfig& train_config);
 
-  /// Predicted stage latency in seconds.
+  /// Predicted stage latency in seconds. Runs the tape-free fast path
+  /// (per-thread arena, cached packed weights) unless PREDTOP_FAST_INFER=0;
+  /// both paths share the same kernels, so results are bit-identical.
   [[nodiscard]] double PredictSeconds(const graph::EncodedGraph& g);
+
+  /// Reference prediction through the autograd tape (always available; used
+  /// by parity tests and benchmarks as the baseline).
+  [[nodiscard]] double PredictSecondsTape(const graph::EncodedGraph& g);
+
+  /// Fast-path predictions for a batch of graphs (serial loop on the calling
+  /// thread; predtop::serve fans batches across a pool for parallelism).
+  [[nodiscard]] std::vector<double> PredictBatch(std::span<const graph::EncodedGraph> graphs);
 
   /// Mean relative error (%) vs the samples' true latencies (paper Eqn. 5).
   [[nodiscard]] double MrePercent(const StageDataset& dataset,

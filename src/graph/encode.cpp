@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/depth.h"
+#include "graph/fingerprint.h"
 #include "graph/reachability.h"
 
 namespace predtop::graph {
@@ -86,6 +87,7 @@ EncodedGraph EncodeGraph(const OpDag& dag, std::int32_t num_op_types, std::int32
     out.edge_src.push_back(i);
     out.edge_dst.push_back(i);
   }
+  out.fingerprint = EncodedGraphFingerprint(out);
   return out;
 }
 

@@ -38,6 +38,10 @@ struct EncodedGraph {
   std::shared_ptr<const tensor::Csr> adj_norm_t;  // Â^T
   std::vector<std::int32_t> edge_src;  // GAT message edges (bidirectional +
   std::vector<std::int32_t> edge_dst;  // self-loops)
+  /// Cached EncodedGraphFingerprint, filled by EncodeGraph; 0 means "not
+  /// computed" (callers assembling EncodedGraphs by hand can leave it unset
+  /// and the fingerprint is derived on demand).
+  std::uint64_t fingerprint = 0;
 };
 
 /// Build all model inputs from a (pruned) DAG in one pass.

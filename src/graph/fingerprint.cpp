@@ -89,6 +89,10 @@ std::uint64_t DagFingerprint(const OpDag& dag) {
 }
 
 std::uint64_t EncodedGraphFingerprint(const EncodedGraph& g) {
+  // EncodeGraph caches the fingerprint at construction; recompute only for
+  // hand-assembled graphs. (0 marks "unset" — a genuine zero hash would just
+  // be recomputed, costing time, not correctness.)
+  if (g.fingerprint != 0) return g.fingerprint;
   const auto n = static_cast<std::size_t>(g.num_nodes);
   std::vector<std::uint64_t> node_hash(n);
   const std::int64_t width = n > 0 ? g.features.dim(1) : 0;

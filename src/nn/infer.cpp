@@ -1,0 +1,370 @@
+#include "nn/infer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+
+namespace predtop::nn {
+
+namespace {
+
+std::atomic<std::uint64_t> g_parameter_epoch{1};
+
+}  // namespace
+
+std::uint64_t ParameterEpoch() noexcept {
+  return g_parameter_epoch.load(std::memory_order_acquire);
+}
+
+void BumpParameterEpoch() noexcept {
+  g_parameter_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+InferenceContext& ThreadLocalInferenceContext() {
+  thread_local InferenceContext ctx;
+  return ctx;
+}
+
+namespace infer {
+
+ConstMat View(const tensor::Tensor& t) {
+  if (t.rank() != 2) throw std::invalid_argument("infer::View: tensor must be 2-D");
+  return ConstMat{t.data().data(), t.dim(0), t.dim(1)};
+}
+
+MatRef MatMul(InferenceContext& ctx, ConstMat a, ConstMat b) {
+  if (b.rows != a.cols) throw std::invalid_argument("infer::MatMul: inner dimension mismatch");
+  const std::int64_t m = a.rows, k = a.cols, n = b.cols;
+  if (tensor::UsePackedGemm(m, k, n)) {
+    // Same per-thread pack scratch idiom as tensor::MatMul — and literally
+    // the same kernel, so the packed tier stays bit-identical to training.
+    thread_local tensor::PackedB scratch;
+    tensor::PackBInto(b.data, k, n, scratch);
+    MatRef c = ctx.arena().Alloc(m, n);
+    tensor::MatMulPackedInto(a.data, m, scratch, c.data);
+    return c;
+  }
+  if (n < 16 && k >= 16) {
+    // Mirror of the narrow-output branch: transpose B, simd::Dot over k.
+    MatRef bt = Transpose(ctx, b);
+    MatRef c = ctx.arena().Alloc(m, n);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = a.data + i * k;
+      float* crow = c.data + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] = tensor::simd::Dot(arow, bt.data + j * k, k);
+      }
+    }
+    return c;
+  }
+  MatRef c = ctx.arena().AllocZeroed(m, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data + i * k;
+    float* crow = c.data + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;  // same zero-row skip as the training kernel
+      const float* brow = b.data + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+MatRef Transpose(InferenceContext& ctx, ConstMat a) {
+  MatRef out = ctx.arena().Alloc(a.cols, a.rows);
+  for (std::int64_t i = 0; i < a.rows; ++i) {
+    for (std::int64_t j = 0; j < a.cols; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+void AddInPlace(MatRef a, ConstMat b) {
+  if (a.rows != b.rows || a.cols != b.cols) {
+    throw std::invalid_argument("infer::AddInPlace: shape mismatch");
+  }
+  const std::int64_t total = a.size();
+  for (std::int64_t i = 0; i < total; ++i) a.data[i] += b.data[i];
+}
+
+void ScaleInPlace(MatRef a, float s) {
+  const std::int64_t total = a.size();
+  for (std::int64_t i = 0; i < total; ++i) a.data[i] *= s;
+}
+
+void ReluInPlace(MatRef a) {
+  const std::int64_t total = a.size();
+  for (std::int64_t i = 0; i < total; ++i) a.data[i] = a.data[i] > 0.0f ? a.data[i] : 0.0f;
+}
+
+void LeakyReluInPlace(MatRef a, float negative_slope) {
+  const std::int64_t total = a.size();
+  for (std::int64_t i = 0; i < total; ++i) {
+    a.data[i] = a.data[i] > 0.0f ? a.data[i] : negative_slope * a.data[i];
+  }
+}
+
+void AddRowVectorInPlace(MatRef m, const tensor::Tensor& bias) {
+  if (bias.rank() != 1 || bias.dim(0) != m.cols) {
+    throw std::invalid_argument("infer::AddRowVectorInPlace: bias shape mismatch");
+  }
+  const float* pb = bias.data().data();
+  for (std::int64_t i = 0; i < m.rows; ++i) {
+    float* row = m.data + i * m.cols;
+    for (std::int64_t j = 0; j < m.cols; ++j) row[j] += pb[j];
+  }
+}
+
+MatRef RowSoftmax(InferenceContext& ctx, ConstMat logits, const tensor::Tensor* additive_mask) {
+  const std::int64_t rows = logits.rows, cols = logits.cols;
+  if (additive_mask != nullptr &&
+      (additive_mask->rank() != 2 || additive_mask->dim(0) != rows ||
+       additive_mask->dim(1) != cols)) {
+    throw std::invalid_argument("infer::RowSoftmax: mask shape mismatch");
+  }
+  MatRef out = ctx.arena().Alloc(rows, cols);
+  const float* pm = additive_mask != nullptr ? additive_mask->data().data() : nullptr;
+  constexpr float kNegInfCut = -1e30f;
+  // Vectorized but bit-identical to the training-path softmax: max is exactly
+  // associative, and the fused shift+exp pass applies the same per-element
+  // float sequence as the two-pass formulation (see ExpShiftedNonPositiveN).
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* lrow = logits.data + i * cols;
+    const float* mrow = pm != nullptr ? pm + i * cols : nullptr;
+    float* orow = out.data + i * cols;
+    const float maxv = tensor::simd::MaskedRowMax(lrow, mrow, cols);
+    if (maxv < kNegInfCut) {  // fully masked row
+      std::fill(orow, orow + cols, 0.0f);
+      continue;
+    }
+    tensor::simd::ExpShiftedNonPositiveN(lrow, mrow, maxv, orow, cols);
+    const float inv = 1.0f / tensor::simd::Sum(orow, cols);
+    for (std::int64_t j = 0; j < cols; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+DeferredSoftmax RowSoftmaxDeferred(InferenceContext& ctx, ConstMat logits,
+                                   const tensor::Tensor* additive_mask) {
+  const std::int64_t rows = logits.rows, cols = logits.cols;
+  if (additive_mask != nullptr &&
+      (additive_mask->rank() != 2 || additive_mask->dim(0) != rows ||
+       additive_mask->dim(1) != cols)) {
+    throw std::invalid_argument("infer::RowSoftmaxDeferred: mask shape mismatch");
+  }
+  MatRef weights = ctx.arena().Alloc(rows, cols);
+  MatRef inv_sum = ctx.arena().Alloc(rows, 1);
+  const float* pm = additive_mask != nullptr ? additive_mask->data().data() : nullptr;
+  constexpr float kNegInfCut = -1e30f;
+  // Deferred normalization makes the softmax shift-invariant, so the cheaper
+  // unmasked row max works as the exp shift (it bounds the masked max from
+  // above, keeping every exp argument nonpositive) and the max pass skips the
+  // mask load+add entirely. Masked lanes still get -inf in the exp pass and
+  // come out exactly 0. The two passes run as separate phases — alternating
+  // the max and exp kernels row by row measures ~50% slower than streaming
+  // each one across the whole matrix.
+  MatRef maxes = ctx.arena().Alloc(rows, 1);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    maxes.data[i] = tensor::simd::MaskedRowMax(logits.data + i * cols, nullptr, cols);
+  }
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* lrow = logits.data + i * cols;
+    const float* mrow = pm != nullptr ? pm + i * cols : nullptr;
+    float* orow = weights.data + i * cols;
+    const float total =
+        tensor::simd::ExpShiftedNonPositiveSumN(lrow, mrow, maxes.data[i], orow, cols);
+    if (total > 0.0f) {
+      inv_sum.data[i] = 1.0f / total;
+      continue;
+    }
+    // Rare: the row is fully masked, or every open lane underflowed against
+    // an unmasked max dominated by a masked lane. Redo with the masked max,
+    // exactly as the training path shifts.
+    const float mmax = tensor::simd::MaskedRowMax(lrow, mrow, cols);
+    if (mmax < kNegInfCut) {  // fully masked row: zero weights, and inv must
+      std::fill(orow, orow + cols, 0.0f);  // be 0 (not 1/0) so 0*inv stays 0.
+      inv_sum.data[i] = 0.0f;
+      continue;
+    }
+    inv_sum.data[i] =
+        1.0f / tensor::simd::ExpShiftedNonPositiveSumN(lrow, mrow, mmax, orow, cols);
+  }
+  return {weights, inv_sum};
+}
+
+MatRef LayerNorm(InferenceContext& ctx, ConstMat x, const tensor::Tensor& gain,
+                 const tensor::Tensor& bias, float eps) {
+  const std::int64_t rows = x.rows, cols = x.cols;
+  if (gain.rank() != 1 || gain.dim(0) != cols || bias.rank() != 1 || bias.dim(0) != cols) {
+    throw std::invalid_argument("infer::LayerNorm: gain/bias must be 1-D of width cols");
+  }
+  MatRef out = ctx.arena().Alloc(rows, cols);
+  const float* pgain = gain.data().data();
+  const float* pbias = bias.data().data();
+  // SIMD lane-split reductions for mean/var: they can diverge from the
+  // training path's sequential sums in the last float bits (~1e-7 relative),
+  // well inside the 1e-6 parity contract the inference path is tested to.
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* xrow = x.data + i * cols;
+    const float mean = tensor::simd::Sum(xrow, cols) / static_cast<float>(cols);
+    const float var =
+        tensor::simd::SumSquaredDiff(xrow, mean, cols) / static_cast<float>(cols);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    float* orow = out.data + i * cols;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const float xh = (xrow[j] - mean) * inv;
+      orow[j] = xh * pgain[j] + pbias[j];
+    }
+  }
+  return out;
+}
+
+MatRef SliceCols(InferenceContext& ctx, ConstMat x, std::int64_t start, std::int64_t count) {
+  if (start < 0 || count <= 0 || start + count > x.cols) {
+    throw std::invalid_argument("infer::SliceCols: range out of bounds");
+  }
+  MatRef out = ctx.arena().Alloc(x.rows, count);
+  for (std::int64_t i = 0; i < x.rows; ++i) {
+    std::memcpy(out.data + i * count, x.data + i * x.cols + start,
+                static_cast<std::size_t>(count) * sizeof(float));
+  }
+  return out;
+}
+
+MatRef ConcatCols(InferenceContext& ctx, std::span<const ConstMat> parts) {
+  if (parts.empty()) throw std::invalid_argument("infer::ConcatCols: no inputs");
+  const std::int64_t rows = parts.front().rows;
+  std::int64_t total = 0;
+  for (const ConstMat& p : parts) {
+    if (p.rows != rows) throw std::invalid_argument("infer::ConcatCols: row count mismatch");
+    total += p.cols;
+  }
+  MatRef out = ctx.arena().Alloc(rows, total);
+  std::int64_t off = 0;
+  for (const ConstMat& p : parts) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      std::memcpy(out.data + i * total + off, p.data + i * p.cols,
+                  static_cast<std::size_t>(p.cols) * sizeof(float));
+    }
+    off += p.cols;
+  }
+  return out;
+}
+
+MatRef GlobalAddPool(InferenceContext& ctx, ConstMat x) {
+  MatRef out = ctx.arena().AllocZeroed(1, x.cols);
+  for (std::int64_t i = 0; i < x.rows; ++i) {
+    const float* xrow = x.data + i * x.cols;
+    for (std::int64_t j = 0; j < x.cols; ++j) out.data[j] += xrow[j];
+  }
+  return out;
+}
+
+MatRef SpMM(InferenceContext& ctx, const tensor::Csr& a, ConstMat x) {
+  if (x.rows != a.cols) throw std::invalid_argument("infer::SpMM: dense operand shape mismatch");
+  const std::int64_t n = x.cols;
+  MatRef y = ctx.arena().AllocZeroed(a.rows, n);
+  for (std::int64_t i = 0; i < a.rows; ++i) {
+    float* yrow = y.data + i * n;
+    for (std::int64_t p = a.row_ptr[static_cast<std::size_t>(i)];
+         p < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const float av = a.values[static_cast<std::size_t>(p)];
+      const float* xrow =
+          x.data + static_cast<std::int64_t>(a.col_idx[static_cast<std::size_t>(p)]) * n;
+      for (std::int64_t j = 0; j < n; ++j) yrow[j] += av * xrow[j];
+    }
+  }
+  return y;
+}
+
+MatRef IndexSelectRows(InferenceContext& ctx, ConstMat x,
+                       const std::vector<std::int32_t>& indices) {
+  const auto m = static_cast<std::int64_t>(indices.size());
+  MatRef out = ctx.arena().Alloc(m, x.cols);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int32_t src = indices[static_cast<std::size_t>(i)];
+    if (src < 0 || src >= x.rows) {
+      throw std::out_of_range("infer::IndexSelectRows: index out of range");
+    }
+    std::memcpy(out.data + i * x.cols, x.data + src * x.cols,
+                static_cast<std::size_t>(x.cols) * sizeof(float));
+  }
+  return out;
+}
+
+MatRef SegmentSoftmax(InferenceContext& ctx, ConstMat x,
+                      const std::vector<std::int32_t>& segment_ids,
+                      std::int64_t num_segments) {
+  if (static_cast<std::int64_t>(segment_ids.size()) != x.rows) {
+    throw std::invalid_argument("infer::SegmentSoftmax: one segment id per row required");
+  }
+  const std::int64_t rows = x.rows, cols = x.cols;
+  // Same three passes (max, exp+denom, normalize) and the same std::exp as
+  // the autograd forward.
+  MatRef maxv = ctx.arena().Alloc(num_segments, cols);
+  std::fill(maxv.data, maxv.data + maxv.size(), -std::numeric_limits<float>::infinity());
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::int32_t s = segment_ids[static_cast<std::size_t>(i)];
+    if (s < 0 || s >= num_segments) {
+      throw std::out_of_range("infer::SegmentSoftmax: segment id out of range");
+    }
+    for (std::int64_t j = 0; j < cols; ++j) {
+      maxv.at(s, j) = std::max(maxv.at(s, j), x.at(i, j));
+    }
+  }
+  MatRef expd = ctx.arena().Alloc(rows, cols);
+  MatRef denom = ctx.arena().AllocZeroed(num_segments, cols);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::int32_t s = segment_ids[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const float e = std::exp(x.at(i, j) - maxv.at(s, j));
+      expd.at(i, j) = e;
+      denom.at(s, j) += e;
+    }
+  }
+  MatRef out = ctx.arena().Alloc(rows, cols);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::int32_t s = segment_ids[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < cols; ++j) out.at(i, j) = expd.at(i, j) / denom.at(s, j);
+  }
+  return out;
+}
+
+MatRef SegmentSum(InferenceContext& ctx, ConstMat x,
+                  const std::vector<std::int32_t>& segment_ids, std::int64_t num_segments) {
+  if (static_cast<std::int64_t>(segment_ids.size()) != x.rows) {
+    throw std::invalid_argument("infer::SegmentSum: one segment id per row required");
+  }
+  MatRef out = ctx.arena().AllocZeroed(num_segments, x.cols);
+  for (std::size_t i = 0; i < segment_ids.size(); ++i) {
+    const std::int32_t s = segment_ids[i];
+    if (s < 0 || s >= num_segments) {
+      throw std::out_of_range("infer::SegmentSum: segment id out of range");
+    }
+    const float* xrow = x.data + static_cast<std::int64_t>(i) * x.cols;
+    float* orow = out.data + s * x.cols;
+    for (std::int64_t j = 0; j < x.cols; ++j) orow[j] += xrow[j];
+  }
+  return out;
+}
+
+void RowScaleInPlace(MatRef x, ConstMat s) {
+  if (s.cols != 1 || s.rows != x.rows) {
+    throw std::invalid_argument("infer::RowScaleInPlace: expected x(m,c) and s(m,1)");
+  }
+  for (std::int64_t i = 0; i < x.rows; ++i) {
+    const float sc = s.data[i];
+    float* row = x.data + i * x.cols;
+    for (std::int64_t j = 0; j < x.cols; ++j) row[j] *= sc;
+  }
+}
+
+}  // namespace infer
+
+}  // namespace predtop::nn

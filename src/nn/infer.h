@@ -1,0 +1,116 @@
+#pragma once
+// Tape-free inference support: the per-thread InferenceContext (a tensor
+// arena), the global parameter-mutation epoch that invalidates cached packed
+// weights, and arena kernels that mirror the training kernels' math exactly.
+//
+// Parity contract: the parity tests assert InferForward matches the autograd
+// Forward to <= 1e-6 relative. Most kernels here reproduce the training
+// forward exactly (same loop order, same branch structure, same UsePackedGemm
+// dispatch), so their outputs match bit-for-bit. A few deliberately reorder
+// float math for speed inside that tolerance — SIMD lane-split reductions in
+// LayerNorm, the attention q-side scale fold, and deferred softmax
+// normalization — each worth a full matrix pass and each ~1e-7 relative.
+//
+// Threading/invalidation model:
+//  - One InferenceContext (arena) per thread via ThreadLocalInferenceContext;
+//    allocation is lock-free and Reset() at the start of each forward.
+//  - Parameter mutation (Adam::Step, Module::RestoreParameters,
+//    ReadStateDict) bumps the process-wide ParameterEpoch; per-Linear packed
+//    weights record the epoch at pack time and repack lazily when stale.
+//    Concurrent *inference* is supported; mutating parameters concurrently
+//    with inference on the same module is not (same rule as the tape path).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/arena.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace predtop::nn {
+
+/// Process-wide monotonic counter of in-place parameter mutations. Starts at
+/// 1 so "epoch 0" is always stale.
+[[nodiscard]] std::uint64_t ParameterEpoch() noexcept;
+/// Call after mutating any parameter Variable's value in place outside the
+/// optimizer / snapshot / state-dict paths (those bump it themselves).
+void BumpParameterEpoch() noexcept;
+
+/// Per-forward state of the tape-free path. Today this is the activation
+/// arena; it also gives fast-path signatures room to grow without touching
+/// every layer again.
+class InferenceContext {
+ public:
+  InferenceContext() = default;
+
+  [[nodiscard]] tensor::Arena& arena() noexcept { return arena_; }
+
+  /// Epoch-reset the arena; call once at the start of each model forward.
+  void BeginForward() { arena_.Reset(); }
+
+ private:
+  tensor::Arena arena_;
+};
+
+/// The calling thread's context. Workers of serve::PredictionService's
+/// PredictMany fan-out each land on their own instance, which is what makes
+/// the arena lock-free.
+[[nodiscard]] InferenceContext& ThreadLocalInferenceContext();
+
+namespace infer {
+
+using tensor::ConstMat;
+using tensor::MatRef;
+
+/// 2-D tensor view (throws on other ranks).
+[[nodiscard]] ConstMat View(const tensor::Tensor& t);
+
+// Kernels allocating from ctx's arena. "InPlace" variants overwrite their
+// first argument; training always materializes a fresh tensor, but the
+// element values are identical, which is all parity needs.
+
+/// Mirrors tensor::MatMul including its narrow-output and packed dispatch.
+[[nodiscard]] MatRef MatMul(InferenceContext& ctx, ConstMat a, ConstMat b);
+[[nodiscard]] MatRef Transpose(InferenceContext& ctx, ConstMat a);
+void AddInPlace(MatRef a, ConstMat b);
+void ScaleInPlace(MatRef a, float s);
+void ReluInPlace(MatRef a);
+void LeakyReluInPlace(MatRef a, float negative_slope);
+void AddRowVectorInPlace(MatRef m, const tensor::Tensor& bias);
+/// Mirrors tensor::RowSoftmax (additive_mask nullable; (n,n) 0/-inf).
+[[nodiscard]] MatRef RowSoftmax(InferenceContext& ctx, ConstMat logits,
+                                const tensor::Tensor* additive_mask);
+/// Deferred-normalization softmax for the attention fast path: `weights`
+/// holds the unnormalized exp(v - rowmax) terms and `inv_sum` the per-row
+/// 1/sum (exactly 0 for fully masked rows, whose weight rows are zeroed).
+/// softmax(v) == weights * inv_sum row-wise; deferring lets attention scale
+/// its (n, head_dim) output instead of the (n, n) weight matrix.
+struct DeferredSoftmax {
+  MatRef weights;  // (n, n)
+  MatRef inv_sum;  // (n, 1)
+};
+[[nodiscard]] DeferredSoftmax RowSoftmaxDeferred(InferenceContext& ctx, ConstMat logits,
+                                                 const tensor::Tensor* additive_mask);
+/// Mirrors autograd::LayerNorm's forward.
+[[nodiscard]] MatRef LayerNorm(InferenceContext& ctx, ConstMat x, const tensor::Tensor& gain,
+                               const tensor::Tensor& bias, float eps = 1e-5f);
+[[nodiscard]] MatRef SliceCols(InferenceContext& ctx, ConstMat x, std::int64_t start,
+                               std::int64_t count);
+[[nodiscard]] MatRef ConcatCols(InferenceContext& ctx, std::span<const ConstMat> parts);
+[[nodiscard]] MatRef GlobalAddPool(InferenceContext& ctx, ConstMat x);
+[[nodiscard]] MatRef SpMM(InferenceContext& ctx, const tensor::Csr& a, ConstMat x);
+[[nodiscard]] MatRef IndexSelectRows(InferenceContext& ctx, ConstMat x,
+                                     const std::vector<std::int32_t>& indices);
+[[nodiscard]] MatRef SegmentSoftmax(InferenceContext& ctx, ConstMat x,
+                                    const std::vector<std::int32_t>& segment_ids,
+                                    std::int64_t num_segments);
+[[nodiscard]] MatRef SegmentSum(InferenceContext& ctx, ConstMat x,
+                                const std::vector<std::int32_t>& segment_ids,
+                                std::int64_t num_segments);
+/// x(m,c) *= s(m,1) row-wise.
+void RowScaleInPlace(MatRef x, ConstMat s);
+
+}  // namespace infer
+
+}  // namespace predtop::nn

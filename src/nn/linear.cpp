@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/simd.h"
+
 namespace predtop::nn {
 
 using autograd::Variable;
@@ -24,6 +26,65 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& r
 Variable Linear::Forward(const Variable& x) const {
   Variable y = autograd::MatMul(x, weight_);
   if (bias_.defined()) y = autograd::AddRowVector(y, bias_);
+  return y;
+}
+
+std::shared_ptr<const Linear::InferWeights> Linear::CachedInferWeights() const {
+  const std::uint64_t epoch = ParameterEpoch();
+  std::lock_guard<std::mutex> lock(infer_cache_->mutex);
+  std::shared_ptr<const InferWeights>& cached = infer_cache_->weights;
+  if (cached == nullptr || cached->epoch != epoch) {
+    auto fresh = std::make_shared<InferWeights>();
+    fresh->epoch = epoch;
+    const tensor::Tensor& w = weight_.value();
+    if (out_ >= tensor::kGemmPanel && in_ >= 8) {
+      // Shapes the packed tier can ever dispatch to (UsePackedGemm's k/n
+      // preconditions; m is the per-call row count).
+      tensor::PackBInto(w.data().data(), in_, out_, fresh->pack);
+    }
+    if (out_ < 16 && in_ >= 16) {
+      fresh->weight_t = tensor::Transpose2D(w);  // narrow-output dot tier
+    }
+    cached = std::move(fresh);
+  }
+  return cached;
+}
+
+tensor::MatRef Linear::InferForward(tensor::ConstMat x, InferenceContext& ctx) const {
+  if (x.cols != in_) throw std::invalid_argument("Linear::InferForward: feature width mismatch");
+  const std::int64_t m = x.rows;
+  tensor::MatRef y{};
+  // Tier selection must match tensor::MatMul(x, W) exactly for parity.
+  if (tensor::UsePackedGemm(m, in_, out_)) {
+    const auto cached = CachedInferWeights();
+    y = ctx.arena().Alloc(m, out_);
+    tensor::MatMulPackedInto(x.data, m, cached->pack, y.data);
+  } else if (out_ < 16 && in_ >= 16) {
+    const auto cached = CachedInferWeights();
+    const float* wt = cached->weight_t.data().data();
+    y = ctx.arena().Alloc(m, out_);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* xrow = x.data + i * in_;
+      float* yrow = y.data + i * out_;
+      for (std::int64_t j = 0; j < out_; ++j) {
+        yrow[j] = tensor::simd::Dot(xrow, wt + j * in_, in_);
+      }
+    }
+  } else {
+    y = ctx.arena().AllocZeroed(m, out_);
+    const float* pw = weight_.value().data().data();
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* xrow = x.data + i * in_;
+      float* yrow = y.data + i * out_;
+      for (std::int64_t kk = 0; kk < in_; ++kk) {
+        const float av = xrow[kk];
+        if (av == 0.0f) continue;  // same skip as the training kernel
+        const float* wrow = pw + kk * out_;
+        for (std::int64_t j = 0; j < out_; ++j) yrow[j] += av * wrow[j];
+      }
+    }
+  }
+  if (bias_.defined()) infer::AddRowVectorInPlace(y, bias_.value());
   return y;
 }
 
@@ -52,6 +113,15 @@ Variable Mlp::Forward(const Variable& x) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].Forward(h);
     if (i + 1 < layers_.size()) h = autograd::Relu(h);
+  }
+  return h;
+}
+
+tensor::MatRef Mlp::InferForward(tensor::ConstMat x, InferenceContext& ctx) const {
+  tensor::MatRef h = layers_.front().InferForward(x, ctx);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    infer::ReluInPlace(h);
+    h = layers_[i].InferForward(h, ctx);
   }
   return h;
 }

@@ -2,10 +2,14 @@
 // Fully-connected layer and a small MLP helper.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "autograd/functions.h"
+#include "nn/infer.h"
 #include "nn/module.h"
+#include "tensor/ops.h"
 #include "util/rng.h"
 
 namespace predtop::nn {
@@ -18,6 +22,14 @@ class Linear : public Module {
 
   [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x) const;
 
+  /// Tape-free forward into ctx's arena, mirroring Forward()'s kernel
+  /// dispatch exactly: the packed tier multiplies against a cached packed
+  /// copy of the weight (rebuilt lazily when ParameterEpoch moves), the
+  /// narrow-output tier against a cached W^T. Safe to call from many threads
+  /// concurrently; the cache mutex is per-layer and only contended on the
+  /// (rare) repack after a parameter mutation.
+  [[nodiscard]] tensor::MatRef InferForward(tensor::ConstMat x, InferenceContext& ctx) const;
+
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
   [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
@@ -28,10 +40,26 @@ class Linear : public Module {
   [[nodiscard]] autograd::Variable& Weight() noexcept { return weight_; }
 
  private:
+  /// Immutable per-epoch derived forms of the weight; readers hold a
+  /// shared_ptr so a concurrent repack can never free data under them.
+  struct InferWeights {
+    std::uint64_t epoch = 0;
+    tensor::PackedB pack;      // packed weight for the blocked GEMM tier
+    tensor::Tensor weight_t;   // W^T for the narrow-output dot tier
+  };
+  // Heap-held so the mutex does not make Linear unmovable (Mlp stores
+  // Linears by value).
+  struct InferCache {
+    std::mutex mutex;
+    std::shared_ptr<const InferWeights> weights;
+  };
+  [[nodiscard]] std::shared_ptr<const InferWeights> CachedInferWeights() const;
+
   std::int64_t in_;
   std::int64_t out_;
   autograd::Variable weight_;
   autograd::Variable bias_;  // undefined when with_bias == false
+  mutable std::unique_ptr<InferCache> infer_cache_ = std::make_unique<InferCache>();
 };
 
 /// Multi-layer perceptron: Linear -> ReLU -> ... -> Linear (no final
@@ -43,6 +71,9 @@ class Mlp : public Module {
   Mlp(std::vector<std::int64_t> dims, util::Rng& rng);
 
   [[nodiscard]] autograd::Variable Forward(const autograd::Variable& x) const;
+
+  /// Tape-free forward (Linear fast paths + in-place ReLU between layers).
+  [[nodiscard]] tensor::MatRef InferForward(tensor::ConstMat x, InferenceContext& ctx) const;
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
   [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nn/infer.h"
 #include "nn/serialize.h"
 
 namespace predtop::nn {
@@ -43,6 +44,7 @@ void Module::RestoreParameters(const std::vector<tensor::Tensor>& snapshot) {
     }
     params[i]->mutable_value() = snapshot[i];
   }
+  BumpParameterEpoch();  // cached packed weights must repack
 }
 
 void Module::Save(std::ostream& out) { WriteStateDict(out, *this); }

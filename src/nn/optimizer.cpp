@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/infer.h"
+
 namespace predtop::nn {
 
 Adam::Adam(Module& model, AdamConfig config) : model_(model), config_(config) {
@@ -34,6 +36,7 @@ void Adam::Step(float lr) {
       val[j] -= lr * update;
     }
   }
+  BumpParameterEpoch();  // cached packed weights must repack
 }
 
 float CosineDecayLr(float base_lr, std::int64_t epoch, std::int64_t total_epochs) {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "fault/status.h"
+#include "nn/infer.h"
 
 namespace predtop::nn {
 
@@ -183,6 +184,7 @@ void ReadStateDict(std::istream& in, Module& module) {
   for (const NamedParameter& p : named) {
     p.variable->mutable_value() = loaded.at(p.name);
   }
+  BumpParameterEpoch();  // cached packed weights must repack
 }
 
 void SaveParameters(const std::string& path, Module& module) {

@@ -9,17 +9,25 @@
 //   2. in-flight coalescing — concurrent requests for the same (model,
 //      stage) join one computation instead of duplicating the forward pass
 //      (micro-batching of an identical-query burst into a single forward);
-//   3. a predictor forward pass, safe to run concurrently across requests
-//      because inference builds independent autograd tapes that only *read*
-//      the shared parameters.
+//   3. a predictor forward pass — by default the tape-free fast path
+//      (LatencyRegressor::PredictSeconds → StagePredictor::InferScalar),
+//      which allocates activations from a per-thread tensor arena and
+//      multiplies against per-layer cached packed weights. Safe to run
+//      concurrently across requests: each worker thread owns its arena
+//      (nn::ThreadLocalInferenceContext), the packed-weight caches are
+//      immutable snapshots swapped under a per-layer mutex, and the DAG
+//      Transformer's fingerprint-keyed positional-encoding cache takes a
+//      short per-model lock only around map lookup/insert (the encoding
+//      itself is computed outside the lock).
 //
 // PredictMany additionally batches a caller-provided query set: duplicates
 // inside the batch collapse to one forward each, and the distinct misses fan
-// out across the service's ThreadPool. Failures propagate to every waiter
-// (never swallowed) via the pool's exception plumbing. The inter-op plan
-// search feeds its whole stage-latency table through this path via
-// serve::ServingOracle::AsBatchOracle — one PredictMany call per mesh model
-// instead of one Predict per DP table cell.
+// out across the service's ThreadPool — one inference arena per worker falls
+// out of the thread_local context, no per-request allocation churn. Failures
+// propagate to every waiter (never swallowed) via the pool's exception
+// plumbing. The inter-op plan search feeds its whole stage-latency table
+// through this path via serve::ServingOracle::AsBatchOracle — one
+// PredictMany call per mesh model instead of one Predict per DP table cell.
 
 #include <atomic>
 #include <cstdint>

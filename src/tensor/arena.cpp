@@ -1,0 +1,84 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace predtop::tensor {
+
+namespace {
+
+// Keep successive allocations 64-byte aligned (16 floats) so vector loads in
+// the kernels never straddle cache lines mid-matrix.
+constexpr std::size_t kAlignFloats = 16;
+
+std::size_t RoundUp(std::size_t n) { return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats; }
+
+}  // namespace
+
+Arena::Block Arena::MakeBlock(std::size_t capacity_floats) {
+  Block block;
+  block.capacity = std::max(RoundUp(capacity_floats), kAlignFloats);
+  block.storage = std::make_unique<float[]>(block.capacity + kAlignFloats);
+  const auto addr = reinterpret_cast<std::uintptr_t>(block.storage.get());
+  const std::size_t align_bytes = kAlignFloats * sizeof(float);
+  const std::uintptr_t aligned = (addr + align_bytes - 1) / align_bytes * align_bytes;
+  block.base = block.storage.get() + (aligned - addr) / sizeof(float);
+  return block;
+}
+
+Arena::Arena(std::size_t initial_floats) { blocks_.push_back(MakeBlock(initial_floats)); }
+
+float* Arena::AllocFloats(std::int64_t count) {
+  if (count < 0) throw std::invalid_argument("Arena::AllocFloats: negative count");
+  const std::size_t need = RoundUp(static_cast<std::size_t>(count));
+  Block* block = &blocks_[block_index_];
+  if (used_ + need > block->capacity) {
+    // Move to (or create) an overflow block that fits the request; blocks
+    // double so a growing workload settles after a few epochs.
+    ++block_index_;
+    if (block_index_ == blocks_.size()) {
+      blocks_.push_back(MakeBlock(std::max(need, blocks_.back().capacity * 2)));
+    } else if (blocks_[block_index_].capacity < need) {
+      blocks_[block_index_] =
+          MakeBlock(std::max(need, blocks_[block_index_].capacity * 2));
+    }
+    block = &blocks_[block_index_];
+    used_ = 0;
+  }
+  float* out = block->base + used_;
+  used_ += need;
+  epoch_floats_ += need;
+  return out;
+}
+
+MatRef Arena::Alloc(std::int64_t rows, std::int64_t cols) {
+  return MatRef{AllocFloats(rows * cols), rows, cols};
+}
+
+MatRef Arena::AllocZeroed(std::int64_t rows, std::int64_t cols) {
+  MatRef m = Alloc(rows, cols);
+  std::memset(m.data, 0, static_cast<std::size_t>(m.size()) * sizeof(float));
+  return m;
+}
+
+void Arena::Reset() {
+  if (block_index_ > 0) {
+    // The epoch spilled: replace the block list with one block big enough for
+    // everything the epoch used, so the next epoch is a single bump stream.
+    const std::size_t total = epoch_floats_;
+    blocks_.clear();
+    blocks_.push_back(MakeBlock(total));
+  }
+  block_index_ = 0;
+  used_ = 0;
+  epoch_floats_ = 0;
+}
+
+std::size_t Arena::CapacityFloats() const noexcept {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+}  // namespace predtop::tensor

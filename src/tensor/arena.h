@@ -1,0 +1,91 @@
+#pragma once
+// Bump allocator for tape-free inference activations. A forward pass makes
+// dozens of short-lived matrix allocations whose lifetimes all end together
+// when the prediction is returned, which is exactly the arena pattern: grab
+// memory by bumping a pointer, free everything at once with an epoch Reset()
+// that keeps the capacity for the next forward. Each inference thread owns
+// one arena (see nn::InferenceContext), so allocation is lock-free.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace predtop::tensor {
+
+/// Non-owning view of a row-major float matrix, the currency of the
+/// inference fast path (arena-backed activations, tensor views, cached
+/// encodings all flow through the same kernels).
+struct MatRef {
+  float* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  [[nodiscard]] std::int64_t size() const noexcept { return rows * cols; }
+  [[nodiscard]] float& at(std::int64_t r, std::int64_t c) const noexcept {
+    return data[r * cols + c];
+  }
+};
+
+/// Read-only counterpart of MatRef.
+struct ConstMat {
+  const float* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  ConstMat() = default;
+  ConstMat(const float* d, std::int64_t r, std::int64_t c) noexcept : data(d), rows(r), cols(c) {}
+  ConstMat(const MatRef& m) noexcept : data(m.data), rows(m.rows), cols(m.cols) {}
+
+  [[nodiscard]] std::int64_t size() const noexcept { return rows * cols; }
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c) const noexcept {
+    return data[r * cols + c];
+  }
+};
+
+class Arena {
+ public:
+  /// `initial_floats` sizes the first block; later blocks double as needed.
+  explicit Arena(std::size_t initial_floats = 1u << 18);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` floats (rounded up so successive
+  /// allocations stay 64-byte aligned). Valid until the next Reset().
+  [[nodiscard]] float* AllocFloats(std::int64_t count);
+
+  /// Uninitialized rows x cols matrix.
+  [[nodiscard]] MatRef Alloc(std::int64_t rows, std::int64_t cols);
+  /// Zero-filled rows x cols matrix (for kernels that accumulate).
+  [[nodiscard]] MatRef AllocZeroed(std::int64_t rows, std::int64_t cols);
+
+  /// Epoch reset: drop every allocation, keep the capacity. If the previous
+  /// epoch spilled into overflow blocks, they are coalesced into one block
+  /// sized for the whole epoch so steady state bumps through a single
+  /// contiguous buffer.
+  void Reset();
+
+  /// Floats handed out since the last Reset().
+  [[nodiscard]] std::size_t EpochFloats() const noexcept { return epoch_floats_; }
+  /// Total floats reserved across all blocks.
+  [[nodiscard]] std::size_t CapacityFloats() const noexcept;
+
+ private:
+  /// Storage over-allocates by one alignment unit so `base` (what the bump
+  /// pointer walks) can start on a 64-byte boundary regardless of where
+  /// operator new[] put the buffer.
+  struct Block {
+    std::unique_ptr<float[]> storage;
+    float* base = nullptr;
+    std::size_t capacity = 0;
+  };
+  [[nodiscard]] static Block MakeBlock(std::size_t capacity_floats);
+
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;  // block currently being bumped
+  std::size_t used_ = 0;         // floats used in blocks_[block_index_]
+  std::size_t epoch_floats_ = 0;
+};
+
+}  // namespace predtop::tensor

@@ -1,14 +1,19 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <numbers>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "tensor/simd.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
 
 namespace predtop::tensor {
 
@@ -22,7 +27,7 @@ void Require2D(const Tensor& t, const char* msg) { Require(t.rank() == 2, msg); 
 
 }  // namespace
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
   Require2D(a, "MatMul: a must be 2-D");
   Require2D(b, "MatMul: b must be 2-D");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -57,6 +62,268 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+namespace {
+
+// ---- packed GEMM: kGemmMr x kGemmPanel register-tiled micro-kernel ----
+//
+// The packed layout stores B panel-major (see ops.h), so the micro-kernel's
+// inner loop is a pure stream: load two 8-wide vectors of B, broadcast one A
+// scalar per row of the tile, and FMA into 2*MR vector accumulators that live
+// in registers for the whole k loop. The tile is stored once at the end, so
+// C needs no pre-zeroing and the kernel overwrites rather than accumulates.
+// Each output element is accumulated in ascending-k order by exactly one
+// thread, which keeps results bit-identical across dispatch tiers and thread
+// counts (the threaded variant only partitions rows).
+
+#ifdef PREDTOP_HAVE_VECTOR_EXT
+
+template <int MR>
+void MicroKernelPanel(const float* __restrict a, std::int64_t lda, const float* __restrict bp,
+                      std::int64_t k, float* __restrict c, std::int64_t ldc) {
+  simd::F8 acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = simd::Broadcast(0.0f);
+    acc1[r] = simd::Broadcast(0.0f);
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    simd::F8 b0, b1;
+    std::memcpy(&b0, bp + kk * kGemmPanel, sizeof b0);
+    std::memcpy(&b1, bp + kk * kGemmPanel + 8, sizeof b1);
+    for (int r = 0; r < MR; ++r) {
+      const simd::F8 av = simd::Broadcast(a[r * lda + kk]);
+      acc0[r] += av * b0;
+      acc1[r] += av * b1;
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    std::memcpy(c + r * ldc, &acc0[r], sizeof(simd::F8));
+    std::memcpy(c + r * ldc + 8, &acc1[r], sizeof(simd::F8));
+  }
+}
+
+#else  // scalar fallback for compilers without vector extensions
+
+template <int MR>
+void MicroKernelPanel(const float* __restrict a, std::int64_t lda, const float* __restrict bp,
+                      std::int64_t k, float* __restrict c, std::int64_t ldc) {
+  float acc[MR][kGemmPanel] = {};
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* brow = bp + kk * kGemmPanel;
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      for (int j = 0; j < kGemmPanel; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < MR; ++r) std::memcpy(c + r * ldc, acc[r], sizeof acc[r]);
+}
+
+#endif
+
+void DispatchMicroKernel(int mr, const float* a, std::int64_t lda, const float* bp,
+                         std::int64_t k, float* c, std::int64_t ldc) {
+  switch (mr) {
+    case 6: MicroKernelPanel<6>(a, lda, bp, k, c, ldc); break;
+    case 5: MicroKernelPanel<5>(a, lda, bp, k, c, ldc); break;
+    case 4: MicroKernelPanel<4>(a, lda, bp, k, c, ldc); break;
+    case 3: MicroKernelPanel<3>(a, lda, bp, k, c, ldc); break;
+    case 2: MicroKernelPanel<2>(a, lda, bp, k, c, ldc); break;
+    default: MicroKernelPanel<1>(a, lda, bp, k, c, ldc); break;
+  }
+}
+
+/// Rows [row_begin, row_end) of C = A * packed(B), with row strides lda/ldc
+/// (the contiguous case passes b.k / b.n). row_begin must be a multiple of
+/// kGemmMr (threaded chunks honor this) so tiles never straddle a partition
+/// boundary.
+void PackedRowRange(const float* __restrict a, std::int64_t lda, const PackedB& b,
+                    float* __restrict c, std::int64_t ldc, std::int64_t row_begin,
+                    std::int64_t row_end) {
+  const std::int64_t k = b.k, n = b.n;
+  const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
+  const float* pb = b.data.data();
+  for (std::int64_t i = row_begin; i < row_end; i += kGemmMr) {
+    const int mr = static_cast<int>(std::min<std::int64_t>(kGemmMr, row_end - i));
+    const float* ablock = a + i * lda;
+    float* cblock = c + i * ldc;
+    for (std::int64_t p = 0; p < num_panels; ++p) {
+      const float* bp = pb + p * k * kGemmPanel;
+      const std::int64_t j0 = p * kGemmPanel;
+      const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
+      if (w == kGemmPanel) {
+        DispatchMicroKernel(mr, ablock, lda, bp, k, cblock + j0, ldc);
+      } else {
+        // Ragged last panel: compute the full zero-padded tile into scratch,
+        // then copy only the live columns.
+        float tmp[kGemmMr * kGemmPanel];
+        DispatchMicroKernel(mr, ablock, lda, bp, k, tmp, kGemmPanel);
+        for (int r = 0; r < mr; ++r) {
+          std::memcpy(cblock + r * ldc + j0, tmp + r * kGemmPanel,
+                      static_cast<std::size_t>(w) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+/// Worker count the shared GEMM pool would be built with; reading it does not
+/// construct the pool (UseThreadedGemm must stay cheap and noexcept).
+std::size_t GemmThreadTarget() noexcept {
+  static const std::size_t target = [] {
+    const long env = util::EnvInt("PREDTOP_GEMM_THREADS", 0);
+    if (env > 0) return static_cast<std::size_t>(env);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+  }();
+  return target;
+}
+
+std::int64_t GemmParMinElems() noexcept {
+  static const std::int64_t v =
+      util::EnvInt("PREDTOP_GEMM_PAR_MIN_ELEMS", 4l << 20);  // 4Mi MACs
+  return v;
+}
+
+/// Shared process-wide pool for threaded GEMMs, built on first threaded
+/// multiply. Serving-size forwards stay below the threading threshold, so the
+/// pool never competes with PredictMany's own fan-out for those.
+util::ThreadPool& GemmPool() {
+  static util::ThreadPool pool(GemmThreadTarget());
+  return pool;
+}
+
+}  // namespace
+
+void PackBInto(const float* b, std::int64_t k, std::int64_t n, PackedB& out,
+               std::int64_t ldb) {
+  if (ldb < 0) ldb = n;
+  out.k = k;
+  out.n = n;
+  const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
+  out.data.assign(static_cast<std::size_t>(num_panels * k * kGemmPanel), 0.0f);
+  for (std::int64_t p = 0; p < num_panels; ++p) {
+    const std::int64_t j0 = p * kGemmPanel;
+    const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
+    float* panel = out.data.data() + p * k * kGemmPanel;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      std::memcpy(panel + kk * kGemmPanel, b + kk * ldb + j0,
+                  static_cast<std::size_t>(w) * sizeof(float));
+    }
+  }
+}
+
+PackedB PackB(const Tensor& b) {
+  Require2D(b, "PackB: b must be 2-D");
+  PackedB out;
+  PackBInto(b.data().data(), b.dim(0), b.dim(1), out);
+  return out;
+}
+
+void PackBTransposedInto(const float* bt, std::int64_t k, std::int64_t n, PackedB& out,
+                         std::int64_t ldb) {
+  if (ldb < 0) ldb = k;
+  out.k = k;
+  out.n = n;
+  const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
+  out.data.assign(static_cast<std::size_t>(num_panels * k * kGemmPanel), 0.0f);
+  for (std::int64_t p = 0; p < num_panels; ++p) {
+    const std::int64_t j0 = p * kGemmPanel;
+    const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
+    float* panel = out.data.data() + p * k * kGemmPanel;
+    for (std::int64_t j = 0; j < w; ++j) {
+      const float* src = bt + (j0 + j) * ldb;  // column j0+j of B is row j0+j of B^T
+      for (std::int64_t kk = 0; kk < k; ++kk) panel[kk * kGemmPanel + j] = src[kk];
+    }
+  }
+}
+
+namespace {
+
+std::atomic<bool>& PackedGemmFlag() noexcept {
+  static std::atomic<bool> enabled{util::EnvInt("PREDTOP_GEMM_PACKED", 1) != 0};
+  return enabled;
+}
+
+}  // namespace
+
+void SetPackedGemmEnabled(bool enabled) noexcept {
+  PackedGemmFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool PackedGemmEnabled() noexcept {
+  return PackedGemmFlag().load(std::memory_order_relaxed);
+}
+
+bool UsePackedGemm(std::int64_t m, std::int64_t k, std::int64_t n) noexcept {
+  // Packing costs O(k*n); below ~256Ki multiply-accumulates the i-k-j kernel
+  // wins. Narrow outputs stay on the simd::Dot path and short k gives the
+  // micro-kernel nothing to stream.
+  if (n < kGemmPanel || k < 8 || m < kGemmMr) return false;
+  if (!PackedGemmEnabled()) return false;
+  return m * k * n >= (std::int64_t{1} << 18);
+}
+
+bool UseThreadedGemm(std::int64_t m, std::int64_t k, std::int64_t n) noexcept {
+  if (GemmThreadTarget() <= 1) return false;
+  if (m < 4 * kGemmMr) return false;  // too few row tiles to split
+  return m * k * n >= GemmParMinElems();
+}
+
+void MatMulPackedStridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                             const PackedB& b, float* c, std::int64_t ldc,
+                             bool allow_threads) {
+  if (m <= 0 || b.n <= 0) return;
+  if (allow_threads && UseThreadedGemm(m, b.k, b.n)) {
+    util::ThreadPool& pool = GemmPool();
+    // Chunk rows in multiples of kGemmMr, ~2 chunks per worker (the caller
+    // participates in ParallelFor) for load balance without tiny tasks.
+    const std::int64_t row_blocks = (m + kGemmMr - 1) / kGemmMr;
+    const std::int64_t target_tasks = static_cast<std::int64_t>(2 * (pool.ThreadCount() + 1));
+    const std::int64_t chunk =
+        std::max<std::int64_t>(1, (row_blocks + target_tasks - 1) / target_tasks) * kGemmMr;
+    const std::size_t tasks = static_cast<std::size_t>((m + chunk - 1) / chunk);
+    if (tasks > 1) {
+      pool.ParallelFor(tasks, [&](std::size_t t) {
+        const std::int64_t r0 = static_cast<std::int64_t>(t) * chunk;
+        PackedRowRange(a, lda, b, c, ldc, r0, std::min<std::int64_t>(m, r0 + chunk));
+      });
+      return;
+    }
+  }
+  PackedRowRange(a, lda, b, c, ldc, 0, m);
+}
+
+void MatMulPackedInto(const float* a, std::int64_t m, const PackedB& b, float* c,
+                      bool allow_threads) {
+  MatMulPackedStridedInto(a, m, b.k, b, c, b.n, allow_threads);
+}
+
+Tensor MatMulPacked(const Tensor& a, const PackedB& b, bool allow_threads) {
+  Require2D(a, "MatMulPacked: a must be 2-D");
+  Require(a.dim(1) == b.k, "MatMulPacked: inner dimension mismatch");
+  Tensor c({a.dim(0), b.n});
+  MatMulPackedInto(a.data().data(), a.dim(0), b, c.data().data(), allow_threads);
+  return c;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Require2D(a, "MatMul: a must be 2-D");
+  Require2D(b, "MatMul: b must be 2-D");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Require(b.dim(0) == k, "MatMul: inner dimension mismatch");
+  if (UsePackedGemm(m, k, n)) {
+    // Pack into a per-thread scratch so back-to-back training GEMMs reuse the
+    // allocation; the inference fast path instead multiplies against packs
+    // cached per nn::Linear, hitting the identical kernel (and therefore the
+    // identical bits) without the per-call packing.
+    thread_local PackedB scratch;
+    PackBInto(b.data().data(), k, n, scratch);
+    Tensor c({m, n});
+    MatMulPackedInto(a.data().data(), m, scratch, c.data().data());
+    return c;
+  }
+  return MatMulNaive(a, b);
+}
+
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   Require2D(a, "MatMulTransA: a must be 2-D");
   Require2D(b, "MatMulTransA: b must be 2-D");
@@ -83,10 +350,20 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   Require2D(a, "MatMulTransB: a must be 2-D");
   Require2D(b, "MatMulTransB: b must be 2-D");
   Require(b.dim(1) == a.dim(1), "MatMulTransB: trailing dimension mismatch");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (UsePackedGemm(m, k, n)) {
+    // Pack straight from the transposed layout — packing is a gather either
+    // way, so materializing B^T first would just be an extra O(k*n) copy.
+    thread_local PackedB scratch;
+    PackBTransposedInto(b.data().data(), k, n, scratch);
+    Tensor c({m, n});
+    MatMulPackedInto(a.data().data(), m, scratch, c.data().data());
+    return c;
+  }
   // Materializing B^T keeps the multiply in the vectorizable i-k-j kernel —
   // a dot-product formulation is a float reduction the compiler will not
   // vectorize without fast-math. The transpose is O(k*n) vs O(m*k*n).
-  return MatMul(a, Transpose2D(b));
+  return MatMulNaive(a, Transpose2D(b));
 }
 
 namespace {

@@ -2,15 +2,88 @@
 // Raw numeric kernels over Tensor. These are the forward/backward building
 // blocks wrapped by predtop::autograd; they carry no gradient logic.
 //
-// Matrix kernels are written in i-k-j order over contiguous rows so the
-// compiler auto-vectorizes them (AVX2/AVX-512 with -march=native), which is
-// plenty for the <=512 x 256 shapes this project trains on.
+// Matrix kernels come in three tiers:
+//  - an i-k-j kernel over contiguous rows that the compiler auto-vectorizes
+//    (AVX2/AVX-512 with -march=native) — the small-shape default;
+//  - a register-blocked kernel over a B matrix packed into column panels
+//    (PackB / MatMulPacked), which keeps a kGemmMr x kGemmPanel accumulator
+//    tile in registers and streams packed panels — ~3-4x the i-k-j kernel at
+//    256^3 and the backbone of the tape-free inference fast path (packed
+//    weights are cached per nn::Linear);
+//  - a ParallelFor-over-row-panels variant of the packed kernel on a shared
+//    process-wide util::ThreadPool for large m (PREDTOP_GEMM_THREADS /
+//    PREDTOP_GEMM_PAR_MIN_ELEMS knobs).
+// MatMul / MatMulTransB dispatch between the tiers by shape (UsePackedGemm /
+// UseThreadedGemm); results are deterministic across tiers and thread counts
+// because each output element is always accumulated in ascending-k order by
+// exactly one thread.
+
+#include <cstdint>
+#include <vector>
 
 #include "tensor/tensor.h"
 
 namespace predtop::tensor {
 
-/// C = A(m,k) * B(k,n).
+// ---- packed GEMM (register-blocked, B pre-packed into column panels) ----
+
+/// Columns per packed panel (two 8-wide SIMD vectors).
+inline constexpr std::int64_t kGemmPanel = 16;
+/// Rows per register tile of the packed micro-kernel.
+inline constexpr std::int64_t kGemmMr = 6;
+
+/// B(k, n) packed panel-major: panel p holds columns [p*kGemmPanel, ...) laid
+/// out k-major (kGemmPanel contiguous floats per k step), the last panel
+/// zero-padded to full width. Reusable across many multiplies — nn::Linear
+/// caches one per weight matrix for the inference fast path.
+struct PackedB {
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::vector<float> data;
+};
+
+/// Pack row-major b (k, n); reuses `out.data` capacity across calls. `ldb` is
+/// b's row stride (-1 means n, i.e. contiguous) so a column block of a wider
+/// matrix packs without a slice copy.
+void PackBInto(const float* b, std::int64_t k, std::int64_t n, PackedB& out,
+               std::int64_t ldb = -1);
+[[nodiscard]] PackedB PackB(const Tensor& b);
+/// Pack B = bt^T from row-major bt (n, k) without materializing the transpose.
+/// `ldb` is bt's row stride (-1 means k).
+void PackBTransposedInto(const float* bt, std::int64_t k, std::int64_t n, PackedB& out,
+                         std::int64_t ldb = -1);
+
+/// C(m, n) = A(m, k) * B with B pre-packed; `c` is fully overwritten (no
+/// accumulate, no pre-zeroing needed). `allow_threads` additionally gates the
+/// row-panel fan-out across the shared GEMM pool (see UseThreadedGemm).
+void MatMulPackedInto(const float* a, std::int64_t m, const PackedB& b, float* c,
+                      bool allow_threads = true);
+/// Strided MatMulPackedInto: A has row stride `lda` (>= b.k) and C row stride
+/// `ldc` (>= b.n), so attention can read a head's slice of a wider activation
+/// and write its output at a column offset of the merged matrix in place.
+void MatMulPackedStridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                             const PackedB& b, float* c, std::int64_t ldc,
+                             bool allow_threads = true);
+[[nodiscard]] Tensor MatMulPacked(const Tensor& a, const PackedB& b,
+                                  bool allow_threads = true);
+
+/// Reference i-k-j kernel (the historical MatMul); kept callable for
+/// benchmarking and as the small-shape dispatch target.
+[[nodiscard]] Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+
+/// True when MatMul dispatches shape (m, k, n) to the packed kernel.
+[[nodiscard]] bool UsePackedGemm(std::int64_t m, std::int64_t k, std::int64_t n) noexcept;
+/// Process-wide switch for the packed tier (default from PREDTOP_GEMM_PACKED,
+/// on unless set to 0). With it off, UsePackedGemm is always false and every
+/// multiply runs the i-k-j kernel — an A/B lever so benchmarks can measure
+/// against the pre-packed baseline in-process.
+void SetPackedGemmEnabled(bool enabled) noexcept;
+[[nodiscard]] bool PackedGemmEnabled() noexcept;
+/// True when the packed kernel additionally spreads row panels across the
+/// shared GEMM ThreadPool (m*k*n >= PREDTOP_GEMM_PAR_MIN_ELEMS, default 4Mi).
+[[nodiscard]] bool UseThreadedGemm(std::int64_t m, std::int64_t k, std::int64_t n) noexcept;
+
+/// C = A(m,k) * B(k,n). Dispatches between the kernel tiers; see above.
 [[nodiscard]] Tensor MatMul(const Tensor& a, const Tensor& b);
 /// C = A^T * B where A is (k,m), B is (k,n) -> (m,n). (Gradient helper.)
 [[nodiscard]] Tensor MatMulTransA(const Tensor& a, const Tensor& b);
