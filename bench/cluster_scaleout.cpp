@@ -1,0 +1,244 @@
+// Cluster scale-out load generator: N client threads driving a Router over
+// M shard workers (in-process LocalCluster — the wire protocol, routing,
+// coalescing and failover paths are identical to a multi-process
+// deployment), measuring queries/s and p50/p99 per-request latency as the
+// shard count grows. Three phases per shard count:
+//
+//   cold    — first pass, every worker cache empty (real model forwards);
+//   warm    — repeated passes against warm shard caches (the repeated
+//             what-if plan-search regime);
+//   killed  — warm passes with one replica SIGKILL'd (StopWorker), every
+//             query it owned failing over to its replica (shards >= 2).
+//
+// Results go to BENCH_cluster.json (PREDTOP_BENCH_JSON overrides). Knobs:
+//   PREDTOP_CLUSTER_CLIENTS  concurrent client threads      (default 4)
+//   PREDTOP_CLUSTER_ITERS    warm passes per client         (default 30)
+//   PREDTOP_CLUSTER_SHARDS   max shard count, powers of two (default 4)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/local.h"
+#include "cluster/router.h"
+#include "core/plan_search.h"
+#include "graph/fingerprint.h"
+#include "serve/oracle.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace predtop;
+
+namespace {
+
+struct PhaseResult {
+  std::size_t shards = 0;
+  std::string phase;
+  double wall_s = 0.0;
+  std::uint64_t requests = 0;  // PredictMany calls issued by clients
+  std::uint64_t queries = 0;   // stage queries answered
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  cluster::RouterStats router;
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+/// One measured pass: every client thread sends each per-mesh query bucket
+/// through Router::PredictMany `iters` times, timing each call.
+PhaseResult RunPhase(cluster::Router& router, const std::vector<serve::ModelKey>& keys,
+                     const std::vector<std::vector<parallel::StageQuery>>& buckets,
+                     const std::vector<std::vector<std::uint64_t>>& fingerprints,
+                     std::size_t clients, std::size_t iters, std::size_t shards,
+                     std::string phase) {
+  std::vector<double> latencies_us;
+  std::mutex latencies_mutex;
+  std::uint64_t answered = 0;
+
+  const cluster::RouterStats before = router.Stats();
+  util::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<double> local_us;
+      std::uint64_t local_answered = 0;
+      for (std::size_t iteration = 0; iteration < iters; ++iteration) {
+        for (std::size_t m = 0; m < buckets.size(); ++m) {
+          const auto start = std::chrono::steady_clock::now();
+          const std::vector<cluster::Router::Reply> replies =
+              router.PredictMany(keys[m], buckets[m], fingerprints[m]);
+          local_us.push_back(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+          for (const cluster::Router::Reply& reply : replies) {
+            if (reply.ok && std::isfinite(reply.latency_s)) ++local_answered;
+          }
+        }
+      }
+      const std::scoped_lock lock(latencies_mutex);
+      latencies_us.insert(latencies_us.end(), local_us.begin(), local_us.end());
+      answered += local_answered;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  PhaseResult result;
+  result.shards = shards;
+  result.phase = std::move(phase);
+  result.wall_s = watch.ElapsedSeconds();
+  result.requests = latencies_us.size();
+  result.queries = answered;
+  result.qps = result.wall_s > 0 ? static_cast<double>(answered) / result.wall_s : 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  result.p50_us = Percentile(latencies_us, 0.50);
+  result.p99_us = Percentile(latencies_us, 0.99);
+  const cluster::RouterStats after = router.Stats();
+  result.router.requests = after.requests - before.requests;
+  result.router.queries = after.queries - before.queries;
+  result.router.coalesced = after.coalesced - before.coalesced;
+  result.router.failovers = after.failovers - before.failovers;
+  result.router.worker_failures = after.worker_failures - before.worker_failures;
+  result.router.unanswered = after.unanswered - before.unanswered;
+  return result;
+}
+
+void WriteJson(const std::string& path, std::size_t clients, std::size_t iters,
+               std::size_t total_queries_per_pass,
+               const std::vector<PhaseResult>& results) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"cluster_scaleout\",\n"
+      << "  \"clients\": " << clients << ",\n"
+      << "  \"warm_iters\": " << iters << ",\n"
+      << "  \"queries_per_pass\": " << total_queries_per_pass << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    out << "    {\"shards\": " << r.shards << ", \"phase\": \"" << r.phase
+        << "\", \"qps\": " << r.qps << ", \"p50_us\": " << r.p50_us
+        << ", \"p99_us\": " << r.p99_us << ", \"wall_s\": " << r.wall_s
+        << ", \"requests\": " << r.requests << ", \"queries\": " << r.queries
+        << ", \"coalesced\": " << r.router.coalesced
+        << ", \"failovers\": " << r.router.failovers
+        << ", \"worker_failures\": " << r.router.worker_failures
+        << ", \"unanswered\": " << r.router.unanswered << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "[bench] wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto clients =
+      static_cast<std::size_t>(util::EnvInt("PREDTOP_CLUSTER_CLIENTS", 4));
+  const auto iters = static_cast<std::size_t>(util::EnvInt("PREDTOP_CLUSTER_ITERS", 30));
+  const auto max_shards =
+      static_cast<std::size_t>(util::EnvInt("PREDTOP_CLUSTER_SHARDS", 4));
+
+  // A small-but-real serving stack: 8 transformer layers give ~21 distinct
+  // DP cells per mesh, enough for the ring to spread load, and the trained
+  // DAG Transformer makes every cold query a genuine model forward.
+  ir::Gpt3Config config;
+  config.seq_len = 64;
+  config.hidden = 64;
+  config.num_layers = 8;
+  config.num_heads = 4;
+  config.vocab = 512;
+  config.microbatch = 2;
+
+  core::PlanSearchConfig plan_config;
+  plan_config.num_microbatches = 4;
+  plan_config.sample_fraction = 0.5;
+  plan_config.max_span = 3;
+  plan_config.train.max_epochs = 20;
+  plan_config.train.patience = 20;
+  plan_config.train.batch_size = 4;
+  plan_config.predictor.dagt_dim = 16;
+  plan_config.predictor.dagt_layers = 2;
+  plan_config.predictor.dagt_heads = 2;
+
+  core::PlanSearch search(core::Gpt3Benchmark(config), sim::Platform1(), plan_config);
+  std::cerr << "[bench] cluster_scaleout: training predictors\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const std::vector<serve::ModelKey> keys = serve::RegisterMeshPredictors(
+      *registry, "gpt3", "platform1", search.Meshes(), trained);
+
+  // The full DP table, bucketed per mesh (one served model per bucket), with
+  // fingerprints precomputed — clients must hit the router, not the encoder.
+  std::vector<std::vector<parallel::StageQuery>> buckets(search.Meshes().size());
+  std::vector<std::vector<std::uint64_t>> fingerprints(search.Meshes().size());
+  for (std::int32_t first = 0; first < config.num_layers; ++first) {
+    for (std::int32_t last = first + 1;
+         last <= config.num_layers && last - first <= search.EffectiveMaxSpan(); ++last) {
+      const graph::EncodedGraph& g = search.EncodedFor({first, last});
+      const std::uint64_t fp =
+          g.fingerprint != 0 ? g.fingerprint : graph::EncodedGraphFingerprint(g);
+      for (std::size_t m = 0; m < search.Meshes().size(); ++m) {
+        buckets[m].push_back({{first, last}, search.Meshes()[m]});
+        fingerprints[m].push_back(fp);
+      }
+    }
+  }
+  std::size_t queries_per_pass = 0;
+  for (const auto& bucket : buckets) queries_per_pass += bucket.size();
+
+  std::vector<PhaseResult> results;
+  util::TablePrinter table(
+      {"shards", "phase", "qps", "p50", "p99", "failovers", "unanswered"});
+  table.SetTitle("Cluster scale-out — " + std::to_string(clients) + " clients x " +
+                 std::to_string(queries_per_pass) + " queries/pass");
+
+  for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
+    cluster::LocalClusterOptions cluster_options;
+    cluster_options.num_workers = shards;
+    cluster_options.service.threads = 2;
+    cluster::LocalCluster workers(search.Benchmark(), registry, cluster_options);
+    cluster::RouterOptions router_options;
+    router_options.replicas = std::min<std::size_t>(2, shards);
+    router_options.connect_timeout_ms = 200.0;
+    router_options.revive_after_ms = 60000.0;
+    cluster::Router router(workers.Endpoints(), router_options);
+
+    std::cerr << "[bench] cluster_scaleout: " << shards << " shard(s)\n";
+    results.push_back(
+        RunPhase(router, keys, buckets, fingerprints, clients, 1, shards, "cold"));
+    results.push_back(
+        RunPhase(router, keys, buckets, fingerprints, clients, iters, shards, "warm"));
+    if (shards >= 2) {
+      workers.StopWorker(0);
+      results.push_back(RunPhase(router, keys, buckets, fingerprints, clients, iters,
+                                 shards, "killed"));
+    }
+    for (const PhaseResult& r : results) {
+      if (r.shards != shards) continue;
+      table.AddRow({std::to_string(r.shards), r.phase, util::FormatF(r.qps, 0),
+                    util::FormatF(r.p50_us, 0) + " us", util::FormatF(r.p99_us, 0) + " us",
+                    std::to_string(r.router.failovers),
+                    std::to_string(r.router.unanswered)});
+    }
+  }
+  table.Print(std::cout);
+
+  const std::string json_path =
+      util::EnvString("PREDTOP_BENCH_JSON").value_or("BENCH_cluster.json");
+  WriteJson(json_path, clients, iters, queries_per_pass, results);
+  return 0;
+}

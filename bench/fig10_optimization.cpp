@@ -10,6 +10,14 @@
 // cache), plus a warm repeat search — the speedups batching and the
 // fingerprint cache buy.
 //
+// PREDTOP_CLUSTER_MODE=1 runs the plan search end-to-end against a real
+// prediction cluster: the trained predictors served by shard workers behind
+// the predtop::cluster Router (consistent-hash sharding + replication), via
+// ClusterOracle — then kills one replica and searches again. Passes when
+// the cluster-served plan equals the in-process ServingOracle plan and the
+// post-kill search still completes. PREDTOP_CLUSTER_SHARDS sets the worker
+// count (default 2).
+//
 // PREDTOP_FAULT_DRILL=1 runs the fault drill instead of the approach grid:
 // train the DAG Transformer predictors, checkpoint them, corrupt one
 // checkpoint on disk, reload under fault injection (bounded retries +
@@ -28,6 +36,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "cluster/local.h"
+#include "cluster/oracle.h"
+#include "cluster/router.h"
 #include "core/plan_search.h"
 #include "fault/injector.h"
 #include "serve/fallback.h"
@@ -125,6 +136,109 @@ void RunServingMode(const core::BenchmarkModel& benchmark, const sim::ClusterSpe
             << "x vs serial cold (" << service.Pool().ThreadCount()
             << " service threads); warm repeat: " << util::FormatF(serial_s / warm_s, 1)
             << "x vs serial cold\n\n";
+}
+
+// Cluster mode: the same plan search, but every stage-latency query crosses
+// the wire to a shard worker. Three searches per platform:
+//   in-process     — ServingOracle over a local PredictionService (the
+//                    reference the cluster must reproduce bit-identically);
+//   cluster cold   — ClusterOracle -> Router -> N workers, cold caches;
+//   cluster killed — one replica stopped, warm repeat (failover path).
+// Returns true when the cluster-served plans equal the in-process plan.
+bool RunClusterMode(const core::BenchmarkModel& benchmark, const sim::ClusterSpec& cluster,
+                    const std::string& platform_label, std::int32_t max_span,
+                    const bench::GridConfig& grid) {
+  core::PlanSearch search(benchmark, cluster,
+                          MakePlanConfig(benchmark, cluster, max_span, grid));
+  std::cerr << "[bench] fig10 " << benchmark.name << ": cluster mode (train, "
+            << platform_label << ")\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const std::vector<serve::ModelKey> keys = serve::RegisterMeshPredictors(
+      *registry, benchmark.name, platform_label, search.Meshes(), trained);
+  const serve::StageEncoder encoder =
+      [&search](ir::StageSlice s) -> const graph::EncodedGraph& {
+    return search.EncodedFor(s);
+  };
+  const parallel::InterOpOptimizer optimizer = search.MakeOptimizer();
+
+  // In-process reference.
+  serve::ServiceOptions service_options;
+  service_options.threads = 0;
+  serve::PredictionService service(registry, service_options);
+  const serve::ServingOracle in_process(service, search.Meshes(), keys, encoder,
+                                        search.EffectiveMaxSpan());
+  util::Stopwatch in_process_watch;
+  const parallel::PipelinePlan reference = optimizer.Optimize(in_process.AsBatchOracle());
+  const double in_process_s = in_process_watch.ElapsedSeconds();
+
+  // Shard workers + router. The workers replicate the registry's models and
+  // re-encode slices themselves; only compact queries cross the wire.
+  const auto shards =
+      static_cast<std::size_t>(std::max(2L, util::EnvInt("PREDTOP_CLUSTER_SHARDS", 2)));
+  cluster::LocalClusterOptions worker_options;
+  worker_options.num_workers = shards;
+  worker_options.service.threads = 2;
+  cluster::LocalCluster workers(search.Benchmark(), registry, worker_options);
+  cluster::RouterOptions router_options;
+  router_options.replicas = 2;
+  router_options.connect_timeout_ms = 300.0;
+  router_options.revive_after_ms = 60000.0;
+  cluster::Router router(workers.Endpoints(), router_options);
+  cluster::ClusterOracleOptions oracle_options;
+  oracle_options.fallback = std::make_shared<serve::FallbackOracle>(
+      cluster.device, [&search](ir::StageSlice s) -> const ir::StageProgram& {
+        return search.ProgramFor(s);
+      });
+  const cluster::ClusterOracle oracle(router, search.Meshes(), keys, encoder,
+                                      search.EffectiveMaxSpan(), oracle_options);
+
+  util::Stopwatch cold_watch;
+  const parallel::PipelinePlan cold_plan = optimizer.Optimize(oracle.AsBatchOracle());
+  const double cold_s = cold_watch.ElapsedSeconds();
+
+  workers.StopWorker(0);
+  util::Stopwatch killed_watch;
+  const parallel::PipelinePlan killed_plan = optimizer.Optimize(oracle.AsBatchOracle());
+  const double killed_s = killed_watch.ElapsedSeconds();
+  const cluster::RouterStats stats = router.Stats();
+  const serve::OracleStats oracle_stats = oracle.Stats();
+
+  const auto plans_equal = [&](const parallel::PipelinePlan& plan) {
+    if (!plan.Valid() || plan.stages.size() != reference.stages.size()) return false;
+    if (plan.iteration_latency_s != reference.iteration_latency_s) return false;
+    for (std::size_t i = 0; i < plan.stages.size(); ++i) {
+      if (!(plan.stages[i].mesh == reference.stages[i].mesh) ||
+          plan.stages[i].slice.first_layer != reference.stages[i].slice.first_layer ||
+          plan.stages[i].slice.last_layer != reference.stages[i].slice.last_layer) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool cold_ok = plans_equal(cold_plan);
+  // After the kill the surviving replicas still hold every model, so the
+  // plan stays equal as long as replication covered the dead shard.
+  const bool killed_ok = plans_equal(killed_plan) &&
+                         std::isfinite(killed_plan.iteration_latency_s);
+
+  util::TablePrinter table({"pass", "optimize wall", "plan latency", "plan == in-process"});
+  table.SetTitle("Fig. 10 cluster mode — " + benchmark.name + " on " + platform_label +
+                 " (" + std::to_string(shards) + " shard workers, R=2)");
+  table.AddRow({"in-process", util::FormatSeconds(in_process_s),
+                util::FormatSeconds(reference.iteration_latency_s), "--"});
+  table.AddRow({"cluster cold", util::FormatSeconds(cold_s),
+                util::FormatSeconds(cold_plan.iteration_latency_s),
+                cold_ok ? "yes" : "NO"});
+  table.AddRow({"cluster killed-replica", util::FormatSeconds(killed_s),
+                util::FormatSeconds(killed_plan.iteration_latency_s),
+                killed_ok ? "yes" : "NO"});
+  table.Print(std::cout);
+  std::cout << "router: " << stats.queries << " queries, " << stats.coalesced
+            << " coalesced, " << stats.failovers << " failovers, " << stats.unanswered
+            << " unanswered, " << oracle_stats.degraded << " degraded\n\n";
+  return cold_ok && killed_ok;
 }
 
 // Fault drill: the degradation ladder end to end on one platform.
@@ -294,6 +408,19 @@ int main() {
     std::cout << (ok ? "fault drill PASSED: plan search completed with a valid finite "
                        "plan on both platforms under injection\n"
                      : "fault drill FAILED\n");
+    return ok ? 0 : 1;
+  }
+  // PREDTOP_CLUSTER_MODE=1 runs only the cluster-serving comparison and
+  // exits non-zero if a cluster-served plan diverges from the in-process
+  // plan on either platform.
+  if (util::EnvBool("PREDTOP_CLUSTER_MODE", false)) {
+    bool ok = RunClusterMode(bench::PaperGpt3(), sim::Platform1(), "platform1",
+                             grid.gpt_max_span, grid);
+    ok &= RunClusterMode(bench::PaperGpt3(), sim::Platform2(), "platform2",
+                         grid.gpt_max_span, grid);
+    std::cout << (ok ? "cluster mode PASSED: cluster-served plans match the in-process "
+                       "plans, including with a killed replica\n"
+                     : "cluster mode FAILED\n");
     return ok ? 0 : 1;
   }
   // PREDTOP_SERVE_ONLY=1 skips the (slow) approach grid and measures just

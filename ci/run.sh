@@ -15,6 +15,10 @@
 #                        fast-path parity + tensor suites under it, and a
 #                        smoke micro_kernels run recording GEMM / arena /
 #                        warm-predict speedups to build-native/BENCH_kernels.json
+#   ci/run.sh cluster    additional ASan/UBSan build of the cluster suite:
+#                        wire-codec fuzz, router + shard workers over Unix
+#                        sockets, fork/exec worker processes, and the SIGKILL
+#                        mid-plan-search failover drill
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,7 +50,7 @@ fi
 if [[ "${1:-}" == "tsan" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)" \
-    --target util_test serve_test parallel_test infer_test
+    --target util_test serve_test parallel_test infer_test cluster_test
   export TSAN_OPTIONS="halt_on_error=1"
   ./build-tsan/tests/util_test
   ./build-tsan/tests/parallel_test
@@ -55,6 +59,11 @@ if [[ "${1:-}" == "tsan" ]]; then
   # lazy packed-weight cache) plus the parity suites that drive every fast
   # kernel at least once under TSan.
   ./build-tsan/tests/infer_test --gtest_filter='InferConcurrency.*:InferParity.*'
+  # Router concurrency: the cluster-wide coalescing map, per-worker
+  # connection locking and failover counters under concurrent clients.
+  # ClusterProcess is excluded — fork/exec and TSan do not mix; the
+  # in-process LocalCluster drives identical code paths on threads.
+  ./build-tsan/tests/cluster_test --gtest_filter='ClusterE2E.*:Ring.*'
 fi
 
 if [[ "${1:-}" == "perf" ]]; then
@@ -66,4 +75,14 @@ if [[ "${1:-}" == "perf" ]]; then
   ./build-native/tests/infer_test
   PREDTOP_BENCH_SMOKE=1 PREDTOP_BENCH_JSON=build-native/BENCH_kernels.json \
     ./build-native/bench/micro_kernels
+fi
+
+if [[ "${1:-}" == "cluster" ]]; then
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" --target cluster_test
+  # The full cluster suite under ASan/UBSan: wire-codec round-trip + fuzz
+  # rejection, router + 2 shard workers over Unix sockets (plan-search
+  # parity with the in-process oracle), fork/exec worker processes with
+  # typed startup failures, and the SIGKILL mid-PredictMany failover drill.
+  ./build-asan/tests/cluster_test
 fi

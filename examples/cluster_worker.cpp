@@ -1,0 +1,17 @@
+// Standalone prediction-cluster worker: loads one or more `.ptck` mesh
+// checkpoints and serves the framed wire protocol on a Unix or TCP socket.
+// Start one per shard, then point a Router (see examples/cluster_demo) at
+// the listen endpoints:
+//
+//   ./cluster_worker --listen unix:/tmp/predtop_w0.sock \
+//       --benchmark gpt3 --platform platform1 \
+//       --model mesh=1x1,path=ckpts/mesh_1x1.ptck \
+//       --model mesh=1x2,path=ckpts/mesh_1x2.ptck
+//
+// Startup is fail-fast with a typed status: a missing or corrupt checkpoint
+// exits with code 10 + StatusCode (and the message on stderr) instead of
+// serving a shard that cannot answer.
+
+#include "cluster/worker.h"
+
+int main(int argc, char** argv) { return predtop::cluster::WorkerMain(argc, argv); }

@@ -1,0 +1,53 @@
+#include "cluster/local.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace predtop::cluster {
+
+namespace {
+std::string UniqueSocketPath(std::size_t index) {
+  static std::atomic<std::uint64_t> counter{0};
+  return "/tmp/predtop_cluster_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + "_" + std::to_string(index) + ".sock";
+}
+}  // namespace
+
+LocalCluster::LocalCluster(core::BenchmarkModel benchmark,
+                           std::shared_ptr<serve::ModelRegistry> registry,
+                           LocalClusterOptions options) {
+  if (options.num_workers == 0) throw std::invalid_argument("LocalCluster: no workers");
+  if (!registry) throw std::invalid_argument("LocalCluster: null registry");
+  for (std::size_t w = 0; w < options.num_workers; ++w) {
+    WorkerOptions worker_options;
+    worker_options.listen = Endpoint::Unix(UniqueSocketPath(w));
+    worker_options.benchmark = benchmark;
+    worker_options.registry = registry;
+    worker_options.service = options.service;
+    worker_options.retry = options.retry;
+    auto worker = std::make_unique<Worker>(std::move(worker_options));
+    const fault::Status status = worker->Init();
+    if (!status.ok()) {
+      StopAll();
+      throw std::runtime_error("LocalCluster worker " + std::to_string(w) +
+                               " failed to start: " + status.ToString());
+    }
+    endpoints_.push_back(worker->BoundEndpoint());
+    worker->Start();
+    workers_.push_back(std::move(worker));
+  }
+}
+
+LocalCluster::~LocalCluster() { StopAll(); }
+
+void LocalCluster::StopWorker(std::size_t index) { workers_.at(index)->Stop(); }
+
+void LocalCluster::StopAll() {
+  for (const auto& worker : workers_) {
+    if (worker) worker->Stop();
+  }
+}
+
+}  // namespace predtop::cluster

@@ -1,0 +1,55 @@
+#pragma once
+// In-process cluster harness: N Worker instances on background threads,
+// each listening on its own Unix socket under /tmp. The wire protocol,
+// routing, coalescing and failover paths are identical to a multi-process
+// deployment — only process isolation is missing — which makes this the
+// right harness for benches, demos and TSan runs (fork/exec and TSan do
+// not mix). True process isolation is exercised by cluster_test, which
+// re-execs itself as worker processes, and by examples/cluster_worker.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/worker.h"
+
+namespace predtop::cluster {
+
+struct LocalClusterOptions {
+  std::size_t num_workers = 2;
+  /// Service options of every worker replica (threads, cache capacity).
+  serve::ServiceOptions service;
+  serve::ModelRegistry::RetryPolicy retry;
+};
+
+class LocalCluster {
+ public:
+  /// Spin up `options.num_workers` workers, each serving `registry`'s
+  /// models for `benchmark` (the registry is shared — replicas of the same
+  /// checkpointed weights, exactly like N processes loading one `.ptck`
+  /// set). Throws on startup failure.
+  LocalCluster(core::BenchmarkModel benchmark,
+               std::shared_ptr<serve::ModelRegistry> registry,
+               LocalClusterOptions options = {});
+  ~LocalCluster();
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  [[nodiscard]] const std::vector<Endpoint>& Endpoints() const noexcept {
+    return endpoints_;
+  }
+  [[nodiscard]] std::size_t NumWorkers() const noexcept { return workers_.size(); }
+  [[nodiscard]] Worker& WorkerAt(std::size_t index) { return *workers_.at(index); }
+
+  /// Kill one replica (closes its listener and connections mid-request) —
+  /// the in-process analogue of SIGKILLing a worker process.
+  void StopWorker(std::size_t index);
+
+  void StopAll();
+
+ private:
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Endpoint> endpoints_;
+};
+
+}  // namespace predtop::cluster

@@ -1,0 +1,132 @@
+#include "cluster/oracle.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/fingerprint.h"
+
+namespace predtop::cluster {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ClusterOracle::ClusterOracle(Router& router, std::vector<sim::Mesh> meshes,
+                             std::vector<serve::ModelKey> mesh_keys,
+                             serve::StageEncoder encoder, std::int32_t max_span,
+                             ClusterOracleOptions options)
+    : router_(router),
+      meshes_(std::move(meshes)),
+      mesh_keys_(std::move(mesh_keys)),
+      encoder_(std::move(encoder)),
+      max_span_(max_span),
+      options_(std::move(options)) {
+  if (meshes_.size() != mesh_keys_.size()) {
+    throw std::invalid_argument("ClusterOracle: meshes/mesh_keys size mismatch");
+  }
+  if (!encoder_) throw std::invalid_argument("ClusterOracle: null encoder");
+  if (options_.max_attempts < 1) {
+    throw std::invalid_argument("ClusterOracle: max_attempts must be >= 1");
+  }
+}
+
+std::uint64_t ClusterOracle::FingerprintFor(ir::StageSlice slice) const {
+  const graph::EncodedGraph& g = encoder_(slice);
+  return g.fingerprint != 0 ? g.fingerprint : graph::EncodedGraphFingerprint(g);
+}
+
+parallel::StageLatencyResult ClusterOracle::Degrade(ir::StageSlice slice,
+                                                    sim::Mesh mesh) const {
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.fallback) return options_.fallback->Estimate(slice, mesh);
+  return {kInf, {}, true};
+}
+
+parallel::StageLatencyResult ClusterOracle::PredictOne(std::size_t mesh_index,
+                                                       ir::StageSlice slice,
+                                                       sim::Mesh mesh) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fingerprint = FingerprintFor(slice);
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    const Router::Reply reply =
+        router_.Predict(mesh_keys_[mesh_index], {slice, mesh}, fingerprint);
+    if (reply.ok && std::isfinite(reply.latency_s)) {
+      return {reply.latency_s, reply.config, reply.degraded};
+    }
+  }
+  return Degrade(slice, mesh);
+}
+
+parallel::StageLatencyResult ClusterOracle::operator()(ir::StageSlice slice,
+                                                       sim::Mesh mesh) const {
+  if (max_span_ > 0 && slice.NumLayers() > max_span_) return {kInf, {}};
+  for (std::size_t m = 0; m < meshes_.size(); ++m) {
+    if (meshes_[m] == mesh) return PredictOne(m, slice, mesh);
+  }
+  return {kInf, {}};
+}
+
+std::vector<parallel::StageLatencyResult> ClusterOracle::PredictBatch(
+    std::span<const parallel::StageQuery> queries) const {
+  std::vector<parallel::StageLatencyResult> results(queries.size(),
+                                                    parallel::StageLatencyResult{kInf, {}});
+  std::vector<std::vector<std::size_t>> by_mesh(meshes_.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (max_span_ > 0 && queries[q].slice.NumLayers() > max_span_) continue;
+    for (std::size_t m = 0; m < meshes_.size(); ++m) {
+      if (meshes_[m] == queries[q].mesh) {
+        by_mesh[m].push_back(q);
+        break;
+      }
+    }
+  }
+  for (std::size_t m = 0; m < meshes_.size(); ++m) {
+    if (by_mesh[m].empty()) continue;
+    std::vector<parallel::StageQuery> bucket;
+    std::vector<std::uint64_t> fingerprints;
+    bucket.reserve(by_mesh[m].size());
+    fingerprints.reserve(by_mesh[m].size());
+    for (const std::size_t q : by_mesh[m]) {
+      bucket.push_back(queries[q]);
+      fingerprints.push_back(FingerprintFor(queries[q].slice));
+    }
+    const std::vector<Router::Reply> replies =
+        router_.PredictMany(mesh_keys_[m], bucket, fingerprints);
+    for (std::size_t i = 0; i < by_mesh[m].size(); ++i) {
+      const std::size_t q = by_mesh[m][i];
+      const Router::Reply& reply = replies[i];
+      if (reply.ok && std::isfinite(reply.latency_s)) {
+        queries_.fetch_add(1, std::memory_order_relaxed);
+        results[q] = {reply.latency_s, reply.config, reply.degraded};
+      } else {
+        // Unanswered (every replica failed) or non-finite: walk the ladder
+        // query-by-query — retries first (the cluster may have revived),
+        // then the analytical fallback.
+        results[q] = PredictOne(m, queries[q].slice, queries[q].mesh);
+      }
+    }
+  }
+  return results;
+}
+
+parallel::StageLatencyOracle ClusterOracle::AsOracle() const {
+  return [this](ir::StageSlice slice, sim::Mesh mesh) { return (*this)(slice, mesh); };
+}
+
+parallel::StageLatencyBatchOracle ClusterOracle::AsBatchOracle() const {
+  return [this](std::span<const parallel::StageQuery> queries) {
+    return PredictBatch(queries);
+  };
+}
+
+serve::OracleStats ClusterOracle::Stats() const {
+  return {queries_.load(std::memory_order_relaxed), degraded_.load(std::memory_order_relaxed)};
+}
+
+void ClusterOracle::ResetStats() {
+  queries_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace predtop::cluster

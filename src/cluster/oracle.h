@@ -1,0 +1,80 @@
+#pragma once
+// ClusterOracle: the batch-oracle face of the prediction cluster. It
+// implements exactly the interface serve::ServingOracle gives the inter-op
+// DP — operator()(slice, mesh), PredictBatch, AsOracle/AsBatchOracle — but
+// answers through a cluster::Router instead of an in-process
+// PredictionService, so `fig10_optimization` (and any plan search) can run
+// end-to-end against real worker processes and the resulting plan can be
+// compared `==` against the in-process one.
+//
+// Degradation ladder (mirrors ServingOracleOptions semantics): a query the
+// router could not answer from any replica — or that answered non-finite —
+// retries up to max_attempts, then drops to the analytical FallbackOracle
+// and is tagged degraded. With no fallback configured the cell surrenders
+// as +inf (degraded), and the DP completes on the remaining cells.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/router.h"
+#include "serve/fallback.h"
+#include "serve/oracle.h"
+
+namespace predtop::cluster {
+
+struct ClusterOracleOptions {
+  /// Router round-trips per query before degrading (failover inside the
+  /// router does not count — this is full-ladder retries).
+  int max_attempts = 1;
+  /// Bottom of the ladder; null = failed cells become +inf (degraded).
+  std::shared_ptr<serve::FallbackOracle> fallback;
+};
+
+class ClusterOracle {
+ public:
+  /// `mesh_keys[i]` names the served model of `meshes[i]` (the same keys the
+  /// workers registered their checkpoints under). `encoder` resolves slices
+  /// locally — it feeds the routing fingerprint, never the wire.
+  ClusterOracle(Router& router, std::vector<sim::Mesh> meshes,
+                std::vector<serve::ModelKey> mesh_keys, serve::StageEncoder encoder,
+                std::int32_t max_span = 0, ClusterOracleOptions options = {});
+
+  [[nodiscard]] parallel::StageLatencyResult operator()(ir::StageSlice slice,
+                                                        sim::Mesh mesh) const;
+
+  /// Whole stage-latency table at once: bucketed per mesh model, one
+  /// Router::PredictMany per bucket (which shards, batches and coalesces
+  /// cluster-wide), failed cells re-priced down the ladder.
+  [[nodiscard]] std::vector<parallel::StageLatencyResult> PredictBatch(
+      std::span<const parallel::StageQuery> queries) const;
+
+  [[nodiscard]] parallel::StageLatencyOracle AsOracle() const;
+  [[nodiscard]] parallel::StageLatencyBatchOracle AsBatchOracle() const;
+
+  [[nodiscard]] serve::OracleStats Stats() const;
+  void ResetStats();
+
+ private:
+  /// Fingerprint used for routing/coalescing: the encoded graph's cached
+  /// WL fingerprint (computed on demand when a hand-built EncodedGraph left
+  /// it unset).
+  [[nodiscard]] std::uint64_t FingerprintFor(ir::StageSlice slice) const;
+  [[nodiscard]] parallel::StageLatencyResult Degrade(ir::StageSlice slice,
+                                                     sim::Mesh mesh) const;
+  [[nodiscard]] parallel::StageLatencyResult PredictOne(std::size_t mesh_index,
+                                                        ir::StageSlice slice,
+                                                        sim::Mesh mesh) const;
+
+  Router& router_;
+  std::vector<sim::Mesh> meshes_;
+  std::vector<serve::ModelKey> mesh_keys_;
+  serve::StageEncoder encoder_;
+  std::int32_t max_span_;
+  ClusterOracleOptions options_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> degraded_{0};
+};
+
+}  // namespace predtop::cluster

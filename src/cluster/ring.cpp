@@ -1,0 +1,55 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace predtop::cluster {
+
+HashRing::HashRing(std::size_t num_workers, std::size_t vnodes_per_worker)
+    : num_workers_(num_workers) {
+  if (num_workers == 0) throw std::invalid_argument("HashRing: no workers");
+  if (vnodes_per_worker == 0) throw std::invalid_argument("HashRing: zero vnodes");
+  points_.reserve(num_workers * vnodes_per_worker);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    for (std::size_t v = 0; v < vnodes_per_worker; ++v) {
+      // Two mixing rounds decorrelate (worker, vnode) from the point hash.
+      const std::uint64_t point =
+          util::SplitMix64(util::SplitMix64(static_cast<std::uint64_t>(w) << 32 | v) ^
+                           0x9d7c1fab53cfULL);
+      points_.emplace_back(point, static_cast<std::uint32_t>(w));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::FirstPointAtOrAfter(std::uint64_t hash) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p, std::uint64_t h) {
+        return p.first < h;
+      });
+  return it == points_.end() ? 0 : static_cast<std::size_t>(it - points_.begin());
+}
+
+std::size_t HashRing::Owner(std::uint64_t fingerprint) const {
+  return points_[FirstPointAtOrAfter(util::SplitMix64(fingerprint))].second;
+}
+
+std::vector<std::size_t> HashRing::Route(std::uint64_t fingerprint,
+                                         std::size_t replicas) const {
+  replicas = std::min(replicas == 0 ? std::size_t{1} : replicas, num_workers_);
+  std::vector<std::size_t> route;
+  route.reserve(replicas);
+  std::size_t at = FirstPointAtOrAfter(util::SplitMix64(fingerprint));
+  for (std::size_t step = 0; step < points_.size() && route.size() < replicas; ++step) {
+    const std::size_t worker = points_[(at + step) % points_.size()].second;
+    if (std::find(route.begin(), route.end(), worker) == route.end()) {
+      route.push_back(worker);
+    }
+  }
+  return route;
+}
+
+}  // namespace predtop::cluster

@@ -1,0 +1,41 @@
+#pragma once
+// Consistent-hash ring over the cluster's workers. DagFingerprints are
+// placed on a 64-bit ring; each worker owns many virtual points so load
+// stays balanced for small worker counts, and a query's replica set is the
+// first R *distinct* workers clockwise from its fingerprint. Consistency is
+// the point: the same fingerprint always routes to the same shard (so each
+// worker's LRU cache concentrates on its slice of the query space), and
+// adding a worker only remaps ~1/N of the space instead of reshuffling
+// everything.
+
+#include <cstdint>
+#include <vector>
+
+namespace predtop::cluster {
+
+class HashRing {
+ public:
+  /// `vnodes_per_worker` virtual points per worker; more points = smoother
+  /// balance at the cost of a larger (still tiny) sorted array.
+  explicit HashRing(std::size_t num_workers, std::size_t vnodes_per_worker = 64);
+
+  /// The query's ordered candidate workers: the owning shard first, then up
+  /// to `replicas - 1` distinct successors (fewer when the cluster is
+  /// smaller than the replication factor). Deterministic in `fingerprint`.
+  [[nodiscard]] std::vector<std::size_t> Route(std::uint64_t fingerprint,
+                                               std::size_t replicas) const;
+
+  /// Owning shard only — Route(fp, 1)[0] without the vector.
+  [[nodiscard]] std::size_t Owner(std::uint64_t fingerprint) const;
+
+  [[nodiscard]] std::size_t NumWorkers() const noexcept { return num_workers_; }
+
+ private:
+  [[nodiscard]] std::size_t FirstPointAtOrAfter(std::uint64_t hash) const;
+
+  std::size_t num_workers_;
+  /// (point hash, worker id), sorted by hash.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace predtop::cluster

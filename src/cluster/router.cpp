@@ -1,0 +1,326 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace predtop::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cluster-wide coalescing key of one (model, stage) query.
+std::uint64_t CoalesceKey(const serve::ModelKey& key, std::uint64_t fingerprint) {
+  return key.Hash() ^ util::SplitMix64(fingerprint);
+}
+
+}  // namespace
+
+Router::Router(std::vector<Endpoint> workers, RouterOptions options)
+    : ring_(workers.size(), options.vnodes_per_worker), options_(options) {
+  if (workers.empty()) throw std::invalid_argument("Router: no workers");
+  if (options_.replicas == 0) throw std::invalid_argument("Router: zero replicas");
+  workers_.reserve(workers.size());
+  for (Endpoint& endpoint : workers) {
+    auto state = std::make_unique<WorkerState>();
+    state->endpoint = std::move(endpoint);
+    workers_.push_back(std::move(state));
+  }
+}
+
+Router::~Router() = default;
+
+bool Router::Usable(const WorkerState& worker) const {
+  if (worker.alive.load(std::memory_order_acquire)) return true;
+  const double down_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - worker.died_at).count();
+  return down_ms >= options_.revive_after_ms;
+}
+
+void Router::MarkDead(WorkerState& worker) {
+  worker.died_at = Clock::now();
+  worker.alive.store(false, std::memory_order_release);
+  worker_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Router::WorkerAlive(std::size_t worker) const {
+  return workers_.at(worker)->alive.load(std::memory_order_acquire);
+}
+
+Frame Router::Call(WorkerState& worker, MessageType type, std::string payload) {
+  const std::scoped_lock lock(worker.mutex);
+  try {
+    if (!worker.socket.Valid()) {
+      worker.socket = ConnectTo(worker.endpoint, options_.connect_timeout_ms);
+    }
+    Frame request{type, worker.next_request_id++, std::move(payload)};
+    SendFrame(worker.socket, request);
+    Frame response = RecvFrame(worker.socket, options_.request_timeout_ms);
+    if (response.request_id != request.request_id) {
+      // The stream lost sync (e.g. a previous deadline abandoned a reply
+      // mid-flight); the connection is useless from here on.
+      throw fault::IoError("worker " + worker.endpoint.ToString() +
+                           " answered request " + std::to_string(response.request_id) +
+                           " instead of " + std::to_string(request.request_id));
+    }
+    worker.alive.store(true, std::memory_order_release);
+    return response;
+  } catch (...) {
+    // Transport failure or corrupt/out-of-sync frame: drop the connection
+    // so the next attempt reconnects cleanly, and let routing fail over.
+    worker.socket.Close();
+    MarkDead(worker);
+    throw;
+  }
+}
+
+std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
+                                               std::span<const parallel::StageQuery> queries,
+                                               std::span<const std::uint64_t> fingerprints) {
+  if (queries.size() != fingerprints.size()) {
+    throw std::invalid_argument("Router::PredictMany: queries/fingerprints size mismatch");
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+
+  // One slot per *distinct* (model, fingerprint) in the batch; indices map
+  // every query onto its slot.
+  struct Slot {
+    parallel::StageQuery query;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t coalesce_key = 0;
+    bool owner = false;                  // this call performs the RPC
+    std::promise<Reply> promise;         // owner slots fulfill this
+    std::shared_future<Reply> future;    // everyone reads this
+    std::vector<std::size_t> route;      // candidate workers, owner first
+    std::size_t tried = 0;               // candidates burned by failovers
+  };
+  std::vector<Slot> slots;
+  std::vector<std::size_t> slot_of_query(queries.size());
+  {
+    std::unordered_map<std::uint64_t, std::size_t> slot_index;
+    const std::scoped_lock lock(inflight_mutex_);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::uint64_t ck = CoalesceKey(key, fingerprints[q]);
+      if (const auto it = slot_index.find(ck); it != slot_index.end()) {
+        slot_of_query[q] = it->second;  // duplicate within this batch
+        continue;
+      }
+      Slot slot;
+      slot.query = queries[q];
+      slot.fingerprint = fingerprints[q];
+      slot.coalesce_key = ck;
+      if (const auto inflight = inflight_.find(ck); inflight != inflight_.end()) {
+        // Another thread's RPC is already pricing this query cluster-wide.
+        slot.owner = false;
+        slot.future = inflight->second;
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        slot.owner = true;
+        slot.future = slot.promise.get_future().share();
+        inflight_.emplace(ck, slot.future);
+        slot.route = ring_.Route(fingerprints[q], options_.replicas);
+      }
+      slot_index.emplace(ck, slots.size());
+      slot_of_query[q] = slots.size();
+      slots.push_back(std::move(slot));
+    }
+  }
+
+  // Round-based failover dispatch of the owned slots: each round groups the
+  // still-unanswered slots by their next candidate worker, issues one
+  // PredictRequest frame per worker (concurrently when several shards are
+  // involved), and moves transport-failed slots to their next replica.
+  std::vector<std::size_t> remaining;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s].owner) remaining.push_back(s);
+  }
+  while (!remaining.empty()) {
+    // Pick each slot's candidate for this round: the first untried worker
+    // that looks usable, else the first untried one at all (gives a dead
+    // worker its half-open revival probe when no alternative is left).
+    std::unordered_map<std::size_t, std::vector<std::size_t>> by_worker;
+    std::vector<std::size_t> exhausted;
+    for (const std::size_t s : remaining) {
+      Slot& slot = slots[s];
+      std::size_t candidate = slot.route.size();
+      for (std::size_t r = slot.tried; r < slot.route.size(); ++r) {
+        if (Usable(*workers_[slot.route[r]])) {
+          if (r != slot.tried) std::swap(slot.route[slot.tried], slot.route[r]);
+          candidate = slot.route[slot.tried];
+          break;
+        }
+      }
+      if (candidate == slot.route.size() && slot.tried < slot.route.size()) {
+        candidate = slot.route[slot.tried];
+      }
+      if (slot.tried >= slot.route.size()) {
+        exhausted.push_back(s);
+      } else {
+        by_worker[candidate].push_back(s);
+      }
+    }
+    for (const std::size_t s : exhausted) {
+      unanswered_.fetch_add(1, std::memory_order_relaxed);
+      slots[s].promise.set_value(Reply{});  // ok == false: every replica failed
+    }
+    remaining.clear();
+    if (by_worker.empty()) break;
+
+    std::mutex retry_mutex;
+    std::vector<std::size_t> retry;
+    auto run_group = [&](std::size_t worker_index, const std::vector<std::size_t>& group) {
+      PredictRequest request;
+      request.key = key;
+      request.queries.reserve(group.size());
+      for (const std::size_t s : group) request.queries.push_back(slots[s].query);
+      bool transport_failed = false;
+      ErrorBody worker_error;
+      PredictResponse response;
+      try {
+        Frame reply = Call(*workers_[worker_index], MessageType::kPredictRequest,
+                           EncodePredictRequest(request));
+        if (reply.type == MessageType::kError) {
+          worker_error = DecodeErrorBody(reply.payload);
+        } else if (reply.type == MessageType::kPredictResponse) {
+          response = DecodePredictResponse(reply.payload);
+          if (response.results.size() != group.size()) {
+            throw fault::CorruptionError("worker answered " +
+                                         std::to_string(response.results.size()) +
+                                         " results for " + std::to_string(group.size()) +
+                                         " queries");
+          }
+        } else {
+          throw fault::CorruptionError(std::string("unexpected response type ") +
+                                       MessageTypeName(reply.type));
+        }
+      } catch (...) {
+        transport_failed = true;
+      }
+      if (transport_failed) {
+        const std::scoped_lock lock(retry_mutex);
+        for (const std::size_t s : group) {
+          slots[s].tried++;
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+          retry.push_back(s);
+        }
+        return;
+      }
+      if (!response.results.empty()) {
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          const WireLatency& w = response.results[i];
+          slots[group[i]].promise.set_value(
+              Reply{true, w.latency_s, w.config, w.degraded});
+        }
+        return;
+      }
+      // Typed worker error. kNotFound / kInvalidArgument would fail the
+      // same way on every replica (homogeneous model set) — definitive.
+      // Anything else (an injected forward fault, an internal error) may be
+      // transient, so it burns the candidate and fails over.
+      if (worker_error.code == fault::StatusCode::kNotFound ||
+          worker_error.code == fault::StatusCode::kInvalidArgument) {
+        const std::scoped_lock lock(retry_mutex);
+        for (const std::size_t s : group) {
+          unanswered_.fetch_add(1, std::memory_order_relaxed);
+          slots[s].promise.set_value(Reply{});
+        }
+        return;
+      }
+      const std::scoped_lock lock(retry_mutex);
+      for (const std::size_t s : group) {
+        slots[s].tried++;
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        retry.push_back(s);
+      }
+    };
+
+    if (by_worker.size() == 1) {
+      const auto& [worker_index, group] = *by_worker.begin();
+      run_group(worker_index, group);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(by_worker.size());
+      for (const auto& [worker_index, group] : by_worker) {
+        threads.emplace_back(run_group, worker_index, std::cref(group));
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    remaining.swap(retry);
+  }
+
+  // Owned slots are resolved; drop them from the cluster-wide in-flight map
+  // before waiting on joined ones (which another thread resolves).
+  {
+    const std::scoped_lock lock(inflight_mutex_);
+    for (const Slot& slot : slots) {
+      if (slot.owner) inflight_.erase(slot.coalesce_key);
+    }
+  }
+
+  std::vector<Reply> replies(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    replies[q] = slots[slot_of_query[q]].future.get();
+  }
+  return replies;
+}
+
+Router::Reply Router::Predict(const serve::ModelKey& key, parallel::StageQuery query,
+                              std::uint64_t fingerprint) {
+  const parallel::StageQuery queries[]{query};
+  const std::uint64_t fingerprints[]{fingerprint};
+  return PredictMany(key, queries, fingerprints)[0];
+}
+
+std::vector<bool> Router::Health() {
+  std::vector<bool> healthy(workers_.size(), false);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    try {
+      const Frame reply = Call(*workers_[w], MessageType::kHealthRequest, {});
+      healthy[w] = reply.type == MessageType::kHealthResponse &&
+                   DecodeHealthBody(reply.payload).ok;
+    } catch (...) {
+      healthy[w] = false;
+    }
+  }
+  return healthy;
+}
+
+std::vector<std::optional<StatsBody>> Router::WorkerStats() {
+  std::vector<std::optional<StatsBody>> stats(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    try {
+      const Frame reply = Call(*workers_[w], MessageType::kStatsRequest, {});
+      if (reply.type == MessageType::kStatsResponse) {
+        stats[w] = DecodeStatsBody(reply.payload);
+      }
+    } catch (...) {
+      stats[w] = std::nullopt;
+    }
+  }
+  return stats;
+}
+
+void Router::ShutdownWorkers() {
+  for (const auto& worker : workers_) {
+    try {
+      (void)Call(*worker, MessageType::kShutdownRequest, {});
+    } catch (...) {
+      // Already gone — which is the goal.
+    }
+  }
+}
+
+RouterStats Router::Stats() const {
+  return {requests_.load(std::memory_order_relaxed),
+          queries_.load(std::memory_order_relaxed),
+          coalesced_.load(std::memory_order_relaxed),
+          failovers_.load(std::memory_order_relaxed),
+          worker_failures_.load(std::memory_order_relaxed),
+          unanswered_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace predtop::cluster

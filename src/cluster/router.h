@@ -1,0 +1,139 @@
+#pragma once
+// Cluster front-end. The router owns one connection per worker and answers
+// latency queries by:
+//   1. consistent-hashing each query's DagFingerprint onto the worker ring
+//      (cluster/ring.h) — R distinct candidate workers per query, owner
+//      first, so each shard's cache concentrates on its slice of the space;
+//   2. coalescing duplicate in-flight queries *cluster-wide*: concurrent
+//      requests for the same (model, fingerprint) join one in-flight RPC
+//      instead of issuing their own (same contract PredictionService gives
+//      forwards inside one process, lifted to the cluster);
+//   3. batching per shard: one PredictRequest frame per worker per round
+//      carries every query routed to it;
+//   4. failing over: a worker that refuses/loses its connection or overruns
+//      the per-attempt deadline is marked dead (revived after a backoff)
+//      and the affected queries retry on their next replica. Only when
+//      every replica has failed does a query come back `ok == false` — at
+//      which point ClusterOracle walks the predtop::fault degradation
+//      ladder down to the analytical FallbackOracle.
+//
+// Worker-side *typed* errors are not failovers: kNotFound / kInvalidArgument
+// mean the same request would fail identically on every replica (the model
+// set is homogeneous), so the router fails those queries immediately.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "parallel/inter_op.h"
+#include "serve/registry.h"
+
+namespace predtop::cluster {
+
+struct RouterOptions {
+  /// Candidate workers per query (owner + R-1 replicas, capped at the
+  /// cluster size).
+  std::size_t replicas = 2;
+  std::size_t vnodes_per_worker = 64;
+  double connect_timeout_ms = 2000.0;
+  /// Per-attempt response deadline, ms (0 = wait forever). An overrun marks
+  /// the worker dead and fails the attempt over to the next replica.
+  double request_timeout_ms = 10000.0;
+  /// A dead worker is retried this long after its failure (half-open
+  /// probe); until then routing skips it when an alternative exists.
+  double revive_after_ms = 500.0;
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;         // PredictMany/Predict calls
+  std::uint64_t queries = 0;          // individual stage queries routed
+  std::uint64_t coalesced = 0;        // joined an in-flight duplicate
+  std::uint64_t failovers = 0;        // query attempts moved to a replica
+  std::uint64_t worker_failures = 0;  // transport-level worker failures
+  std::uint64_t unanswered = 0;       // queries every replica failed
+};
+
+class Router {
+ public:
+  /// One answered (or exhausted) query. `ok == false` means every replica
+  /// failed — the caller decides whether to degrade or propagate.
+  struct Reply {
+    bool ok = false;
+    double latency_s = 0.0;
+    parallel::ParallelConfig config;
+    bool degraded = false;  // worker-side degradation flag, carried through
+  };
+
+  Router(std::vector<Endpoint> workers, RouterOptions options = {});
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Route, batch, coalesce and answer a whole query set under one model.
+  /// `fingerprints[i]` is the DagFingerprint of `queries[i]` (the routing
+  /// and coalescing key). Returns one Reply per query, in order.
+  [[nodiscard]] std::vector<Reply> PredictMany(
+      const serve::ModelKey& key, std::span<const parallel::StageQuery> queries,
+      std::span<const std::uint64_t> fingerprints);
+
+  [[nodiscard]] Reply Predict(const serve::ModelKey& key, parallel::StageQuery query,
+                              std::uint64_t fingerprint);
+
+  /// Ping every worker; true per worker that answered a health frame.
+  [[nodiscard]] std::vector<bool> Health();
+
+  /// Per-worker serving counters (nullopt for unreachable workers).
+  [[nodiscard]] std::vector<std::optional<StatsBody>> WorkerStats();
+
+  /// Ask every reachable worker to stop serving (clean teardown of demos
+  /// and in-process clusters).
+  void ShutdownWorkers();
+
+  [[nodiscard]] RouterStats Stats() const;
+  [[nodiscard]] std::size_t NumWorkers() const noexcept { return workers_.size(); }
+  [[nodiscard]] bool WorkerAlive(std::size_t worker) const;
+  [[nodiscard]] const HashRing& Ring() const noexcept { return ring_; }
+
+ private:
+  struct WorkerState {
+    Endpoint endpoint;
+    std::mutex mutex;  // serializes the connection (one RPC at a time)
+    Socket socket;
+    std::atomic<bool> alive{true};
+    std::chrono::steady_clock::time_point died_at{};
+    std::uint64_t next_request_id = 1;
+  };
+
+  /// One request/response RPC against a worker, connecting lazily. Throws
+  /// a fault exception on transport failure (after marking the worker dead
+  /// and dropping the connection).
+  [[nodiscard]] Frame Call(WorkerState& worker, MessageType type, std::string payload);
+  [[nodiscard]] bool Usable(const WorkerState& worker) const;
+  void MarkDead(WorkerState& worker);
+
+  HashRing ring_;
+  RouterOptions options_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_future<Reply>> inflight_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> worker_failures_{0};
+  std::atomic<std::uint64_t> unanswered_{0};
+};
+
+}  // namespace predtop::cluster

@@ -1,0 +1,341 @@
+#include "cluster/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "fault/crc32.h"
+#include "fault/injector.h"
+
+namespace predtop::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw fault::IoError(what + ": " + std::strerror(errno));
+}
+
+double RemainingMs(Clock::time_point start, double deadline_ms) {
+  if (deadline_ms <= 0.0) return 0.0;  // 0 = infinite for poll helpers below
+  const double elapsed =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return deadline_ms - elapsed;
+}
+
+/// Wait for readability; `timeout_ms <= 0` waits forever. Returns false on
+/// timeout; throws fault::IoError on poll failure or socket error/hangup
+/// without pending data.
+bool WaitReadable(int fd, double timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int poll_timeout =
+        timeout_ms <= 0.0 ? -1 : std::max(1, static_cast<int>(timeout_ms));
+    const int rc = ::poll(&pfd, 1, poll_timeout);
+    if (rc > 0) return true;  // POLLIN/POLLHUP/POLLERR: recv() reports the truth
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    ThrowErrno("poll");
+  }
+}
+
+/// The net_drop / net_delay injection shared by SendFrame and RecvFrame.
+/// A dropped frame closes the socket first so the connection state matches
+/// the story ("the peer died"), then throws IoError — exactly what a
+/// failover path must handle.
+void MaybeInjectNetFault(Socket& socket, const char* direction) {
+  fault::Injector& injector = fault::Injector::Global();
+  if (!injector.Enabled()) return;
+  const double delay =
+      injector.FireDelayMs(fault::sites::kNetDelayMs, fault::sites::kNetDelayP);
+  if (delay > 0.0) fault::SleepForMs(delay);
+  if (injector.ShouldInject(fault::sites::kNetDrop)) {
+    socket.Close();
+    throw fault::IoError(std::string("injected net_drop on ") + direction);
+  }
+}
+
+}  // namespace
+
+// ---- Endpoint ----
+
+Endpoint Endpoint::Unix(std::string socket_path) {
+  Endpoint e;
+  e.kind = Kind::kUnix;
+  e.path = std::move(socket_path);
+  return e;
+}
+
+Endpoint Endpoint::Tcp(std::string host, std::uint16_t port) {
+  Endpoint e;
+  e.kind = Kind::kTcp;
+  e.host = std::move(host);
+  e.port = port;
+  return e;
+}
+
+Endpoint Endpoint::Parse(const std::string& spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.empty()) throw std::invalid_argument("empty unix socket path in '" + spec + "'");
+    return Unix(path);
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw std::invalid_argument("tcp endpoint '" + spec + "' is not tcp:host:port");
+    }
+    const long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
+    if (port < 0 || port > 65535) {
+      throw std::invalid_argument("tcp endpoint '" + spec + "' has an invalid port");
+    }
+    return Tcp(rest.substr(0, colon), static_cast<std::uint16_t>(port));
+  }
+  throw std::invalid_argument("endpoint '" + spec + "' must start with unix: or tcp:");
+}
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+// ---- Socket ----
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::SendAll(const void* bytes, std::size_t size) {
+  if (fd_ < 0) throw fault::IoError("send on closed socket");
+  const char* p = static_cast<const char*>(bytes);
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("send");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::RecvAll(void* bytes, std::size_t size, double deadline_ms) {
+  if (fd_ < 0) throw fault::IoError("recv on closed socket");
+  char* p = static_cast<char*>(bytes);
+  const Clock::time_point start = Clock::now();
+  while (size > 0) {
+    if (deadline_ms > 0.0) {
+      const double remaining = RemainingMs(start, deadline_ms);
+      if (remaining <= 0.0 || !WaitReadable(fd_, remaining)) {
+        throw fault::FaultError(fault::StatusCode::kDeadlineExceeded,
+                                "recv overran its " + std::to_string(deadline_ms) +
+                                    " ms deadline");
+      }
+    }
+    const ssize_t n = ::recv(fd_, p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("recv");
+    }
+    if (n == 0) throw fault::IoError("peer closed the connection mid-frame");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+// ---- Listener ----
+
+Listener::Listener(const Endpoint& endpoint) : endpoint_(endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) ThrowErrno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::invalid_argument("unix socket path too long: " + endpoint.path);
+    }
+    std::strncpy(addr.sun_path, endpoint.path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(endpoint.path.c_str());  // stale socket file from a dead worker
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      ThrowErrno("bind(" + endpoint.path + ")");
+    }
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) ThrowErrno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    addr.sin_addr.s_addr =
+        endpoint.host.empty() ? htonl(INADDR_LOOPBACK) : ::inet_addr(endpoint.host.c_str());
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      ThrowErrno("bind(tcp:" + endpoint.host + ":" + std::to_string(endpoint.port) + ")");
+    }
+    if (endpoint.port == 0) {  // report the kernel-chosen port
+      sockaddr_in bound{};
+      socklen_t len = sizeof bound;
+      if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        endpoint_.port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  if (::listen(fd_, 64) < 0) {
+    const int saved = errno;
+    Close();
+    errno = saved;
+    ThrowErrno("listen(" + endpoint_.ToString() + ")");
+  }
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+      endpoint_(std::move(other.endpoint_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    endpoint_ = std::move(other.endpoint_);
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
+  }
+  return *this;
+}
+
+Socket Listener::Accept(double timeout_ms) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Socket();
+  try {
+    if (!WaitReadable(fd, timeout_ms)) return Socket();
+  } catch (const fault::IoError&) {
+    return Socket();  // listener closed concurrently
+  }
+  const int client = ::accept(fd, nullptr, nullptr);
+  if (client < 0) return Socket();  // raced with Close()
+  return Socket(client);
+}
+
+void Listener::Close() noexcept {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    if (endpoint_.kind == Endpoint::Kind::kUnix) ::unlink(endpoint_.path.c_str());
+  }
+}
+
+// ---- connect / frame IO ----
+
+Socket ConnectTo(const Endpoint& endpoint, double timeout_ms) {
+  const Clock::time_point start = Clock::now();
+  std::string last_error = "connect timed out";
+  for (;;) {
+    int fd = -1;
+    int rc = -1;
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) ThrowErrno("socket(AF_UNIX)");
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, endpoint.path.c_str(), sizeof(addr.sun_path) - 1);
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    } else {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) ThrowErrno("socket(AF_INET)");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(endpoint.port);
+      addr.sin_addr.s_addr = endpoint.host.empty()
+                                 ? htonl(INADDR_LOOPBACK)
+                                 : ::inet_addr(endpoint.host.c_str());
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    }
+    if (rc == 0) {
+      if (endpoint.kind == Endpoint::Kind::kTcp) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      }
+      return Socket(fd);
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+    // ENOENT/ECONNREFUSED: the worker may still be starting; retry inside
+    // the budget instead of failing the first race.
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    if (elapsed >= timeout_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  throw fault::IoError("connect(" + endpoint.ToString() + ") failed: " + last_error);
+}
+
+void SendFrame(Socket& socket, const Frame& frame) {
+  MaybeInjectNetFault(socket, "send");
+  const std::string bytes = EncodeFrame(frame);
+  socket.SendAll(bytes.data(), bytes.size());
+}
+
+Frame RecvFrame(Socket& socket, double deadline_ms) {
+  MaybeInjectNetFault(socket, "recv");
+  char header_bytes[kFrameHeaderBytes];
+  socket.RecvAll(header_bytes, sizeof header_bytes, deadline_ms);
+  const FrameHeader header =
+      DecodeFrameHeader(std::string_view(header_bytes, sizeof header_bytes));
+  std::string body(static_cast<std::size_t>(header.payload_size) + kFrameFooterBytes, '\0');
+  socket.RecvAll(body.data(), body.size(), deadline_ms);
+
+  // Validate the CRC footer over header + payload.
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, body.data() + body.size() - kFrameFooterBytes, sizeof stored_crc);
+  std::uint32_t crc = fault::Crc32(header_bytes, sizeof header_bytes);
+  crc = fault::Crc32(body.data(), body.size() - kFrameFooterBytes, crc);
+  if (crc != stored_crc) {
+    throw fault::CorruptionError("cluster frame: CRC mismatch on " +
+                                 std::string(MessageTypeName(header.type)));
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.request_id = header.request_id;
+  body.resize(body.size() - kFrameFooterBytes);
+  frame.payload = std::move(body);
+  return frame;
+}
+
+}  // namespace predtop::cluster

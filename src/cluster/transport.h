@@ -1,0 +1,118 @@
+#pragma once
+// Socket transport of the prediction cluster: Unix-domain or TCP stream
+// sockets carrying the framed wire protocol (cluster/wire.h). POSIX-only by
+// design — the repo targets Linux, and the container has no other transport
+// dependency to lean on.
+//
+// Failure vocabulary: every transport failure is a typed fault exception —
+// fault::IoError for a dead/refusing/slow peer (retryable: the router fails
+// over to a replica), fault::FaultError(kDeadlineExceeded) for a recv that
+// overran its budget, fault::CorruptionError for a frame that arrived but
+// failed magic/length/CRC validation (not retryable on the same bytes).
+//
+// Fault injection: SendFrame/RecvFrame thread the `net_drop` and
+// `net_delay_ms`/`net_delay_p` sites from fault::Injector through the hot
+// path, so a drill can kill or delay cluster traffic deterministically
+// without touching kernel state (same contract as the ckpt_*/predict_*
+// sites in PR 3).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "cluster/wire.h"
+
+namespace predtop::cluster {
+
+/// Worker address: "unix:/path/to.sock" or "tcp:host:port".
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // unix socket path
+  std::string host;  // tcp host
+  std::uint16_t port = 0;
+
+  [[nodiscard]] static Endpoint Unix(std::string socket_path);
+  [[nodiscard]] static Endpoint Tcp(std::string host, std::uint16_t port);
+  /// Parse "unix:/path" / "tcp:host:port"; throws std::invalid_argument.
+  [[nodiscard]] static Endpoint Parse(const std::string& spec);
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Move-only RAII wrapper of one connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool Valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int Fd() const noexcept { return fd_; }
+  void Close() noexcept;
+
+  /// Send all of `bytes` (loops over partial sends; MSG_NOSIGNAL, so a dead
+  /// peer raises fault::IoError instead of SIGPIPE).
+  void SendAll(const void* bytes, std::size_t size);
+
+  /// Receive exactly `size` bytes. `deadline_ms <= 0` blocks indefinitely;
+  /// otherwise the whole read must finish inside the budget or
+  /// fault::FaultError(kDeadlineExceeded) is thrown. EOF mid-read throws
+  /// fault::IoError.
+  void RecvAll(void* bytes, std::size_t size, double deadline_ms = 0.0);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to an endpoint. For tcp with port 0 the kernel
+/// picks a free port, readable from BoundEndpoint().
+class Listener {
+ public:
+  Listener() = default;
+  explicit Listener(const Endpoint& endpoint);
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] bool Valid() const noexcept {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
+  [[nodiscard]] const Endpoint& BoundEndpoint() const noexcept { return endpoint_; }
+
+  /// Accept one connection; `timeout_ms <= 0` blocks. Returns an invalid
+  /// Socket on timeout or when the listener was Closed from another thread.
+  [[nodiscard]] Socket Accept(double timeout_ms = 0.0);
+
+  /// Unblock any Accept in flight and release the fd (and unix socket file).
+  /// Safe to call from a different thread than the one blocked in Accept —
+  /// the fd is claimed atomically, so the pair races only at the kernel
+  /// level Accept is written to tolerate (accept on a closed fd fails).
+  void Close() noexcept;
+
+ private:
+  // Atomic because Close() is the cross-thread stop signal of a worker's
+  // accept loop (Worker::RequestStop runs on the controller thread).
+  std::atomic<int> fd_{-1};
+  Endpoint endpoint_;
+};
+
+/// Connect to a worker, retrying refused connections (the worker may still
+/// be binding) until `timeout_ms` elapses. Throws fault::IoError on failure.
+[[nodiscard]] Socket ConnectTo(const Endpoint& endpoint, double timeout_ms = 2000.0);
+
+/// Frame a message onto the socket (one SendAll of header+payload+CRC).
+/// Injection point for net_drop / net_delay.
+void SendFrame(Socket& socket, const Frame& frame);
+
+/// Read one frame off the socket, validating header bounds before the
+/// payload allocation and the CRC after. Injection point for net_drop /
+/// net_delay. `deadline_ms <= 0` blocks indefinitely.
+[[nodiscard]] Frame RecvFrame(Socket& socket, double deadline_ms = 0.0);
+
+}  // namespace predtop::cluster

@@ -1,0 +1,130 @@
+#pragma once
+// Cluster worker: one process (or thread, in tests/benches) owning a
+// PredictionService replica and serving the wire protocol over a listening
+// socket. The THD master-worker shape: an accept loop hands each connection
+// to a thread that reads frames and routes them through a dispatch table —
+//   kPredictRequest  -> encode slices locally, PredictMany, latency vector
+//   kHealthRequest   -> liveness + model count
+//   kStatsRequest    -> service counters (cache hits, forwards, coalescing)
+//   kShutdownRequest -> acknowledge, then stop serving
+// Anything that fails server-side crosses back as a kError frame carrying a
+// typed fault::Status — the router decides whether that is a failover (IO)
+// or a definitive answer (model not found everywhere).
+//
+// Startup is fail-fast with a typed Status, never an abort: models load via
+// ModelRegistry::TryRegisterFromFile, so a missing or corrupt `.ptck` path
+// returns kNotFound/kCorruption from Init() (and quarantines the path)
+// instead of taking the process down with an uncaught exception.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "core/dataset.h"
+#include "fault/status.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+
+namespace predtop::cluster {
+
+/// One model replica the worker serves, loaded from a checkpoint.
+struct WorkerModelSpec {
+  serve::ModelKey key;
+  std::string ptck_path;
+};
+
+struct WorkerOptions {
+  Endpoint listen;
+  /// Benchmark whose stage slices this worker can encode (both ends of the
+  /// wire own the model; only compact slices travel).
+  core::BenchmarkModel benchmark;
+  /// Checkpointed models to load at Init (satellite: each loads through the
+  /// registry's retry + quarantine path and failures surface as Status).
+  std::vector<WorkerModelSpec> models;
+  /// Preloaded registry for in-process workers (tests, benches); specs in
+  /// `models` are loaded on top of it. Null = fresh registry.
+  std::shared_ptr<serve::ModelRegistry> registry;
+  serve::ServiceOptions service;
+  serve::ModelRegistry::RetryPolicy retry;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerOptions options);
+  ~Worker();
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Load models and bind the listening socket. Returns the first failure
+  /// as a typed Status (kNotFound / kCorruption / kIoError / kUnavailable
+  /// when quarantined) without aborting; the worker must not be Run after a
+  /// failed Init.
+  [[nodiscard]] fault::Status Init();
+
+  /// Serve until Stop() (or a shutdown frame). Blocking; call Start() for a
+  /// background thread instead.
+  void Run();
+
+  /// Run() on a background thread (in-process cluster for tests/benches).
+  void Start();
+
+  /// Unblock the accept loop and all connection reads, then join.
+  void Stop();
+
+  /// Endpoint actually bound (resolves tcp port 0). Valid after Init.
+  [[nodiscard]] const Endpoint& BoundEndpoint() const noexcept {
+    return listener_.BoundEndpoint();
+  }
+
+  [[nodiscard]] std::uint64_t RequestsServed() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] serve::PredictionService* Service() noexcept { return service_.get(); }
+
+ private:
+  void ServeConnection(Socket socket);
+  [[nodiscard]] Frame Dispatch(const Frame& request);
+  [[nodiscard]] Frame HandlePredict(const Frame& request);
+  [[nodiscard]] Frame HandleHealth(const Frame& request);
+  [[nodiscard]] Frame HandleStats(const Frame& request);
+  /// Memoized slice -> encoded predictor input (mutex-serialized; the
+  /// encoder is shared by all connection threads).
+  [[nodiscard]] const graph::EncodedGraph& EncodedFor(ir::StageSlice slice);
+  void RequestStop() noexcept;
+
+  WorkerOptions options_;
+  std::shared_ptr<serve::ModelRegistry> registry_;
+  std::unique_ptr<serve::PredictionService> service_;
+  Listener listener_;
+  bool initialized_ = false;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> live_fds_;  // shut down by RequestStop to unblock reads
+
+  std::mutex encode_mutex_;
+  std::map<std::pair<std::int32_t, std::int32_t>, graph::EncodedGraph> encoded_;
+};
+
+/// Process entry point of the standalone worker binary (and of test child
+/// processes re-exec'ed with --cluster-worker). Flags:
+///   --listen unix:/path | tcp:host:port
+///   --benchmark gpt3|moe   --platform <name>
+///   --layers/--seq/--hidden/--heads/--vocab/--micro N   (model geometry;
+///   defaults match ir::Gpt3Config / ir::MoeConfig)
+///   --model mesh=NxM,path=/x.ptck   (repeatable; one served replica each)
+///   --threads N  --cache N
+/// Exits nonzero with the typed Status on stderr when Init fails.
+[[nodiscard]] int WorkerMain(int argc, char** argv);
+
+}  // namespace predtop::cluster

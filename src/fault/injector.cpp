@@ -19,7 +19,8 @@ namespace {
 const char* const kKnownSites[] = {
     sites::kCkptRead,      sites::kCkptWrite,    sites::kPredictNan,
     sites::kPredictDelayMs, sites::kPredictDelayP, sites::kPoolDelayMs,
-    sites::kPoolDelayP,
+    sites::kPoolDelayP,    sites::kNetDrop,      sites::kNetDelayMs,
+    sites::kNetDelayP,
 };
 
 bool IsKnownSite(const std::string& name) {

@@ -32,7 +32,10 @@ namespace predtop::fault {
 ///  - ckpt_read / ckpt_write: checkpoint load/save throws fault::IoError;
 ///  - predict_nan: a PredictionService forward returns NaN;
 ///  - predict_delay_ms (+ predict_delay_p): a forward sleeps first;
-///  - pool_delay_ms (+ pool_delay_p): a ThreadPool task sleeps at dispatch.
+///  - pool_delay_ms (+ pool_delay_p): a ThreadPool task sleeps at dispatch;
+///  - net_drop: a cluster transport frame send/recv fails as if the peer
+///    died (throws fault::IoError after closing the connection);
+///  - net_delay_ms (+ net_delay_p): a transport frame is delayed in flight.
 namespace sites {
 inline constexpr const char* kCkptRead = "ckpt_read";
 inline constexpr const char* kCkptWrite = "ckpt_write";
@@ -41,6 +44,9 @@ inline constexpr const char* kPredictDelayMs = "predict_delay_ms";
 inline constexpr const char* kPredictDelayP = "predict_delay_p";
 inline constexpr const char* kPoolDelayMs = "pool_delay_ms";
 inline constexpr const char* kPoolDelayP = "pool_delay_p";
+inline constexpr const char* kNetDrop = "net_drop";
+inline constexpr const char* kNetDelayMs = "net_delay_ms";
+inline constexpr const char* kNetDelayP = "net_delay_p";
 }  // namespace sites
 
 struct SiteStats {
