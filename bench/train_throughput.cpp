@@ -1,0 +1,139 @@
+// Data-parallel training throughput: trains a synthetic MLP regression
+// workload (the shapes of a stage-predictor head: (16, 64) inputs through a
+// {64, 256, 256, 1} MLP pooled to a scalar) with Trainer::Fit at a sweep of
+// thread counts, and writes per-thread-count epoch time + speedup over the
+// serial loop to BENCH_train.json (path overridable via PREDTOP_BENCH_JSON).
+//
+// The threads=1 row is the original serial batch loop (one loss tree, one
+// backward); rows with threads>1 run the sharded path: per-sample
+// BackwardInto into per-shard buffers, fixed-order chunked reduction, one
+// Adam step. Speedups are only meaningful on multicore hardware — on a
+// single hardware thread the sweep still validates the machinery and
+// records ~1x. PREDTOP_BENCH_SMOKE=1 shrinks the workload so CI exercises
+// the harness in seconds; PREDTOP_TRAIN_BENCH_THREADS overrides the sweep
+// (comma-separated).
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autograd/functions.h"
+#include "nn/linear.h"
+#include "nn/trainer.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace predtop;
+
+namespace {
+
+struct Workload {
+  std::vector<tensor::Tensor> inputs;  // (16, 64) feature blocks
+  std::vector<float> targets;
+  std::vector<std::size_t> train_idx;
+};
+
+Workload BuildWorkload(std::size_t samples) {
+  util::Rng rng(31);
+  Workload w;
+  for (std::size_t i = 0; i < samples; ++i) {
+    tensor::Tensor x = tensor::Tensor::Randn({16, 64}, rng);
+    // Learnable target: mean feature value (kept in the MLP's easy range).
+    double sum = 0.0;
+    for (const float v : x.data()) sum += v;
+    w.targets.push_back(static_cast<float>(sum / static_cast<double>(x.numel())));
+    w.inputs.push_back(std::move(x));
+    w.train_idx.push_back(i);
+  }
+  return w;
+}
+
+struct Row {
+  int threads = 0;
+  double epoch_s = 0.0;
+  double speedup_vs_serial = 0.0;
+  double final_train_loss = 0.0;
+};
+
+/// One measured training run: fresh identically-seeded model, `epochs`
+/// epochs, no validation set (isolates the training loop itself).
+Row RunOnce(const Workload& w, int threads, std::int64_t epochs, int reps) {
+  Row row;
+  row.threads = threads;
+  row.epoch_s = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Rng rng(77);
+    nn::Mlp mlp({64, 256, 256, 1}, rng);
+    nn::TrainConfig config;
+    config.max_epochs = epochs;
+    config.patience = epochs;
+    config.batch_size = 32;
+    config.base_lr = 1e-3f;
+    config.threads = threads;
+    const nn::Trainer trainer(config);
+    const auto forward = [&](std::size_t i) {
+      return autograd::GlobalAddPool(mlp.Forward(autograd::Variable(w.inputs[i])));
+    };
+    util::Stopwatch timer;
+    const nn::TrainResult result =
+        trainer.Fit(mlp, forward, w.targets, w.train_idx, {});
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed / static_cast<double>(epochs) < row.epoch_s) {
+      row.epoch_s = elapsed / static_cast<double>(epochs);
+      row.final_train_loss = result.train_loss_history.back();
+    }
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const Workload& w, std::int64_t epochs,
+               const std::vector<Row>& rows, bool smoke) {
+  std::ofstream out(path);
+  out << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"samples\": " << w.inputs.size() << ",\n  \"input_shape\": [16, 64]"
+      << ",\n  \"mlp\": [64, 256, 256, 1]" << ",\n  \"epochs\": " << epochs
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"threads\": " << row.threads << ", \"epoch_s\": " << row.epoch_s
+        << ", \"speedup_vs_serial\": " << row.speedup_vs_serial
+        << ", \"final_train_loss\": " << row.final_train_loss << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "[bench] wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = util::EnvInt("PREDTOP_BENCH_SMOKE", 0) != 0;
+  const std::string json_path =
+      util::EnvString("PREDTOP_BENCH_JSON").value_or("BENCH_train.json");
+  const std::size_t samples = smoke ? 64 : 256;
+  const std::int64_t epochs = smoke ? 2 : 3;
+  const int reps = smoke ? 1 : 2;
+  const std::vector<int> sweep = util::EnvIntList(
+      "PREDTOP_TRAIN_BENCH_THREADS", smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8});
+
+  const Workload w = BuildWorkload(samples);
+
+  // Serial baseline first; every row's speedup is measured against it.
+  const Row serial = RunOnce(w, 1, epochs, reps);
+  std::vector<Row> rows;
+  for (const int threads : sweep) {
+    Row row = threads == 1 ? serial : RunOnce(w, threads, epochs, reps);
+    row.speedup_vs_serial = serial.epoch_s / row.epoch_s;
+    std::cerr << "[bench] threads=" << row.threads << " epoch_s=" << row.epoch_s
+              << " speedup_vs_serial=" << row.speedup_vs_serial
+              << " final_train_loss=" << row.final_train_loss << "\n";
+    rows.push_back(row);
+  }
+  WriteJson(json_path, w, epochs, rows, smoke);
+  return 0;
+}

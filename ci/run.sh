@@ -4,8 +4,10 @@
 #   ci/run.sh sanitize   additional ASan/UBSan build + ctest (build-asan/)
 #   ci/run.sh tsan       additional TSan build of the concurrency-sensitive
 #                        suites (thread pool, prediction service, plan
-#                        search) run directly — the full suite is too slow
-#                        under TSan and the other suites are single-threaded
+#                        search, parallel backward engine, data-parallel
+#                        trainer, online refresh) run directly — the full
+#                        suite is too slow under TSan and the other suites
+#                        are single-threaded
 #   ci/run.sh fault      additional ASan/UBSan build of the fault/serving/
 #                        plan-search suites plus the fig10 fault drill
 #                        (checkpoint corruption + quarantine + injected
@@ -15,6 +17,10 @@
 #                        fast-path parity + tensor suites under it, and a
 #                        smoke micro_kernels run recording GEMM / arena /
 #                        warm-predict speedups to build-native/BENCH_kernels.json
+#   ci/run.sh train      training lane: the parallel-backward / trainer /
+#                        online-refresh suites plus a smoke train_throughput
+#                        run recording epoch time vs thread count (and
+#                        speedup over the serial loop) to build/BENCH_train.json
 #   ci/run.sh cluster    additional ASan/UBSan build of the cluster suite:
 #                        wire-codec fuzz, router + shard workers over Unix
 #                        sockets, fork/exec worker processes, and the SIGKILL
@@ -50,10 +56,17 @@ fi
 if [[ "${1:-}" == "tsan" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)" \
-    --target util_test serve_test parallel_test infer_test cluster_test
+    --target util_test serve_test parallel_test infer_test cluster_test \
+    autograd_test nn_test online_test
   export TSAN_OPTIONS="halt_on_error=1"
   ./build-tsan/tests/util_test
   ./build-tsan/tests/parallel_test
+  # Parallel backward engine (staged deterministic accumulation, concurrent
+  # BackwardInto on shared parameters) and the data-parallel trainer.
+  ./build-tsan/tests/autograd_test --gtest_filter='Engine.*'
+  ./build-tsan/tests/nn_test --gtest_filter='ParallelTrainer.*'
+  # Background fine-tune thread hot-swapping checkpoints under live serving.
+  ./build-tsan/tests/online_test
   ./build-tsan/tests/serve_test --gtest_filter='LruCache.*:Service.*:ServingOracle.PredictBatchMatchesScalarQueries:ThreadPool.*'
   # Concurrent tape-free forwards on one shared model (arena-per-thread,
   # lazy packed-weight cache) plus the parity suites that drive every fast
@@ -75,6 +88,18 @@ if [[ "${1:-}" == "perf" ]]; then
   ./build-native/tests/infer_test
   PREDTOP_BENCH_SMOKE=1 PREDTOP_BENCH_JSON=build-native/BENCH_kernels.json \
     ./build-native/bench/micro_kernels
+fi
+
+if [[ "${1:-}" == "train" ]]; then
+  cmake --build --preset default -j "$(nproc)" \
+    --target autograd_test nn_test online_test train_throughput
+  ./build/tests/autograd_test --gtest_filter='Engine.*'
+  ./build/tests/nn_test --gtest_filter='ParallelTrainer.*:Adam.*:CosineDecay.*:SplitDataset.*'
+  ./build/tests/online_test
+  # Thread sweep over the data-parallel Fit path; the serial row is the
+  # baseline, so the JSON records speedup directly.
+  PREDTOP_BENCH_SMOKE=1 PREDTOP_BENCH_JSON=build/BENCH_train.json \
+    ./build/bench/train_throughput
 fi
 
 if [[ "${1:-}" == "cluster" ]]; then

@@ -1,0 +1,269 @@
+#include "autograd/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace predtop::autograd {
+
+namespace {
+
+using detail::Node;
+using tensor::Tensor;
+
+/// Child id of the d(root)/d(root) seed. Larger than every real node id so
+/// it reduces first, exactly where the serial replay adds it.
+constexpr std::uint64_t kSeedChildId = ~0ULL;
+
+/// Identity of the closure currently running on this thread: contributions
+/// it stages are tagged (child_id, seq) so each target node can replay them
+/// in the serial order (children descending by id; within one closure, call
+/// order).
+struct ClosureCtx {
+  std::uint64_t child_id = kSeedChildId;
+  std::uint32_t seq = 0;
+};
+thread_local ClosureCtx t_closure;
+
+struct Contribution {
+  std::uint64_t child_id = 0;
+  std::uint32_t seq = 0;
+  Tensor grad;
+};
+
+struct Task {
+  Node* node = nullptr;
+  /// Reachable consumers (counted with multiplicity) still to finish.
+  std::atomic<std::size_t> pending{0};
+  std::mutex mu;
+  std::vector<Contribution> contributions;
+  /// Index into the external leaf-gradient buffers, or -1.
+  std::ptrdiff_t leaf = -1;
+};
+
+class Engine final : public detail::GradSink, public std::enable_shared_from_this<Engine> {
+ public:
+  Engine(const Variable& root, std::span<Variable* const> leaves,
+         std::span<Tensor> leaf_grads)
+      : leaf_grads_(leaf_grads) {
+    Node* root_node = root.node().get();
+    // Collect the reachable tape (same traversal as the serial Backward).
+    index_.emplace(root_node, tasks_.size());
+    tasks_.push_back(std::make_unique<Task>());
+    tasks_.back()->node = root_node;
+    std::vector<Node*> stack{root_node};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (const auto& p : n->parents) {
+        if (index_.emplace(p.get(), tasks_.size()).second) {
+          tasks_.push_back(std::make_unique<Task>());
+          tasks_.back()->node = p.get();
+          stack.push_back(p.get());
+        }
+      }
+    }
+    // Dependency counts: one per consumer edge.
+    for (const auto& t : tasks_) {
+      for (const auto& p : t->node->parents) {
+        tasks_[index_.at(p.get())]->pending.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const auto it = index_.find(leaves[i]->node().get());
+      if (it != index_.end()) tasks_[it->second]->leaf = static_cast<std::ptrdiff_t>(i);
+    }
+    remaining_ = tasks_.size();
+    // Seed d(root)/d(root) with ones.
+    Tensor seed(root_node->value.shape());
+    seed.Fill(1.0f);
+    tasks_[0]->contributions.push_back({kSeedChildId, 0, std::move(seed)});
+    for (const auto& t : tasks_) {
+      if (t->pending.load(std::memory_order_relaxed) == 0) ready_.push_back(t.get());
+    }
+  }
+
+  void Stage(Node* target, const Tensor& g) override {
+    const auto it = index_.find(target);
+    if (it == index_.end()) {
+      throw std::logic_error("autograd::Engine: contribution to a node outside the tape");
+    }
+    Task& t = *tasks_[it->second];
+    const std::scoped_lock lock(t.mu);
+    t.contributions.push_back({t_closure.child_id, t_closure.seq++, g});
+  }
+
+  void Run(util::ThreadPool* pool) {
+    const std::size_t helpers =
+        pool == nullptr ? 0 : std::min(pool->ThreadCount(), tasks_.size());
+    for (std::size_t h = 0; h < helpers; ++h) {
+      // Helpers hold shared ownership, so one that only runs after this call
+      // returned (open_ == false by then) is a safe no-op. The caller never
+      // waits for unstarted helpers — same protocol as ParallelFor, which is
+      // what makes nested use (an engine inside a pool task) deadlock-free.
+      auto fut = pool->Submit([self = shared_from_this()] {
+        {
+          const std::scoped_lock lock(self->qmu_);
+          if (!self->open_) return;
+          ++self->active_;
+        }
+        self->Drain();
+        {
+          const std::scoped_lock lock(self->qmu_);
+          --self->active_;
+        }
+        self->qcv_.notify_all();
+      });
+      (void)fut;  // completion is tracked by open_/active_, not the future
+    }
+    Drain();  // the calling thread participates
+    std::exception_ptr error;
+    {
+      std::unique_lock lock(qmu_);
+      open_ = false;
+      qcv_.wait(lock, [&] { return active_ == 0; });
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  /// Pop-and-process loop shared by the caller and every helper. Installs
+  /// this engine as the thread's gradient sink so closure-side
+  /// AccumulateGrad calls stage with us.
+  void Drain() {
+    struct SinkGuard {
+      explicit SinkGuard(Engine* e) { detail::SetActiveGradSink(e); }
+      ~SinkGuard() { detail::SetActiveGradSink(nullptr); }
+    } guard(this);
+    for (;;) {
+      Task* task = nullptr;
+      {
+        std::unique_lock lock(qmu_);
+        qcv_.wait(lock, [&] { return failed_ || remaining_ == 0 || !ready_.empty(); });
+        if (failed_ || ready_.empty()) return;  // ready empty => all done
+        task = ready_.back();
+        ready_.pop_back();
+      }
+      try {
+        Process(*task);
+      } catch (...) {
+        const std::scoped_lock lock(qmu_);
+        if (!error_) error_ = std::current_exception();
+        failed_ = true;
+        qcv_.notify_all();
+        return;
+      }
+      Complete(*task);
+    }
+  }
+
+  void Process(Task& task) {
+    std::vector<Contribution> contributions;
+    {
+      const std::scoped_lock lock(task.mu);
+      contributions = std::move(task.contributions);
+    }
+    // Serial-replay order: children descending by creation id (the seed's
+    // sentinel id sorts first), calls within one closure in program order.
+    std::sort(contributions.begin(), contributions.end(),
+              [](const Contribution& a, const Contribution& b) {
+                if (a.child_id != b.child_id) return a.child_id > b.child_id;
+                return a.seq < b.seq;
+              });
+    Node* n = task.node;
+    if (task.leaf >= 0) {
+      // External capture: the shared leaf's own grad is never touched.
+      Tensor& out = leaf_grads_[static_cast<std::size_t>(task.leaf)];
+      for (Contribution& c : contributions) {
+        if (out.numel() == 0) {
+          out = std::move(c.grad);
+        } else {
+          out.AddInPlace(c.grad);
+        }
+      }
+      return;
+    }
+    for (Contribution& c : contributions) {
+      if (n->grad.numel() == 0) {
+        n->grad = std::move(c.grad);
+      } else {
+        n->grad.AddInPlace(c.grad);
+      }
+    }
+    if (n->backward && n->grad.numel() != 0) {
+      struct CtxGuard {
+        ~CtxGuard() { t_closure = ClosureCtx{}; }
+      } ctx_guard;
+      t_closure.child_id = n->id;
+      t_closure.seq = 0;
+      n->backward(*n);
+    }
+  }
+
+  void Complete(Task& task) {
+    std::vector<Task*> newly_ready;
+    for (const auto& p : task.node->parents) {
+      Task& pt = *tasks_[index_.at(p.get())];
+      if (pt.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        newly_ready.push_back(&pt);
+      }
+    }
+    bool all_done = false;
+    {
+      const std::scoped_lock lock(qmu_);
+      for (Task* t : newly_ready) ready_.push_back(t);
+      all_done = --remaining_ == 0;
+    }
+    if (all_done) {
+      qcv_.notify_all();
+    } else {
+      for (std::size_t i = 0; i < newly_ready.size(); ++i) qcv_.notify_one();
+    }
+  }
+
+  std::unordered_map<const Node*, std::size_t> index_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::span<Tensor> leaf_grads_;
+
+  std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::vector<Task*> ready_;
+  std::size_t remaining_ = 0;
+  bool failed_ = false;
+  std::exception_ptr error_;
+  bool open_ = true;  // cleared when Run() is over; late helpers no-op
+  int active_ = 0;    // helpers inside Drain()
+};
+
+void RunEngine(const Variable& root, std::span<Variable* const> leaves,
+               std::span<Tensor> leaf_grads, const BackwardOptions& options) {
+  if (!root.defined()) throw std::invalid_argument("Backward: undefined variable");
+  if (leaves.size() != leaf_grads.size()) {
+    throw std::invalid_argument("BackwardInto: leaves/leaf_grads size mismatch");
+  }
+  auto engine = std::make_shared<Engine>(root, leaves, leaf_grads);
+  engine->Run(options.pool);
+}
+
+}  // namespace
+
+void BackwardParallel(const Variable& root, const BackwardOptions& options) {
+  RunEngine(root, {}, {}, options);
+}
+
+void BackwardInto(const Variable& root, std::span<Variable* const> leaves,
+                  std::span<Tensor> leaf_grads, const BackwardOptions& options) {
+  RunEngine(root, leaves, leaf_grads, options);
+}
+
+}  // namespace predtop::autograd

@@ -1,0 +1,61 @@
+#pragma once
+// Multi-threaded backward executor over the autograd tape.
+//
+// The serial Backward() in variable.cpp replays closures in reverse creation
+// order on one thread. This engine instead runs a topological ready-queue
+// with per-node dependency counting (the design of pytorch's
+// torch/csrc/autograd/engine.cpp, specialized to this project's tape): a
+// node's backward closure becomes runnable once every reachable consumer of
+// its output has finished, so independent branches of the graph execute
+// concurrently.
+//
+// Determinism contract. Backward closures do not write parents' gradients
+// directly while the engine runs; each contribution is *staged* with the
+// node it targets, tagged by the contributing child's creation id. When a
+// node becomes ready, its staged contributions are reduced in fixed order —
+// descending child id, which is exactly the order the serial replay produces
+// them in — before its own closure fires. The executed schedule may differ
+// run to run, but every float addition happens in the same order, so the
+// resulting gradients are bit-identical to serial Backward() for ANY worker
+// count (this is asserted by tests/autograd_test.cpp).
+//
+// BackwardInto additionally redirects the gradients of a chosen set of leaf
+// Variables into caller-owned buffers, leaving Node::grad of those leaves
+// untouched. That is what makes data-parallel training sound: many threads
+// can differentiate independent tapes that SHARE parameter leaves, each
+// accumulating into its own buffer, with no write ever landing on the shared
+// nodes. (Any shared leaf NOT listed would be written concurrently — the
+// trainer always lists the full parameter set.)
+
+#include <span>
+
+#include "autograd/variable.h"
+
+namespace predtop::util {
+class ThreadPool;
+}
+
+namespace predtop::autograd {
+
+struct BackwardOptions {
+  /// Helper workers are borrowed from this pool; the calling thread always
+  /// participates, so nullptr (or a busy pool) degrades to single-threaded
+  /// execution with identical results. Safe to call from inside a pool task:
+  /// like ThreadPool::ParallelFor, the caller never blocks on helpers that
+  /// were queued but never started.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Engine-scheduled equivalent of Backward(root): seeds d(root)/d(root) with
+/// ones and accumulates into every reachable node's grad. Bit-identical to
+/// the serial replay regardless of worker count.
+void BackwardParallel(const Variable& root, const BackwardOptions& options = {});
+
+/// As BackwardParallel, but gradients of `leaves[i]` are accumulated into
+/// `leaf_grads[i]` (assigned when empty, added in place otherwise — so one
+/// buffer can accumulate across several calls) and the leaves' own
+/// Node::grad stays untouched. `leaf_grads` must be parallel to `leaves`.
+void BackwardInto(const Variable& root, std::span<Variable* const> leaves,
+                  std::span<tensor::Tensor> leaf_grads, const BackwardOptions& options = {});
+
+}  // namespace predtop::autograd

@@ -9,6 +9,10 @@ namespace predtop::autograd {
 namespace detail {
 
 void Node::AccumulateGrad(const tensor::Tensor& g) {
+  if (GradSink* sink = ActiveGradSink()) {
+    sink->Stage(this, g);
+    return;
+  }
   if (grad.numel() == 0) {
     grad = g;
   } else {
@@ -20,6 +24,13 @@ std::uint64_t NextNodeId() noexcept {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+namespace {
+thread_local GradSink* t_grad_sink = nullptr;
+}  // namespace
+
+GradSink* ActiveGradSink() noexcept { return t_grad_sink; }
+void SetActiveGradSink(GradSink* sink) noexcept { t_grad_sink = sink; }
 
 }  // namespace detail
 

@@ -32,11 +32,28 @@ struct Node {
   /// Propagates this->grad into parents' grads. Empty for leaves.
   std::function<void(Node&)> backward;
 
-  /// Accumulate `g` into this node's gradient (allocating if needed).
+  /// Accumulate `g` into this node's gradient (allocating if needed). While
+  /// an engine backward is running on the calling thread, the contribution
+  /// is staged with the engine instead (see GradSink below), which is what
+  /// makes per-node accumulation both race-free and deterministic.
   void AccumulateGrad(const tensor::Tensor& g);
 };
 
 std::uint64_t NextNodeId() noexcept;
+
+/// Destination for gradient contributions produced by backward closures.
+/// engine.cpp installs one per thread while it runs closures so that
+/// AccumulateGrad calls route into its staging buffers (ordered, per-child)
+/// instead of mutating Node::grad directly.
+class GradSink {
+ public:
+  virtual ~GradSink() = default;
+  virtual void Stage(Node* target, const tensor::Tensor& g) = 0;
+};
+
+/// The calling thread's active sink (nullptr outside engine backwards).
+[[nodiscard]] GradSink* ActiveGradSink() noexcept;
+void SetActiveGradSink(GradSink* sink) noexcept;
 
 }  // namespace detail
 
@@ -58,6 +75,10 @@ class Variable {
 
   /// Reset accumulated gradient to "none" (next Backward starts fresh).
   void ZeroGrad() noexcept { node_->grad = tensor::Tensor(); }
+
+  /// Replace the accumulated gradient wholesale (the data-parallel trainer
+  /// installs externally reduced gradients before the optimizer step).
+  void SetGrad(tensor::Tensor g) noexcept { node_->grad = std::move(g); }
 
   /// Internal: used by op implementations.
   [[nodiscard]] const std::shared_ptr<detail::Node>& node() const noexcept { return node_; }

@@ -13,9 +13,17 @@ Adam::Adam(Module& model, AdamConfig config) : model_(model), config_(config) {
   }
 }
 
-void Adam::Step(float lr) {
-  ++t_;
+bool Adam::Step(float lr) {
   const auto params = model_.Parameters();
+  // Scan every gradient BEFORE mutating anything: a partial update that
+  // aborts midway would corrupt the moment buffers just as surely as
+  // letting the NaN through.
+  for (const auto* p : params) {
+    for (const float g : p->grad().data()) {
+      if (!std::isfinite(g)) return false;
+    }
+  }
+  ++t_;
   const float b1 = config_.beta1, b2 = config_.beta2;
   const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
   const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
@@ -37,12 +45,15 @@ void Adam::Step(float lr) {
     }
   }
   BumpParameterEpoch();  // cached packed weights must repack
+  return true;
 }
 
 float CosineDecayLr(float base_lr, std::int64_t epoch, std::int64_t total_epochs) {
   if (total_epochs <= 1) return base_lr;
+  // total_epochs - 1, not total_epochs: the last epoch run is total - 1, and
+  // the schedule must land on 0 there.
   const float frac =
-      static_cast<float>(epoch) / static_cast<float>(total_epochs);
+      static_cast<float>(epoch) / static_cast<float>(total_epochs - 1);
   return 0.5f * base_lr * (1.0f + std::cos(3.14159265358979323846f * frac));
 }
 

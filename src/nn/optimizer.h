@@ -22,8 +22,11 @@ class Adam {
   explicit Adam(Module& model, AdamConfig config = {});
 
   /// Apply one update with the given learning rate using gradients
-  /// accumulated on the parameters; does not zero gradients.
-  void Step(float lr);
+  /// accumulated on the parameters; does not zero gradients. If ANY gradient
+  /// element is non-finite the step is refused before touching weights,
+  /// moments, or the step count — NaN must never poison optimizer state —
+  /// and false is returned so the caller can count the skip.
+  bool Step(float lr);
 
   [[nodiscard]] std::int64_t StepCount() const noexcept { return t_; }
 
@@ -35,9 +38,10 @@ class Adam {
   std::int64_t t_ = 0;
 };
 
-/// Cosine decay: lr(e) = 0.5 * base * (1 + cos(pi * e / total)), e in
-/// [0, total). Matches the paper's schedule (1e-3 at epoch 0, ~0 at the
-/// final epoch).
+/// Cosine decay: lr(e) = 0.5 * base * (1 + cos(pi * e / (total - 1))), e in
+/// [0, total). Matches the paper's schedule: base lr at epoch 0 and exactly
+/// 0 at the LAST epoch (e = total - 1). Dividing by `total` instead — the
+/// old off-by-one — left the final epoch with a small nonzero lr.
 [[nodiscard]] float CosineDecayLr(float base_lr, std::int64_t epoch, std::int64_t total_epochs);
 
 }  // namespace predtop::nn

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <future>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "autograd/engine.h"
 #include "autograd/functions.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace predtop::nn {
 
@@ -16,6 +22,50 @@ namespace {
 Variable SampleLoss(LossKind kind, const Variable& pred, float target) {
   return kind == LossKind::kMae ? autograd::AbsError(pred, target)
                                 : autograd::SquaredError(pred, target);
+}
+
+bool AllFinite(const tensor::Tensor& t) {
+  for (const float x : t.data()) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+/// Fixed-order chunked reduction of per-shard gradient buffers into
+/// shards[0] — the reduce-scatter half of a ring all-reduce, specialized to
+/// shared memory. Element j always accumulates shards 1..used-1 in that
+/// order, so chunking (the parallelism axis) can never change a per-element
+/// addition order: the reduced values are identical for every pool size,
+/// including no pool at all.
+void ReduceShardGrads(std::vector<std::vector<tensor::Tensor>>& shards, std::size_t used,
+                      util::ThreadPool* pool) {
+  if (used <= 1) return;
+  constexpr std::size_t kChunk = 4096;
+  struct Chunk {
+    std::size_t param;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t p = 0; p < shards[0].size(); ++p) {
+    const std::size_t n = shards[0][p].numel();
+    for (std::size_t b = 0; b < n; b += kChunk) {
+      chunks.push_back({p, b, std::min(n, b + kChunk)});
+    }
+  }
+  const auto reduce_chunk = [&](std::size_t c) {
+    const auto [param, begin, end] = chunks[c];
+    const auto acc = shards[0][param].data();
+    for (std::size_t s = 1; s < used; ++s) {
+      const auto src = shards[s][param].data();
+      for (std::size_t j = begin; j < end; ++j) acc[j] += src[j];
+    }
+  };
+  if (pool != nullptr && chunks.size() > 1) {
+    pool->ParallelFor(chunks.size(), reduce_chunk);
+  } else {
+    for (std::size_t c = 0; c < chunks.size(); ++c) reduce_chunk(c);
+  }
 }
 
 }  // namespace
@@ -31,6 +81,22 @@ TrainResult Trainer::Fit(Module& model,
   util::Rng rng(config_.shuffle_seed);
   std::vector<std::size_t> order(train_indices.begin(), train_indices.end());
 
+  const std::size_t threads =
+      config_.threads <= 1 ? 1 : static_cast<std::size_t>(config_.threads);
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+
+  const std::vector<Variable*> params = model.Parameters();
+  // Per-shard gradient buffers, reused across batches. Shape-matched zero
+  // tensors so BackwardInto always takes the accumulate path and a parameter
+  // a shard never reaches simply stays zero.
+  std::vector<std::vector<tensor::Tensor>> shard_grads(threads > 1 ? threads : 0);
+  for (auto& shard : shard_grads) {
+    shard.reserve(params.size());
+    for (const auto* p : params) shard.emplace_back(p->value().shape());
+  }
+
   std::vector<tensor::Tensor> best_weights = model.SnapshotParameters();
   double best_val = std::numeric_limits<double>::infinity();
   std::int64_t best_epoch = -1;
@@ -39,33 +105,113 @@ TrainResult Trainer::Fit(Module& model,
     rng.Shuffle(std::span<std::size_t>(order));
     const float lr = CosineDecayLr(config_.base_lr, epoch, config_.max_epochs);
     double epoch_loss = 0.0;
+    std::size_t applied_samples = 0;
     for (std::size_t start = 0; start < order.size();
          start += static_cast<std::size_t>(config_.batch_size)) {
       const std::size_t end =
           std::min(order.size(), start + static_cast<std::size_t>(config_.batch_size));
-      model.ZeroGrad();
-      Variable batch_loss;
-      for (std::size_t i = start; i < end; ++i) {
-        const std::size_t idx = order[i];
-        const Variable loss = SampleLoss(config_.loss, forward(idx), targets[idx]);
-        batch_loss = batch_loss.defined() ? autograd::Add(batch_loss, loss) : loss;
+      const std::size_t batch_n = end - start;
+      const float inv = 1.0f / static_cast<float>(batch_n);
+      double batch_mean = 0.0;
+      bool applied = false;
+
+      if (threads <= 1) {
+        // Serial baseline: one loss tree per batch, one backward, one step.
+        model.ZeroGrad();
+        Variable batch_loss;
+        for (std::size_t i = start; i < end; ++i) {
+          const std::size_t idx = order[i];
+          const Variable loss = SampleLoss(config_.loss, forward(idx), targets[idx]);
+          batch_loss = batch_loss.defined() ? autograd::Add(batch_loss, loss) : loss;
+        }
+        batch_loss = autograd::Scale(batch_loss, inv);
+        batch_mean = static_cast<double>(batch_loss.value().data()[0]);
+        if (std::isfinite(batch_mean)) {
+          autograd::Backward(batch_loss);
+          applied = optimizer.Step(lr);  // refused if gradients went non-finite
+        }
+      } else {
+        // Data-parallel: shard the batch contiguously, run per-sample
+        // backwards into private per-shard buffers, reduce in fixed shard
+        // order, install once. Bit-identical across runs for this thread
+        // count: per-shard accumulation order is the shard's sample order,
+        // and the cross-shard reduction order is fixed (see ReduceShardGrads).
+        const std::size_t used = std::min(threads, batch_n);
+        const std::size_t per_shard = (batch_n + used - 1) / used;
+        for (std::size_t s = 0; s < used; ++s) {
+          for (std::size_t p = 0; p < params.size(); ++p) {
+            auto& buf = shard_grads[s][p];
+            if (buf.numel() == 0) {
+              buf = tensor::Tensor(params[p]->value().shape());  // re-arm after move
+            } else {
+              buf.Fill(0.0f);
+            }
+          }
+        }
+        std::vector<double> shard_sum(used, 0.0);
+        std::vector<std::future<void>> futures;
+        futures.reserve(used);
+        for (std::size_t s = 0; s < used; ++s) {
+          futures.push_back(pool_ptr->Submit([&, s] {
+            const std::size_t lo = start + s * per_shard;
+            const std::size_t hi = std::min(end, lo + per_shard);
+            const std::span<tensor::Tensor> grads(shard_grads[s]);
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::size_t idx = order[i];
+              const Variable loss = SampleLoss(config_.loss, forward(idx), targets[idx]);
+              shard_sum[s] += static_cast<double>(loss.value().data()[0]);
+              autograd::BackwardInto(autograd::Scale(loss, inv),
+                                     std::span<Variable* const>(params), grads);
+            }
+          }));
+        }
+        // Wait for EVERY shard before letting an exception unwind: tasks
+        // reference this frame's locals.
+        std::exception_ptr error;
+        for (auto& f : futures) {
+          try {
+            f.get();
+          } catch (...) {
+            if (!error) error = std::current_exception();
+          }
+        }
+        if (error) std::rethrow_exception(error);
+
+        double batch_sum = 0.0;
+        for (std::size_t s = 0; s < used; ++s) batch_sum += shard_sum[s];
+        batch_mean = batch_sum / static_cast<double>(batch_n);
+        ReduceShardGrads(shard_grads, used, pool_ptr);
+        bool finite = std::isfinite(batch_mean);
+        for (std::size_t p = 0; finite && p < params.size(); ++p) {
+          finite = AllFinite(shard_grads[0][p]);
+        }
+        if (finite) {
+          for (std::size_t p = 0; p < params.size(); ++p) {
+            params[p]->SetGrad(std::move(shard_grads[0][p]));
+          }
+          applied = optimizer.Step(lr);
+        }
       }
-      const float inv = 1.0f / static_cast<float>(end - start);
-      batch_loss = autograd::Scale(batch_loss, inv);
-      autograd::Backward(batch_loss);
-      optimizer.Step(lr);
-      epoch_loss += static_cast<double>(batch_loss.value().data()[0]) *
-                    static_cast<double>(end - start);
+
+      if (applied) {
+        epoch_loss += batch_mean * static_cast<double>(batch_n);
+        applied_samples += batch_n;
+      } else {
+        ++result.skipped_steps;  // weights and Adam moments untouched
+      }
     }
-    epoch_loss /= static_cast<double>(order.size());
+    epoch_loss = applied_samples > 0
+                     ? epoch_loss / static_cast<double>(applied_samples)
+                     : std::numeric_limits<double>::quiet_NaN();
     result.train_loss_history.push_back(epoch_loss);
 
-    const double val_loss =
-        val_indices.empty() ? epoch_loss : Evaluate(forward, targets, val_indices);
+    const double val_loss = val_indices.empty()
+                                ? epoch_loss
+                                : EvaluateWith(forward, targets, val_indices, pool_ptr);
     result.val_loss_history.push_back(val_loss);
     ++result.epochs_run;
 
-    if (val_loss < best_val) {
+    if (val_loss < best_val) {  // NaN compares false: never becomes best
       best_val = val_loss;
       best_epoch = epoch;
       best_weights = model.SnapshotParameters();
@@ -86,13 +232,28 @@ TrainResult Trainer::Fit(Module& model,
 double Trainer::Evaluate(const std::function<Variable(std::size_t)>& forward,
                          std::span<const float> targets,
                          std::span<const std::size_t> indices) const {
+  return EvaluateWith(forward, targets, indices, nullptr);
+}
+
+double Trainer::EvaluateWith(const std::function<Variable(std::size_t)>& forward,
+                             std::span<const float> targets,
+                             std::span<const std::size_t> indices,
+                             util::ThreadPool* pool) const {
   if (indices.empty()) return 0.0;
-  double total = 0.0;
-  for (const std::size_t idx : indices) {
+  std::vector<double> slots(indices.size());
+  const auto body = [&](std::size_t k) {
+    const std::size_t idx = indices[k];
     const float pred = forward(idx).value().data()[0];
     const float diff = pred - targets[idx];
-    total += config_.loss == LossKind::kMae ? std::fabs(diff) : diff * diff;
+    slots[k] = config_.loss == LossKind::kMae ? std::fabs(diff) : diff * diff;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(indices.size(), body);
+  } else {
+    for (std::size_t k = 0; k < indices.size(); ++k) body(k);
   }
+  double total = 0.0;
+  for (const double v : slots) total += v;  // fixed order: pool-independent
   return total / static_cast<double>(indices.size());
 }
 
@@ -104,12 +265,16 @@ DataSplit SplitDataset(std::size_t n, double train_fraction, double val_fraction
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;
   rng.Shuffle(std::span<std::size_t>(idx));
-  const auto n_train = static_cast<std::size_t>(std::llround(train_fraction * static_cast<double>(n)));
+  auto n_train = static_cast<std::size_t>(std::llround(train_fraction * static_cast<double>(n)));
+  // A positive train fraction must never round down to an empty train set
+  // (e.g. n = 4, fraction = 0.1): Trainer::Fit rejects empty training sets.
+  if (n > 0 && train_fraction > 0.0 && n_train == 0) n_train = 1;
+  n_train = std::min(n, n_train);
   const auto n_val = static_cast<std::size_t>(std::llround(val_fraction * static_cast<double>(n)));
   DataSplit split;
-  split.train.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(std::min(n, n_train)));
+  split.train.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_train));
   const std::size_t val_end = std::min(n, n_train + n_val);
-  split.validation.assign(idx.begin() + static_cast<std::ptrdiff_t>(std::min(n, n_train)),
+  split.validation.assign(idx.begin() + static_cast<std::ptrdiff_t>(n_train),
                           idx.begin() + static_cast<std::ptrdiff_t>(val_end));
   split.test.assign(idx.begin() + static_cast<std::ptrdiff_t>(val_end), idx.end());
   return split;

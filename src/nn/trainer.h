@@ -15,6 +15,10 @@
 #include "nn/optimizer.h"
 #include "util/rng.h"
 
+namespace predtop::util {
+class ThreadPool;
+}
+
 namespace predtop::nn {
 
 enum class LossKind { kMae, kMse };
@@ -30,6 +34,16 @@ struct TrainConfig {
   std::uint64_t shuffle_seed = 0x7ea1ULL;
   /// Log progress every N epochs at debug level; 0 disables.
   std::int64_t log_every = 0;
+  /// Data-parallel workers: each mini-batch is sharded across this many
+  /// threads, per-shard gradients accumulate in private buffers (see
+  /// autograd::BackwardInto), and a fixed-order chunked reduction feeds one
+  /// Adam step — so results are bit-identical across runs for a given value.
+  /// <= 1 keeps the original serial loop (the throughput baseline; it sums
+  /// the batch loss before one backward, so its float rounding differs from
+  /// the sharded path by O(batch * eps)). Values > 1 require `forward` to be
+  /// safe to call concurrently from several threads (true for the tape
+  /// predictors: they share only parameter reads).
+  std::int64_t threads = 1;
 };
 
 struct TrainResult {
@@ -38,6 +52,11 @@ struct TrainResult {
   double best_val_loss = 0.0;
   std::vector<double> train_loss_history;
   std::vector<double> val_loss_history;
+  /// Optimizer steps refused because the batch loss or a reduced gradient
+  /// was non-finite (fault injection, numeric blowup). Skipped batches do
+  /// not touch weights or Adam moments and are excluded from the epoch's
+  /// train-loss mean.
+  std::int64_t skipped_steps = 0;
 };
 
 class Trainer {
@@ -62,6 +81,13 @@ class Trainer {
   [[nodiscard]] const TrainConfig& Config() const noexcept { return config_; }
 
  private:
+  /// Evaluate with an optional pool: per-sample losses land in slots, then a
+  /// fixed-order serial sum — bitwise identical with and without the pool.
+  [[nodiscard]] double EvaluateWith(const std::function<autograd::Variable(std::size_t)>& forward,
+                                    std::span<const float> targets,
+                                    std::span<const std::size_t> indices,
+                                    util::ThreadPool* pool) const;
+
   TrainConfig config_;
 };
 

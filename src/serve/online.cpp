@@ -1,0 +1,174 @@
+#include "serve/online.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace predtop::serve {
+
+OnlineTrainer::OnlineTrainer(std::shared_ptr<ModelRegistry> registry, ModelKey key,
+                             SampleSource source, OnlineTrainerOptions options)
+    : registry_(std::move(registry)),
+      key_(std::move(key)),
+      source_(std::move(source)),
+      options_(std::move(options)),
+      rng_(options_.seed) {}
+
+OnlineTrainer::~OnlineTrainer() { Stop(); }
+
+void OnlineTrainer::OnSwap(std::function<void()> hook) {
+  const std::scoped_lock lock(mutex_);
+  on_swap_ = std::move(hook);
+}
+
+OnlineTrainerStats OnlineTrainer::Stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+bool OnlineTrainer::RunRound() {
+  util::Rng round_rng = [&] {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.rounds;
+    return rng_.Fork();
+  }();
+  const std::shared_ptr<core::LatencyRegressor> current = registry_->Find(key_);
+  if (current == nullptr) return false;
+
+  core::StageDataset fresh = source_(options_.samples_per_round, round_rng);
+  const std::size_t n = fresh.Size();
+  if (n == 0) return false;
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+
+  // Drift test: served model's error on samples it has never seen, against
+  // the baseline recorded at the previous refresh (first round seeds it).
+  const double fresh_mre = current->MrePercent(fresh, all);
+  bool drift = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    stats_.last_fresh_mre = fresh_mre;
+    if (!has_baseline_) {
+      has_baseline_ = true;
+      stats_.baseline_mre = fresh_mre;
+    } else if (std::isfinite(fresh_mre) &&
+               fresh_mre > stats_.baseline_mre * options_.drift_threshold) {
+      drift = true;
+      ++stats_.drift_detected;
+    }
+  }
+  if (!drift && !options_.refresh_always) return false;
+
+  // Head of the round trains, tail validates; always >= 1 training sample.
+  std::size_t n_val =
+      static_cast<std::size_t>(std::llround(options_.val_fraction * static_cast<double>(n)));
+  if (n_val >= n) n_val = n - 1;
+  const std::size_t n_train = n - n_val;
+  const std::vector<std::size_t> train_idx(all.begin(),
+                                           all.begin() + static_cast<std::ptrdiff_t>(n_train));
+  const std::vector<std::size_t> val_idx(all.begin() + static_cast<std::ptrdiff_t>(n_train),
+                                         all.end());
+
+  // Fine-tune a clone so the served model is untouched until the swap: a
+  // checkpoint round-trip through memory reproduces weights, architecture,
+  // and target normalization exactly.
+  std::stringstream buffer;
+  current->Save(buffer);
+  core::LatencyRegressor candidate = core::LatencyRegressor::Load(buffer);
+  const nn::TrainResult tuned = candidate.Fit(fresh, train_idx, val_idx, options_.train);
+  {
+    const std::scoped_lock lock(mutex_);
+    stats_.skipped_steps += tuned.skipped_steps;
+  }
+
+  const double tuned_mre = candidate.MrePercent(fresh, all);
+  if (!std::isfinite(tuned_mre)) {
+    // A broken candidate must never reach serving, drill mode or not.
+    const std::scoped_lock lock(mutex_);
+    ++stats_.failed_swaps;
+    return false;
+  }
+  if (!options_.refresh_always && tuned_mre > fresh_mre) {
+    return false;  // fine-tune didn't help; keep serving the old version
+  }
+
+  // Publish through the durable path: atomic checkpoint write, then a
+  // CRC-verified load + registry replacement. In-flight predictions hold the
+  // old shared_ptr and finish safely; the load bumps the parameter epoch so
+  // packed-weight caches repack.
+  try {
+    candidate.Save(options_.checkpoint_path);
+  } catch (const std::exception& e) {
+    PREDTOP_LOG_WARN << "online refresh: checkpoint write failed: " << e.what();
+    const std::scoped_lock lock(mutex_);
+    ++stats_.failed_swaps;
+    return false;
+  }
+  // The checkpoint file is rewritten every round, so a quarantine earned by
+  // an earlier (now overwritten) version of this path must not block it.
+  for (const auto& [path, status] : registry_->Quarantined()) {
+    if (path == options_.checkpoint_path) {
+      registry_->ClearQuarantine();
+      break;
+    }
+  }
+  const fault::Status status = registry_->TryRegisterFromFile(key_, options_.checkpoint_path);
+  if (!status.ok()) {
+    PREDTOP_LOG_WARN << "online refresh: hot swap failed: " << status.ToString();
+    const std::scoped_lock lock(mutex_);
+    ++stats_.failed_swaps;
+    return false;
+  }
+
+  std::function<void()> hook;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.refreshes;
+    stats_.baseline_mre = tuned_mre;  // next rounds drift against the new model
+    hook = on_swap_;
+  }
+  if (hook) hook();
+  return true;
+}
+
+void OnlineTrainer::Start() {
+  const std::scoped_lock lock(loop_mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void OnlineTrainer::Stop() {
+  {
+    const std::scoped_lock lock(loop_mutex_);
+    stop_requested_ = true;
+  }
+  loop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void OnlineTrainer::Loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(loop_mutex_);
+      if (loop_cv_.wait_for(lock, options_.poll_interval, [&] { return stop_requested_; })) {
+        return;
+      }
+    }
+    try {
+      RunRound();
+    } catch (const std::exception& e) {
+      // The background loop must survive transient failures (fault
+      // injection, IO): record and keep polling.
+      PREDTOP_LOG_WARN << "online refresh round failed: " << e.what();
+      const std::scoped_lock lock(mutex_);
+      ++stats_.failed_swaps;
+    }
+  }
+}
+
+}  // namespace predtop::serve

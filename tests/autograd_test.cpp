@@ -3,13 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstring>
 #include <functional>
+#include <thread>
 
+#include "autograd/engine.h"
 #include "autograd/functions.h"
 #include "autograd/variable.h"
 #include "tensor/sparse.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace predtop::autograd {
 namespace {
@@ -224,6 +229,153 @@ TEST(Autograd, ZeroGradResets) {
 TEST(Autograd, BackwardOnUndefinedThrows) {
   const Variable undefined;
   EXPECT_THROW(Backward(undefined), std::invalid_argument);
+}
+
+// ---- parallel engine ----
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b, const char* label) {
+  ASSERT_EQ(a.numel(), b.numel()) << label;
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << label;
+}
+
+/// A graph with branching, a join, duplicate parents (Mul(t, t)) and a long
+/// spine — enough structure for the ready-queue to actually reorder work.
+Variable BuildDeepGraph(std::vector<Variable>& v) {
+  const Variable h = Gelu(AddRowVector(MatMul(v[0], v[1]), v[2]));
+  const Variable t = Tanh(MatMul(h, v[3]));
+  const Variable s = Add(t, Scale(Mul(t, t), 0.5f));
+  return GlobalAddPool(Transpose(GlobalAddPool(s)));
+}
+
+std::vector<Tensor> DeepGraphLeaves() {
+  return {RandT({6, 4}, 31), RandT({4, 8}, 32), RandT({8}, 33), RandT({8, 4}, 34)};
+}
+
+TEST(Engine, BitIdenticalToSerialBackward) {
+  const std::vector<Tensor> values = DeepGraphLeaves();
+  const auto run = [&](const std::function<void(const Variable&)>& backward) {
+    std::vector<Variable> leaves;
+    for (const Tensor& t : values) leaves.emplace_back(t, /*requires_grad=*/true);
+    backward(BuildDeepGraph(leaves));
+    std::vector<Tensor> grads;
+    for (const Variable& l : leaves) grads.push_back(l.grad());
+    return grads;
+  };
+  const std::vector<Tensor> serial = run([](const Variable& l) { Backward(l); });
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    const std::vector<Tensor> parallel =
+        run([&](const Variable& l) { BackwardParallel(l, {p}); });
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ExpectBitIdentical(parallel[i], serial[i], p == nullptr ? "no pool" : "pool(4)");
+    }
+  }
+}
+
+TEST(Engine, DuplicateParentsAccumulateLikeSerial) {
+  // loss = sum(x * x): dx = 2x — both closure contributions to the same
+  // parent must land, in the serial order.
+  const Tensor value = RandT({3, 3}, 35);
+  const Variable sx(value, true);
+  Backward(GlobalAddPool(Transpose(GlobalAddPool(Mul(sx, sx)))));
+  util::ThreadPool pool(3);
+  const Variable px(value, true);
+  BackwardParallel(GlobalAddPool(Transpose(GlobalAddPool(Mul(px, px)))), {&pool});
+  ExpectBitIdentical(px.grad(), sx.grad(), "Mul(x, x)");
+}
+
+TEST(Engine, BackwardIntoRedirectsListedLeaves) {
+  const std::vector<Tensor> values = DeepGraphLeaves();
+  std::vector<Variable> ref;
+  for (const Tensor& t : values) ref.emplace_back(t, true);
+  Backward(BuildDeepGraph(ref));
+
+  std::vector<Variable> leaves;
+  for (const Tensor& t : values) leaves.emplace_back(t, true);
+  const Variable loss = BuildDeepGraph(leaves);
+  std::vector<Variable*> listed;
+  for (Variable& l : leaves) listed.push_back(&l);
+  std::vector<Tensor> buffers(listed.size());  // empty: assigned on first use
+  util::ThreadPool pool(2);
+  BackwardInto(loss, listed, buffers, {&pool});
+
+  for (std::size_t i = 0; i < listed.size(); ++i) {
+    ExpectBitIdentical(buffers[i], ref[i].grad(), "external buffer");
+    // The listed leaves' own gradients were never written.
+    for (std::int64_t j = 0; j < leaves[i].grad().numel(); ++j) {
+      ASSERT_EQ(leaves[i].grad()[j], 0.0f);
+    }
+  }
+}
+
+TEST(Engine, BackwardIntoAccumulatesAcrossCalls) {
+  const std::vector<Tensor> values = DeepGraphLeaves();
+  std::vector<Variable> ref;
+  for (const Tensor& t : values) ref.emplace_back(t, true);
+  Backward(BuildDeepGraph(ref));
+  Backward(BuildDeepGraph(ref));  // serial double-accumulate
+
+  std::vector<Variable> leaves;
+  for (const Tensor& t : values) leaves.emplace_back(t, true);
+  std::vector<Variable*> listed;
+  for (Variable& l : leaves) listed.push_back(&l);
+  std::vector<Tensor> buffers(listed.size());
+  BackwardInto(BuildDeepGraph(leaves), listed, buffers);
+  BackwardInto(BuildDeepGraph(leaves), listed, buffers);  // adds in place
+
+  for (std::size_t i = 0; i < listed.size(); ++i) {
+    ExpectBitIdentical(buffers[i], ref[i].grad(), "accumulated buffer");
+  }
+}
+
+TEST(Engine, ConcurrentBackwardsOnSharedParametersAreRaceFree) {
+  // Data-parallel shape: many tapes share the same parameter leaves; each
+  // thread differentiates its own tape into a private buffer. The fixed-order
+  // reduction of those buffers must equal sequential serial accumulation.
+  constexpr std::size_t kTapes = 8;
+  const Tensor w1v = RandT({4, 8}, 40);
+  const Tensor w2v = RandT({8, 4}, 41);
+  std::vector<Tensor> inputs;
+  for (std::size_t t = 0; t < kTapes; ++t) inputs.push_back(RandT({5, 4}, 100 + t));
+  const auto build = [](const Tensor& x, Variable& w1, Variable& w2) {
+    const Variable h = Tanh(MatMul(Variable(x), w1));
+    return GlobalAddPool(Transpose(GlobalAddPool(MatMul(h, w2))));
+  };
+
+  Variable rw1(w1v, true), rw2(w2v, true);
+  for (std::size_t t = 0; t < kTapes; ++t) Backward(build(inputs[t], rw1, rw2));
+
+  Variable w1(w1v, true), w2(w2v, true);
+  std::vector<std::array<Tensor, 2>> buffers(kTapes);
+  std::vector<std::thread> threads;
+  threads.reserve(kTapes);
+  for (std::size_t t = 0; t < kTapes; ++t) {
+    threads.emplace_back([&, t] {
+      const Variable loss = build(inputs[t], w1, w2);
+      const std::array<Variable*, 2> listed{&w1, &w2};
+      BackwardInto(loss, listed, buffers[t]);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  Tensor g1 = buffers[0][0], g2 = buffers[0][1];
+  for (std::size_t t = 1; t < kTapes; ++t) {
+    g1.AddInPlace(buffers[t][0]);
+    g2.AddInPlace(buffers[t][1]);
+  }
+  ExpectBitIdentical(g1, rw1.grad(), "w1 reduced");
+  ExpectBitIdentical(g2, rw2.grad(), "w2 reduced");
+  // Shared leaves stayed untouched throughout.
+  for (std::int64_t j = 0; j < w1.grad().numel(); ++j) ASSERT_EQ(w1.grad()[j], 0.0f);
+}
+
+TEST(Engine, UndefinedRootThrows) {
+  const Variable undefined;
+  EXPECT_THROW(BackwardParallel(undefined), std::invalid_argument);
 }
 
 }  // namespace

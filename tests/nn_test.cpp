@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <set>
 
 #include "autograd/functions.h"
+#include "fault/injector.h"
 #include "nn/attention.h"
 #include "nn/dag_transformer.h"
 #include "nn/gat.h"
@@ -230,6 +234,39 @@ TEST(Adam, ConvergesOnQuadratic) {
   EXPECT_NEAR(model.p_.value().data()[0], 1.5f, 1e-2f);
 }
 
+TEST(Adam, RefusesNonFiniteGradientsBeforeTouchingState) {
+  class OneParam : public Module {
+   public:
+    explicit OneParam(Tensor init) : p_(std::move(init), true) {}
+    std::vector<Variable*> Parameters() override { return {&p_}; }
+    Variable p_;
+  };
+  OneParam model(Tensor({1, 2}, 1.0f));
+  Adam adam(model);
+
+  Tensor poisoned({1, 2}, 0.5f);
+  poisoned[1] = std::numeric_limits<float>::quiet_NaN();
+  model.p_.SetGrad(poisoned);
+  EXPECT_FALSE(adam.Step(0.1f));
+  EXPECT_EQ(adam.StepCount(), 0);  // t_ untouched: bias correction unharmed
+  EXPECT_FLOAT_EQ(model.p_.value()[0], 1.0f);
+  EXPECT_FLOAT_EQ(model.p_.value()[1], 1.0f);
+
+  Tensor inf_grad({1, 2}, 0.5f);
+  inf_grad[0] = std::numeric_limits<float>::infinity();
+  model.p_.SetGrad(inf_grad);
+  EXPECT_FALSE(adam.Step(0.1f));
+
+  // A finite gradient after the poisoned ones must behave as step #1: the
+  // refused steps left the moment buffers exactly zero.
+  model.p_.SetGrad(Tensor({1, 2}, 0.5f));
+  EXPECT_TRUE(adam.Step(0.1f));
+  EXPECT_EQ(adam.StepCount(), 1);
+  // First Adam step moves by ~lr * sign(g) regardless of magnitude.
+  EXPECT_NEAR(model.p_.value()[0], 1.0f - 0.1f, 1e-5f);
+  EXPECT_NEAR(model.p_.value()[1], 1.0f - 0.1f, 1e-5f);
+}
+
 TEST(CosineDecay, EndpointsAndMonotonicity) {
   EXPECT_FLOAT_EQ(CosineDecayLr(1e-3f, 0, 500), 1e-3f);
   EXPECT_NEAR(CosineDecayLr(1e-3f, 499, 500), 0.0f, 1e-8f);
@@ -239,6 +276,18 @@ TEST(CosineDecay, EndpointsAndMonotonicity) {
     EXPECT_LT(lr, prev);
     prev = lr;
   }
+}
+
+TEST(CosineDecay, PinsFirstMidpointAndFinalEpoch) {
+  // Regression for the off-by-one denominator: with 101 epochs the schedule
+  // must hit base at epoch 0, exactly half at the midpoint (epoch 50), and
+  // ~0 at the FINAL epoch (100) — not one epoch past the end.
+  const float base = 1e-3f;
+  EXPECT_FLOAT_EQ(CosineDecayLr(base, 0, 101), base);
+  EXPECT_NEAR(CosineDecayLr(base, 50, 101), 0.5f * base, 1e-9f);
+  EXPECT_NEAR(CosineDecayLr(base, 100, 101), 0.0f, 1e-9f);
+  // The buggy total-epochs denominator left the last epoch visibly above 0.
+  EXPECT_LT(CosineDecayLr(base, 100, 101), 1e-6f);
 }
 
 // ---- trainer ----
@@ -304,6 +353,107 @@ TEST(Trainer, EmptyTrainingSetThrows) {
                std::invalid_argument);
 }
 
+// ---- data-parallel trainer ----
+
+struct ToyRun {
+  std::vector<double> train_history;
+  std::vector<double> val_history;
+  std::vector<Tensor> weights;
+  double final_val = 0.0;
+  std::int64_t skipped_steps = 0;
+};
+
+/// Train the toy problem from identical seeds with the given thread count.
+ToyRun RunToyTraining(std::int64_t threads, bool inject_nan = false) {
+  Rng rng(21);
+  const ToyProblem problem(48, rng);
+  Mlp mlp({2, 8, 1}, rng);
+  TrainConfig config;
+  config.max_epochs = 80;
+  config.patience = 80;
+  config.base_lr = 5e-3f;
+  config.batch_size = 12;
+  config.threads = threads;
+  const Trainer trainer(config);
+  std::vector<std::size_t> train_idx, val_idx;
+  for (std::size_t i = 0; i < 48; ++i) (i < 40 ? train_idx : val_idx).push_back(i);
+  const auto forward = [&](std::size_t i) {
+    Variable pred = mlp.Forward(Variable(problem.inputs[i]));
+    if (inject_nan &&
+        fault::Injector::Global().ShouldInject(fault::sites::kPredictNan)) {
+      pred = autograd::Scale(pred, std::numeric_limits<float>::quiet_NaN());
+    }
+    return pred;
+  };
+  const TrainResult result = trainer.Fit(mlp, forward, problem.targets, train_idx, val_idx);
+  ToyRun run;
+  run.train_history = result.train_loss_history;
+  run.val_history = result.val_loss_history;
+  run.weights = mlp.SnapshotParameters();
+  run.final_val = trainer.Evaluate(
+      [&](std::size_t i) { return mlp.Forward(Variable(problem.inputs[i])); },
+      problem.targets, val_idx);
+  run.skipped_steps = result.skipped_steps;
+  return run;
+}
+
+bool BitIdenticalWeights(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].numel() != b[i].numel()) return false;
+    if (std::memcmp(a[i].data().data(), b[i].data().data(),
+                    static_cast<std::size_t>(a[i].numel()) * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ParallelTrainer, BitIdenticalAcrossRunsForFixedThreadCount) {
+  // Same seed + same thread count => the sharded backward, the fixed-order
+  // reduction and the single Adam step must reproduce the run exactly.
+  const ToyRun first = RunToyTraining(4);
+  const ToyRun second = RunToyTraining(4);
+  EXPECT_TRUE(BitIdenticalWeights(first.weights, second.weights));
+  EXPECT_EQ(first.train_history, second.train_history);
+  EXPECT_EQ(first.val_history, second.val_history);
+}
+
+TEST(ParallelTrainer, MatchesSerialWithinTolerance) {
+  // Serial sums the batch loss before one backward; the sharded path scales
+  // per sample and reduces across shards, so float rounding differs by
+  // O(batch * eps) per step. Both must land on the same solution: final
+  // validation losses within 10% relative (documented tolerance), and both
+  // must actually have learned the toy mapping.
+  const ToyRun serial = RunToyTraining(1);
+  const ToyRun parallel = RunToyTraining(4);
+  EXPECT_EQ(serial.skipped_steps, 0);
+  EXPECT_EQ(parallel.skipped_steps, 0);
+  EXPECT_LT(serial.final_val, 0.2);
+  EXPECT_LT(parallel.final_val, 0.2);
+  const double tolerance = 0.1 * std::max(serial.final_val, parallel.final_val) + 1e-3;
+  EXPECT_NEAR(parallel.final_val, serial.final_val, tolerance);
+}
+
+TEST(ParallelTrainer, NanInjectionDrillKeepsWeightsFinite) {
+  // Drive training with predict_nan firing on ~25% of forwards (the
+  // PREDTOP_FAULT=predict_nan:... drill): poisoned batches must be skipped
+  // and counted, and no NaN may ever reach the weights — in both the serial
+  // and the data-parallel path.
+  for (const std::int64_t threads : {std::int64_t{1}, std::int64_t{3}}) {
+    fault::Injector::Global().Configure("predict_nan:0.25", 9);
+    const ToyRun run = RunToyTraining(threads, /*inject_nan=*/true);
+    fault::Injector::Global().Disable();
+    EXPECT_GT(run.skipped_steps, 0) << threads << " threads";
+    for (const Tensor& w : run.weights) {
+      for (const float v : w.data()) {
+        ASSERT_TRUE(std::isfinite(v)) << threads << " threads";
+      }
+    }
+    EXPECT_TRUE(std::isfinite(run.final_val)) << threads << " threads";
+  }
+}
+
 TEST(SplitDataset, PartitionsWithoutOverlap) {
   Rng rng(20);
   const DataSplit split = SplitDataset(100, 0.6, 0.1, rng);
@@ -315,6 +465,30 @@ TEST(SplitDataset, PartitionsWithoutOverlap) {
     for (const std::size_t i : part) EXPECT_TRUE(all.insert(i).second) << "duplicate " << i;
   }
   EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitDataset, SmallDatasetsNeverRoundToEmptyTrainSet) {
+  // Regression: llround(0.1 * 4) == 0 used to hand Trainer::Fit an empty
+  // training set. A positive fraction must always keep >= 1 train sample.
+  Rng rng(22);
+  const std::tuple<std::size_t, double, double> cases[] = {
+      {4, 0.1, 0.1}, {1, 0.5, 0.0}, {2, 0.1, 0.5}, {3, 0.2, 0.2}};
+  for (const auto& [n, train_frac, val_frac] : cases) {
+    const DataSplit split = SplitDataset(n, train_frac, val_frac, rng);
+    EXPECT_GE(split.train.size(), 1u) << "n=" << n << " frac=" << train_frac;
+    EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(), n);
+    std::set<std::size_t> all;
+    for (const auto& part : {split.train, split.validation, split.test}) {
+      for (const std::size_t i : part) EXPECT_TRUE(all.insert(i).second);
+    }
+  }
+  // A zero fraction still legitimately yields an empty train set.
+  const DataSplit none = SplitDataset(4, 0.0, 0.5, rng);
+  EXPECT_TRUE(none.train.empty());
+  // And n = 0 stays all-empty without tripping the guarantee.
+  const DataSplit empty = SplitDataset(0, 0.8, 0.1, rng);
+  EXPECT_TRUE(empty.train.empty());
+  EXPECT_TRUE(empty.test.empty());
 }
 
 TEST(SplitDataset, InvalidFractionsThrow) {
