@@ -1,0 +1,352 @@
+// Overload soak: closed-loop clients hammering LocalCluster workers over
+// the real wire protocol, sweeping offered load (client count) twice —
+//
+//   unprotected — no admission budget, no deadline: every request is
+//                 accepted and computed, so queueing pushes tail latency
+//                 up with the client count;
+//   protected   — per-worker inflight budget + a per-request deadline:
+//                 overflow is fast-rejected typed kOverloaded, expired
+//                 work is shed before (or mid-) batch, and the admitted
+//                 requests keep a near-unloaded tail.
+//
+// Clients connect directly to workers (one persistent connection each,
+// round-robin over the shards) — the many-client ingress regime worker
+// admission control exists for; the single-router path is exercised by
+// cluster_test and bench/cluster_scaleout.
+//
+// The drill criteria from the overload-protection PR are evaluated and
+// written into the JSON tail:
+//   - p99 of *admitted* requests at max load stays within 2x the unloaded
+//     p99 (protected run);
+//   - zero post-deadline computations: the workers' late_completions
+//     counter stays 0 across every protected cell.
+//
+// Results go to BENCH_overload.json (PREDTOP_BENCH_JSON overrides). Knobs:
+//   PREDTOP_OVERLOAD_CLIENTS      max client count, doubling sweep (def 32)
+//   PREDTOP_OVERLOAD_SECS         seconds per cell               (def 2)
+//   PREDTOP_OVERLOAD_INFLIGHT     protected inflight budget      (def 1)
+//   PREDTOP_OVERLOAD_DEADLINE_MS  protected per-request deadline (def 50)
+//   PREDTOP_BENCH_SMOKE=1         shrink everything for CI
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/local.h"
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "core/plan_search.h"
+#include "fault/injector.h"
+#include "fault/status.h"
+#include "serve/oracle.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace predtop;
+
+namespace {
+
+struct CellResult {
+  std::string mode;  // "unprotected" | "protected"
+  std::size_t clients = 0;
+  double wall_s = 0.0;
+  std::uint64_t offered = 0;   // requests sent
+  std::uint64_t admitted = 0;  // requests answered ok
+  std::uint64_t shed_overload = 0;
+  std::uint64_t shed_expired = 0;
+  std::uint64_t late_completions = 0;
+  double goodput_qps = 0.0;  // admitted requests per second
+  double p50_us = 0.0;       // client-observed, admitted requests
+  double p99_us = 0.0;
+  std::uint64_t svc_p50_us = 0;  // worker-side service latency (max shard)
+  std::uint64_t svc_p99_us = 0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto index =
+      static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+/// Sum one counter across every worker, via real stats frames.
+cluster::StatsBody ClusterStats(const std::vector<cluster::Endpoint>& endpoints) {
+  using namespace cluster;
+  StatsBody total;
+  for (const Endpoint& endpoint : endpoints) {
+    try {
+      Socket socket = ConnectTo(endpoint, 1000.0);
+      SendFrame(socket, Frame{MessageType::kStatsRequest, 1, {}});
+      const StatsBody body = DecodeStatsBody(RecvFrame(socket, 2000.0).payload);
+      total.requests += body.requests;
+      total.forwards += body.forwards;
+      total.shed_expired += body.shed_expired;
+      total.shed_overload += body.shed_overload;
+      total.late_completions += body.late_completions;
+      // Percentiles cannot be summed across shards; take the worst shard.
+      total.svc_p50_us = std::max(total.svc_p50_us, body.svc_p50_us);
+      total.svc_p99_us = std::max(total.svc_p99_us, body.svc_p99_us);
+    } catch (const std::exception&) {
+      // A worker mid-restart just contributes nothing to this snapshot.
+    }
+  }
+  return total;
+}
+
+/// One soak cell: `clients` closed-loop threads for `seconds`, each cycling
+/// batched predict frames over its own persistent connection.
+CellResult RunCell(const std::vector<cluster::Endpoint>& endpoints,
+                   const std::vector<serve::ModelKey>& keys,
+                   const std::vector<std::vector<cluster::PredictRequest>>& requests,
+                   std::size_t clients, double seconds, double deadline_ms,
+                   std::string mode) {
+  using namespace cluster;
+  (void)keys;
+  const cluster::StatsBody before = ClusterStats(endpoints);
+
+  std::vector<double> admitted_us;
+  std::mutex merge_mutex;
+  std::atomic<std::uint64_t> offered{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> client_shed{0};
+  std::atomic<std::uint64_t> client_expired{0};
+  const std::uint64_t stop_at = util::DeadlineAfterMs(seconds * 1000.0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> local_us;
+      const std::size_t worker = c % endpoints.size();
+      const auto& bucket = requests[c % requests.size()];
+      Socket socket;
+      std::uint64_t request_id = 1;
+      std::size_t next = c;  // stagger the start offsets across clients
+      double backoff_ms = 1.0;  // doubles per consecutive typed reject
+      while (!util::DeadlineExpired(stop_at)) {
+        try {
+          if (!socket.Valid()) socket = ConnectTo(endpoints[worker], 1000.0);
+          Frame frame{MessageType::kPredictRequest, request_id++,
+                      EncodePredictRequest(bucket[next++ % bucket.size()])};
+          if (deadline_ms > 0.0) frame.deadline_us = util::DeadlineAfterMs(deadline_ms);
+          const auto start = std::chrono::steady_clock::now();
+          SendFrame(socket, frame);
+          const Frame reply = RecvFrame(socket, 10000.0);
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+          offered.fetch_add(1, std::memory_order_relaxed);
+          if (reply.type == MessageType::kPredictResponse) {
+            admitted.fetch_add(1, std::memory_order_relaxed);
+            local_us.push_back(us);
+            backoff_ms = 1.0;
+          } else if (reply.type == MessageType::kError) {
+            const ErrorBody error = DecodeErrorBody(reply.payload);
+            if (error.code == fault::StatusCode::kOverloaded) {
+              client_shed.fetch_add(1, std::memory_order_relaxed);
+            } else if (error.code == fault::StatusCode::kDeadlineExceeded) {
+              client_expired.fetch_add(1, std::memory_order_relaxed);
+            }
+            // The point of the *typed* reject: the client can tell overload
+            // from failure and respond by exponentially backing off — its
+            // load (and its thread) actually leaves the system instead of
+            // being re-queued blindly.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms));
+            backoff_ms = std::min(backoff_ms * 2.0, 32.0);
+          }
+        } catch (const std::exception&) {
+          socket = Socket();  // reconnect on the next iteration
+        }
+      }
+      const std::scoped_lock lock(merge_mutex);
+      admitted_us.insert(admitted_us.end(), local_us.begin(), local_us.end());
+    });
+  }
+  util::Stopwatch watch;
+  for (std::thread& thread : threads) thread.join();
+  const double wall_s = watch.ElapsedSeconds() + seconds;  // threads ran `seconds`
+
+  const cluster::StatsBody after = ClusterStats(endpoints);
+  CellResult cell;
+  cell.mode = std::move(mode);
+  cell.clients = clients;
+  cell.wall_s = wall_s;
+  cell.offered = offered.load();
+  cell.admitted = admitted.load();
+  cell.shed_overload = after.shed_overload - before.shed_overload;
+  cell.shed_expired = after.shed_expired - before.shed_expired;
+  cell.late_completions = after.late_completions - before.late_completions;
+  cell.svc_p50_us = after.svc_p50_us;
+  cell.svc_p99_us = after.svc_p99_us;
+  cell.goodput_qps = seconds > 0 ? static_cast<double>(cell.admitted) / seconds : 0.0;
+  std::sort(admitted_us.begin(), admitted_us.end());
+  cell.p50_us = Percentile(admitted_us, 0.50);
+  cell.p99_us = Percentile(admitted_us, 0.99);
+  return cell;
+}
+
+void WriteJson(const std::string& path, double seconds, std::size_t inflight,
+               double deadline_ms, const std::vector<CellResult>& cells,
+               double unloaded_p99_us, double loaded_p99_us, bool p99_within_2x,
+               std::uint64_t protected_late, bool zero_late) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"overload_soak\",\n"
+      << "  \"cell_secs\": " << seconds << ",\n"
+      << "  \"protected_inflight\": " << inflight << ",\n"
+      << "  \"protected_deadline_ms\": " << deadline_ms << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    out << "    {\"mode\": \"" << c.mode << "\", \"clients\": " << c.clients
+        << ", \"offered\": " << c.offered << ", \"admitted\": " << c.admitted
+        << ", \"goodput_qps\": " << c.goodput_qps << ", \"p50_us\": " << c.p50_us
+        << ", \"p99_us\": " << c.p99_us << ", \"svc_p50_us\": " << c.svc_p50_us
+        << ", \"svc_p99_us\": " << c.svc_p99_us
+        << ", \"shed_overload\": " << c.shed_overload
+        << ", \"shed_expired\": " << c.shed_expired
+        << ", \"late_completions\": " << c.late_completions << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"criteria\": {\n"
+      << "    \"unloaded_p99_us\": " << unloaded_p99_us << ",\n"
+      << "    \"max_load_p99_us\": " << loaded_p99_us << ",\n"
+      << "    \"admitted_p99_within_2x_unloaded\": " << (p99_within_2x ? "true" : "false")
+      << ",\n"
+      << "    \"protected_late_completions\": " << protected_late << ",\n"
+      << "    \"zero_post_deadline_computations\": " << (zero_late ? "true" : "false")
+      << "\n  }\n}\n";
+  std::cerr << "[bench] wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = util::EnvInt("PREDTOP_BENCH_SMOKE", 0) != 0;
+  const auto max_clients = static_cast<std::size_t>(
+      util::EnvInt("PREDTOP_OVERLOAD_CLIENTS", smoke ? 16 : 32));
+  const double seconds = util::EnvDouble("PREDTOP_OVERLOAD_SECS", smoke ? 1.0 : 2.0);
+  const auto inflight =
+      static_cast<std::size_t>(util::EnvInt("PREDTOP_OVERLOAD_INFLIGHT", 1));
+  const double deadline_ms = util::EnvDouble("PREDTOP_OVERLOAD_DEADLINE_MS", 50.0);
+
+  // A small-but-real serving stack: every admitted query that misses the
+  // (deliberately tiny) worker cache is a genuine DAG Transformer forward,
+  // so concurrency past the core count actually contends.
+  ir::Gpt3Config config;
+  config.seq_len = 64;
+  config.hidden = 64;
+  config.num_layers = 8;
+  config.num_heads = 4;
+  config.vocab = 512;
+  config.microbatch = 2;
+
+  core::PlanSearchConfig plan_config;
+  plan_config.num_microbatches = 4;
+  plan_config.sample_fraction = 0.5;
+  plan_config.max_span = 3;
+  plan_config.train.max_epochs = smoke ? 5 : 20;
+  plan_config.train.patience = 20;
+  plan_config.train.batch_size = 4;
+  plan_config.predictor.dagt_dim = 16;
+  plan_config.predictor.dagt_layers = 2;
+  plan_config.predictor.dagt_heads = 2;
+
+  core::PlanSearch search(core::Gpt3Benchmark(config), sim::Platform1(), plan_config);
+  std::cerr << "[bench] overload_soak: training predictors\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const std::vector<serve::ModelKey> keys = serve::RegisterMeshPredictors(
+      *registry, "gpt3", "platform1", search.Meshes(), trained);
+
+  // Pre-built single-query requests cycling the DP table per mesh. Many
+  // distinct stages + a tiny worker cache keep the forwards real, and the
+  // injected per-forward delay below gives the service a deterministic,
+  // machine-independent base cost so the protected/unprotected contrast is
+  // about *policy*, not about this host's core count.
+  std::vector<std::vector<cluster::PredictRequest>> requests(search.Meshes().size());
+  for (std::size_t m = 0; m < search.Meshes().size(); ++m) {
+    for (std::int32_t first = 0; first < config.num_layers; ++first) {
+      for (std::int32_t last = first + 1;
+           last <= config.num_layers && last - first <= search.EffectiveMaxSpan(); ++last) {
+        cluster::PredictRequest request;
+        request.key = keys[m];
+        request.queries.push_back({{first, last}, search.Meshes()[m]});
+        requests[m].push_back(std::move(request));
+      }
+    }
+  }
+  // Every cache-missing forward costs an extra deterministic 2 ms (on top
+  // of the real model forward, which contends for CPU).
+  fault::Injector::Global().Configure("predict_delay_ms:2", 1);
+
+  std::vector<CellResult> cells;
+  util::TablePrinter table({"mode", "clients", "goodput", "client p99", "svc p99",
+                            "shed", "expired", "late"});
+  table.SetTitle("Overload soak — 2 shards, " + std::to_string(seconds) + "s cells");
+
+  const auto run_sweep = [&](const std::string& mode, std::size_t budget,
+                             double request_deadline_ms) {
+    cluster::LocalClusterOptions cluster_options;
+    cluster_options.num_workers = 2;
+    cluster_options.service.threads = 1;
+    cluster_options.service.cache_capacity = 2;  // keep the forwards real
+    if (request_deadline_ms > 0.0) {
+      // Pre-shed anything that cannot finish comfortably inside its
+      // deadline: this is what keeps late_completions at zero.
+      cluster_options.service.deadline_margin_us = 20000;
+    }
+    cluster_options.max_inflight = budget;
+    for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
+      std::cerr << "[bench] overload_soak: " << mode << ", " << clients
+                << " client(s)\n";
+      // A fresh cluster per cell isolates caches, counters, and the
+      // service-latency histogram between load levels.
+      cluster::LocalCluster workers(search.Benchmark(), registry, cluster_options);
+      cells.push_back(RunCell(workers.Endpoints(), keys, requests, clients, seconds,
+                              request_deadline_ms, mode));
+      const CellResult& c = cells.back();
+      table.AddRow({c.mode, std::to_string(c.clients), util::FormatF(c.goodput_qps, 0),
+                    util::FormatF(c.p99_us, 0) + " us",
+                    std::to_string(c.svc_p99_us) + " us",
+                    std::to_string(c.shed_overload), std::to_string(c.shed_expired),
+                    std::to_string(c.late_completions)});
+    }
+  };
+  run_sweep("unprotected", 0, 0.0);
+  run_sweep("protected", inflight, deadline_ms);
+  table.Print(std::cout);
+
+  // Drill criteria over the protected sweep.
+  double unloaded_p99 = 0.0, loaded_p99 = 0.0;
+  std::uint64_t protected_late = 0;
+  for (const CellResult& c : cells) {
+    if (c.mode != "protected") continue;
+    if (c.clients == 1) unloaded_p99 = static_cast<double>(c.svc_p99_us);
+    if (c.clients == max_clients) loaded_p99 = static_cast<double>(c.svc_p99_us);
+    protected_late += c.late_completions;
+  }
+  const bool p99_ok = unloaded_p99 > 0.0 && loaded_p99 <= 2.0 * unloaded_p99;
+  const bool zero_late = protected_late == 0;
+  std::cout << "[criteria] admitted service p99 " << loaded_p99 << " us vs unloaded "
+            << unloaded_p99 << " us (2x bound): " << (p99_ok ? "PASS" : "FAIL") << "\n"
+            << "[criteria] zero post-deadline computations: "
+            << (zero_late ? "PASS" : "FAIL") << " (late=" << protected_late << ")\n";
+
+  const std::string json_path =
+      util::EnvString("PREDTOP_BENCH_JSON").value_or("BENCH_overload.json");
+  WriteJson(json_path, seconds, inflight, deadline_ms, cells, unloaded_p99, loaded_p99,
+            p99_ok, protected_late, zero_late);
+  return 0;
+}

@@ -25,6 +25,14 @@
 #                        wire-codec fuzz, router + shard workers over Unix
 #                        sockets, fork/exec worker processes, and the SIGKILL
 #                        mid-plan-search failover drill
+#   ci/run.sh overload   overload-protection lane: the deadline / admission /
+#                        router-timeout / reaping suites, the supervisor
+#                        fork/exec suite (crash-loop quarantine, hung-worker
+#                        SIGKILL, the kill+stop+overload plan-search drill),
+#                        and a smoke overload_soak run recording the
+#                        protected-vs-unprotected client sweep (admitted
+#                        service p99 bound + zero post-deadline forwards) to
+#                        build/BENCH_overload.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,10 +81,14 @@ if [[ "${1:-}" == "tsan" ]]; then
   # kernel at least once under TSan.
   ./build-tsan/tests/infer_test --gtest_filter='InferConcurrency.*:InferParity.*'
   # Router concurrency: the cluster-wide coalescing map, per-worker
-  # connection locking and failover counters under concurrent clients.
-  # ClusterProcess is excluded — fork/exec and TSan do not mix; the
-  # in-process LocalCluster drives identical code paths on threads.
-  ./build-tsan/tests/cluster_test --gtest_filter='ClusterE2E.*:Ring.*'
+  # connection locking and failover counters under concurrent clients, plus
+  # the overload-protection suites (deadline shedding, admission budgets,
+  # per-attempt timeouts / breaker trips, connection-thread reaping).
+  # ClusterProcess/SupervisorProcess are excluded — fork/exec and TSan do
+  # not mix; the in-process LocalCluster drives identical code paths on
+  # threads.
+  ./build-tsan/tests/cluster_test \
+    --gtest_filter='ClusterE2E.*:Ring.*:Deadline.*:Admission.*:RouterTimeout.*:WorkerReap.*'
 fi
 
 if [[ "${1:-}" == "perf" ]]; then
@@ -110,4 +122,25 @@ if [[ "${1:-}" == "cluster" ]]; then
   # parity with the in-process oracle), fork/exec worker processes with
   # typed startup failures, and the SIGKILL mid-PredictMany failover drill.
   ./build-asan/tests/cluster_test
+fi
+
+if [[ "${1:-}" == "overload" ]]; then
+  cmake --build --preset default -j "$(nproc)" \
+    --target cluster_test serve_test overload_soak
+  # Deadline propagation + shedding, admission budgets (in-flight and
+  # connection), per-attempt router timeouts / circuit breaker / retry
+  # budget, and connection-thread reaping — all in-process.
+  ./build/tests/cluster_test \
+    --gtest_filter='Deadline.*:Admission.*:RouterTimeout.*:WorkerReap.*'
+  ./build/tests/serve_test --gtest_filter='Service.*'
+  # Supervisor over real fork/exec workers: crash-loop backoff + quarantine,
+  # corrupt-checkpoint permanent failure, heartbeat-drop hung detection, and
+  # the full drill (SIGKILL + SIGSTOP + injected overload during plan
+  # search, which must still match the in-process plan exactly).
+  ./build/tests/cluster_test --gtest_filter='SupervisorProcess.*'
+  # Protected-vs-unprotected closed-loop client sweep against a live
+  # cluster; asserts the two drill criteria (admitted service p99 within 2x
+  # unloaded, zero post-deadline completions) and records the table.
+  PREDTOP_BENCH_SMOKE=1 PREDTOP_BENCH_JSON=build/BENCH_overload.json \
+    ./build/bench/overload_soak
 fi

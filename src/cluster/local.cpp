@@ -27,6 +27,8 @@ LocalCluster::LocalCluster(core::BenchmarkModel benchmark,
     worker_options.registry = registry;
     worker_options.service = options.service;
     worker_options.retry = options.retry;
+    worker_options.max_inflight = options.max_inflight;
+    worker_options.max_connections = options.max_connections;
     auto worker = std::make_unique<Worker>(std::move(worker_options));
     const fault::Status status = worker->Init();
     if (!status.ok()) {

@@ -20,6 +20,10 @@ struct LocalClusterOptions {
   /// Service options of every worker replica (threads, cache capacity).
   serve::ServiceOptions service;
   serve::ModelRegistry::RetryPolicy retry;
+  /// Admission control applied to every worker (0 = unbounded); see
+  /// WorkerOptions::max_inflight / max_connections.
+  std::size_t max_inflight = 0;
+  std::size_t max_connections = 0;
 };
 
 class LocalCluster {

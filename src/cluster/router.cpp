@@ -4,20 +4,41 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/env.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace predtop::cluster {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /// Cluster-wide coalescing key of one (model, stage) query.
 std::uint64_t CoalesceKey(const serve::ModelKey& key, std::uint64_t fingerprint) {
   return key.Hash() ^ util::SplitMix64(fingerprint);
 }
 
+Router::Reply FailedReply(fault::StatusCode code) {
+  Router::Reply reply;
+  reply.code = code;
+  return reply;
+}
+
 }  // namespace
+
+RouterOptions RouterOptions::FromEnv() {
+  RouterOptions options;
+  options.default_deadline_ms = util::EnvDouble("PREDTOP_DEADLINE_MS", 0.0);
+  return options;
+}
+
+const char* BreakerStateName(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
 
 Router::Router(std::vector<Endpoint> workers, RouterOptions options)
     : ring_(workers.size(), options.vnodes_per_worker), options_(options) {
@@ -29,6 +50,9 @@ Router::Router(std::vector<Endpoint> workers, RouterOptions options)
     state->endpoint = std::move(endpoint);
     workers_.push_back(std::move(state));
   }
+  retry_tokens_milli_.store(
+      static_cast<std::int64_t>(options_.retry_budget_initial * 1000.0),
+      std::memory_order_relaxed);
 }
 
 Router::~Router() = default;
@@ -36,32 +60,115 @@ Router::~Router() = default;
 bool Router::Usable(const WorkerState& worker) const {
   if (worker.alive.load(std::memory_order_acquire)) return true;
   const double down_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - worker.died_at).count();
-  return down_ms >= options_.revive_after_ms;
+      static_cast<double>(static_cast<std::int64_t>(util::SteadyNowUs()) -
+                          worker.died_at_us.load(std::memory_order_acquire)) /
+      1000.0;
+  return down_ms >= options_.revive_after_ms;  // half-open: allow one probe
 }
 
 void Router::MarkDead(WorkerState& worker) {
-  worker.died_at = Clock::now();
-  worker.alive.store(false, std::memory_order_release);
+  worker.died_at_us.store(static_cast<std::int64_t>(util::SteadyNowUs()),
+                          std::memory_order_release);
+  // Count the closed->open transition once; repeated failures of an
+  // already-open breaker only refresh the backoff clock.
+  if (worker.alive.exchange(false, std::memory_order_acq_rel)) {
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
   worker_failures_.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(worker.window_mutex);
+  worker.window_samples = worker.window_errors = 0;
+}
+
+void Router::RecordTyped(WorkerState& worker, bool error) {
+  bool trip = false;
+  {
+    const std::scoped_lock lock(worker.window_mutex);
+    const std::int64_t now_us = static_cast<std::int64_t>(util::SteadyNowUs());
+    if (worker.window_samples == 0 ||
+        static_cast<double>(now_us - worker.window_start_us) / 1000.0 >
+            options_.breaker_window_ms) {
+      worker.window_start_us = now_us;
+      worker.window_samples = worker.window_errors = 0;
+    }
+    worker.window_samples++;
+    if (error) worker.window_errors++;
+    trip = worker.window_samples >= options_.breaker_min_samples &&
+           static_cast<double>(worker.window_errors) >=
+               options_.breaker_error_rate * static_cast<double>(worker.window_samples);
+  }
+  if (trip) MarkDead(worker);
 }
 
 bool Router::WorkerAlive(std::size_t worker) const {
   return workers_.at(worker)->alive.load(std::memory_order_acquire);
 }
 
-Frame Router::Call(WorkerState& worker, MessageType type, std::string payload) {
+BreakerState Router::WorkerBreaker(std::size_t worker) const {
+  const WorkerState& state = *workers_.at(worker);
+  if (state.alive.load(std::memory_order_acquire)) return BreakerState::kClosed;
+  return Usable(state) ? BreakerState::kHalfOpen : BreakerState::kOpen;
+}
+
+void Router::MarkRevived(std::size_t worker) {
+  WorkerState& state = *workers_.at(worker);
+  {
+    // Under the connection mutex: a stale socket to the dead incarnation of
+    // the process must not serve the revived one's first request.
+    const std::scoped_lock lock(state.mutex);
+    state.socket.Close();
+  }
+  {
+    const std::scoped_lock lock(state.window_mutex);
+    state.window_samples = state.window_errors = 0;
+  }
+  state.alive.store(true, std::memory_order_release);
+}
+
+void Router::EarnRetryTokens(std::size_t dispatched_queries) {
+  const std::int64_t cap = static_cast<std::int64_t>(options_.retry_budget_cap * 1000.0);
+  const std::int64_t earned = static_cast<std::int64_t>(
+      options_.retry_budget_per_query * 1000.0 * static_cast<double>(dispatched_queries));
+  std::int64_t current = retry_tokens_milli_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::int64_t next = std::min(cap, current + earned);
+    if (retry_tokens_milli_.compare_exchange_weak(current, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool Router::TrySpendRetryToken() {
+  std::int64_t current = retry_tokens_milli_.load(std::memory_order_relaxed);
+  while (current >= 1000) {
+    if (retry_tokens_milli_.compare_exchange_weak(current, current - 1000,
+                                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Frame Router::Call(WorkerState& worker, MessageType type, std::string payload,
+                   std::uint64_t deadline_us) {
   const std::scoped_lock lock(worker.mutex);
   try {
     if (!worker.socket.Valid()) {
       worker.socket = ConnectTo(worker.endpoint, options_.connect_timeout_ms);
     }
-    Frame request{type, worker.next_request_id++, std::move(payload)};
+    Frame request{type, worker.next_request_id++, std::move(payload), deadline_us};
     SendFrame(worker.socket, request);
-    Frame response = RecvFrame(worker.socket, options_.request_timeout_ms);
+    // The recv budget is the per-attempt timeout, further capped by the
+    // caller's end-to-end deadline: waiting past either wastes time a
+    // replica could be using.
+    double budget_ms = options_.request_timeout_ms;
+    if (deadline_us != 0) {
+      const double remaining = util::DeadlineRemainingMs(deadline_us);
+      budget_ms = budget_ms > 0.0 ? std::min(budget_ms, remaining) : remaining;
+    }
+    Frame response = RecvFrame(worker.socket, budget_ms);
     if (response.request_id != request.request_id) {
-      // The stream lost sync (e.g. a previous deadline abandoned a reply
-      // mid-flight); the connection is useless from here on.
+      // The stream lost sync (a stale reply from before a reconnect); the
+      // connection is useless from here on.
       throw fault::IoError("worker " + worker.endpoint.ToString() +
                            " answered request " + std::to_string(response.request_id) +
                            " instead of " + std::to_string(request.request_id));
@@ -69,8 +176,10 @@ Frame Router::Call(WorkerState& worker, MessageType type, std::string payload) {
     worker.alive.store(true, std::memory_order_release);
     return response;
   } catch (...) {
-    // Transport failure or corrupt/out-of-sync frame: drop the connection
-    // so the next attempt reconnects cleanly, and let routing fail over.
+    // Transport failure, per-attempt timeout, or corrupt/out-of-sync frame:
+    // drop the connection so the next attempt reconnects on a fresh stream
+    // (an abandoned reply must never arrive as the answer to a later
+    // request), trip the breaker, and let routing fail over.
     worker.socket.Close();
     MarkDead(worker);
     throw;
@@ -79,12 +188,16 @@ Frame Router::Call(WorkerState& worker, MessageType type, std::string payload) {
 
 std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
                                                std::span<const parallel::StageQuery> queries,
-                                               std::span<const std::uint64_t> fingerprints) {
+                                               std::span<const std::uint64_t> fingerprints,
+                                               std::uint64_t deadline_us) {
   if (queries.size() != fingerprints.size()) {
     throw std::invalid_argument("Router::PredictMany: queries/fingerprints size mismatch");
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
   queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  if (deadline_us == 0 && options_.default_deadline_ms > 0.0) {
+    deadline_us = util::DeadlineAfterMs(options_.default_deadline_ms);
+  }
 
   // One slot per *distinct* (model, fingerprint) in the batch; indices map
   // every query onto its slot.
@@ -100,6 +213,7 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
   };
   std::vector<Slot> slots;
   std::vector<std::size_t> slot_of_query(queries.size());
+  std::size_t owned = 0;
   {
     std::unordered_map<std::uint64_t, std::size_t> slot_index;
     const std::scoped_lock lock(inflight_mutex_);
@@ -120,6 +234,7 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
         coalesced_.fetch_add(1, std::memory_order_relaxed);
       } else {
         slot.owner = true;
+        owned++;
         slot.future = slot.promise.get_future().share();
         inflight_.emplace(ck, slot.future);
         slot.route = ring_.Route(fingerprints[q], options_.replicas);
@@ -129,6 +244,8 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
       slots.push_back(std::move(slot));
     }
   }
+  // Useful work funds future retries (capped); retries below spend from it.
+  EarnRetryTokens(owned);
 
   // Round-based failover dispatch of the owned slots: each round groups the
   // still-unanswered slots by their next candidate worker, issues one
@@ -139,9 +256,21 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
     if (slots[s].owner) remaining.push_back(s);
   }
   while (!remaining.empty()) {
+    // Deadline gate between rounds: once the budget is spent, every
+    // still-unanswered slot fails typed instead of burning more attempts
+    // the caller has already abandoned.
+    if (util::DeadlineExpired(deadline_us)) {
+      for (const std::size_t s : remaining) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        unanswered_.fetch_add(1, std::memory_order_relaxed);
+        slots[s].promise.set_value(FailedReply(fault::StatusCode::kDeadlineExceeded));
+      }
+      remaining.clear();
+      break;
+    }
     // Pick each slot's candidate for this round: the first untried worker
-    // that looks usable, else the first untried one at all (gives a dead
-    // worker its half-open revival probe when no alternative is left).
+    // that looks usable, else the first untried one at all (gives an open
+    // breaker its half-open probe when no alternative is left).
     std::unordered_map<std::size_t, std::vector<std::size_t>> by_worker;
     std::vector<std::size_t> exhausted;
     for (const std::size_t s : remaining) {
@@ -165,13 +294,30 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
     }
     for (const std::size_t s : exhausted) {
       unanswered_.fetch_add(1, std::memory_order_relaxed);
-      slots[s].promise.set_value(Reply{});  // ok == false: every replica failed
+      slots[s].promise.set_value(
+          FailedReply(fault::StatusCode::kUnavailable));  // every replica failed
     }
     remaining.clear();
     if (by_worker.empty()) break;
 
     std::mutex retry_mutex;
     std::vector<std::size_t> retry;
+    // Move a failed group toward its next replica, spending one retry token
+    // per slot; a dry bucket fails the slot fast (typed kUnavailable) so
+    // failover storms cannot amplify an overload. Callers hold retry_mutex.
+    auto fail_over_group = [&](const std::vector<std::size_t>& group) {
+      for (const std::size_t s : group) {
+        if (!TrySpendRetryToken()) {
+          retries_denied_.fetch_add(1, std::memory_order_relaxed);
+          unanswered_.fetch_add(1, std::memory_order_relaxed);
+          slots[s].promise.set_value(FailedReply(fault::StatusCode::kUnavailable));
+          continue;
+        }
+        slots[s].tried++;
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        retry.push_back(s);
+      }
+    };
     auto run_group = [&](std::size_t worker_index, const std::vector<std::size_t>& group) {
       PredictRequest request;
       request.key = key;
@@ -182,7 +328,7 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
       PredictResponse response;
       try {
         Frame reply = Call(*workers_[worker_index], MessageType::kPredictRequest,
-                           EncodePredictRequest(request));
+                           EncodePredictRequest(request), deadline_us);
         if (reply.type == MessageType::kError) {
           worker_error = DecodeErrorBody(reply.payload);
         } else if (reply.type == MessageType::kPredictResponse) {
@@ -202,14 +348,11 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
       }
       if (transport_failed) {
         const std::scoped_lock lock(retry_mutex);
-        for (const std::size_t s : group) {
-          slots[s].tried++;
-          failovers_.fetch_add(1, std::memory_order_relaxed);
-          retry.push_back(s);
-        }
+        fail_over_group(group);
         return;
       }
       if (!response.results.empty()) {
+        RecordTyped(*workers_[worker_index], /*error=*/false);
         for (std::size_t i = 0; i < group.size(); ++i) {
           const WireLatency& w = response.results[i];
           slots[group[i]].promise.set_value(
@@ -218,24 +361,30 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
         return;
       }
       // Typed worker error. kNotFound / kInvalidArgument would fail the
-      // same way on every replica (homogeneous model set) — definitive.
-      // Anything else (an injected forward fault, an internal error) may be
-      // transient, so it burns the candidate and fails over.
+      // same way on every replica (homogeneous model set), and a deadline
+      // is no fresher on a replica — all three are definitive. Anything
+      // else (kOverloaded, an injected forward fault, an internal error)
+      // may be transient: it feeds the breaker's error window, burns the
+      // candidate and fails over.
       if (worker_error.code == fault::StatusCode::kNotFound ||
-          worker_error.code == fault::StatusCode::kInvalidArgument) {
+          worker_error.code == fault::StatusCode::kInvalidArgument ||
+          worker_error.code == fault::StatusCode::kDeadlineExceeded) {
+        if (worker_error.code == fault::StatusCode::kDeadlineExceeded) {
+          expired_.fetch_add(group.size(), std::memory_order_relaxed);
+        }
         const std::scoped_lock lock(retry_mutex);
         for (const std::size_t s : group) {
           unanswered_.fetch_add(1, std::memory_order_relaxed);
-          slots[s].promise.set_value(Reply{});
+          slots[s].promise.set_value(FailedReply(worker_error.code));
         }
         return;
       }
-      const std::scoped_lock lock(retry_mutex);
-      for (const std::size_t s : group) {
-        slots[s].tried++;
-        failovers_.fetch_add(1, std::memory_order_relaxed);
-        retry.push_back(s);
+      if (worker_error.code == fault::StatusCode::kOverloaded) {
+        overloaded_.fetch_add(group.size(), std::memory_order_relaxed);
       }
+      RecordTyped(*workers_[worker_index], /*error=*/true);
+      const std::scoped_lock lock(retry_mutex);
+      fail_over_group(group);
     };
 
     if (by_worker.size() == 1) {
@@ -269,10 +418,10 @@ std::vector<Router::Reply> Router::PredictMany(const serve::ModelKey& key,
 }
 
 Router::Reply Router::Predict(const serve::ModelKey& key, parallel::StageQuery query,
-                              std::uint64_t fingerprint) {
+                              std::uint64_t fingerprint, std::uint64_t deadline_us) {
   const parallel::StageQuery queries[]{query};
   const std::uint64_t fingerprints[]{fingerprint};
-  return PredictMany(key, queries, fingerprints)[0];
+  return PredictMany(key, queries, fingerprints, deadline_us)[0];
 }
 
 std::vector<bool> Router::Health() {
@@ -315,12 +464,18 @@ void Router::ShutdownWorkers() {
 }
 
 RouterStats Router::Stats() const {
-  return {requests_.load(std::memory_order_relaxed),
-          queries_.load(std::memory_order_relaxed),
-          coalesced_.load(std::memory_order_relaxed),
-          failovers_.load(std::memory_order_relaxed),
-          worker_failures_.load(std::memory_order_relaxed),
-          unanswered_.load(std::memory_order_relaxed)};
+  RouterStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.failovers = failovers_.load(std::memory_order_relaxed);
+  stats.worker_failures = worker_failures_.load(std::memory_order_relaxed);
+  stats.unanswered = unanswered_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  stats.retries_denied = retries_denied_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.overloaded = overloaded_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace predtop::cluster

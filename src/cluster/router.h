@@ -11,15 +11,34 @@
 //   3. batching per shard: one PredictRequest frame per worker per round
 //      carries every query routed to it;
 //   4. failing over: a worker that refuses/loses its connection or overruns
-//      the per-attempt deadline is marked dead (revived after a backoff)
-//      and the affected queries retry on their next replica. Only when
-//      every replica has failed does a query come back `ok == false` — at
-//      which point ClusterOracle walks the predtop::fault degradation
-//      ladder down to the analytical FallbackOracle.
+//      the per-attempt deadline trips its circuit breaker (half-open probe
+//      after a backoff) and the affected queries retry on their next
+//      replica. Only when every replica has failed does a query come back
+//      `ok == false` — at which point ClusterOracle walks the predtop::fault
+//      degradation ladder down to the analytical FallbackOracle.
 //
 // Worker-side *typed* errors are not failovers: kNotFound / kInvalidArgument
 // mean the same request would fail identically on every replica (the model
-// set is homogeneous), so the router fails those queries immediately.
+// set is homogeneous), so the router fails those queries immediately; so
+// does kDeadlineExceeded (the deadline is no fresher on a replica).
+//
+// Overload protection (PR 8):
+//  - every batch can carry an absolute deadline (explicitly, or defaulted
+//    from PREDTOP_DEADLINE_MS). The deadline rides inside each frame, caps
+//    the per-attempt recv budget, and expires still-unanswered slots
+//    between failover rounds;
+//  - the per-worker dead-marking is generalized into a circuit breaker:
+//    transport failures trip it immediately (the legacy behavior), while
+//    typed retryable worker errors (kOverloaded, kInternal, injected
+//    faults) feed a rolling error-rate window that trips it once the rate
+//    crosses `breaker_error_rate` over at least `breaker_min_samples`
+//    samples. An open breaker skips the worker while alternatives exist;
+//    after `revive_after_ms` it half-opens and one probe closes or re-trips
+//    it;
+//  - retries draw from a token bucket earned by useful work
+//    (`retry_budget_per_query` tokens per dispatched query), so a cluster
+//    melting down cannot amplify its own overload with failover storms —
+//    when the bucket runs dry the retry is denied and the query fails fast.
 
 #include <atomic>
 #include <chrono>
@@ -46,12 +65,37 @@ struct RouterOptions {
   std::size_t replicas = 2;
   std::size_t vnodes_per_worker = 64;
   double connect_timeout_ms = 2000.0;
-  /// Per-attempt response deadline, ms (0 = wait forever). An overrun marks
-  /// the worker dead and fails the attempt over to the next replica.
+  /// Per-attempt response deadline, ms (0 = wait forever). An overrun drops
+  /// the connection (reconnect on the next attempt — a late reply must
+  /// never desync the stream), trips the breaker and fails the attempt over
+  /// to the next replica.
   double request_timeout_ms = 10000.0;
-  /// A dead worker is retried this long after its failure (half-open
-  /// probe); until then routing skips it when an alternative exists.
+  /// An open breaker half-opens this long after it tripped; until then
+  /// routing skips the worker when an alternative exists.
   double revive_after_ms = 500.0;
+  /// Default end-to-end deadline budget applied to PredictMany calls that
+  /// do not pass one explicitly (ms; 0 = none). Overridable via the
+  /// PREDTOP_DEADLINE_MS environment variable at construction.
+  double default_deadline_ms = 0.0;
+  /// Read PREDTOP_DEADLINE_MS into default_deadline_ms (kept out of the
+  /// default member initializer so plain RouterOptions{} stays env-free).
+  [[nodiscard]] static RouterOptions FromEnv();
+
+  /// Circuit breaker: trip when >= `breaker_error_rate` of the last window
+  /// of typed replies failed, over at least `breaker_min_samples` samples
+  /// inside `breaker_window_ms`. Transport failures trip immediately.
+  double breaker_error_rate = 0.5;
+  std::size_t breaker_min_samples = 8;
+  double breaker_window_ms = 2000.0;
+
+  /// Retry token bucket: the bucket starts with `retry_budget_initial`
+  /// tokens, earns `retry_budget_per_query` per dispatched query (capped at
+  /// `retry_budget_cap`), and every failover retry of one slot spends one
+  /// token. A dry bucket denies the retry (the query fails fast instead of
+  /// amplifying the overload).
+  double retry_budget_per_query = 1.0;
+  double retry_budget_initial = 16.0;
+  double retry_budget_cap = 256.0;
 };
 
 struct RouterStats {
@@ -61,17 +105,27 @@ struct RouterStats {
   std::uint64_t failovers = 0;        // query attempts moved to a replica
   std::uint64_t worker_failures = 0;  // transport-level worker failures
   std::uint64_t unanswered = 0;       // queries every replica failed
+  std::uint64_t breaker_trips = 0;    // closed->open transitions
+  std::uint64_t retries_denied = 0;   // failovers refused by the token bucket
+  std::uint64_t expired = 0;          // queries failed on their deadline
+  std::uint64_t overloaded = 0;       // typed kOverloaded replies from workers
 };
+
+/// Observable breaker state of one worker.
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+[[nodiscard]] const char* BreakerStateName(BreakerState state) noexcept;
 
 class Router {
  public:
   /// One answered (or exhausted) query. `ok == false` means every replica
-  /// failed — the caller decides whether to degrade or propagate.
+  /// failed (or the deadline expired / the retry budget ran dry) — `code`
+  /// carries the typed reason; the caller decides whether to degrade.
   struct Reply {
     bool ok = false;
     double latency_s = 0.0;
     parallel::ParallelConfig config;
     bool degraded = false;  // worker-side degradation flag, carried through
+    fault::StatusCode code = fault::StatusCode::kOk;
   };
 
   Router(std::vector<Endpoint> workers, RouterOptions options = {});
@@ -82,12 +136,14 @@ class Router {
   /// Route, batch, coalesce and answer a whole query set under one model.
   /// `fingerprints[i]` is the DagFingerprint of `queries[i]` (the routing
   /// and coalescing key). Returns one Reply per query, in order.
+  /// `deadline_us` is an absolute steady-clock deadline (util::SteadyNowUs
+  /// base; 0 = use the configured default budget, if any).
   [[nodiscard]] std::vector<Reply> PredictMany(
       const serve::ModelKey& key, std::span<const parallel::StageQuery> queries,
-      std::span<const std::uint64_t> fingerprints);
+      std::span<const std::uint64_t> fingerprints, std::uint64_t deadline_us = 0);
 
   [[nodiscard]] Reply Predict(const serve::ModelKey& key, parallel::StageQuery query,
-                              std::uint64_t fingerprint);
+                              std::uint64_t fingerprint, std::uint64_t deadline_us = 0);
 
   /// Ping every worker; true per worker that answered a health frame.
   [[nodiscard]] std::vector<bool> Health();
@@ -102,6 +158,11 @@ class Router {
   [[nodiscard]] RouterStats Stats() const;
   [[nodiscard]] std::size_t NumWorkers() const noexcept { return workers_.size(); }
   [[nodiscard]] bool WorkerAlive(std::size_t worker) const;
+  [[nodiscard]] BreakerState WorkerBreaker(std::size_t worker) const;
+  /// Supervisor hook: a restarted worker process is live again — close the
+  /// stale breaker (and any stale connection) so routing returns to it
+  /// immediately instead of waiting out the backoff.
+  void MarkRevived(std::size_t worker);
   [[nodiscard]] const HashRing& Ring() const noexcept { return ring_; }
 
  private:
@@ -110,16 +171,29 @@ class Router {
     std::mutex mutex;  // serializes the connection (one RPC at a time)
     Socket socket;
     std::atomic<bool> alive{true};
-    std::chrono::steady_clock::time_point died_at{};
+    std::atomic<std::int64_t> died_at_us{0};  // steady us at the last trip
     std::uint64_t next_request_id = 1;
+    // Rolling typed-error window feeding the breaker (under window_mutex).
+    std::mutex window_mutex;
+    std::int64_t window_start_us = 0;
+    std::size_t window_samples = 0;
+    std::size_t window_errors = 0;
   };
 
   /// One request/response RPC against a worker, connecting lazily. Throws
-  /// a fault exception on transport failure (after marking the worker dead
-  /// and dropping the connection).
-  [[nodiscard]] Frame Call(WorkerState& worker, MessageType type, std::string payload);
+  /// a fault exception on transport failure (after dropping the connection
+  /// and tripping the breaker). A nonzero `deadline_us` caps the recv
+  /// budget at the time remaining.
+  [[nodiscard]] Frame Call(WorkerState& worker, MessageType type, std::string payload,
+                           std::uint64_t deadline_us = 0);
   [[nodiscard]] bool Usable(const WorkerState& worker) const;
   void MarkDead(WorkerState& worker);
+  /// Feed one typed worker reply into the breaker window; trips the breaker
+  /// when the windowed error rate crosses the configured threshold.
+  void RecordTyped(WorkerState& worker, bool error);
+  /// Token bucket: earn per dispatched query / spend one per retry.
+  void EarnRetryTokens(std::size_t dispatched_queries);
+  [[nodiscard]] bool TrySpendRetryToken();
 
   HashRing ring_;
   RouterOptions options_;
@@ -128,12 +202,18 @@ class Router {
   std::mutex inflight_mutex_;
   std::unordered_map<std::uint64_t, std::shared_future<Reply>> inflight_;
 
+  std::atomic<std::int64_t> retry_tokens_milli_{0};  // bucket, in 1/1000 tokens
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> worker_failures_{0};
   std::atomic<std::uint64_t> unanswered_{0};
+  std::atomic<std::uint64_t> breaker_trips_{0};
+  std::atomic<std::uint64_t> retries_denied_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
 };
 
 }  // namespace predtop::cluster

@@ -1,0 +1,377 @@
+#include "cluster/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "fault/injector.h"
+#include "util/timer.h"
+
+extern char** environ;
+
+namespace predtop::cluster {
+
+namespace {
+
+std::int64_t NowUs() { return static_cast<std::int64_t>(util::SteadyNowUs()); }
+
+std::int64_t MsToUs(double ms) { return static_cast<std::int64_t>(ms * 1000.0); }
+
+/// Typed exits where a restart would fail identically: the checkpoint or
+/// configuration is wrong, not the weather.
+bool PermanentStatus(fault::StatusCode code) noexcept {
+  return code == fault::StatusCode::kCorruption ||
+         code == fault::StatusCode::kNotFound ||
+         code == fault::StatusCode::kInvalidArgument;
+}
+
+}  // namespace
+
+const char* WorkerPhaseName(WorkerPhase phase) noexcept {
+  switch (phase) {
+    case WorkerPhase::kStarting: return "starting";
+    case WorkerPhase::kUp: return "up";
+    case WorkerPhase::kBackoff: return "backoff";
+    case WorkerPhase::kQuarantined: return "quarantined";
+    case WorkerPhase::kFailed: return "failed";
+    case WorkerPhase::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+Supervisor::Supervisor(std::vector<SupervisedWorkerSpec> specs, SupervisorOptions options)
+    : options_(std::move(options)) {
+  if (specs.empty()) throw std::invalid_argument("Supervisor: no workers");
+  workers_.reserve(specs.size());
+  for (SupervisedWorkerSpec& spec : specs) {
+    Supervised worker;
+    worker.spec = std::move(spec);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Supervisor::~Supervisor() { Stop(); }
+
+std::vector<Endpoint> Supervisor::Endpoints() const {
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(workers_.size());
+  for (const Supervised& worker : workers_) endpoints.push_back(worker.spec.endpoint);
+  return endpoints;
+}
+
+void Supervisor::Start() {
+  const std::scoped_lock lock(mutex_);
+  if (running_) throw std::logic_error("Supervisor::Start called twice");
+  stop_.store(false, std::memory_order_release);
+  for (std::size_t i = 0; i < workers_.size(); ++i) SpawnLocked(i);
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  running_ = true;
+}
+
+void Supervisor::Stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    stop_.store(true, std::memory_order_release);
+  }
+  phase_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  const std::scoped_lock lock(mutex_);
+  for (Supervised& worker : workers_) {
+    if (worker.pid > 0) {
+      // SIGKILL reaches even a SIGSTOPped process; reap the zombie here so
+      // no supervised child outlives its supervisor.
+      ::kill(worker.pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(worker.pid, &wstatus, 0);
+      worker.pid = -1;
+    }
+    worker.phase = WorkerPhase::kStopped;
+  }
+  running_ = false;
+}
+
+bool Supervisor::WaitAllUp(double timeout_ms) {
+  std::unique_lock lock(mutex_);
+  return phase_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(timeout_ms),
+                            [this] {
+                              return std::all_of(
+                                  workers_.begin(), workers_.end(),
+                                  [](const Supervised& w) { return w.phase == WorkerPhase::kUp; });
+                            });
+}
+
+bool Supervisor::WaitUntilUp(std::size_t index, double timeout_ms) {
+  std::unique_lock lock(mutex_);
+  return phase_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [this, index] { return workers_.at(index).phase == WorkerPhase::kUp; });
+}
+
+SupervisedWorkerStatus Supervisor::Status(std::size_t index) const {
+  const std::scoped_lock lock(mutex_);
+  const Supervised& worker = workers_.at(index);
+  SupervisedWorkerStatus status;
+  status.phase = worker.phase;
+  status.pid = worker.pid;
+  status.restarts = worker.restarts;
+  status.heartbeat_misses = worker.heartbeat_misses;
+  status.hung_kills = worker.hung_kills;
+  status.last_exit = worker.last_exit;
+  return status;
+}
+
+void Supervisor::SpawnLocked(std::size_t index) {
+  Supervised& worker = workers_[index];
+  // argv: exe + spec args. envp: inherited environment + spec extras. The
+  // storage stays alive through fork (the child sees a copy-on-write
+  // snapshot of this frame until execve replaces the image).
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(options_.exe.c_str()));
+  for (const std::string& arg : worker.spec.args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) envp.push_back(*e);
+  for (const std::string& kv : worker.spec.extra_env) {
+    envp.push_back(const_cast<char*>(kv.c_str()));
+  }
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execve(options_.exe.c_str(), argv.data(), envp.data());
+    _exit(127);  // exec failed; classified as permanent by HandleExitLocked
+  }
+  if (pid < 0) {
+    // fork failed (transient resource pressure): try again after a backoff.
+    worker.last_exit = {fault::StatusCode::kIoError,
+                        std::string("fork failed: ") + std::strerror(errno)};
+    ScheduleRestartLocked(index);
+    return;
+  }
+  worker.pid = pid;
+  worker.phase = WorkerPhase::kStarting;
+  worker.heartbeat_misses = 0;
+  worker.deadline_at_us = NowUs() + MsToUs(options_.startup_grace_ms);
+  phase_cv_.notify_all();
+}
+
+void Supervisor::ScheduleRestartLocked(std::size_t index) {
+  Supervised& worker = workers_[index];
+  const std::int64_t now = NowUs();
+  // Crash-loop detection: count restarts inside the rolling window.
+  worker.restart_times_us.push_back(now);
+  const std::int64_t window_floor = now - MsToUs(options_.crash_loop_window_ms);
+  worker.restart_times_us.erase(
+      std::remove_if(worker.restart_times_us.begin(), worker.restart_times_us.end(),
+                     [&](std::int64_t t) { return t < window_floor; }),
+      worker.restart_times_us.end());
+  worker.backoff_ms = worker.backoff_ms <= 0.0
+                          ? options_.backoff_initial_ms
+                          : std::min(options_.backoff_max_ms,
+                                     worker.backoff_ms * options_.backoff_multiplier);
+  if (static_cast<int>(worker.restart_times_us.size()) >= options_.crash_loop_threshold) {
+    worker.phase = WorkerPhase::kQuarantined;
+    worker.resume_at_us = now + MsToUs(options_.quarantine_ms);
+    worker.restart_times_us.clear();
+  } else {
+    worker.phase = WorkerPhase::kBackoff;
+    worker.resume_at_us = now + MsToUs(worker.backoff_ms);
+  }
+  worker.restarts++;
+  phase_cv_.notify_all();
+}
+
+void Supervisor::HandleExitLocked(std::size_t index, int wstatus) {
+  Supervised& worker = workers_[index];
+  worker.pid = -1;  // reaped
+  if (stop_.load(std::memory_order_acquire)) {
+    worker.phase = WorkerPhase::kStopped;
+    return;
+  }
+  if (worker.phase == WorkerPhase::kBackoff || worker.phase == WorkerPhase::kQuarantined) {
+    return;  // we killed it (hung); the restart is already scheduled
+  }
+  if (WIFEXITED(wstatus)) {
+    const int code = WEXITSTATUS(wstatus);
+    if (code == 0) {
+      worker.phase = WorkerPhase::kStopped;  // clean shutdown; not ours to undo
+      worker.last_exit = fault::Status::Ok();
+      phase_cv_.notify_all();
+      return;
+    }
+    if (code >= 10 && code <= 10 + static_cast<int>(fault::StatusCode::kOverloaded)) {
+      // The worker's fail-fast startup contract: exit 10 + StatusCode.
+      const auto status_code = static_cast<fault::StatusCode>(code - 10);
+      worker.last_exit = {status_code, std::string("worker exited with typed status ") +
+                                           fault::StatusCodeName(status_code)};
+      if (PermanentStatus(status_code)) {
+        worker.phase = WorkerPhase::kFailed;  // restarting cannot help
+        phase_cv_.notify_all();
+        return;
+      }
+      ScheduleRestartLocked(index);
+      return;
+    }
+    if (code == 2 || code == 127) {  // usage error / exec failure
+      worker.last_exit = {fault::StatusCode::kInvalidArgument,
+                          "worker exited " + std::to_string(code) + " (bad argv or exec)"};
+      worker.phase = WorkerPhase::kFailed;
+      phase_cv_.notify_all();
+      return;
+    }
+    worker.last_exit = {fault::StatusCode::kInternal,
+                        "worker exited " + std::to_string(code)};
+    ScheduleRestartLocked(index);
+    return;
+  }
+  if (WIFSIGNALED(wstatus)) {
+    worker.last_exit = {fault::StatusCode::kUnavailable,
+                        "worker killed by signal " + std::to_string(WTERMSIG(wstatus))};
+    ScheduleRestartLocked(index);
+    return;
+  }
+  worker.last_exit = {fault::StatusCode::kInternal, "unrecognized wait status"};
+  ScheduleRestartLocked(index);
+}
+
+bool Supervisor::ProbeHealth(const Endpoint& endpoint) {
+  // Deterministic hung-worker drills: hb_drop makes the probe miss without
+  // touching the socket.
+  if (auto& injector = fault::Injector::Global();
+      injector.Enabled() && injector.ShouldInject(fault::sites::kHbDrop)) {
+    return false;
+  }
+  try {
+    // One-shot connection: never the router's (a probe must not queue
+    // behind a slow predict on a shared stream). Health frames bypass the
+    // worker's admission control, so an overloaded-but-live worker still
+    // heartbeats.
+    Socket socket = ConnectTo(endpoint, options_.heartbeat_timeout_ms);
+    SendFrame(socket, Frame{MessageType::kHealthRequest, 1, {}});
+    const Frame reply = RecvFrame(socket, options_.heartbeat_timeout_ms);
+    return reply.type == MessageType::kHealthResponse && DecodeHealthBody(reply.payload).ok;
+  } catch (...) {
+    return false;
+  }
+}
+
+void Supervisor::MonitorLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Phase 1 (locked): reap exits, restart due workers, pick probe targets.
+    struct Probe {
+      std::size_t index;
+      Endpoint endpoint;
+      pid_t pid;
+    };
+    std::vector<Probe> probes;
+    std::vector<std::size_t> went_down;
+    {
+      const std::scoped_lock lock(mutex_);
+      const std::int64_t now = NowUs();
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Supervised& worker = workers_[i];
+        if (worker.pid > 0) {
+          int wstatus = 0;
+          const pid_t reaped = ::waitpid(worker.pid, &wstatus, WNOHANG);
+          if (reaped == worker.pid) {
+            const bool was_up = worker.phase == WorkerPhase::kUp;
+            HandleExitLocked(i, wstatus);
+            if (was_up) went_down.push_back(i);
+          }
+        }
+        switch (worker.phase) {
+          case WorkerPhase::kBackoff:
+          case WorkerPhase::kQuarantined:
+            if (worker.pid < 0 && now >= worker.resume_at_us) SpawnLocked(i);
+            break;
+          case WorkerPhase::kStarting:
+            if (worker.pid > 0) probes.push_back({i, worker.spec.endpoint, worker.pid});
+            break;
+          case WorkerPhase::kUp:
+            if (worker.pid > 0 && now >= worker.deadline_at_us) {
+              probes.push_back({i, worker.spec.endpoint, worker.pid});
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    for (const std::size_t i : went_down) {
+      if (on_down_) on_down_(i);
+    }
+
+    // Phase 2 (unlocked): probe — a probe can block for the whole heartbeat
+    // budget, and Status()/WaitUntilUp() must stay responsive meanwhile.
+    // Only this thread mutates worker state, so the snapshot stays valid;
+    // the pid guard below discards results that raced an exit.
+    for (const Probe& probe : probes) {
+      const bool healthy = ProbeHealth(probe.endpoint);
+      std::vector<std::size_t> notify_up;
+      std::vector<std::size_t> notify_down;
+      {
+        const std::scoped_lock lock(mutex_);
+        Supervised& worker = workers_[probe.index];
+        if (worker.pid != probe.pid ||
+            (worker.phase != WorkerPhase::kStarting && worker.phase != WorkerPhase::kUp)) {
+          continue;  // exited (and was reaped) while we probed
+        }
+        const std::int64_t now = NowUs();
+        if (healthy) {
+          const bool came_up = worker.phase == WorkerPhase::kStarting;
+          worker.phase = WorkerPhase::kUp;
+          worker.heartbeat_misses = 0;
+          worker.backoff_ms = 0.0;  // a healthy worker earns a fresh backoff
+          worker.deadline_at_us = now + MsToUs(options_.heartbeat_interval_ms);
+          if (came_up) notify_up.push_back(probe.index);
+          phase_cv_.notify_all();
+        } else if (worker.phase == WorkerPhase::kStarting) {
+          if (now >= worker.deadline_at_us) {
+            // Never came up inside the grace period: treat as hung.
+            worker.last_exit = {fault::StatusCode::kUnavailable,
+                                "worker never heartbeated inside the startup grace"};
+            worker.hung_kills++;
+            ::kill(worker.pid, SIGKILL);
+            ScheduleRestartLocked(probe.index);
+          }
+        } else {
+          worker.heartbeat_misses++;
+          worker.deadline_at_us = now + MsToUs(options_.heartbeat_interval_ms);
+          if (worker.heartbeat_misses >= options_.max_heartbeat_misses) {
+            // Alive to the kernel, dead to us: SIGSTOPped or deadlocked.
+            // SIGKILL is delivered even to a stopped process; the exit is
+            // reaped on the next tick (phase is already kBackoff then).
+            worker.last_exit = {fault::StatusCode::kUnavailable,
+                                "worker hung: missed " +
+                                    std::to_string(worker.heartbeat_misses) +
+                                    " heartbeats"};
+            worker.hung_kills++;
+            ::kill(worker.pid, SIGKILL);
+            ScheduleRestartLocked(probe.index);
+            notify_down.push_back(probe.index);
+          }
+        }
+      }
+      for (const std::size_t i : notify_up) {
+        if (on_up_) on_up_(i);
+      }
+      for (const std::size_t i : notify_down) {
+        if (on_down_) on_down_(i);
+      }
+      if (stop_.load(std::memory_order_acquire)) break;
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(options_.poll_interval_ms));
+  }
+}
+
+}  // namespace predtop::cluster

@@ -1,0 +1,166 @@
+#pragma once
+// Self-healing worker supervision. The router can only route *around* a
+// dead or hung worker; the Supervisor is the component that brings it
+// back: it fork/execs each worker process, watches it two ways —
+//   - waitpid(WNOHANG): catches crashes and kills, with the exit status
+//     mapped back into the fault::Status vocabulary (workers exit
+//     `10 + StatusCode` on typed startup failures, so a corrupt checkpoint
+//     is distinguishable from a transient IO error);
+//   - periodic Health heartbeats over a one-shot connection: catches *hung*
+//     workers (e.g. SIGSTOPped or deadlocked) that the kernel still
+//     considers alive — the connect lands in the listen backlog but the
+//     health reply never comes, so consecutive probe misses past the
+//     threshold declare the worker hung and it is killed and restarted.
+// Restarts back off exponentially, and a crash loop (too many restarts
+// inside a window) parks the worker in quarantine before trying again;
+// exits whose typed status says retrying is pointless (kCorruption /
+// kNotFound / kInvalidArgument — the checkpoint or config is wrong, not
+// the weather) mark the worker permanently failed.
+//
+// Deterministic drills: the `hb_drop` injection site (fault::Injector)
+// makes a heartbeat probe report a miss without touching the socket, so
+// hung-worker detection is testable without SIGSTOP timing games; SIGSTOP
+// itself is exercised by the process-level tests.
+//
+// The on_up/on_down callbacks close the loop with the Router: on_up of a
+// restarted worker calls Router::MarkRevived so routing returns to it
+// immediately instead of waiting out the breaker backoff.
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/transport.h"
+#include "fault/status.h"
+
+namespace predtop::cluster {
+
+/// One worker process under supervision: where it listens and how to exec
+/// it. `args` is the full argv tail (everything after the executable path,
+/// e.g. {"--cluster-worker", "--listen", "unix:/tmp/w0.sock", ...}); the
+/// endpoint must match the --listen argument so heartbeats reach it.
+struct SupervisedWorkerSpec {
+  Endpoint endpoint;
+  std::vector<std::string> args;
+  /// Extra "KEY=VALUE" entries appended to the inherited environment.
+  std::vector<std::string> extra_env;
+};
+
+struct SupervisorOptions {
+  /// Executable to spawn; /proc/self/exe re-execs the current binary (the
+  /// pattern the process-level tests use with a --cluster-worker argv
+  /// marker).
+  std::string exe = "/proc/self/exe";
+  double heartbeat_interval_ms = 200.0;
+  /// Budget of one probe's connect+reply; a SIGSTOPped worker accepts the
+  /// connection into its backlog but never answers inside this.
+  double heartbeat_timeout_ms = 300.0;
+  /// Consecutive probe misses before a live-looking worker is declared
+  /// hung, killed and restarted.
+  int max_heartbeat_misses = 3;
+  /// A freshly-spawned worker gets this long to answer its first heartbeat
+  /// (model loading happens before the listener binds).
+  double startup_grace_ms = 10000.0;
+  double backoff_initial_ms = 100.0;
+  double backoff_max_ms = 2000.0;
+  double backoff_multiplier = 2.0;
+  /// `crash_loop_threshold` restarts inside `crash_loop_window_ms` park the
+  /// worker in quarantine for `quarantine_ms` before the next attempt.
+  int crash_loop_threshold = 3;
+  double crash_loop_window_ms = 10000.0;
+  double quarantine_ms = 1000.0;
+  /// Monitor loop tick.
+  double poll_interval_ms = 20.0;
+};
+
+/// Lifecycle of one supervised worker.
+enum class WorkerPhase {
+  kStarting,     // spawned, waiting for its first heartbeat
+  kUp,           // heartbeating
+  kBackoff,      // died/hung; restart scheduled
+  kQuarantined,  // crash-looping; parked before the next restart
+  kFailed,       // typed exit says retrying is pointless
+  kStopped,      // clean exit (or Supervisor::Stop)
+};
+[[nodiscard]] const char* WorkerPhaseName(WorkerPhase phase) noexcept;
+
+struct SupervisedWorkerStatus {
+  WorkerPhase phase = WorkerPhase::kStopped;
+  pid_t pid = -1;                 // current process (-1 when not running)
+  std::uint64_t restarts = 0;     // respawns after the initial start
+  int heartbeat_misses = 0;       // consecutive misses of the current run
+  std::uint64_t hung_kills = 0;   // restarts caused by heartbeat loss
+  fault::Status last_exit;        // classification of the last exit
+};
+
+class Supervisor {
+ public:
+  /// Called with the worker index on lifecycle edges, from the monitor
+  /// thread. Set before Start(); must not call back into the Supervisor.
+  using Callback = std::function<void(std::size_t)>;
+
+  Supervisor(std::vector<SupervisedWorkerSpec> specs, SupervisorOptions options = {});
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  void SetOnWorkerUp(Callback callback) { on_up_ = std::move(callback); }
+  void SetOnWorkerDown(Callback callback) { on_down_ = std::move(callback); }
+
+  /// Spawn every worker and start the monitor thread.
+  void Start();
+  /// Kill every running worker and join the monitor thread. Idempotent.
+  void Stop();
+
+  /// Block until every worker reports kUp (true) or the timeout passes.
+  [[nodiscard]] bool WaitAllUp(double timeout_ms);
+  /// Block until one worker reports kUp.
+  [[nodiscard]] bool WaitUntilUp(std::size_t index, double timeout_ms);
+
+  [[nodiscard]] SupervisedWorkerStatus Status(std::size_t index) const;
+  [[nodiscard]] std::size_t NumWorkers() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::vector<Endpoint> Endpoints() const;
+
+ private:
+  struct Supervised {
+    SupervisedWorkerSpec spec;
+    WorkerPhase phase = WorkerPhase::kStopped;
+    pid_t pid = -1;
+    std::uint64_t restarts = 0;
+    int heartbeat_misses = 0;
+    std::uint64_t hung_kills = 0;
+    fault::Status last_exit;
+    double backoff_ms = 0.0;          // next restart delay
+    std::int64_t resume_at_us = 0;    // when kBackoff/kQuarantined ends
+    std::int64_t deadline_at_us = 0;  // startup grace / next heartbeat due
+    std::vector<std::int64_t> restart_times_us;  // crash-loop window
+  };
+
+  void MonitorLoop();
+  void SpawnLocked(std::size_t index);                    // holds mutex_
+  void ScheduleRestartLocked(std::size_t index);          // holds mutex_
+  void HandleExitLocked(std::size_t index, int wstatus);  // holds mutex_
+  /// One-shot health probe (own connection; never the router's). Returns
+  /// true on a healthy reply inside the heartbeat budget.
+  [[nodiscard]] bool ProbeHealth(const Endpoint& endpoint);
+
+  SupervisorOptions options_;
+  std::vector<Supervised> workers_;
+  Callback on_up_;
+  Callback on_down_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable phase_cv_;
+  std::thread monitor_;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace predtop::cluster

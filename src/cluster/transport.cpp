@@ -318,13 +318,19 @@ Frame RecvFrame(Socket& socket, double deadline_ms) {
   socket.RecvAll(header_bytes, sizeof header_bytes, deadline_ms);
   const FrameHeader header =
       DecodeFrameHeader(std::string_view(header_bytes, sizeof header_bytes));
+  // A v2 frame carries its deadline between the fixed header and the
+  // payload; the extra bytes are covered by the CRC footer like the rest.
+  char deadline_bytes[kFrameDeadlineBytes];
+  const std::size_t extra = header.ExtraHeaderBytes();
+  if (extra > 0) socket.RecvAll(deadline_bytes, extra, deadline_ms);
   std::string body(static_cast<std::size_t>(header.payload_size) + kFrameFooterBytes, '\0');
   socket.RecvAll(body.data(), body.size(), deadline_ms);
 
-  // Validate the CRC footer over header + payload.
+  // Validate the CRC footer over header (incl. deadline) + payload.
   std::uint32_t stored_crc;
   std::memcpy(&stored_crc, body.data() + body.size() - kFrameFooterBytes, sizeof stored_crc);
   std::uint32_t crc = fault::Crc32(header_bytes, sizeof header_bytes);
+  if (extra > 0) crc = fault::Crc32(deadline_bytes, extra, crc);
   crc = fault::Crc32(body.data(), body.size() - kFrameFooterBytes, crc);
   if (crc != stored_crc) {
     throw fault::CorruptionError("cluster frame: CRC mismatch on " +
@@ -333,6 +339,10 @@ Frame RecvFrame(Socket& socket, double deadline_ms) {
   Frame frame;
   frame.type = header.type;
   frame.request_id = header.request_id;
+  if (extra > 0) {
+    frame.deadline_us =
+        DecodeFrameDeadline(std::string_view(deadline_bytes, extra));
+  }
   body.resize(body.size() - kFrameFooterBytes);
   frame.payload = std::move(body);
   return frame;

@@ -136,10 +136,13 @@ const char* MessageTypeName(MessageType type) noexcept {
 std::string EncodeFrame(const Frame& frame) {
   Writer w;
   w.U32(kFrameMagic);
-  w.U16(kWireVersion);
+  // Deadline-free frames stay byte-identical to the legacy v1 protocol; a
+  // nonzero deadline upgrades the frame to v2 (8 extra header bytes).
+  w.U16(frame.deadline_us == 0 ? kWireVersion : kWireVersionDeadline);
   w.U16(static_cast<std::uint16_t>(frame.type));
   w.U64(frame.request_id);
   w.U64(frame.payload.size());
+  if (frame.deadline_us != 0) w.U64(frame.deadline_us);
   std::string bytes = w.Take();
   bytes.append(frame.payload);
   const std::uint32_t crc = fault::Crc32(bytes.data(), bytes.size());
@@ -155,11 +158,12 @@ FrameHeader DecodeFrameHeader(std::string_view header_bytes) {
                                  std::to_string(magic));
   }
   const std::uint16_t version = r.U16();
-  if (version != kWireVersion) {
+  if (version != kWireVersion && version != kWireVersionDeadline) {
     throw fault::CorruptionError("cluster frame: unsupported wire version " +
                                  std::to_string(version));
   }
   FrameHeader header;
+  header.version = version;
   const std::uint16_t type = r.U16();
   if (type > static_cast<std::uint16_t>(MessageType::kShutdownResponse)) {
     throw fault::CorruptionError("cluster frame: unknown message type " +
@@ -177,14 +181,21 @@ FrameHeader DecodeFrameHeader(std::string_view header_bytes) {
   return header;
 }
 
+std::uint64_t DecodeFrameDeadline(std::string_view deadline_bytes) {
+  Reader r(deadline_bytes, "cluster frame deadline");
+  return r.U64();
+}
+
 std::pair<Frame, std::size_t> DecodeFrame(std::string_view bytes) {
   if (bytes.size() < kFrameHeaderBytes) {
     throw fault::CorruptionError("cluster frame: truncated header (" +
                                  std::to_string(bytes.size()) + " bytes)");
   }
   const FrameHeader header = DecodeFrameHeader(bytes.substr(0, kFrameHeaderBytes));
-  const std::size_t total =
-      kFrameHeaderBytes + static_cast<std::size_t>(header.payload_size) + kFrameFooterBytes;
+  const std::size_t extra = header.ExtraHeaderBytes();
+  const std::size_t total = kFrameHeaderBytes + extra +
+                            static_cast<std::size_t>(header.payload_size) +
+                            kFrameFooterBytes;
   if (bytes.size() < total) {
     throw fault::CorruptionError("cluster frame: truncated body (need " +
                                  std::to_string(total) + " bytes, have " +
@@ -202,7 +213,11 @@ std::pair<Frame, std::size_t> DecodeFrame(std::string_view bytes) {
   Frame frame;
   frame.type = header.type;
   frame.request_id = header.request_id;
-  frame.payload.assign(bytes.data() + kFrameHeaderBytes,
+  if (extra > 0) {
+    frame.deadline_us =
+        DecodeFrameDeadline(bytes.substr(kFrameHeaderBytes, extra));
+  }
+  frame.payload.assign(bytes.data() + kFrameHeaderBytes + extra,
                        static_cast<std::size_t>(header.payload_size));
   return {std::move(frame), total};
 }
@@ -297,6 +312,11 @@ std::string EncodeStatsBody(const StatsBody& body) {
   w.U64(body.batched_queries);
   w.U64(body.cache_hits);
   w.U64(body.cache_misses);
+  w.U64(body.shed_expired);
+  w.U64(body.shed_overload);
+  w.U64(body.late_completions);
+  w.U64(body.svc_p50_us);
+  w.U64(body.svc_p99_us);
   return w.Take();
 }
 
@@ -311,6 +331,11 @@ StatsBody DecodeStatsBody(std::string_view payload) {
   body.batched_queries = r.U64();
   body.cache_hits = r.U64();
   body.cache_misses = r.U64();
+  body.shed_expired = r.U64();
+  body.shed_overload = r.U64();
+  body.late_completions = r.U64();
+  body.svc_p50_us = r.U64();
+  body.svc_p99_us = r.U64();
   r.ExpectEnd();
   return body;
 }
@@ -326,7 +351,7 @@ ErrorBody DecodeErrorBody(std::string_view payload) {
   Reader r(payload, "error body");
   ErrorBody body;
   const std::uint32_t code = r.U32();
-  if (code > static_cast<std::uint32_t>(fault::StatusCode::kInternal)) {
+  if (code > static_cast<std::uint32_t>(fault::StatusCode::kOverloaded)) {
     throw fault::CorruptionError("error body: unknown status code " + std::to_string(code));
   }
   body.code = static_cast<fault::StatusCode>(code);

@@ -10,6 +10,7 @@
 
 #include "ir/models.h"
 #include "util/env.h"
+#include "util/timer.h"
 
 namespace predtop::cluster {
 
@@ -44,23 +45,62 @@ void Worker::Run() {
   if (!initialized_) throw std::logic_error("Worker::Run before a successful Init");
   while (!stop_.load(std::memory_order_acquire)) {
     Socket client = listener_.Accept(/*timeout_ms=*/100.0);
+    // Reap threads of connections that have closed — without this the
+    // thread table (and its stacks) grows monotonically until shutdown.
+    ReapFinishedConnections();
     if (!client.Valid()) continue;
     const std::scoped_lock lock(threads_mutex_);
     if (stop_.load(std::memory_order_acquire)) break;
     // Register the fd under the same lock that spawns the thread, so a
     // concurrent RequestStop() can never miss an in-flight connection.
     live_fds_.push_back(client.Fd());
-    connection_threads_.emplace_back(
-        [this](Socket socket) { ServeConnection(std::move(socket)); }, std::move(client));
+    const std::uint64_t serial = next_connection_serial_++;
+    // Connection admission: over budget the connection still serves (the
+    // supervisor's health probes must get through) but predicts on it
+    // fast-reject with kOverloaded.
+    const bool over_budget = options_.max_connections > 0 &&
+                             connection_threads_.size() >= options_.max_connections;
+    connection_threads_.emplace(
+        serial, std::thread(
+                    [this, serial, over_budget](Socket socket) {
+                      ServeConnection(std::move(socket), serial, over_budget);
+                    },
+                    std::move(client)));
   }
   std::vector<std::thread> connections;
   {
     const std::scoped_lock lock(threads_mutex_);
-    connections.swap(connection_threads_);
+    for (auto& [serial, thread] : connection_threads_) connections.push_back(std::move(thread));
+    connection_threads_.clear();
+    finished_connections_.clear();
   }
   for (std::thread& t : connections) {
     if (t.joinable()) t.join();
   }
+}
+
+void Worker::ReapFinishedConnections() {
+  std::vector<std::thread> done;
+  {
+    const std::scoped_lock lock(threads_mutex_);
+    for (const std::uint64_t serial : finished_connections_) {
+      if (const auto it = connection_threads_.find(serial); it != connection_threads_.end()) {
+        done.push_back(std::move(it->second));
+        connection_threads_.erase(it);
+      }
+    }
+    finished_connections_.clear();
+  }
+  // Join outside the lock: the thread may still be on its last instructions
+  // between announcing itself finished and returning.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t Worker::ActiveConnectionThreads() const {
+  const std::scoped_lock lock(threads_mutex_);
+  return connection_threads_.size();
 }
 
 void Worker::Start() {
@@ -80,17 +120,18 @@ void Worker::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   // Run() joins connection threads on exit; when Run() was never entered
   // (or is on the caller's stack) there may still be stragglers.
-  std::vector<std::thread> connections;
+  std::map<std::uint64_t, std::thread> connections;
   {
     const std::scoped_lock lock(threads_mutex_);
     connections.swap(connection_threads_);
+    finished_connections_.clear();
   }
-  for (std::thread& t : connections) {
+  for (auto& [serial, t] : connections) {
     if (t.joinable()) t.join();
   }
 }
 
-void Worker::ServeConnection(Socket socket) {
+void Worker::ServeConnection(Socket socket, std::uint64_t serial, bool over_budget) {
   const int my_fd = socket.Fd();  // registered in live_fds_ by the accept loop
   while (!stop_.load(std::memory_order_acquire)) {
     Frame request;
@@ -100,7 +141,15 @@ void Worker::ServeConnection(Socket socket) {
       break;  // peer hung up, stop was requested, or the frame was corrupt
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
-    Frame response = Dispatch(request);
+    Frame response;
+    if (over_budget && request.type == MessageType::kPredictRequest) {
+      shed_overload_.fetch_add(1, std::memory_order_relaxed);
+      response = {MessageType::kError, request.request_id,
+                  EncodeErrorBody({fault::StatusCode::kOverloaded,
+                                   "worker over its connection budget; predicts shed"})};
+    } else {
+      response = Dispatch(request);
+    }
     const bool shutting_down = request.type == MessageType::kShutdownRequest &&
                                response.type == MessageType::kShutdownResponse;
     try {
@@ -115,6 +164,8 @@ void Worker::ServeConnection(Socket socket) {
   }
   const std::scoped_lock lock(threads_mutex_);
   live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), my_fd), live_fds_.end());
+  // Announce this thread reapable; the accept loop joins it on its next tick.
+  finished_connections_.push_back(serial);
 }
 
 Frame Worker::Dispatch(const Frame& request) {
@@ -153,6 +204,29 @@ const graph::EncodedGraph& Worker::EncodedFor(ir::StageSlice slice) {
 }
 
 Frame Worker::HandlePredict(const Frame& request) {
+  // Shed before decode: a request whose deadline has already passed is
+  // abandoned on the client side — any CPU spent on it is pure waste.
+  if (util::DeadlineExpired(request.deadline_us)) {
+    shed_expired_.fetch_add(1, std::memory_order_relaxed);
+    return {MessageType::kError, request.request_id,
+            EncodeErrorBody({fault::StatusCode::kDeadlineExceeded,
+                             "request deadline passed before the worker started it"})};
+  }
+  // Admission control: bound concurrent predict work so a flood queues at
+  // the client (which can fail over or shed) instead of inside this process.
+  struct InflightGuard {
+    std::atomic<std::size_t>& counter;
+    ~InflightGuard() { counter.fetch_sub(1, std::memory_order_release); }
+  };
+  const std::size_t inflight = inflight_predicts_.fetch_add(1, std::memory_order_acquire) + 1;
+  const InflightGuard guard{inflight_predicts_};
+  if (options_.max_inflight > 0 && inflight > options_.max_inflight) {
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    return {MessageType::kError, request.request_id,
+            EncodeErrorBody({fault::StatusCode::kOverloaded,
+                             "worker predict budget exhausted (" +
+                                 std::to_string(options_.max_inflight) + " in flight)"})};
+  }
   const PredictRequest predict = DecodePredictRequest(request.payload);
   if (!registry_->Find(predict.key)) {
     ErrorBody error{fault::StatusCode::kNotFound,
@@ -173,12 +247,35 @@ Frame Worker::HandlePredict(const Frame& request) {
   std::vector<const graph::EncodedGraph*> graphs;
   graphs.reserve(predict.queries.size());
   for (const parallel::StageQuery& q : predict.queries) graphs.push_back(&EncodedFor(q.slice));
-  const std::vector<double> latencies = service_->PredictMany(predict.key, graphs);
+  const std::uint64_t started_us = util::SteadyNowUs();
+  const std::vector<double> latencies =
+      service_->PredictMany(predict.key, graphs, request.deadline_us);
+  // Only *served* requests land in the histogram — shed/expired/errored ones
+  // are counted by their own counters, not mixed into the latency profile.
+  const std::uint64_t elapsed_us = util::SteadyNowUs() - started_us;
+  const std::size_t bucket =
+      std::min<std::uint64_t>(elapsed_us / kSvcBucketUs, kSvcBuckets - 1);
+  svc_histogram_[bucket].fetch_add(1, std::memory_order_relaxed);
   PredictResponse response;
   response.results.reserve(latencies.size());
   for (const double latency : latencies) response.results.push_back({latency, {}, false});
   return {MessageType::kPredictResponse, request.request_id,
           EncodePredictResponse(response)};
+}
+
+std::uint64_t Worker::ServiceLatencyPercentileUs(double p) const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : svc_histogram_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kSvcBuckets; ++b) {
+    seen += svc_histogram_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return (b + 1) * kSvcBucketUs;  // bucket upper bound
+  }
+  return kSvcBuckets * kSvcBucketUs;
 }
 
 Frame Worker::HandleHealth(const Frame& request) {
@@ -200,6 +297,13 @@ Frame Worker::HandleStats(const Frame& request) {
   body.batched_queries = stats.batched_queries;
   body.cache_hits = stats.cache.hits;
   body.cache_misses = stats.cache.misses;
+  // Worker-level sheds (frame deadline, admission) plus service-level sheds
+  // (deadline expired mid-batch, before a forward).
+  body.shed_expired = shed_expired_.load(std::memory_order_relaxed) + stats.expired;
+  body.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  body.late_completions = stats.late;
+  body.svc_p50_us = ServiceLatencyPercentileUs(0.50);
+  body.svc_p99_us = ServiceLatencyPercentileUs(0.99);
   return {MessageType::kStatsResponse, request.request_id, EncodeStatsBody(body)};
 }
 
@@ -213,6 +317,7 @@ namespace {
             << "       [--platform <name>] [--layers N] [--seq N] [--hidden N]\n"
             << "       [--heads N] [--vocab N] [--micro N] [--experts N]\n"
             << "       [--expert-hidden N] [--threads N] [--cache N]\n"
+            << "       [--max-inflight N] [--max-conns N] [--deadline-margin-us N]\n"
             << "       --model mesh=NxM,path=/ckpt.ptck [--model ...]\n";
   std::exit(2);
 }
@@ -235,6 +340,9 @@ int WorkerMain(int argc, char** argv) {
   long layers = 0, seq = 0, hidden = 0, heads = 0, vocab = 0, micro = 0;
   long experts = 0, expert_hidden = 0;
   long threads = 1, cache = 0;
+  long max_inflight = util::EnvInt("PREDTOP_WORKER_MAX_INFLIGHT", 0);
+  long max_conns = util::EnvInt("PREDTOP_WORKER_MAX_CONNS", 0);
+  long deadline_margin_us = util::EnvInt("PREDTOP_DEADLINE_MARGIN_US", 0);
   struct RawModel {
     sim::Mesh mesh;
     std::string path;
@@ -261,6 +369,9 @@ int WorkerMain(int argc, char** argv) {
     else if (arg == "--expert-hidden") expert_hidden = std::stol(next());
     else if (arg == "--threads") threads = std::stol(next());
     else if (arg == "--cache") cache = std::stol(next());
+    else if (arg == "--max-inflight") max_inflight = std::stol(next());
+    else if (arg == "--max-conns") max_conns = std::stol(next());
+    else if (arg == "--deadline-margin-us") deadline_margin_us = std::stol(next());
     else if (arg == "--model") {
       RawModel model;
       std::stringstream entries(next());
@@ -317,6 +428,11 @@ int WorkerMain(int argc, char** argv) {
   }
   options.service.threads = static_cast<std::size_t>(std::max(1L, threads));
   if (cache > 0) options.service.cache_capacity = static_cast<std::size_t>(cache);
+  if (max_inflight > 0) options.max_inflight = static_cast<std::size_t>(max_inflight);
+  if (max_conns > 0) options.max_connections = static_cast<std::size_t>(max_conns);
+  if (deadline_margin_us > 0) {
+    options.service.deadline_margin_us = static_cast<std::uint64_t>(deadline_margin_us);
+  }
 
   Worker worker(std::move(options));
   const fault::Status status = worker.Init();

@@ -11,11 +11,25 @@
 // typed fault::Status — the router decides whether that is a failover (IO)
 // or a definitive answer (model not found everywhere).
 //
+// Overload protection (PR 8):
+//  - a v2 frame's absolute deadline is honored end-to-end: an
+//    already-expired predict is shed with kDeadlineExceeded before any
+//    decode or forward work, and the deadline rides into the
+//    PredictionService so expiry mid-batch sheds the remaining forwards;
+//  - admission control bounds concurrent predict work (`max_inflight`) and
+//    connections (`max_connections`); over budget, predicts fast-reject
+//    with typed kOverloaded — health/stats/shutdown always serve, so an
+//    overloaded worker still looks alive to its supervisor;
+//  - shed/expired counters surface through the Stats message.
+// Finished connection threads are reaped by the accept loop as connections
+// close (they used to accumulate until shutdown).
+//
 // Startup is fail-fast with a typed Status, never an abort: models load via
 // ModelRegistry::TryRegisterFromFile, so a missing or corrupt `.ptck` path
 // returns kNotFound/kCorruption from Init() (and quarantines the path)
 // instead of taking the process down with an uncaught exception.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -53,6 +67,14 @@ struct WorkerOptions {
   std::shared_ptr<serve::ModelRegistry> registry;
   serve::ServiceOptions service;
   serve::ModelRegistry::RetryPolicy retry;
+  /// Admission control: max concurrently-served predict requests (0 = no
+  /// bound). Beyond the budget a predict fast-rejects with kOverloaded
+  /// instead of queueing unbounded work behind a saturated service pool.
+  std::size_t max_inflight = 0;
+  /// Max connections served concurrently (0 = no bound). Over-budget
+  /// connections are still accepted but serve only health/stats/shutdown —
+  /// predicts on them fast-reject with kOverloaded.
+  std::size_t max_connections = 0;
 };
 
 class Worker {
@@ -86,10 +108,25 @@ class Worker {
   [[nodiscard]] std::uint64_t RequestsServed() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Connection threads currently tracked (live + not yet reaped). The
+  /// many-short-connections regression test asserts this stays bounded.
+  [[nodiscard]] std::size_t ActiveConnectionThreads() const;
+  [[nodiscard]] std::uint64_t ShedExpired() const noexcept {
+    return shed_expired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t ShedOverload() const noexcept {
+    return shed_overload_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] serve::PredictionService* Service() noexcept { return service_.get(); }
+  /// Approximate percentile (0..1) of admitted predict service latency, in
+  /// microseconds, from the fixed 50 us-bucket histogram. 0 when nothing
+  /// has been served yet.
+  [[nodiscard]] std::uint64_t ServiceLatencyPercentileUs(double p) const;
 
  private:
-  void ServeConnection(Socket socket);
+  void ServeConnection(Socket socket, std::uint64_t serial, bool over_budget);
+  /// Join and forget connection threads whose ServeConnection has returned.
+  void ReapFinishedConnections();
   [[nodiscard]] Frame Dispatch(const Frame& request);
   [[nodiscard]] Frame HandlePredict(const Frame& request);
   [[nodiscard]] Frame HandleHealth(const Frame& request);
@@ -107,9 +144,20 @@ class Worker {
 
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::size_t> inflight_predicts_{0};
+  std::atomic<std::uint64_t> shed_expired_{0};
+  std::atomic<std::uint64_t> shed_overload_{0};
+  // Admitted predict service latency (frame decode -> reply encode),
+  // 50 us buckets, last bucket = overflow. Lock-free so the predict hot
+  // path never serializes on stats readers.
+  static constexpr std::size_t kSvcBuckets = 2048;
+  static constexpr std::uint64_t kSvcBucketUs = 50;
+  std::array<std::atomic<std::uint32_t>, kSvcBuckets> svc_histogram_{};
   std::thread accept_thread_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+  mutable std::mutex threads_mutex_;
+  std::uint64_t next_connection_serial_ = 0;              // under threads_mutex_
+  std::map<std::uint64_t, std::thread> connection_threads_;
+  std::vector<std::uint64_t> finished_connections_;       // reaped by accept loop
   std::vector<int> live_fds_;  // shut down by RequestStop to unblock reads
 
   std::mutex encode_mutex_;
@@ -124,6 +172,9 @@ class Worker {
 ///   defaults match ir::Gpt3Config / ir::MoeConfig)
 ///   --model mesh=NxM,path=/x.ptck   (repeatable; one served replica each)
 ///   --threads N  --cache N
+///   --max-inflight N  --max-conns N  --deadline-margin-us N   (admission /
+///   shed knobs; env fallbacks PREDTOP_WORKER_MAX_INFLIGHT,
+///   PREDTOP_WORKER_MAX_CONNS, PREDTOP_DEADLINE_MARGIN_US)
 /// Exits nonzero with the typed Status on stderr when Init fails.
 [[nodiscard]] int WorkerMain(int argc, char** argv);
 

@@ -20,7 +20,7 @@ const char* const kKnownSites[] = {
     sites::kCkptRead,      sites::kCkptWrite,    sites::kPredictNan,
     sites::kPredictDelayMs, sites::kPredictDelayP, sites::kPoolDelayMs,
     sites::kPoolDelayP,    sites::kNetDrop,      sites::kNetDelayMs,
-    sites::kNetDelayP,
+    sites::kNetDelayP,     sites::kHbDrop,
 };
 
 bool IsKnownSite(const std::string& name) {

@@ -35,7 +35,10 @@ namespace predtop::fault {
 ///  - pool_delay_ms (+ pool_delay_p): a ThreadPool task sleeps at dispatch;
 ///  - net_drop: a cluster transport frame send/recv fails as if the peer
 ///    died (throws fault::IoError after closing the connection);
-///  - net_delay_ms (+ net_delay_p): a transport frame is delayed in flight.
+///  - net_delay_ms (+ net_delay_p): a transport frame is delayed in flight;
+///  - hb_drop: a supervisor heartbeat probe fails as if the worker hung
+///    (the probe reports a miss without touching the socket), so hung-worker
+///    detection can be drilled deterministically without SIGSTOP.
 namespace sites {
 inline constexpr const char* kCkptRead = "ckpt_read";
 inline constexpr const char* kCkptWrite = "ckpt_write";
@@ -47,6 +50,7 @@ inline constexpr const char* kPoolDelayP = "pool_delay_p";
 inline constexpr const char* kNetDrop = "net_drop";
 inline constexpr const char* kNetDelayMs = "net_delay_ms";
 inline constexpr const char* kNetDelayP = "net_delay_p";
+inline constexpr const char* kHbDrop = "hb_drop";
 }  // namespace sites
 
 struct SiteStats {

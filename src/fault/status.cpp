@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnavailable,        // quarantined or otherwise refused without retrying
   kInvalidArgument,
   kInternal,           // unexpected exception type crossed the boundary
+  kOverloaded,         // admission control shed the request; retry elsewhere
 };
 
 [[nodiscard]] const char* StatusCodeName(StatusCode code) noexcept;

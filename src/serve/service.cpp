@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "fault/injector.h"
+#include "fault/status.h"
 #include "graph/fingerprint.h"
+#include "util/timer.h"
 
 namespace predtop::serve {
 
@@ -24,7 +26,8 @@ PredictionService::PredictionService(std::shared_ptr<ModelRegistry> registry,
                                      ServiceOptions options)
     : registry_(std::move(registry)),
       cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.threads) {
+      pool_(options.threads),
+      deadline_margin_us_(options.deadline_margin_us) {
   if (!registry_) throw std::invalid_argument("PredictionService: null registry");
 }
 
@@ -32,14 +35,25 @@ std::uint64_t PredictionService::CacheKey(const ModelKey& key, const graph::Enco
   return Mix(key.Hash() ^ graph::EncodedGraphFingerprint(g));
 }
 
-double PredictionService::Predict(const ModelKey& key, const graph::EncodedGraph& g) {
-  return PredictWithKey(key, g, CacheKey(key, g));
+double PredictionService::Predict(const ModelKey& key, const graph::EncodedGraph& g,
+                                  std::uint64_t deadline_us) {
+  return PredictWithKey(key, g, CacheKey(key, g), deadline_us);
 }
 
 double PredictionService::PredictWithKey(const ModelKey& key, const graph::EncodedGraph& g,
-                                         std::uint64_t cache_key) {
+                                         std::uint64_t cache_key,
+                                         std::uint64_t deadline_us) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (const auto hit = cache_.Get(cache_key)) return *hit;
+
+  // Shed before any real work: an expired query (or one that cannot finish
+  // inside the margin) must not burn a forward pass the caller has already
+  // abandoned. Cache hits above still serve — they are effectively free.
+  if (util::DeadlineExpired(deadline_us, deadline_margin_us_)) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    throw fault::FaultError(fault::StatusCode::kDeadlineExceeded,
+                            "query shed: deadline already passed before the forward");
+  }
 
   // Join an in-flight computation of the same query, or become its owner.
   std::promise<double> promise;
@@ -83,6 +97,12 @@ double PredictionService::PredictWithKey(const ModelKey& key, const graph::Encod
           value = std::numeric_limits<double>::quiet_NaN();
         }
       }
+      // The overload drill's core invariant is "zero requests computed after
+      // their deadline" — count any forward that finished late (the shed
+      // margin above is sized to make this impossible; the counter proves it).
+      if (deadline_us != 0 && util::SteadyNowUs() > deadline_us) {
+        late_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   } catch (...) {
     promise.set_exception(std::current_exception());
@@ -103,7 +123,8 @@ double PredictionService::PredictWithKey(const ModelKey& key, const graph::Encod
 }
 
 std::vector<double> PredictionService::PredictMany(
-    const ModelKey& key, std::span<const graph::EncodedGraph* const> graphs) {
+    const ModelKey& key, std::span<const graph::EncodedGraph* const> graphs,
+    std::uint64_t deadline_us) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_queries_.fetch_add(graphs.size(), std::memory_order_relaxed);
 
@@ -120,7 +141,7 @@ std::vector<double> PredictionService::PredictMany(
   std::vector<double> distinct_values(distinct.size(), 0.0);
   pool_.ParallelFor(distinct.size(), [&](std::size_t d) {
     const std::size_t i = distinct[d];
-    distinct_values[d] = PredictWithKey(key, *graphs[i], cache_keys[i]);
+    distinct_values[d] = PredictWithKey(key, *graphs[i], cache_keys[i], deadline_us);
   });
 
   std::vector<double> results(graphs.size(), 0.0);
@@ -137,12 +158,15 @@ ServiceStats PredictionService::Stats() const {
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.late = late_.load(std::memory_order_relaxed);
   stats.cache = cache_.Stats();
   return stats;
 }
 
 void PredictionService::ResetStats() {
   queries_ = forwards_ = coalesced_ = batches_ = batched_queries_ = 0;
+  expired_ = late_ = 0;
   cache_.ResetStats();
 }
 

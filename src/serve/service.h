@@ -50,6 +50,11 @@ struct ServiceOptions {
   std::size_t cache_shards = 8;
   /// Worker threads for PredictMany fan-out (0 = hardware_concurrency).
   std::size_t threads = 1;
+  /// Shed headroom for deadline-carrying queries: a forward is skipped (and
+  /// the query fails typed kDeadlineExceeded) unless at least this many
+  /// microseconds remain before the deadline — a forward that cannot finish
+  /// in time is wasted CPU that an overloaded server cannot spare.
+  std::uint64_t deadline_margin_us = 0;
 };
 
 struct ServiceStats {
@@ -58,6 +63,8 @@ struct ServiceStats {
   std::uint64_t coalesced = 0;  // requests that joined an in-flight forward
   std::uint64_t batches = 0;    // PredictMany calls
   std::uint64_t batched_queries = 0;
+  std::uint64_t expired = 0;    // queries shed before the forward (deadline)
+  std::uint64_t late = 0;       // forwards that finished past their deadline
   CacheStats cache;
 };
 
@@ -70,14 +77,21 @@ class PredictionService {
 
   /// Predict the stage latency (seconds) of one encoded stage DAG under the
   /// model registered for `key`. Throws std::runtime_error when no model is
-  /// registered.
-  [[nodiscard]] double Predict(const ModelKey& key, const graph::EncodedGraph& g);
+  /// registered. `deadline_us` is an absolute steady-clock deadline
+  /// (util::SteadyNowUs base; 0 = none): an already-expired query is shed
+  /// with fault::FaultError(kDeadlineExceeded) *before* the forward runs —
+  /// cache hits still serve (they are effectively free).
+  [[nodiscard]] double Predict(const ModelKey& key, const graph::EncodedGraph& g,
+                               std::uint64_t deadline_us = 0);
 
   /// Micro-batched query: duplicate stages inside the batch are predicted
   /// once, distinct misses run concurrently on the service pool. Returns
-  /// latencies parallel to `graphs`.
+  /// latencies parallel to `graphs`. A nonzero `deadline_us` sheds every
+  /// not-yet-forwarded query once the deadline (minus the configured margin)
+  /// passes; the batch fails as a whole with kDeadlineExceeded.
   [[nodiscard]] std::vector<double> PredictMany(
-      const ModelKey& key, std::span<const graph::EncodedGraph* const> graphs);
+      const ModelKey& key, std::span<const graph::EncodedGraph* const> graphs,
+      std::uint64_t deadline_us = 0);
 
   /// Cache key of one (model, stage) query — exposed for tests and for
   /// callers that precompute fingerprints.
@@ -94,11 +108,13 @@ class PredictionService {
 
  private:
   [[nodiscard]] double PredictWithKey(const ModelKey& key, const graph::EncodedGraph& g,
-                                      std::uint64_t cache_key);
+                                      std::uint64_t cache_key,
+                                      std::uint64_t deadline_us = 0);
 
   std::shared_ptr<ModelRegistry> registry_;
   ShardedLruCache cache_;
   util::ThreadPool pool_;
+  std::uint64_t deadline_margin_us_ = 0;
 
   std::mutex inflight_mutex_;
   std::unordered_map<std::uint64_t, std::shared_future<double>> inflight_;
@@ -108,6 +124,8 @@ class PredictionService {
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_queries_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> late_{0};
 };
 
 }  // namespace predtop::serve

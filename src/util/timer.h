@@ -3,6 +3,7 @@
 // measures predictor train/infer wall time).
 
 #include <chrono>
+#include <cstdint>
 
 namespace predtop::util {
 
@@ -22,5 +23,43 @@ class Stopwatch {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+// ---- absolute monotonic deadlines ----
+// Deadlines travel as absolute CLOCK_MONOTONIC microseconds (0 = none).
+// steady_clock is per-host, which matches the cluster's deployment model
+// (unix sockets / localhost tcp between processes on one machine); a
+// cross-host deployment would need a relative-budget re-anchor at ingress.
+
+/// Now on the steady clock, in microseconds.
+[[nodiscard]] inline std::uint64_t SteadyNowUs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Absolute deadline `budget_ms` from now; 0 (or negative) means no deadline.
+[[nodiscard]] inline std::uint64_t DeadlineAfterMs(double budget_ms) noexcept {
+  if (budget_ms <= 0.0) return 0;
+  return SteadyNowUs() + static_cast<std::uint64_t>(budget_ms * 1000.0);
+}
+
+/// True when a nonzero deadline has passed (with `margin_us` of headroom:
+/// a request that cannot finish inside the margin is already as good as
+/// expired, so shedding it early saves the wasted forward).
+[[nodiscard]] inline bool DeadlineExpired(std::uint64_t deadline_us,
+                                          std::uint64_t margin_us = 0) noexcept {
+  return deadline_us != 0 && SteadyNowUs() + margin_us >= deadline_us;
+}
+
+/// Milliseconds until the deadline; 0 when there is none, negative never
+/// (an expired deadline clamps to a tiny positive budget so recv paths that
+/// treat <=0 as "block forever" fail fast instead of hanging).
+[[nodiscard]] inline double DeadlineRemainingMs(std::uint64_t deadline_us) noexcept {
+  if (deadline_us == 0) return 0.0;
+  const std::uint64_t now = SteadyNowUs();
+  if (now >= deadline_us) return 0.001;
+  return static_cast<double>(deadline_us - now) / 1000.0;
+}
 
 }  // namespace predtop::util

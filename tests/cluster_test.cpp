@@ -24,7 +24,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <random>
 #include <set>
 #include <string>
@@ -35,6 +38,7 @@
 #include "cluster/oracle.h"
 #include "cluster/ring.h"
 #include "cluster/router.h"
+#include "cluster/supervisor.h"
 #include "cluster/transport.h"
 #include "cluster/wire.h"
 #include "cluster/worker.h"
@@ -44,6 +48,7 @@
 #include "serve/fallback.h"
 #include "serve/oracle.h"
 #include "serve/service.h"
+#include "util/timer.h"
 
 extern char** environ;
 
@@ -256,6 +261,69 @@ TEST(WireCodec, TrailingBytesRejected) {
   std::string request = EncodePredictRequest(SampleRequest());
   request.append("xx");
   EXPECT_THROW((void)DecodePredictRequest(request), fault::CorruptionError);
+}
+
+TEST(WireCodec, DeadlineFreeFramesStayLegacyVersion1) {
+  // deadline_us == 0 must encode the exact legacy v1 frame: a pre-deadline
+  // decoder on the other end of the wire keeps working unmodified.
+  const Frame frame{MessageType::kPredictRequest, 7, "payload"};
+  const std::string bytes = EncodeFrame(frame);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + 7 + kFrameFooterBytes);
+  const FrameHeader header =
+      DecodeFrameHeader(std::string_view(bytes.data(), kFrameHeaderBytes));
+  EXPECT_EQ(header.version, kWireVersion);
+  EXPECT_EQ(header.ExtraHeaderBytes(), 0u);
+  EXPECT_EQ(DecodeFrame(bytes).first.deadline_us, 0u);
+}
+
+TEST(WireCodec, DeadlineRoundTripsInVersion2Frames) {
+  const Frame frame{MessageType::kPredictRequest, 7,
+                    EncodePredictRequest(SampleRequest()), 0x0123456789abcdefull};
+  const std::string bytes = EncodeFrame(frame);
+  const FrameHeader header =
+      DecodeFrameHeader(std::string_view(bytes.data(), kFrameHeaderBytes));
+  EXPECT_EQ(header.version, kWireVersionDeadline);
+  EXPECT_EQ(header.ExtraHeaderBytes(), kFrameDeadlineBytes);
+  const auto [decoded, consumed] = DecodeFrame(bytes);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(decoded.deadline_us, frame.deadline_us);
+  EXPECT_EQ(decoded.payload, frame.payload);
+  EXPECT_EQ(decoded.request_id, frame.request_id);
+}
+
+TEST(WireCodec, EveryBitFlipOfADeadlineFrameRejected) {
+  // The CRC footer covers the v2 deadline bytes too: no flip anywhere in the
+  // extended header survives.
+  const Frame frame{MessageType::kPredictRequest, 7,
+                    EncodePredictRequest(SampleRequest()), 123456789ull};
+  const std::string bytes = EncodeFrame(frame);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_THROW((void)DecodeFrame(corrupt), fault::CorruptionError)
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+    }
+  }
+}
+
+TEST(WireCodec, StatsBodyCarriesShedCounters) {
+  StatsBody stats;
+  stats.requests = 1;
+  stats.shed_expired = 11;
+  stats.shed_overload = 22;
+  stats.late_completions = 33;
+  const StatsBody decoded = DecodeStatsBody(EncodeStatsBody(stats));
+  EXPECT_EQ(decoded.shed_expired, 11u);
+  EXPECT_EQ(decoded.shed_overload, 22u);
+  EXPECT_EQ(decoded.late_completions, 33u);
+}
+
+TEST(WireCodec, OverloadedErrorBodyRoundTrips) {
+  const ErrorBody error{fault::StatusCode::kOverloaded, "admission shed"};
+  const ErrorBody decoded = DecodeErrorBody(EncodeErrorBody(error));
+  EXPECT_EQ(decoded.code, fault::StatusCode::kOverloaded);
+  EXPECT_EQ(decoded.ToStatus().code(), fault::StatusCode::kOverloaded);
 }
 
 // ---- consistent-hash ring ----
@@ -892,6 +960,296 @@ TEST(ClusterE2E, MidFlightKillDegradesToFallbackWithFinitePlan) {
   EXPECT_GE(router.Stats().worker_failures, 1u);
 }
 
+// ---- deadline propagation (thread-only; in the tsan lane) ----
+
+/// Fingerprint of a stage slice as the router computes it.
+std::uint64_t FingerprintOf(TrainedStack& stack, ir::StageSlice slice) {
+  const graph::EncodedGraph& g = stack.search.EncodedFor(slice);
+  return g.fingerprint != 0 ? g.fingerprint : graph::EncodedGraphFingerprint(g);
+}
+
+TEST(Deadline, WorkerShedsExpiredPredictBeforeAnyWork) {
+  TrainedStack& stack = Stack();
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, Workers(1));
+  Socket client = ConnectTo(cluster.Endpoints()[0]);
+
+  PredictRequest request;
+  request.key = stack.keys[0];
+  request.queries = {{{0, 1}, stack.search.Meshes()[0]}};
+  // A deadline one second in the past: the worker must shed before decoding
+  // the payload or touching a model.
+  Frame frame{MessageType::kPredictRequest, 1, EncodePredictRequest(request),
+              util::SteadyNowUs() - 1'000'000};
+  SendFrame(client, frame);
+  const Frame reply = RecvFrame(client, 2000.0);
+  ASSERT_EQ(reply.type, MessageType::kError);
+  EXPECT_EQ(DecodeErrorBody(reply.payload).code, fault::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cluster.WorkerAt(0).ShedExpired(), 1u);
+  EXPECT_EQ(cluster.WorkerAt(0).Service()->Stats().forwards, 0u);
+
+  // The same request under a generous deadline is served normally.
+  frame.request_id = 2;
+  frame.deadline_us = util::DeadlineAfterMs(30000.0);
+  SendFrame(client, frame);
+  const Frame served = RecvFrame(client, 30000.0);
+  EXPECT_EQ(served.type, MessageType::kPredictResponse);
+  EXPECT_EQ(cluster.WorkerAt(0).ShedExpired(), 1u);
+
+  // The shed surfaces in the worker's stats frame.
+  SendFrame(client, {MessageType::kStatsRequest, 3, {}});
+  const Frame stats_reply = RecvFrame(client, 2000.0);
+  ASSERT_EQ(stats_reply.type, MessageType::kStatsResponse);
+  const StatsBody stats = DecodeStatsBody(stats_reply.payload);
+  EXPECT_GE(stats.shed_expired, 1u);
+  EXPECT_EQ(stats.late_completions, 0u);
+}
+
+TEST(Deadline, RouterGatesExpiredBatchesWithoutDispatch) {
+  TrainedStack& stack = Stack();
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, Workers(2));
+  Router router(cluster.Endpoints(), {});
+
+  const Router::Reply reply =
+      router.Predict(stack.keys[0], {{0, 2}, stack.search.Meshes()[0]},
+                     FingerprintOf(stack, {0, 2}), util::SteadyNowUs() - 1'000'000);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, fault::StatusCode::kDeadlineExceeded);
+  EXPECT_GE(router.Stats().expired, 1u);
+  // Nothing was dispatched, and an expired deadline is the caller's fault,
+  // not the workers': both stay alive.
+  EXPECT_EQ(cluster.WorkerAt(0).RequestsServed() + cluster.WorkerAt(1).RequestsServed(), 0u);
+  EXPECT_TRUE(router.WorkerAlive(0));
+  EXPECT_TRUE(router.WorkerAlive(1));
+
+  // With a live deadline the same query answers exactly.
+  const Router::Reply served =
+      router.Predict(stack.keys[0], {{0, 2}, stack.search.Meshes()[0]},
+                     FingerprintOf(stack, {0, 2}), util::DeadlineAfterMs(30000.0));
+  ASSERT_TRUE(served.ok);
+  EXPECT_EQ(served.latency_s, stack.Direct({0, 2}, stack.search.Meshes()[0]).latency_s);
+}
+
+TEST(Deadline, RouterDefaultDeadlineComesFromEnv) {
+  ::setenv("PREDTOP_DEADLINE_MS", "1500", 1);
+  const RouterOptions from_env = RouterOptions::FromEnv();
+  ::unsetenv("PREDTOP_DEADLINE_MS");
+  EXPECT_EQ(from_env.default_deadline_ms, 1500.0);
+  // Plain RouterOptions{} stays env-free: existing constructions are
+  // unaffected unless they opt in via FromEnv().
+  const RouterOptions plain;
+  EXPECT_EQ(plain.default_deadline_ms, 0.0);
+}
+
+// ---- admission control (thread-only; in the tsan lane) ----
+
+TEST(Admission, InflightBudgetShedsTypedOverload) {
+  TrainedStack& stack = Stack();
+  LocalClusterOptions local = Workers(1);
+  local.max_inflight = 1;
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, local);
+
+  PredictRequest request;
+  request.key = stack.keys[0];
+  request.queries = {{{0, 1}, stack.search.Meshes()[0]}};
+  const std::string payload = EncodePredictRequest(request);
+
+  // Hold the worker's only predict slot with a slow forward...
+  InjectorGuard guard("predict_delay_ms:250");
+  Socket slow = ConnectTo(cluster.Endpoints()[0]);
+  SendFrame(slow, {MessageType::kPredictRequest, 1, payload});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // ...and a second predict fast-rejects typed instead of queueing.
+  Socket rejected = ConnectTo(cluster.Endpoints()[0]);
+  SendFrame(rejected, {MessageType::kPredictRequest, 1, payload});
+  const Frame fast = RecvFrame(rejected, 2000.0);
+  ASSERT_EQ(fast.type, MessageType::kError);
+  EXPECT_EQ(DecodeErrorBody(fast.payload).code, fault::StatusCode::kOverloaded);
+  EXPECT_EQ(cluster.WorkerAt(0).ShedOverload(), 1u);
+
+  // Admitted work completes untouched.
+  const Frame slow_reply = RecvFrame(slow, 10000.0);
+  EXPECT_EQ(slow_reply.type, MessageType::kPredictResponse);
+}
+
+TEST(Admission, ConnectionBudgetKeepsHealthServedWhileSheddingPredicts) {
+  TrainedStack& stack = Stack();
+  LocalClusterOptions local = Workers(1);
+  local.max_connections = 1;
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, local);
+
+  // First connection: within budget, fully served.
+  Socket first = ConnectTo(cluster.Endpoints()[0]);
+  SendFrame(first, {MessageType::kHealthRequest, 1, {}});
+  ASSERT_EQ(RecvFrame(first, 2000.0).type, MessageType::kHealthResponse);
+
+  // Second connection is over budget: predicts shed typed...
+  PredictRequest request;
+  request.key = stack.keys[0];
+  request.queries = {{{0, 1}, stack.search.Meshes()[0]}};
+  Socket second = ConnectTo(cluster.Endpoints()[0]);
+  SendFrame(second, {MessageType::kPredictRequest, 1, EncodePredictRequest(request)});
+  const Frame shed = RecvFrame(second, 2000.0);
+  ASSERT_EQ(shed.type, MessageType::kError);
+  EXPECT_EQ(DecodeErrorBody(shed.payload).code, fault::StatusCode::kOverloaded);
+  EXPECT_GE(cluster.WorkerAt(0).ShedOverload(), 1u);
+
+  // ...but health — the supervisor's heartbeat — still answers, so an
+  // overloaded worker never looks dead to its supervisor.
+  SendFrame(second, {MessageType::kHealthRequest, 2, {}});
+  const Frame health = RecvFrame(second, 2000.0);
+  ASSERT_EQ(health.type, MessageType::kHealthResponse);
+  EXPECT_TRUE(DecodeHealthBody(health.payload).ok);
+}
+
+TEST(Admission, RouterFailsOverOverloadedWorkerToReplica) {
+  TrainedStack& stack = Stack();
+  LocalClusterOptions local = Workers(2);
+  local.max_inflight = 1;
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, local);
+  RouterOptions options;
+  options.replicas = 2;
+  Router router(cluster.Endpoints(), options);
+
+  // Find a (slice, mesh) owned by worker 0.
+  std::size_t mesh_index = stack.search.Meshes().size();
+  ir::StageSlice slice{0, 1};
+  for (const parallel::StageQuery& query : stack.FullTable()) {
+    if (router.Ring().Owner(FingerprintOf(stack, query.slice)) != 0) continue;
+    slice = query.slice;
+    for (std::size_t m = 0; m < stack.search.Meshes().size(); ++m) {
+      if (stack.search.Meshes()[m] == query.mesh) mesh_index = m;
+    }
+    break;
+  }
+  ASSERT_LT(mesh_index, stack.search.Meshes().size())
+      << "fixture: no query owned by worker 0";
+  const sim::Mesh mesh = stack.search.Meshes()[mesh_index];
+
+  // Occupy worker 0's only predict slot with a slow direct request.
+  PredictRequest hog_request;
+  hog_request.key = stack.keys[mesh_index];
+  hog_request.queries = {{slice, mesh}};
+  InjectorGuard guard("predict_delay_ms:250");
+  Socket hog = ConnectTo(cluster.Endpoints()[0]);
+  SendFrame(hog, {MessageType::kPredictRequest, 1, EncodePredictRequest(hog_request)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The routed query hits the overloaded owner, gets the typed kOverloaded
+  // fast-reject, and fails over to the replica — same exact answer.
+  const Router::Reply reply = router.Predict(stack.keys[mesh_index], {slice, mesh},
+                                             FingerprintOf(stack, slice));
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.latency_s, stack.Direct(slice, mesh).latency_s);
+  EXPECT_GE(router.Stats().overloaded, 1u);
+  EXPECT_GE(router.Stats().failovers, 1u);
+  // A single overload sample is not an error *rate*: the breaker stays
+  // closed and the worker stays routable.
+  EXPECT_TRUE(router.WorkerAlive(0));
+  EXPECT_EQ(router.WorkerBreaker(0), BreakerState::kClosed);
+
+  (void)RecvFrame(hog, 10000.0);  // let the hog finish cleanly
+}
+
+// ---- router timeout / circuit breaker (thread-only; in the tsan lane) ----
+
+TEST(RouterTimeout, AbandonedReplyReconnectsInsteadOfDesyncing) {
+  TrainedStack& stack = Stack();
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, Workers(1));
+  RouterOptions options;
+  options.replicas = 1;
+  options.request_timeout_ms = 60.0;
+  options.revive_after_ms = 150.0;
+  Router router(cluster.Endpoints(), options);
+
+  const sim::Mesh mesh = stack.search.Meshes()[0];
+  const std::uint64_t fp = FingerprintOf(stack, {0, 2});
+
+  Router::Reply reply;
+  {
+    InjectorGuard guard("predict_delay_ms:250");  // way past the 60 ms budget
+    reply = router.Predict(stack.keys[0], {{0, 2}, mesh}, fp);
+  }
+  // The attempt was abandoned: typed failure, breaker open.
+  EXPECT_FALSE(reply.ok);
+  EXPECT_GE(router.Stats().worker_failures, 1u);
+  EXPECT_GE(router.Stats().breaker_trips, 1u);
+  EXPECT_EQ(router.WorkerBreaker(0), BreakerState::kOpen);
+
+  // The abandoned reply lands on a connection the router already closed. A
+  // fresh attempt after the breaker half-opens reconnects and sees only its
+  // own reply — the regression was reading the stale frame on the old
+  // stream and desyncing every request after it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(router.WorkerBreaker(0), BreakerState::kHalfOpen);
+  const Router::Reply retry = router.Predict(stack.keys[0], {{0, 2}, mesh}, fp);
+  ASSERT_TRUE(retry.ok);
+  EXPECT_EQ(retry.latency_s, stack.Direct({0, 2}, mesh).latency_s);
+  // The successful half-open probe closed the breaker.
+  EXPECT_TRUE(router.WorkerAlive(0));
+  EXPECT_EQ(router.WorkerBreaker(0), BreakerState::kClosed);
+}
+
+TEST(RouterTimeout, RetryBudgetDeniesFailoverStorms) {
+  TrainedStack& stack = Stack();
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, Workers(2));
+  RouterOptions options;
+  options.replicas = 2;
+  options.connect_timeout_ms = 100.0;
+  options.revive_after_ms = 60000.0;
+  options.retry_budget_initial = 0.0;  // dry bucket: every failover denied
+  options.retry_budget_per_query = 0.0;
+  Router router(cluster.Endpoints(), options);
+
+  // Find a query owned by worker 0, then kill worker 0.
+  ir::StageSlice slice{0, 1};
+  std::size_t mesh_index = 0;
+  for (const parallel::StageQuery& query : stack.FullTable()) {
+    if (router.Ring().Owner(FingerprintOf(stack, query.slice)) != 0) continue;
+    slice = query.slice;
+    for (std::size_t m = 0; m < stack.search.Meshes().size(); ++m) {
+      if (stack.search.Meshes()[m] == query.mesh) mesh_index = m;
+    }
+    break;
+  }
+  cluster.StopWorker(0);
+
+  const Router::Reply reply =
+      router.Predict(stack.keys[mesh_index], {slice, stack.search.Meshes()[mesh_index]},
+                     FingerprintOf(stack, slice));
+  // The transport failure would normally fail over to worker 1 — but the
+  // bucket is dry, so the retry is denied and the query fails fast.
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, fault::StatusCode::kUnavailable);
+  EXPECT_GE(router.Stats().retries_denied, 1u);
+  EXPECT_EQ(router.Stats().failovers, 0u);
+}
+
+// ---- connection-thread reaping (thread-only; in the tsan lane) ----
+
+TEST(WorkerReap, ShortLivedConnectionsAreReapedNotAccumulated) {
+  TrainedStack& stack = Stack();
+  LocalCluster cluster(stack.search.Benchmark(), stack.registry, Workers(1));
+
+  // The regression: every connection left a joinable thread in the worker
+  // until shutdown. 40 short-lived connections must not pile up 40 threads.
+  for (int i = 0; i < 40; ++i) {
+    Socket client = ConnectTo(cluster.Endpoints()[0]);
+    SendFrame(client, {MessageType::kHealthRequest, 1, {}});
+    (void)RecvFrame(client, 2000.0);
+  }
+  // Give the 40 serving threads a beat to notice the hangups, then poke one
+  // more connection: its accept reaps everything already finished.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Socket last = ConnectTo(cluster.Endpoints()[0]);
+  SendFrame(last, {MessageType::kHealthRequest, 1, {}});
+  (void)RecvFrame(last, 2000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(cluster.WorkerAt(0).ActiveConnectionThreads(), 3u)
+      << "finished connection threads must be reaped as the worker serves";
+  EXPECT_EQ(cluster.WorkerAt(0).RequestsServed(), 41u);
+}
+
 // ---- multi-process acceptance: real workers, real SIGKILL ----
 
 TEST(ClusterProcess, PlanSearchSurvivesSigkilledWorker) {
@@ -973,6 +1331,314 @@ TEST(ClusterProcess, PlanSearchSurvivesSigkilledWorker) {
   wstatus = WaitForExit(pids[1]);
   EXPECT_TRUE(WIFEXITED(wstatus));
   EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+// ---- supervisor: self-healing worker processes ----
+// (fork/exec based — named SupervisorProcess.* so the tsan lane, which
+// cannot follow fork, never selects them.)
+
+/// Full worker argv tail (for Supervisor specs) serving the trained stack's
+/// checkpoints on `socket_path`. `extra` appends worker flags.
+std::vector<std::string> SupervisedWorkerArgs(TrainedStack& stack,
+                                              const std::string& socket_path,
+                                              const std::vector<std::string>& extra = {}) {
+  const ir::Gpt3Config config = TinyGptConfig();
+  std::vector<std::string> args{
+      "--cluster-worker",
+      "--listen",    "unix:" + socket_path,
+      "--benchmark", "gpt3",
+      "--platform",  "platform1",
+      "--layers",    std::to_string(config.num_layers),
+      "--seq",       std::to_string(config.seq_len),
+      "--hidden",    std::to_string(config.hidden),
+      "--heads",     std::to_string(config.num_heads),
+      "--vocab",     std::to_string(config.vocab),
+      "--micro",     std::to_string(config.microbatch),
+  };
+  for (std::size_t m = 0; m < stack.search.Meshes().size(); ++m) {
+    const sim::Mesh mesh = stack.search.Meshes()[m];
+    args.push_back("--model");
+    args.push_back("mesh=" + std::to_string(mesh.num_nodes) + "x" +
+                   std::to_string(mesh.gpus_per_node) + ",path=" + stack.ptck_paths[m]);
+  }
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+/// Poll `predicate` every 20 ms until it holds or `timeout_ms` passes.
+bool PollFor(double timeout_ms, const std::function<bool()>& predicate) {
+  const std::uint64_t deadline = util::DeadlineAfterMs(timeout_ms);
+  while (!predicate()) {
+    if (util::DeadlineExpired(deadline)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return true;
+}
+
+TEST(SupervisorProcess, CrashLoopBacksOffThenQuarantines) {
+  // A worker whose checkpoint is missing exits typed 10 + kIoError — a
+  // restartable failure. The supervisor retries with backoff; the crash
+  // loop parks it in quarantine instead of respawning forever.
+  const std::string socket_path = TempPath("crash_loop.sock");
+  SupervisedWorkerSpec spec;
+  spec.endpoint = Endpoint::Unix(socket_path);
+  spec.args = {"--cluster-worker",
+               "--listen", "unix:" + socket_path,
+               "--benchmark", "gpt3",
+               "--model", "mesh=1x1,path=" + TempPath("never_existed.ptck")};
+  SupervisorOptions options;
+  options.backoff_initial_ms = 20.0;
+  options.backoff_max_ms = 100.0;
+  options.crash_loop_threshold = 3;
+  options.crash_loop_window_ms = 60000.0;
+  options.quarantine_ms = 60000.0;  // park and stay parked for the assert
+  Supervisor supervisor({spec}, options);
+  supervisor.Start();
+
+  ASSERT_TRUE(PollFor(20000.0, [&] {
+    return supervisor.Status(0).phase == WorkerPhase::kQuarantined;
+  })) << "crash loop never reached quarantine; phase="
+      << WorkerPhaseName(supervisor.Status(0).phase);
+  const SupervisedWorkerStatus status = supervisor.Status(0);
+  EXPECT_GE(status.restarts, 3u);
+  EXPECT_EQ(status.last_exit.code(), fault::StatusCode::kIoError)
+      << status.last_exit.ToString();
+  supervisor.Stop();
+  EXPECT_EQ(supervisor.Status(0).phase, WorkerPhase::kStopped);
+}
+
+TEST(SupervisorProcess, CorruptCheckpointIsPermanentFailure) {
+  // kCorruption says a restart would fail identically: no crash loop, the
+  // worker is marked failed on the first exit.
+  const std::string ptck = TempPath("supervisor_corrupt.ptck");
+  {
+    std::ofstream out(ptck, std::ios::binary);
+    out << "PTCKgarbage-that-is-not-a-checkpoint";
+  }
+  const std::string socket_path = TempPath("corrupt_sup.sock");
+  SupervisedWorkerSpec spec;
+  spec.endpoint = Endpoint::Unix(socket_path);
+  spec.args = {"--cluster-worker",
+               "--listen", "unix:" + socket_path,
+               "--benchmark", "gpt3",
+               "--model", "mesh=1x1,path=" + ptck};
+  SupervisorOptions options;
+  options.backoff_initial_ms = 20.0;
+  Supervisor supervisor({spec}, options);
+  supervisor.Start();
+
+  ASSERT_TRUE(PollFor(20000.0, [&] {
+    return supervisor.Status(0).phase == WorkerPhase::kFailed;
+  }));
+  const SupervisedWorkerStatus status = supervisor.Status(0);
+  EXPECT_EQ(status.restarts, 0u);
+  EXPECT_EQ(status.pid, -1);
+  EXPECT_EQ(status.last_exit.code(), fault::StatusCode::kCorruption)
+      << status.last_exit.ToString();
+  // It stays failed — no respawn attempts accumulate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(supervisor.Status(0).phase, WorkerPhase::kFailed);
+  EXPECT_EQ(supervisor.Status(0).restarts, 0u);
+  supervisor.Stop();
+  std::remove(ptck.c_str());
+}
+
+TEST(SupervisorProcess, HeartbeatDropInjectionDeclaresHealthyWorkerHung) {
+  // The hb_drop site makes every probe report a miss without touching the
+  // socket: hung-worker detection drills deterministically, no SIGSTOP
+  // timing games.
+  TrainedStack& stack = Stack();
+  const std::string socket_path = TempPath("hb_drop.sock");
+  std::remove(socket_path.c_str());
+  SupervisedWorkerSpec spec;
+  spec.endpoint = Endpoint::Unix(socket_path);
+  spec.args = SupervisedWorkerArgs(stack, socket_path);
+  SupervisorOptions options;
+  options.heartbeat_interval_ms = 50.0;
+  options.heartbeat_timeout_ms = 150.0;
+  options.max_heartbeat_misses = 2;
+  options.startup_grace_ms = 60000.0;
+  options.backoff_initial_ms = 50.0;
+  Supervisor supervisor({spec}, options);
+  supervisor.Start();
+  ASSERT_TRUE(supervisor.WaitUntilUp(0, 60000.0));
+  const pid_t first_pid = supervisor.Status(0).pid;
+
+  {
+    InjectorGuard guard("hb_drop:1");
+    ASSERT_TRUE(PollFor(20000.0, [&] { return supervisor.Status(0).hung_kills >= 1; }))
+        << "dropped heartbeats never tripped the hung-worker deadline";
+  }
+  // Probes heal after the drill: the replacement process comes up.
+  ASSERT_TRUE(supervisor.WaitUntilUp(0, 60000.0));
+  EXPECT_NE(supervisor.Status(0).pid, first_pid);
+  EXPECT_GE(supervisor.Status(0).restarts, 1u);
+  EXPECT_EQ(supervisor.Status(0).last_exit.code(), fault::StatusCode::kUnavailable);
+  supervisor.Stop();
+}
+
+TEST(SupervisorProcess, DrillPlanSearchSurvivesKillStopAndOverload) {
+  // The end-to-end overload drill: a fig10-shaped plan search over a
+  // supervised cluster stays correct while one worker is SIGKILLed, a
+  // second is SIGSTOPped (hung, not dead), and injected overload sheds
+  // traffic — and the supervisor brings every casualty back.
+  TrainedStack& stack = Stack();
+  std::vector<SupervisedWorkerSpec> specs;
+  for (int w = 0; w < 3; ++w) {
+    const std::string socket_path = TempPath("drill_worker" + std::to_string(w) + ".sock");
+    std::remove(socket_path.c_str());
+    SupervisedWorkerSpec spec;
+    spec.endpoint = Endpoint::Unix(socket_path);
+    // Tight admission + a small cache + slowed forwards so the overload
+    // phase genuinely saturates the predict slots.
+    spec.args = SupervisedWorkerArgs(stack, socket_path,
+                                     {"--max-inflight", "2", "--cache", "8"});
+    spec.extra_env = {"PREDTOP_FAULT=predict_delay_ms:5"};
+    specs.push_back(std::move(spec));
+  }
+  SupervisorOptions sup_options;
+  sup_options.heartbeat_interval_ms = 100.0;
+  sup_options.heartbeat_timeout_ms = 200.0;
+  sup_options.max_heartbeat_misses = 2;
+  sup_options.startup_grace_ms = 60000.0;
+  sup_options.backoff_initial_ms = 50.0;
+  Supervisor supervisor(specs, sup_options);
+
+  RouterOptions router_options;
+  router_options.replicas = 2;
+  router_options.connect_timeout_ms = 1000.0;
+  router_options.request_timeout_ms = 1500.0;
+  router_options.revive_after_ms = 60000.0;  // only the supervisor revives
+  std::mutex router_mutex;
+  std::unique_ptr<Router> router;
+  // Close the loop: a restarted worker re-enters routing immediately.
+  supervisor.SetOnWorkerUp([&](std::size_t index) {
+    const std::scoped_lock lock(router_mutex);
+    if (router) router->MarkRevived(index);
+  });
+
+  supervisor.Start();
+  ASSERT_TRUE(supervisor.WaitAllUp(120000.0));
+  {
+    const std::scoped_lock lock(router_mutex);
+    router = std::make_unique<Router>(supervisor.Endpoints(), router_options);
+  }
+  const ClusterOracle oracle(*router, stack.search.Meshes(), stack.keys, stack.Encoder(),
+                             stack.search.EffectiveMaxSpan());
+  // Pre-warm the memoized (not thread-safe) caches read by worker threads.
+  for (const parallel::StageQuery& query : stack.FullTable()) {
+    (void)stack.search.EncodedFor(query.slice);
+    (void)stack.search.ProgramFor(query.slice);
+  }
+  const parallel::InterOpOptimizer optimizer = stack.search.MakeOptimizer();
+  const parallel::PipelinePlan direct_plan = optimizer.Optimize(
+      [&stack](ir::StageSlice slice, sim::Mesh mesh) { return stack.Direct(slice, mesh); });
+
+  // --- Phase 1: SIGKILL worker 0 mid-search. Replication keeps the plan
+  // exactly equal to the in-process result; the supervisor restarts it.
+  {
+    parallel::PipelinePlan plan;
+    std::thread optimize_thread([&] { plan = optimizer.Optimize(oracle.AsBatchOracle()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const pid_t victim = supervisor.Status(0).pid;
+    ASSERT_GT(victim, 0);
+    ::kill(victim, SIGKILL);
+    optimize_thread.join();
+    ExpectPlansEqual(plan, direct_plan);
+    ASSERT_TRUE(supervisor.WaitUntilUp(0, 60000.0));
+    EXPECT_GE(supervisor.Status(0).restarts, 1u);
+    EXPECT_NE(supervisor.Status(0).pid, victim);
+    // The on-up hook marked it revived: routing returns without waiting out
+    // the breaker backoff.
+    ASSERT_TRUE(PollFor(10000.0, [&] { return router->WorkerAlive(0); }));
+  }
+
+  // --- Phase 2: SIGSTOP worker 1 mid-search — alive to the kernel, hung to
+  // everyone else. The router's per-attempt timeout trips the breaker and
+  // fails over (plan still exact); the supervisor's heartbeat deadline
+  // detects the hang, SIGKILLs and restarts it.
+  {
+    const std::uint64_t trips_before = router->Stats().breaker_trips;
+    // Stop the worker before the search starts: phase 1 warmed the other
+    // workers' caches, so a mid-flight stop could land after the victim
+    // already answered its share. Hung-for-the-whole-search is the harder
+    // case anyway — every query it owns must time out and fail over.
+    const pid_t victim = supervisor.Status(1).pid;
+    ASSERT_GT(victim, 0);
+    ::kill(victim, SIGSTOP);
+    parallel::PipelinePlan plan;
+    std::thread optimize_thread([&] { plan = optimizer.Optimize(oracle.AsBatchOracle()); });
+    optimize_thread.join();
+    ExpectPlansEqual(plan, direct_plan);
+    EXPECT_GE(router->Stats().breaker_trips, trips_before + 1)
+        << "the stalled worker never tripped the breaker";
+    ASSERT_TRUE(PollFor(30000.0, [&] { return supervisor.Status(1).hung_kills >= 1; }))
+        << "heartbeat deadline never declared the SIGSTOPped worker hung";
+    ASSERT_TRUE(supervisor.WaitUntilUp(1, 60000.0));
+    EXPECT_NE(supervisor.Status(1).pid, victim);
+    // Restart closes the breaker.
+    ASSERT_TRUE(PollFor(10000.0, [&] { return router->WorkerAlive(1); }));
+    EXPECT_EQ(router->WorkerBreaker(1), BreakerState::kClosed);
+  }
+
+  // --- Phase 3: injected overload. Hog threads saturate every worker's two
+  // predict slots while the search runs with the analytical fallback: shed
+  // traffic fails over or degrades, and the plan stays valid and finite.
+  {
+    ClusterOracleOptions oracle_options;
+    oracle_options.fallback = std::make_shared<serve::FallbackOracle>(
+        sim::Platform1().device, [&stack](ir::StageSlice s) -> const ir::StageProgram& {
+          return stack.search.ProgramFor(s);
+        });
+    const ClusterOracle overloaded_oracle(*router, stack.search.Meshes(), stack.keys,
+                                          stack.Encoder(), stack.search.EffectiveMaxSpan(),
+                                          oracle_options);
+    PredictRequest hog_request;
+    hog_request.key = stack.keys[0];
+    for (std::int32_t layer = 0; layer < 4; ++layer) {
+      hog_request.queries.push_back({{layer, layer + 1}, stack.search.Meshes()[0]});
+    }
+    const std::string hog_payload = EncodePredictRequest(hog_request);
+    std::atomic<bool> stop_hogs{false};
+    std::vector<std::thread> hogs;
+    for (std::size_t w = 0; w < supervisor.NumWorkers(); ++w) {
+      for (int h = 0; h < 4; ++h) {
+        hogs.emplace_back([&, w] {
+          std::uint64_t id = 1;
+          while (!stop_hogs.load(std::memory_order_acquire)) {
+            try {
+              Socket socket = ConnectTo(supervisor.Endpoints()[w], 200.0);
+              SendFrame(socket, {MessageType::kPredictRequest, id++, hog_payload});
+              (void)RecvFrame(socket, 2000.0);
+            } catch (const std::exception&) {
+              // Shed or timed out — the point of the drill.
+            }
+          }
+        });
+      }
+    }
+    parallel::PipelinePlan plan;
+    std::thread optimize_thread(
+        [&] { plan = optimizer.Optimize(overloaded_oracle.AsBatchOracle()); });
+    optimize_thread.join();
+    stop_hogs.store(true, std::memory_order_release);
+    for (std::thread& hog : hogs) hog.join();
+
+    ASSERT_TRUE(plan.Valid());
+    EXPECT_TRUE(std::isfinite(plan.iteration_latency_s));
+    // Admission control actually fired somewhere under 12 hog threads
+    // against 2-slot workers.
+    std::uint64_t total_shed = 0;
+    for (const auto& stats : router->WorkerStats()) {
+      if (stats.has_value()) total_shed += stats->shed_overload;
+    }
+    EXPECT_GE(total_shed, 1u) << "the overload phase never shed anything";
+  }
+
+  supervisor.Stop();
+  for (std::size_t w = 0; w < supervisor.NumWorkers(); ++w) {
+    EXPECT_EQ(supervisor.Status(w).phase, WorkerPhase::kStopped);
+  }
 }
 
 }  // namespace

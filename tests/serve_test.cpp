@@ -16,6 +16,8 @@
 #include <utility>
 
 #include "core/plan_search.h"
+#include "fault/injector.h"
+#include "fault/status.h"
 #include "graph/fingerprint.h"
 #include "ir/stages.h"
 #include "nn/linear.h"
@@ -23,6 +25,7 @@
 #include "serve/oracle.h"
 #include "serve/service.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace predtop::serve {
 namespace {
@@ -354,6 +357,87 @@ TEST(Service, UnknownModelThrows) {
   const graph::EncodedGraph g = core::EncodeStage(benchmark.build_stage({0, 1}));
   EXPECT_THROW((void)service.Predict({"gpt3", "p1", sim::Mesh{1, 1}, {}}, g),
                std::runtime_error);
+}
+
+TEST(Service, ShedsQueriesWhoseDeadlineAlreadyPassed) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kDagTransformer, TinyOptions()));
+  PredictionService service(registry);
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g = core::EncodeStage(benchmark.build_stage({0, 2}));
+
+  // A deadline one second in the past: shed typed, before any forward runs.
+  const std::uint64_t expired = util::SteadyNowUs() - 1'000'000;
+  try {
+    (void)service.Predict(key, g, expired);
+    FAIL() << "expired deadline not shed";
+  } catch (const fault::FaultError& e) {
+    EXPECT_EQ(e.code(), fault::StatusCode::kDeadlineExceeded);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.forwards, 0u);
+
+  // Cached answers still serve under an expired deadline — the work is
+  // already done, so shedding it would save nothing.
+  const double value = service.Predict(key, g, util::DeadlineAfterMs(5000.0));
+  EXPECT_EQ(service.Predict(key, g, expired), value);
+  stats = service.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.forwards, 1u);
+
+  // PredictMany sheds the whole batch the same way — using a graph that is
+  // not already cached (cached batches, like cached singles, still serve).
+  const graph::EncodedGraph uncached = core::EncodeStage(benchmark.build_stage({1, 3}));
+  const std::vector<const graph::EncodedGraph*> batch{&uncached, &uncached};
+  EXPECT_THROW((void)service.PredictMany(key, batch, expired), fault::FaultError);
+}
+
+TEST(Service, DeadlineMarginShedsForwardsThatCannotFinishInTime) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kDagTransformer, TinyOptions()));
+  ServiceOptions options;
+  options.deadline_margin_us = 60'000'000;  // a minute of required headroom
+  PredictionService service(registry, options);
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g = core::EncodeStage(benchmark.build_stage({0, 2}));
+
+  // The deadline is comfortably in the future, but inside the margin: the
+  // service predicts the forward cannot finish in time and sheds it.
+  try {
+    (void)service.Predict(key, g, util::DeadlineAfterMs(1000.0));
+    FAIL() << "margin did not shed";
+  } catch (const fault::FaultError& e) {
+    EXPECT_EQ(e.code(), fault::StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(service.Stats().expired, 1u);
+  EXPECT_EQ(service.Stats().forwards, 0u);
+}
+
+TEST(Service, CountsForwardsThatCompleteLate) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kDagTransformer, TinyOptions()));
+  PredictionService service(registry);
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g = core::EncodeStage(benchmark.build_stage({0, 2}));
+
+  // The deadline is alive when the forward starts but the (injected) forward
+  // outlives it: the answer still returns — late, and counted as such.
+  struct Guard {
+    Guard() { fault::Injector::Global().Configure("predict_delay_ms:120", 1); }
+    ~Guard() { fault::Injector::Global().Disable(); }
+  } guard;
+  (void)service.Predict(key, g, util::DeadlineAfterMs(30.0));
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.late, 1u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.forwards, 1u);
 }
 
 TEST(Service, PredictManyDedupesAndFansOut) {
