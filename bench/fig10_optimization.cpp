@@ -26,6 +26,11 @@
 // when both platforms produce a finite, valid plan and it reports the
 // degraded-query fraction. PREDTOP_FAULT overrides the injected spec;
 // PREDTOP_FAULT_SEED replays a specific decision sequence.
+//
+// PREDTOP_COMPILE_DRILL=1 runs the plan search with compiled inference
+// programs disabled then enabled on both paper platforms and asserts the
+// chosen plans are equal — the compiled path must change latency, never
+// predictions (within the 1e-6 fp32 parity contract).
 
 #include <algorithm>
 #include <cmath>
@@ -37,6 +42,7 @@
 
 #include "bench_common.h"
 #include "cluster/local.h"
+#include "compile/cache.h"
 #include "cluster/oracle.h"
 #include "cluster/router.h"
 #include "core/plan_search.h"
@@ -136,6 +142,88 @@ void RunServingMode(const core::BenchmarkModel& benchmark, const sim::ClusterSpe
             << "x vs serial cold (" << service.Pool().ThreadCount()
             << " service threads); warm repeat: " << util::FormatF(serial_s / warm_s, 1)
             << "x vs serial cold\n\n";
+}
+
+// Compile drill: the same plan search twice on one platform — compiled
+// inference programs disabled, then enabled — asserting the two plans are
+// equal (same stage slices and meshes, iteration latency within the
+// documented 1e-6-per-forward parity contract) and that the compiled path
+// actually engaged (programs were built into the global cache). Returns
+// true when the plans agree.
+bool RunCompileDrill(const core::BenchmarkModel& benchmark, const sim::ClusterSpec& cluster,
+                     const std::string& platform_label, std::int32_t max_span,
+                     const bench::GridConfig& grid) {
+  core::PlanSearch search(benchmark, cluster,
+                          MakePlanConfig(benchmark, cluster, max_span, grid));
+  std::cerr << "[bench] fig10 " << benchmark.name << ": compile drill (train, "
+            << platform_label << ")\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const std::vector<serve::ModelKey> keys = serve::RegisterMeshPredictors(
+      *registry, benchmark.name, platform_label, search.Meshes(), trained);
+  serve::ServiceOptions service_options;
+  service_options.threads = 0;
+  serve::PredictionService service(registry, service_options);
+  const serve::ServingOracle oracle(
+      service, search.Meshes(), keys,
+      [&search](ir::StageSlice s) -> const graph::EncodedGraph& {
+        return search.EncodedFor(s);
+      },
+      search.EffectiveMaxSpan());
+  const parallel::InterOpOptimizer optimizer = search.MakeOptimizer();
+
+  compile::SetCompileEnabled(false);
+  util::Stopwatch off_watch;
+  const parallel::PipelinePlan plan_off = optimizer.Optimize(oracle.AsBatchOracle());
+  const double off_s = off_watch.ElapsedSeconds();
+
+  // Fresh caches so the compiled pass builds its programs and answers every
+  // query through them rather than replaying fingerprint-cached results.
+  service.ClearCache();
+  compile::ProgramCache::Global().Clear();
+  compile::SetCompileEnabled(true);
+  util::Stopwatch on_watch;
+  const parallel::PipelinePlan plan_on = optimizer.Optimize(oracle.AsBatchOracle());
+  const double on_s = on_watch.ElapsedSeconds();
+  const std::size_t programs = compile::ProgramCache::Global().Size();
+
+  bool structural = plan_on.Valid() && plan_off.Valid() &&
+                    plan_on.stages.size() == plan_off.stages.size();
+  if (structural) {
+    for (std::size_t i = 0; i < plan_on.stages.size(); ++i) {
+      if (!(plan_on.stages[i].mesh == plan_off.stages[i].mesh) ||
+          plan_on.stages[i].slice.first_layer != plan_off.stages[i].slice.first_layer ||
+          plan_on.stages[i].slice.last_layer != plan_off.stages[i].slice.last_layer) {
+        structural = false;
+        break;
+      }
+    }
+  }
+  const double lat_gap =
+      std::abs(plan_on.iteration_latency_s - plan_off.iteration_latency_s);
+  const bool latency_ok =
+      lat_gap <= 1e-4 * std::max(1.0, std::abs(plan_off.iteration_latency_s));
+  const bool ok = structural && latency_ok && programs > 0;
+
+  util::TablePrinter table({"pass", "optimize wall", "plan latency", "plan equal"});
+  table.SetTitle("Fig. 10 compile drill — " + benchmark.name + " on " + platform_label +
+                 " (PREDTOP_COMPILE off vs on)");
+  table.AddRow({"compile off", util::FormatSeconds(off_s),
+                util::FormatSeconds(plan_off.iteration_latency_s), "reference"});
+  table.AddRow({"compile on", util::FormatSeconds(on_s),
+                util::FormatSeconds(plan_on.iteration_latency_s),
+                ok ? "yes" : "NO"});
+  table.Print(std::cout);
+  std::cout << "compiled programs built: " << programs
+            << "; plan latency gap: " << lat_gap << " s\n\n";
+  if (!ok) {
+    std::cerr << "[bench] compile drill " << platform_label
+              << ": structural=" << structural << " latency_ok=" << latency_ok
+              << " programs=" << programs << "\n";
+  }
+  return ok;
 }
 
 // Cluster mode: the same plan search, but every stage-latency query crosses
@@ -421,6 +509,19 @@ int main() {
     std::cout << (ok ? "cluster mode PASSED: cluster-served plans match the in-process "
                        "plans, including with a killed replica\n"
                      : "cluster mode FAILED\n");
+    return ok ? 0 : 1;
+  }
+  // PREDTOP_COMPILE_DRILL=1 runs only the compiled-vs-uncompiled plan
+  // comparison on both paper platforms and exits non-zero if the plans
+  // diverge or the compiled path never engaged.
+  if (util::EnvBool("PREDTOP_COMPILE_DRILL", false)) {
+    bool ok = RunCompileDrill(bench::PaperGpt3(), sim::Platform1(), "platform1",
+                              grid.gpt_max_span, grid);
+    ok &= RunCompileDrill(bench::PaperGpt3(), sim::Platform2(), "platform2",
+                          grid.gpt_max_span, grid);
+    std::cout << (ok ? "compile drill PASSED: compiled and uncompiled searches chose "
+                       "equal plans on both platforms\n"
+                     : "compile drill FAILED\n");
     return ok ? 0 : 1;
   }
   // PREDTOP_SERVE_ONLY=1 skips the (slow) approach grid and measures just

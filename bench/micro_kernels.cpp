@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/cache.h"
 #include "core/dataset.h"
 #include "core/predictors.h"
 #include "core/regressor.h"
@@ -29,6 +30,7 @@
 #include "parallel/intra_op.h"
 #include "tensor/arena.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -142,7 +144,11 @@ struct PredictResult {
   std::int64_t graph_nodes = 0;
   double tape_s = 0.0;      // autograd Forward, packed-GEMM dispatch (today's tape)
   double tape_ikj_s = 0.0;  // autograd Forward forced onto the i-k-j kernel (pre-PR path)
-  double fast_s = 0.0;      // tape-free InferScalar
+  double fast_s = 0.0;      // tape-free InferScalar, compilation disabled
+  double fast_pr5_s = 0.0;  // fast path with the 6x16 GEMM tile (the PR 5 build)
+  double compiled_s = 0.0;       // compiled InferProgram (fused + planned arena)
+  double compiled_bf16_s = 0.0;  // compiled, bf16 weight tier
+  double compiled_int8_s = 0.0;  // compiled, int8 weight tier
 };
 
 PredictResult RunPredictComparison(bool smoke) {
@@ -165,14 +171,42 @@ PredictResult RunPredictComparison(bool smoke) {
     benchmark::DoNotOptimize(regressor.PredictSecondsTape(encoded));
   });
   tensor::SetPackedGemmEnabled(true);
+  compile::SetCompileEnabled(false);
   result.fast_s = BestOf(reps, [&] {
     benchmark::DoNotOptimize(regressor.PredictSeconds(encoded));
   });
+  // The fast path exactly as PR 5 shipped it: no compiled programs AND the
+  // historical 6x16 two-vector register tile (the wide 12x16 tile landed with
+  // this PR). This is the baseline the compiled-speedup acceptance is against.
+  const bool wide_before = tensor::GemmWideTiles();
+  tensor::SetGemmWideTiles(false);
+  result.fast_pr5_s = BestOf(reps, [&] {
+    benchmark::DoNotOptimize(regressor.PredictSeconds(encoded));
+  });
+  tensor::SetGemmWideTiles(wide_before);
+  compile::SetCompileEnabled(true);
+  result.compiled_s = BestOf(reps, [&] {
+    benchmark::DoNotOptimize(regressor.PredictSeconds(encoded));
+  });
+  tensor::SetWeightPrec(tensor::GemmPrec::kBf16);
+  result.compiled_bf16_s = BestOf(reps, [&] {
+    benchmark::DoNotOptimize(regressor.PredictSeconds(encoded));
+  });
+  tensor::SetWeightPrec(tensor::GemmPrec::kInt8);
+  result.compiled_int8_s = BestOf(reps, [&] {
+    benchmark::DoNotOptimize(regressor.PredictSeconds(encoded));
+  });
+  tensor::SetWeightPrec(tensor::GemmPrec::kFp32);
   std::cerr << "[bench] warm PredictSeconds (" << result.graph_nodes << " nodes): tape "
             << result.tape_s * 1e3 << " ms, tape(i-k-j) " << result.tape_ikj_s * 1e3
             << " ms, fast " << result.fast_s * 1e3 << " ms ("
-            << result.tape_s / result.fast_s << "x vs tape, "
-            << result.tape_ikj_s / result.fast_s << "x vs i-k-j tape)\n";
+            << result.tape_s / result.fast_s << "x vs tape), fast(PR5 tile) "
+            << result.fast_pr5_s * 1e3 << " ms, compiled "
+            << result.compiled_s * 1e3 << " ms ("
+            << result.fast_s / result.compiled_s << "x vs fast, "
+            << result.fast_pr5_s / result.compiled_s << "x vs PR5), bf16 "
+            << result.compiled_bf16_s * 1e3 << " ms, int8 "
+            << result.compiled_int8_s * 1e3 << " ms\n";
   return result;
 }
 
@@ -195,8 +229,15 @@ void WriteJson(const std::string& path, const std::vector<GemmRow>& gemm,
   out << "  \"predict_gpt3_stage\": {\"graph_nodes\": " << predict.graph_nodes
       << ", \"tape_s\": " << predict.tape_s << ", \"tape_ikj_s\": " << predict.tape_ikj_s
       << ", \"fast_s\": " << predict.fast_s
+      << ", \"fast_pr5_s\": " << predict.fast_pr5_s
+      << ", \"compiled_s\": " << predict.compiled_s
+      << ", \"compiled_bf16_s\": " << predict.compiled_bf16_s
+      << ", \"compiled_int8_s\": " << predict.compiled_int8_s
       << ", \"speedup_vs_tape\": " << predict.tape_s / predict.fast_s
-      << ", \"speedup_vs_ikj_tape\": " << predict.tape_ikj_s / predict.fast_s << "}\n}\n";
+      << ", \"speedup_vs_ikj_tape\": " << predict.tape_ikj_s / predict.fast_s
+      << ", \"speedup_compiled_vs_fast\": " << predict.fast_s / predict.compiled_s
+      << ", \"speedup_compiled_vs_fast_pr5\": " << predict.fast_pr5_s / predict.compiled_s
+      << ", \"speedup_compiled_vs_tape\": " << predict.tape_s / predict.compiled_s << "}\n}\n";
   std::cerr << "[bench] wrote " << path << "\n";
 }
 

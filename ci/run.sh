@@ -25,6 +25,14 @@
 #                        wire-codec fuzz, router + shard workers over Unix
 #                        sockets, fork/exec worker processes, and the SIGKILL
 #                        mid-plan-search failover drill
+#   ci/run.sh compile    compiled-inference lane: ASan/UBSan build of the
+#                        compile suite (fp32 plan-vs-tape parity, planner
+#                        properties, allocation-free warm forwards, bf16/int8
+#                        tier parity + MRE neutrality, program-cache LRU and
+#                        owner eviction) plus the fast-path parity suites,
+#                        then the fig10 compile drill (plan search with
+#                        PREDTOP_COMPILE off vs on on both paper platforms,
+#                        asserting the chosen plans are equal)
 #   ci/run.sh overload   overload-protection lane: the deadline / admission /
 #                        router-timeout / reaping suites, the supervisor
 #                        fork/exec suite (crash-loop quarantine, hung-worker
@@ -61,11 +69,27 @@ if [[ "${1:-}" == "fault" ]]; then
     ./build-asan/bench/fig10_optimization
 fi
 
+if [[ "${1:-}" == "compile" ]]; then
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" \
+    --target compile_test infer_test fig10_optimization
+  # Full compile suite under ASan/UBSan: fp32 parity for every predictor,
+  # planner properties, the arena high-water-mark (allocation-free warm
+  # forward) assertion, bf16/int8 parity + MRE bounds, cache LRU/eviction,
+  # and concurrent compiled forwards. The parity filter re-drives every fast
+  # kernel the compiled programs call into.
+  ./build-asan/tests/compile_test
+  ./build-asan/tests/infer_test --gtest_filter='InferParity.*:PackedGemm.*'
+  # Plan search with compiled programs off then on, both paper platforms:
+  # the plans must be equal and the compiled path must actually engage.
+  PREDTOP_COMPILE_DRILL=1 PREDTOP_EPOCHS=40 ./build-asan/bench/fig10_optimization
+fi
+
 if [[ "${1:-}" == "tsan" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)" \
     --target util_test serve_test parallel_test infer_test cluster_test \
-    autograd_test nn_test online_test
+    autograd_test nn_test online_test compile_test
   export TSAN_OPTIONS="halt_on_error=1"
   ./build-tsan/tests/util_test
   ./build-tsan/tests/parallel_test
@@ -80,6 +104,11 @@ if [[ "${1:-}" == "tsan" ]]; then
   # lazy packed-weight cache) plus the parity suites that drive every fast
   # kernel at least once under TSan.
   ./build-tsan/tests/infer_test --gtest_filter='InferConcurrency.*:InferParity.*'
+  # Concurrent *compiled* forwards on one shared model: the program cache's
+  # build-once-per-shape race, per-thread plan buffers, and the packed
+  # weight tiers under simultaneous readers.
+  ./build-tsan/tests/compile_test \
+    --gtest_filter='CompiledConcurrency.*:ProgramCache.*:CompiledParity.AllPredictorsMatchTapeAndFastPath'
   # Router concurrency: the cluster-wide coalescing map, per-worker
   # connection locking and failover counters under concurrent clients, plus
   # the overload-protection suites (deadline shedding, admission budgets,

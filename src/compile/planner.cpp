@@ -1,0 +1,74 @@
+#include "compile/planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace predtop::compile {
+
+namespace {
+
+[[nodiscard]] std::int64_t AlignUp(std::int64_t v) noexcept {
+  return (v + kPlanAlign - 1) / kPlanAlign * kPlanAlign;
+}
+
+}  // namespace
+
+PlanLayout PlanOffsets(const std::vector<Lifetime>& lifetimes) {
+  PlanLayout layout;
+  layout.offsets.assign(lifetimes.size(), 0);
+
+  // Place in first-def order (ties by index for determinism): the order
+  // activations are produced, which keeps concurrently-live values adjacent
+  // and lets later short-lived values slot into freed gaps.
+  std::vector<std::size_t> order(lifetimes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return lifetimes[x].first < lifetimes[y].first;
+  });
+
+  struct Placed {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int32_t first = 0;
+    std::int32_t last = 0;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(lifetimes.size());
+
+  for (const std::size_t i : order) {
+    const Lifetime& lt = lifetimes[i];
+    if (lt.floats <= 0) continue;
+    const std::int64_t size = AlignUp(lt.floats);
+    // Candidate offsets: 0 and one past the end of every interval-conflicting
+    // placement. Best fit = the lowest candidate free of conflicts.
+    std::int64_t best = -1;
+    std::vector<std::int64_t> candidates{0};
+    for (const Placed& q : placed) {
+      if (q.last < lt.first || q.first > lt.last) continue;  // lifetimes disjoint
+      candidates.push_back(q.end);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const std::int64_t cand : candidates) {
+      bool ok = true;
+      for (const Placed& q : placed) {
+        if (q.last < lt.first || q.first > lt.last) continue;
+        if (cand < q.end && cand + size > q.begin) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        best = cand;
+        break;
+      }
+    }
+    // The past-the-end candidate of the highest conflicting placement always
+    // fits, so `best` is set by construction.
+    layout.offsets[i] = best;
+    placed.push_back({best, best + size, lt.first, lt.last});
+    layout.total_floats = std::max(layout.total_floats, best + size);
+  }
+  return layout;
+}
+
+}  // namespace predtop::compile

@@ -1,5 +1,6 @@
 #include "core/predictors.h"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -19,9 +20,31 @@ namespace predtop::core {
 
 using autograd::Variable;
 
+StagePredictor::~StagePredictor() {
+  compile::ProgramCache::Global().EvictOwner(instance_id_);
+}
+
 float StagePredictor::InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) {
   (void)ctx;
   return Forward(g).value().data()[0];
+}
+
+std::shared_ptr<compile::InferProgram> StagePredictor::CachedProgram(
+    const graph::EncodedGraph& g) {
+  auto& cache = compile::ProgramCache::Global();
+  const auto ne = static_cast<std::int64_t>(g.edge_src.size());
+  if (auto hit = cache.Lookup(instance_id_, g.num_nodes, ne)) return *hit;
+  std::shared_ptr<compile::InferProgram> program = BuildProgram(g);
+  cache.Insert(instance_id_, g.num_nodes, ne, program);
+  return program;
+}
+
+bool StagePredictor::TryInferCompiled(const graph::EncodedGraph& g, float* out) {
+  const auto program = CachedProgram(g);
+  if (program == nullptr) return false;
+  compile::ExecInputs inputs;
+  inputs.g = &g;
+  return compile::Execute(*program, inputs, out);
 }
 
 const char* PredictorKindName(PredictorKind kind) noexcept {
@@ -79,6 +102,10 @@ class DagTransformerPredictor final : public StagePredictor {
   }
 
   float InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) override {
+    if (compile::CompileEnabled()) {
+      float y = 0.0f;
+      if (TryInferCompiled(g, &y)) return y;
+    }
     ctx.BeginForward();
     const tensor::ConstMat features = nn::infer::View(g.features);
     tensor::MatRef h = input_proj_.InferForward(features, ctx);
@@ -99,6 +126,66 @@ class DagTransformerPredictor final : public StagePredictor {
   }
 
   std::string Name() const override { return "DagTransformer"; }
+
+  /// Record InferScalar's op sequence: input projection (+DAGPE), the four
+  /// steps per transformer layer the fuser produces, pooled head. The fusion
+  /// pass turns each layer into kFusedAttention + two kLinearResidualNorm +
+  /// one kLinearAct step.
+  std::shared_ptr<compile::InferProgram> BuildProgram(
+      const graph::EncodedGraph& g) const override {
+    if (g.num_nodes <= 0 || g.features.rank() != 2 ||
+        g.features.dim(1) != options_.feature_dim) {
+      return nullptr;
+    }
+    const std::int64_t n = g.num_nodes;
+    compile::ProgramBuilder b(n, static_cast<std::int64_t>(g.edge_src.size()),
+                              options_.feature_dim);
+    const compile::ValueId x = b.Input(compile::External::kFeatures, n, options_.feature_dim);
+    compile::ValueId h = b.Linear(input_proj_, x);
+    if (options_.use_dagpe) {
+      b.Add(h, b.Input(compile::External::kDepthPe, n, options_.dagt_dim));
+    }
+    for (const auto& layer : layers_) {
+      const nn::MultiheadMaskedAttention& at = layer->Attention();
+      const compile::ValueId q = b.Linear(at.Wq(), h);
+      const compile::ValueId k = b.Linear(at.Wk(), h);
+      const compile::ValueId v = b.Linear(at.Wv(), h);
+      b.Scale(q, 1.0f / std::sqrt(static_cast<float>(at.HeadDim())));
+      const compile::ValueId merged = b.AttnHeads(at, q, k, v, options_.use_dagra);
+      const compile::ValueId o = b.Linear(at.Wo(), merged);
+      b.Add(o, h);
+      const compile::ValueId h1 = b.LayerNorm(o, layer->Norm1Gain(), layer->Norm1Bias());
+      const compile::ValueId f = b.Linear(layer->FfnIn(), h1);
+      b.Relu(f);
+      const compile::ValueId ffn = b.Linear(layer->FfnOut(), f);
+      b.Add(ffn, h1);
+      h = b.LayerNorm(ffn, layer->Norm2Gain(), layer->Norm2Bias());
+    }
+    const compile::ValueId pooled_h = b.Pool(h);
+    const compile::ValueId pooled_f = b.Pool(x);
+    b.Scale(pooled_f, 1.0f / 256.0f);
+    compile::ValueId t = b.Concat2(pooled_h, pooled_f);
+    const std::vector<nn::Linear>& head_layers = head_->Layers();
+    for (std::size_t i = 0; i < head_layers.size(); ++i) {
+      t = b.Linear(head_layers[i], t);
+      if (i + 1 < head_layers.size()) b.Relu(t);
+    }
+    return b.Finish(t);
+  }
+
+  bool TryInferCompiled(const graph::EncodedGraph& g, float* out) override {
+    const auto program = CachedProgram(g);
+    if (program == nullptr) return false;
+    compile::ExecInputs inputs;
+    inputs.g = &g;
+    if (options_.use_dagra) inputs.mask = &g.dagra_mask;
+    std::shared_ptr<const tensor::Tensor> pe;  // keeps the encoding alive
+    if (options_.use_dagpe) {
+      pe = CachedDepthEncoding(g);
+      inputs.pe = pe->data().data();
+    }
+    return compile::Execute(*program, inputs, out);
+  }
 
   std::vector<Variable*> Parameters() override {
     std::vector<Variable*> out = input_proj_.Parameters();
@@ -171,6 +258,10 @@ class GcnPredictor final : public StagePredictor {
   }
 
   float InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) override {
+    if (compile::CompileEnabled()) {
+      float y = 0.0f;
+      if (TryInferCompiled(g, &y)) return y;
+    }
     ctx.BeginForward();
     tensor::ConstMat h = nn::infer::View(g.features);
     for (const auto& layer : layers_) {
@@ -183,6 +274,32 @@ class GcnPredictor final : public StagePredictor {
   }
 
   std::string Name() const override { return "GCN"; }
+
+  std::shared_ptr<compile::InferProgram> BuildProgram(
+      const graph::EncodedGraph& g) const override {
+    if (layers_.empty()) return nullptr;
+    const std::int64_t feature_dim = layers_.front()->Projection().InFeatures();
+    if (g.num_nodes <= 0 || g.features.rank() != 2 || g.features.dim(1) != feature_dim ||
+        g.adj_norm == nullptr) {
+      return nullptr;
+    }
+    compile::ProgramBuilder b(g.num_nodes, static_cast<std::int64_t>(g.edge_src.size()),
+                              feature_dim);
+    compile::ValueId h =
+        b.Input(compile::External::kFeatures, g.num_nodes, feature_dim);
+    for (const auto& layer : layers_) {
+      const compile::ValueId t = b.Linear(layer->Projection(), h);
+      h = b.Spmm(t);
+      b.Relu(h);
+    }
+    compile::ValueId t = b.Pool(h);
+    const std::vector<nn::Linear>& head_layers = head_->Layers();
+    for (std::size_t i = 0; i < head_layers.size(); ++i) {
+      t = b.Linear(head_layers[i], t);
+      if (i + 1 < head_layers.size()) b.Relu(t);
+    }
+    return b.Finish(t);
+  }
 
   std::vector<Variable*> Parameters() override {
     std::vector<Variable*> out;
@@ -229,6 +346,10 @@ class GatPredictor final : public StagePredictor {
   }
 
   float InferScalar(const graph::EncodedGraph& g, nn::InferenceContext& ctx) override {
+    if (compile::CompileEnabled()) {
+      float y = 0.0f;
+      if (TryInferCompiled(g, &y)) return y;
+    }
     ctx.BeginForward();
     tensor::ConstMat h = nn::infer::View(g.features);
     for (const auto& layer : layers_) {
@@ -241,6 +362,41 @@ class GatPredictor final : public StagePredictor {
   }
 
   std::string Name() const override { return "GAT"; }
+
+  std::shared_ptr<compile::InferProgram> BuildProgram(
+      const graph::EncodedGraph& g) const override {
+    if (layers_.empty()) return nullptr;
+    const std::int64_t feature_dim = layers_.front()->Projection().InFeatures();
+    if (g.num_nodes <= 0 || g.features.rank() != 2 || g.features.dim(1) != feature_dim ||
+        g.edge_src.size() != g.edge_dst.size()) {
+      return nullptr;
+    }
+    compile::ProgramBuilder b(g.num_nodes, static_cast<std::int64_t>(g.edge_src.size()),
+                              feature_dim);
+    compile::ValueId h =
+        b.Input(compile::External::kFeatures, g.num_nodes, feature_dim);
+    for (const auto& layer : layers_) {
+      const compile::ValueId proj = b.Linear(layer->Projection(), h);
+      const compile::ValueId src_scores = b.MatVec(proj, layer->AttnSrc());
+      const compile::ValueId dst_scores = b.MatVec(proj, layer->AttnDst());
+      const compile::ValueId e = b.EdgeScores(src_scores, dst_scores);
+      b.LeakyRelu(e, layer->NegativeSlope());
+      const compile::ValueId alpha = b.SegmentSoftmax(e);
+      const compile::ValueId messages = b.GatherRows(proj, /*by_dst=*/false);
+      b.RowScale(messages, alpha);
+      const compile::ValueId agg = b.SegmentSum(messages);
+      b.AddRowVector(agg, layer->BiasVar());
+      b.Relu(agg);
+      h = agg;
+    }
+    compile::ValueId t = b.Pool(h);
+    const std::vector<nn::Linear>& head_layers = head_->Layers();
+    for (std::size_t i = 0; i < head_layers.size(); ++i) {
+      t = b.Linear(head_layers[i], t);
+      if (i + 1 < head_layers.size()) b.Relu(t);
+    }
+    return b.Finish(t);
+  }
 
   std::vector<Variable*> Parameters() override {
     std::vector<Variable*> out;

@@ -8,6 +8,8 @@
 #include <memory>
 #include <string>
 
+#include "compile/cache.h"
+#include "compile/program.h"
 #include "graph/encode.h"
 #include "nn/dag_transformer.h"
 #include "nn/infer.h"
@@ -43,6 +45,11 @@ struct PredictorOptions {
 /// A graph-in, scalar-out regressor over encoded stage DAGs.
 class StagePredictor : public nn::Module {
  public:
+  /// Evicts this instance's compiled programs from the global cache, so a
+  /// hot-swapped model releases both the programs and the packed-weight
+  /// snapshots they pin (the registry-swap leak fix).
+  ~StagePredictor() override;
+
   /// Prediction in normalized target space, shape (1, 1).
   [[nodiscard]] virtual autograd::Variable Forward(const graph::EncodedGraph& g) = 0;
 
@@ -51,11 +58,38 @@ class StagePredictor : public nn::Module {
   /// encodings. Mirrors Forward's kernels exactly; safe to call from many
   /// threads concurrently (one ctx per thread), but not concurrently with
   /// parameter mutation. The base implementation falls back to the autograd
-  /// tape so predictors without a fast path stay correct.
+  /// tape so predictors without a fast path stay correct. Concrete
+  /// predictors first try the compiled program for g's shape class (see
+  /// compile::InferProgram) unless PREDTOP_COMPILE disables it.
   [[nodiscard]] virtual float InferScalar(const graph::EncodedGraph& g,
                                           nn::InferenceContext& ctx);
 
   [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Program-cache owner key of this instance.
+  [[nodiscard]] std::uint64_t InstanceId() const noexcept { return instance_id_; }
+
+ protected:
+  /// Compiled program for g's shape class: LRU-cached globally, recorded via
+  /// BuildProgram on a miss (null results are cached too, so uncompilable
+  /// shapes pay the builder once). nullptr = fall back to the op-by-op path.
+  [[nodiscard]] std::shared_ptr<compile::InferProgram> CachedProgram(
+      const graph::EncodedGraph& g);
+
+  /// Record this predictor's forward as a compilable program; base: none.
+  [[nodiscard]] virtual std::shared_ptr<compile::InferProgram> BuildProgram(
+      const graph::EncodedGraph& g) const {
+    (void)g;
+    return nullptr;
+  }
+
+  /// Execute the compiled program for g, writing the normalized prediction
+  /// to *out. Overrides supply the predictor-specific externals (DAGRA mask,
+  /// depth encodings). False = not compiled / shape mismatch: fall back.
+  [[nodiscard]] virtual bool TryInferCompiled(const graph::EncodedGraph& g, float* out);
+
+ private:
+  std::uint64_t instance_id_ = compile::NextOwnerId();
 };
 
 [[nodiscard]] std::unique_ptr<StagePredictor> MakePredictor(PredictorKind kind,

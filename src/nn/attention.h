@@ -29,6 +29,15 @@ class MultiheadMaskedAttention : public Module {
   [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
   [[nodiscard]] std::int64_t Heads() const noexcept { return heads_; }
+  [[nodiscard]] std::int64_t Dim() const noexcept { return dim_; }
+  [[nodiscard]] std::int64_t HeadDim() const noexcept { return head_dim_; }
+
+  // Projection handles for the compiled-program builder (predtop::compile),
+  // which records the q/k/v/o chain as one fused step.
+  [[nodiscard]] const Linear& Wq() const noexcept { return wq_; }
+  [[nodiscard]] const Linear& Wk() const noexcept { return wk_; }
+  [[nodiscard]] const Linear& Wv() const noexcept { return wv_; }
+  [[nodiscard]] const Linear& Wo() const noexcept { return wo_; }
 
  private:
   std::int64_t dim_;

@@ -28,6 +28,17 @@ class DagTransformerLayer : public Module {
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
   [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
+  // Block structure for the compiled-program builder (predtop::compile).
+  [[nodiscard]] const MultiheadMaskedAttention& Attention() const noexcept {
+    return attention_;
+  }
+  [[nodiscard]] const Linear& FfnIn() const noexcept { return ffn_in_; }
+  [[nodiscard]] const Linear& FfnOut() const noexcept { return ffn_out_; }
+  [[nodiscard]] const autograd::Variable& Norm1Gain() const noexcept { return norm1_gain_; }
+  [[nodiscard]] const autograd::Variable& Norm1Bias() const noexcept { return norm1_bias_; }
+  [[nodiscard]] const autograd::Variable& Norm2Gain() const noexcept { return norm2_gain_; }
+  [[nodiscard]] const autograd::Variable& Norm2Bias() const noexcept { return norm2_bias_; }
+
  private:
   MultiheadMaskedAttention attention_;
   Linear ffn_in_;

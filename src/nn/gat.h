@@ -31,6 +31,13 @@ class GatConv : public Module {
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
   [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
+  // Structure accessors for the compiled-program builder (predtop::compile).
+  [[nodiscard]] const Linear& Projection() const noexcept { return linear_; }
+  [[nodiscard]] const autograd::Variable& AttnSrc() const noexcept { return attn_src_; }
+  [[nodiscard]] const autograd::Variable& AttnDst() const noexcept { return attn_dst_; }
+  [[nodiscard]] const autograd::Variable& BiasVar() const noexcept { return bias_; }
+  [[nodiscard]] float NegativeSlope() const noexcept { return negative_slope_; }
+
  private:
   Linear linear_;
   autograd::Variable attn_src_;  // (out, 1)

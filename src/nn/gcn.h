@@ -27,6 +27,9 @@ class GcnConv : public Module {
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
   [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
 
+  /// Inner projection (the compiled-program builder records it directly).
+  [[nodiscard]] const Linear& Projection() const noexcept { return linear_; }
+
  private:
   Linear linear_;
 };

@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
 
@@ -161,7 +162,6 @@ DeferredSoftmax RowSoftmaxDeferred(InferenceContext& ctx, ConstMat logits,
   MatRef weights = ctx.arena().Alloc(rows, cols);
   MatRef inv_sum = ctx.arena().Alloc(rows, 1);
   const float* pm = additive_mask != nullptr ? additive_mask->data().data() : nullptr;
-  constexpr float kNegInfCut = -1e30f;
   // Deferred normalization makes the softmax shift-invariant, so the cheaper
   // unmasked row max works as the exp shift (it bounds the masked max from
   // above, keeping every exp argument nonpositive) and the max pass skips the
@@ -184,16 +184,13 @@ DeferredSoftmax RowSoftmaxDeferred(InferenceContext& ctx, ConstMat logits,
       continue;
     }
     // Rare: the row is fully masked, or every open lane underflowed against
-    // an unmasked max dominated by a masked lane. Redo with the masked max,
-    // exactly as the training path shifts.
-    const float mmax = tensor::simd::MaskedRowMax(lrow, mrow, cols);
-    if (mmax < kNegInfCut) {  // fully masked row: zero weights, and inv must
-      std::fill(orow, orow + cols, 0.0f);  // be 0 (not 1/0) so 0*inv stays 0.
-      inv_sum.data[i] = 0.0f;
-      continue;
-    }
-    inv_sum.data[i] =
-        1.0f / tensor::simd::ExpShiftedNonPositiveSumN(lrow, mrow, mmax, orow, cols);
+    // an unmasked max dominated by a masked lane. The retry must *check* the
+    // mask rather than add it: recomputing a max over lrow[j] + mrow[j]
+    // turns an overflowed +inf logit under a -inf mask lane into NaN, which
+    // survives the fully-masked test and poisons the weights. The shared
+    // kernel shifts by the max over open lanes only and zeroes the rest
+    // (fully masked rows get all-zero weights and inv 0, so 0*inv stays 0).
+    inv_sum.data[i] = tensor::fused::MaskedSoftmaxRetryRow(lrow, mrow, orow, cols);
   }
   return {weights, inv_sum};
 }

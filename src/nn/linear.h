@@ -10,6 +10,7 @@
 #include "nn/infer.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "util/rng.h"
 
 namespace predtop::nn {
@@ -38,22 +39,39 @@ class Linear : public Module {
 
   /// Weight matrix handle (exposed for GAT attention vectors etc.).
   [[nodiscard]] autograd::Variable& Weight() noexcept { return weight_; }
+  [[nodiscard]] const autograd::Variable& Weight() const noexcept { return weight_; }
+  /// Bias handle, or nullptr for a bias-free layer.
+  [[nodiscard]] const autograd::Variable* Bias() const noexcept {
+    return bias_.defined() ? &bias_ : nullptr;
+  }
 
- private:
   /// Immutable per-epoch derived forms of the weight; readers hold a
-  /// shared_ptr so a concurrent repack can never free data under them.
+  /// shared_ptr so a concurrent repack can never free data under them. The
+  /// reduced-precision panels (tensor::WeightPrec) are built alongside the
+  /// fp32 pack, and `prec` records the tier they were built for so flipping
+  /// PREDTOP_GEMM_PREC invalidates the snapshot like a parameter mutation.
   struct InferWeights {
     std::uint64_t epoch = 0;
-    tensor::PackedB pack;      // packed weight for the blocked GEMM tier
-    tensor::Tensor weight_t;   // W^T for the narrow-output dot tier
+    tensor::GemmPrec prec = tensor::GemmPrec::kFp32;
+    tensor::PackedB pack;       // packed weight for the blocked GEMM tier
+    tensor::PackedB16 pack16;   // bf16 panels (prec == kBf16 only)
+    tensor::PackedB8 pack8;     // int8 panels + column scales (kInt8 only)
+    tensor::Tensor weight_t;    // W^T for the narrow-output dot tier
   };
+
+  /// Current weight snapshot (lazily rebuilt when ParameterEpoch or the
+  /// precision tier moves). The compiled inference programs hold these per
+  /// step so a warm forward revalidates one epoch load instead of taking
+  /// every layer's cache mutex.
+  [[nodiscard]] std::shared_ptr<const InferWeights> SnapshotInferWeights() const;
+
+ private:
   // Heap-held so the mutex does not make Linear unmovable (Mlp stores
   // Linears by value).
   struct InferCache {
     std::mutex mutex;
     std::shared_ptr<const InferWeights> weights;
   };
-  [[nodiscard]] std::shared_ptr<const InferWeights> CachedInferWeights() const;
 
   std::int64_t in_;
   std::int64_t out_;
@@ -77,6 +95,9 @@ class Mlp : public Module {
 
   [[nodiscard]] std::vector<autograd::Variable*> Parameters() override;
   [[nodiscard]] std::vector<NamedParameter> NamedParameters() override;
+
+  /// Layer list (the compiled-program builder records one step per layer).
+  [[nodiscard]] const std::vector<Linear>& Layers() const noexcept { return layers_; }
 
  private:
   std::vector<Linear> layers_;

@@ -101,6 +101,24 @@ void MicroKernelPanel(const float* __restrict a, std::int64_t lda, const float* 
   }
 }
 
+/// Wide tile: one 16-float vector per panel row, up to 12 accumulators. On
+/// AVX-512 this halves the FMA instruction count per k step and fills the
+/// FMA pipeline from a single B load; per output lane the accumulation
+/// sequence is identical to the narrow tile, so results match it bit for bit.
+template <int MR>
+void MicroKernelPanelWide(const float* __restrict a, std::int64_t lda,
+                          const float* __restrict bp, std::int64_t k,
+                          float* __restrict c, std::int64_t ldc) {
+  simd::F16 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = simd::Broadcast16(0.0f);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    simd::F16 b;
+    std::memcpy(&b, bp + kk * kGemmPanel, sizeof b);
+    for (int r = 0; r < MR; ++r) acc[r] += simd::Broadcast16(a[r * lda + kk]) * b;
+  }
+  for (int r = 0; r < MR; ++r) std::memcpy(c + r * ldc, &acc[r], sizeof(simd::F16));
+}
+
 #else  // scalar fallback for compilers without vector extensions
 
 template <int MR>
@@ -117,10 +135,28 @@ void MicroKernelPanel(const float* __restrict a, std::int64_t lda, const float* 
   for (int r = 0; r < MR; ++r) std::memcpy(c + r * ldc, acc[r], sizeof acc[r]);
 }
 
+template <int MR>
+void MicroKernelPanelWide(const float* __restrict a, std::int64_t lda,
+                          const float* __restrict bp, std::int64_t k,
+                          float* __restrict c, std::int64_t ldc) {
+  MicroKernelPanel<MR>(a, lda, bp, k, c, ldc);
+}
+
 #endif
 
-void DispatchMicroKernel(int mr, const float* a, std::int64_t lda, const float* bp,
-                         std::int64_t k, float* c, std::int64_t ldc) {
+std::atomic<bool>& WideTileFlag() noexcept {
+  static std::atomic<bool> flag{
+#if defined(__AVX512F__)
+      true
+#else
+      false
+#endif
+  };
+  return flag;
+}
+
+void DispatchNarrow(int mr, const float* a, std::int64_t lda, const float* bp,
+                    std::int64_t k, float* c, std::int64_t ldc) {
   switch (mr) {
     case 6: MicroKernelPanel<6>(a, lda, bp, k, c, ldc); break;
     case 5: MicroKernelPanel<5>(a, lda, bp, k, c, ldc); break;
@@ -131,16 +167,46 @@ void DispatchMicroKernel(int mr, const float* a, std::int64_t lda, const float* 
   }
 }
 
+void DispatchMicroKernel(int mr, const float* a, std::int64_t lda, const float* bp,
+                         std::int64_t k, float* c, std::int64_t ldc) {
+  if (WideTileFlag().load(std::memory_order_relaxed)) {
+    switch (mr) {
+      case 12: MicroKernelPanelWide<12>(a, lda, bp, k, c, ldc); break;
+      case 11: MicroKernelPanelWide<11>(a, lda, bp, k, c, ldc); break;
+      case 10: MicroKernelPanelWide<10>(a, lda, bp, k, c, ldc); break;
+      case 9: MicroKernelPanelWide<9>(a, lda, bp, k, c, ldc); break;
+      case 8: MicroKernelPanelWide<8>(a, lda, bp, k, c, ldc); break;
+      case 7: MicroKernelPanelWide<7>(a, lda, bp, k, c, ldc); break;
+      case 6: MicroKernelPanelWide<6>(a, lda, bp, k, c, ldc); break;
+      case 5: MicroKernelPanelWide<5>(a, lda, bp, k, c, ldc); break;
+      case 4: MicroKernelPanelWide<4>(a, lda, bp, k, c, ldc); break;
+      case 3: MicroKernelPanelWide<3>(a, lda, bp, k, c, ldc); break;
+      case 2: MicroKernelPanelWide<2>(a, lda, bp, k, c, ldc); break;
+      default: MicroKernelPanelWide<1>(a, lda, bp, k, c, ldc); break;
+    }
+    return;
+  }
+  // Narrow tile handles at most 6 rows; larger tiles split row-wise, which
+  // leaves every output element's accumulation order untouched.
+  while (mr > 6) {
+    DispatchNarrow(6, a, lda, bp, k, c, ldc);
+    a += 6 * lda;
+    c += 6 * ldc;
+    mr -= 6;
+  }
+  DispatchNarrow(mr, a, lda, bp, k, c, ldc);
+}
+
 /// Rows [row_begin, row_end) of C = A * packed(B), with row strides lda/ldc
 /// (the contiguous case passes b.k / b.n). row_begin must be a multiple of
 /// kGemmMr (threaded chunks honor this) so tiles never straddle a partition
 /// boundary.
-void PackedRowRange(const float* __restrict a, std::int64_t lda, const PackedB& b,
+void PackedRowRange(const float* __restrict a, std::int64_t lda, PackedBView b,
                     float* __restrict c, std::int64_t ldc, std::int64_t row_begin,
                     std::int64_t row_end) {
   const std::int64_t k = b.k, n = b.n;
   const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
-  const float* pb = b.data.data();
+  const float* pb = b.data;
   for (std::int64_t i = row_begin; i < row_end; i += kGemmMr) {
     const int mr = static_cast<int>(std::min<std::int64_t>(kGemmMr, row_end - i));
     const float* ablock = a + i * lda;
@@ -193,22 +259,28 @@ util::ThreadPool& GemmPool() {
 
 }  // namespace
 
-void PackBInto(const float* b, std::int64_t k, std::int64_t n, PackedB& out,
-               std::int64_t ldb) {
+void PackBIntoBuf(const float* b, std::int64_t k, std::int64_t n, float* out,
+                  std::int64_t ldb) {
   if (ldb < 0) ldb = n;
-  out.k = k;
-  out.n = n;
   const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
-  out.data.assign(static_cast<std::size_t>(num_panels * k * kGemmPanel), 0.0f);
   for (std::int64_t p = 0; p < num_panels; ++p) {
     const std::int64_t j0 = p * kGemmPanel;
     const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
-    float* panel = out.data.data() + p * k * kGemmPanel;
+    float* panel = out + p * k * kGemmPanel;
     for (std::int64_t kk = 0; kk < k; ++kk) {
       std::memcpy(panel + kk * kGemmPanel, b + kk * ldb + j0,
                   static_cast<std::size_t>(w) * sizeof(float));
+      for (std::int64_t j = w; j < kGemmPanel; ++j) panel[kk * kGemmPanel + j] = 0.0f;
     }
   }
+}
+
+void PackBInto(const float* b, std::int64_t k, std::int64_t n, PackedB& out,
+               std::int64_t ldb) {
+  out.k = k;
+  out.n = n;
+  out.data.resize(static_cast<std::size_t>(PackedBFloats(k, n)));
+  PackBIntoBuf(b, k, n, out.data.data(), ldb);
 }
 
 PackedB PackB(const Tensor& b) {
@@ -218,22 +290,30 @@ PackedB PackB(const Tensor& b) {
   return out;
 }
 
-void PackBTransposedInto(const float* bt, std::int64_t k, std::int64_t n, PackedB& out,
-                         std::int64_t ldb) {
+void PackBTransposedIntoBuf(const float* bt, std::int64_t k, std::int64_t n, float* out,
+                            std::int64_t ldb) {
   if (ldb < 0) ldb = k;
-  out.k = k;
-  out.n = n;
   const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
-  out.data.assign(static_cast<std::size_t>(num_panels * k * kGemmPanel), 0.0f);
   for (std::int64_t p = 0; p < num_panels; ++p) {
     const std::int64_t j0 = p * kGemmPanel;
     const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
-    float* panel = out.data.data() + p * k * kGemmPanel;
+    float* panel = out + p * k * kGemmPanel;
+    if (w < kGemmPanel) {
+      std::memset(panel, 0, static_cast<std::size_t>(k * kGemmPanel) * sizeof(float));
+    }
     for (std::int64_t j = 0; j < w; ++j) {
       const float* src = bt + (j0 + j) * ldb;  // column j0+j of B is row j0+j of B^T
       for (std::int64_t kk = 0; kk < k; ++kk) panel[kk * kGemmPanel + j] = src[kk];
     }
   }
+}
+
+void PackBTransposedInto(const float* bt, std::int64_t k, std::int64_t n, PackedB& out,
+                         std::int64_t ldb) {
+  out.k = k;
+  out.n = n;
+  out.data.resize(static_cast<std::size_t>(PackedBFloats(k, n)));
+  PackBTransposedIntoBuf(bt, k, n, out.data.data(), ldb);
 }
 
 namespace {
@@ -249,6 +329,12 @@ void SetPackedGemmEnabled(bool enabled) noexcept {
   PackedGemmFlag().store(enabled, std::memory_order_relaxed);
 }
 
+bool GemmWideTiles() noexcept { return WideTileFlag().load(std::memory_order_relaxed); }
+
+void SetGemmWideTiles(bool enabled) noexcept {
+  WideTileFlag().store(enabled, std::memory_order_relaxed);
+}
+
 bool PackedGemmEnabled() noexcept {
   return PackedGemmFlag().load(std::memory_order_relaxed);
 }
@@ -256,8 +342,9 @@ bool PackedGemmEnabled() noexcept {
 bool UsePackedGemm(std::int64_t m, std::int64_t k, std::int64_t n) noexcept {
   // Packing costs O(k*n); below ~256Ki multiply-accumulates the i-k-j kernel
   // wins. Narrow outputs stay on the simd::Dot path and short k gives the
-  // micro-kernel nothing to stream.
-  if (n < kGemmPanel || k < 8 || m < kGemmMr) return false;
+  // micro-kernel nothing to stream. The floor is kGemmRowFloor, not kGemmMr:
+  // tier selection must not move when the register tile height changes.
+  if (n < kGemmPanel || k < 8 || m < kGemmRowFloor) return false;
   if (!PackedGemmEnabled()) return false;
   return m * k * n >= (std::int64_t{1} << 18);
 }
@@ -271,6 +358,12 @@ bool UseThreadedGemm(std::int64_t m, std::int64_t k, std::int64_t n) noexcept {
 void MatMulPackedStridedInto(const float* a, std::int64_t m, std::int64_t lda,
                              const PackedB& b, float* c, std::int64_t ldc,
                              bool allow_threads) {
+  MatMulPackedViewStridedInto(a, m, lda, ViewOf(b), c, ldc, allow_threads);
+}
+
+void MatMulPackedViewStridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                                 PackedBView b, float* c, std::int64_t ldc,
+                                 bool allow_threads) {
   if (m <= 0 || b.n <= 0) return;
   if (allow_threads && UseThreadedGemm(m, b.k, b.n)) {
     util::ThreadPool& pool = GemmPool();
@@ -295,6 +388,45 @@ void MatMulPackedStridedInto(const float* a, std::int64_t m, std::int64_t lda,
 void MatMulPackedInto(const float* a, std::int64_t m, const PackedB& b, float* c,
                       bool allow_threads) {
   MatMulPackedStridedInto(a, m, b.k, b, c, b.n, allow_threads);
+}
+
+void PackedViewTile(const float* a, std::int64_t lda, PackedBView b, float* c,
+                    std::int64_t ldc, int mr, std::int64_t col_begin, std::int64_t col_end,
+                    std::int64_t k_begin, std::int64_t k_end) {
+  if (mr <= 0 || col_end <= col_begin || b.n <= 0) return;
+  col_begin = std::max<std::int64_t>(0, col_begin);
+  col_end = std::min(col_end, b.n);
+  k_begin = std::max<std::int64_t>(0, k_begin);
+  k_end = std::min(k_end, b.k);
+  const std::int64_t kw = k_end - k_begin;
+  const std::int64_t p_begin = col_begin / kGemmPanel;
+  const std::int64_t p_end = (col_end + kGemmPanel - 1) / kGemmPanel;
+  for (std::int64_t p = p_begin; p < p_end; ++p) {
+    // Panels store kGemmPanel floats per k step, so the k window is a simple
+    // offset into the panel stream; skipped k lanes never enter the
+    // accumulator (their weights are exact zeros in the masked callers).
+    const float* bp = b.data + p * b.k * kGemmPanel + k_begin * kGemmPanel;
+    const std::int64_t j0 = p * kGemmPanel;
+    const std::int64_t w = std::min<std::int64_t>(kGemmPanel, b.n - j0);
+    if (kw <= 0) {
+      // Empty accumulation window: the tile is exactly zero.
+      for (int r = 0; r < mr; ++r) {
+        for (std::int64_t j = 0; j < w; ++j) c[r * ldc + j0 + j] = 0.0f;
+      }
+      continue;
+    }
+    const float* ablock = a + k_begin;
+    if (w == kGemmPanel) {
+      DispatchMicroKernel(mr, ablock, lda, bp, kw, c + j0, ldc);
+    } else {
+      float tmp[kGemmMr * kGemmPanel];
+      DispatchMicroKernel(mr, ablock, lda, bp, kw, tmp, kGemmPanel);
+      for (int r = 0; r < mr; ++r) {
+        std::memcpy(c + r * ldc + j0, tmp + r * kGemmPanel,
+                    static_cast<std::size_t>(w) * sizeof(float));
+      }
+    }
+  }
 }
 
 Tensor MatMulPacked(const Tensor& a, const PackedB& b, bool allow_threads) {

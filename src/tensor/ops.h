@@ -27,10 +27,24 @@ namespace predtop::tensor {
 
 // ---- packed GEMM (register-blocked, B pre-packed into column panels) ----
 
-/// Columns per packed panel (two 8-wide SIMD vectors).
+/// Columns per packed panel (two 8-wide SIMD vectors, or one 16-wide).
 inline constexpr std::int64_t kGemmPanel = 16;
-/// Rows per register tile of the packed micro-kernel.
-inline constexpr std::int64_t kGemmMr = 6;
+/// Max rows per register tile of the packed micro-kernel. The wide (one
+/// 16-float vector per panel) tile keeps 12 accumulators in registers on
+/// AVX-512; the narrow two-8-wide tile processes 6 rows and mr > 6 dispatches
+/// split row-wise. Either way each output element accumulates in ascending-k
+/// order in its own lane, so tile shape never changes a single result bit.
+inline constexpr std::int64_t kGemmMr = 12;
+/// Minimum m for the packed tier (tier *selection* floor — kept at the
+/// historical tile height so shapes keep dispatching to the same kernels).
+inline constexpr std::int64_t kGemmRowFloor = 6;
+
+/// Whether packed micro-kernels use the wide 12x16 single-vector tile
+/// (default on when compiled with AVX-512 support) or the 6x16 two-vector
+/// tile. Runtime-switchable so benchmarks can A/B the tiles; results are
+/// bit-identical either way.
+[[nodiscard]] bool GemmWideTiles() noexcept;
+void SetGemmWideTiles(bool enabled) noexcept;
 
 /// B(k, n) packed panel-major: panel p holds columns [p*kGemmPanel, ...) laid
 /// out k-major (kGemmPanel contiguous floats per k step), the last panel
@@ -41,6 +55,24 @@ struct PackedB {
   std::int64_t n = 0;
   std::vector<float> data;
 };
+
+/// Non-owning view of a packed B. The compiled inference executor keeps pack
+/// storage inside its statically planned buffer, so the kernels below accept
+/// views rather than requiring the std::vector-backed PackedB.
+struct PackedBView {
+  const float* data = nullptr;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+};
+
+[[nodiscard]] inline PackedBView ViewOf(const PackedB& b) noexcept {
+  return {b.data.data(), b.k, b.n};
+}
+
+/// Floats of panel-major storage a (k, n) pack occupies (last panel padded).
+[[nodiscard]] constexpr std::int64_t PackedBFloats(std::int64_t k, std::int64_t n) noexcept {
+  return (n + kGemmPanel - 1) / kGemmPanel * k * kGemmPanel;
+}
 
 /// Pack row-major b (k, n); reuses `out.data` capacity across calls. `ldb` is
 /// b's row stride (-1 means n, i.e. contiguous) so a column block of a wider
@@ -53,6 +85,14 @@ void PackBInto(const float* b, std::int64_t k, std::int64_t n, PackedB& out,
 void PackBTransposedInto(const float* bt, std::int64_t k, std::int64_t n, PackedB& out,
                          std::int64_t ldb = -1);
 
+/// PackBInto / PackBTransposedInto writing into caller-provided storage of
+/// PackedBFloats(k, n) floats. Pad lanes of a ragged last panel are re-zeroed
+/// on every call, so a reused plan-buffer region never leaks stale values.
+void PackBIntoBuf(const float* b, std::int64_t k, std::int64_t n, float* out,
+                  std::int64_t ldb = -1);
+void PackBTransposedIntoBuf(const float* bt, std::int64_t k, std::int64_t n, float* out,
+                            std::int64_t ldb = -1);
+
 /// C(m, n) = A(m, k) * B with B pre-packed; `c` is fully overwritten (no
 /// accumulate, no pre-zeroing needed). `allow_threads` additionally gates the
 /// row-panel fan-out across the shared GEMM pool (see UseThreadedGemm).
@@ -64,6 +104,21 @@ void MatMulPackedInto(const float* a, std::int64_t m, const PackedB& b, float* c
 void MatMulPackedStridedInto(const float* a, std::int64_t m, std::int64_t lda,
                              const PackedB& b, float* c, std::int64_t ldc,
                              bool allow_threads = true);
+/// View-based MatMulPackedStridedInto (identical kernel and therefore
+/// identical bits; the PackedB overload delegates here).
+void MatMulPackedViewStridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                                 PackedBView b, float* c, std::int64_t ldc,
+                                 bool allow_threads = true);
+/// One register tile (`mr` <= kGemmMr rows starting at `a` / `c`) of
+/// C = A * packed(B), restricted to the output columns whose panels intersect
+/// [col_begin, col_end) and to the accumulation window [k_begin, k_end) of the
+/// k dimension. The compiled attention kernel uses the windows to skip work
+/// that a DAG reachability mask provably zeroes: skipped k lanes carry exact
+/// zero weights, so windowed results equal the full multiply. Columns outside
+/// the touched panels are left unwritten; an empty window writes nothing.
+void PackedViewTile(const float* a, std::int64_t lda, PackedBView b, float* c,
+                    std::int64_t ldc, int mr, std::int64_t col_begin, std::int64_t col_end,
+                    std::int64_t k_begin, std::int64_t k_end);
 [[nodiscard]] Tensor MatMulPacked(const Tensor& a, const PackedB& b,
                                   bool allow_threads = true);
 

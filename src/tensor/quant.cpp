@@ -1,0 +1,501 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+#include "util/env.h"
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace predtop::tensor {
+
+namespace {
+
+GemmPrec ParsePrec(const std::string& s) noexcept {
+  if (s == "bf16") return GemmPrec::kBf16;
+  if (s == "int8") return GemmPrec::kInt8;
+  return GemmPrec::kFp32;
+}
+
+std::atomic<GemmPrec>& PrecFlag() noexcept {
+  static std::atomic<GemmPrec> prec{
+      ParsePrec(util::EnvString("PREDTOP_GEMM_PREC").value_or("fp32"))};
+  return prec;
+}
+
+}  // namespace
+
+GemmPrec WeightPrec() noexcept { return PrecFlag().load(std::memory_order_relaxed); }
+
+void SetWeightPrec(GemmPrec prec) noexcept {
+  PrecFlag().store(prec, std::memory_order_relaxed);
+}
+
+const char* GemmPrecName(GemmPrec prec) noexcept {
+  switch (prec) {
+    case GemmPrec::kBf16: return "bf16";
+    case GemmPrec::kInt8: return "int8";
+    default: return "fp32";
+  }
+}
+
+std::uint16_t Bf16FromF32(float v) noexcept {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  if (std::isnan(v)) return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  bits += 0x7FFFu + ((bits >> 16) & 1u);  // round to nearest, ties to even
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float F32FromBf16(std::uint16_t h) noexcept {
+  const std::uint32_t bits = static_cast<std::uint32_t>(h) << 16;
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void PackB16Into(const float* b, std::int64_t k, std::int64_t n, PackedB16& out,
+                 std::int64_t ldb) {
+  if (ldb < 0) ldb = n;
+  out.k = k;
+  out.n = n;
+  const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
+  out.data.assign(static_cast<std::size_t>(num_panels * k * kGemmPanel), 0);
+  for (std::int64_t p = 0; p < num_panels; ++p) {
+    const std::int64_t j0 = p * kGemmPanel;
+    const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
+    std::uint16_t* panel = out.data.data() + p * k * kGemmPanel;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* src = b + kk * ldb + j0;
+      for (std::int64_t j = 0; j < w; ++j) panel[kk * kGemmPanel + j] = Bf16FromF32(src[j]);
+    }
+  }
+}
+
+void PackB8Into(const float* b, std::int64_t k, std::int64_t n, PackedB8& out,
+                std::int64_t ldb) {
+  if (ldb < 0) ldb = n;
+  out.k = k;
+  out.n = n;
+  const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
+  out.data.assign(static_cast<std::size_t>(num_panels * k * kGemmPanel), 0);
+  out.scales.assign(static_cast<std::size_t>(num_panels * kGemmPanel), 0.0f);
+  for (std::int64_t j = 0; j < n; ++j) {
+    float maxabs = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      maxabs = std::max(maxabs, std::fabs(b[kk * ldb + j]));
+    }
+    // Per-column scale chosen to minimise weight reconstruction MSE over a
+    // small clip-ratio sweep. Trained columns are heavy-tailed: a single
+    // outlier under plain absmax inflates the step for every other weight,
+    // and clipping the outlier costs far less than it saves. Column-local,
+    // so a combined [Wq|Wk|Wv] pack quantises bit-identically to three
+    // separate packs.
+    float scale = maxabs / 127.0f;
+    if (maxabs > 0.0f) {
+      float best_err = -1.0f;
+      float best_scale = scale;
+      for (const float ratio : {1.0f, 0.875f, 0.75f, 0.625f, 0.5f}) {
+        const float s = (maxabs * ratio) / 127.0f;
+        const float inv_s = 1.0f / s;
+        float err = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float w = b[kk * ldb + j];
+          const float q = std::clamp(std::nearbyint(w * inv_s), -127.0f, 127.0f);
+          const float d = w - q * s;
+          err += d * d;
+        }
+        if (best_err < 0.0f || err < best_err) {
+          best_err = err;
+          best_scale = s;
+        }
+      }
+      scale = best_scale;
+    }
+    out.scales[static_cast<std::size_t>(j)] = scale;
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    std::int8_t* panel = out.data.data() + (j / kGemmPanel) * k * kGemmPanel;
+    const std::int64_t jp = j % kGemmPanel;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float q = std::nearbyint(b[kk * ldb + j] * inv);
+      panel[kk * kGemmPanel + jp] =
+          static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+    }
+  }
+}
+
+// ---- micro-kernels -------------------------------------------------------
+//
+// Same register tile as the fp32 kernel (kGemmMr x kGemmPanel, fp32
+// accumulators held in registers across the whole k loop); only the B load
+// widens from the reduced storage. int8 additionally multiplies the finished
+// accumulators by the per-column scale vector before the store, so the
+// dequantization costs 2 multiplies per output element regardless of k.
+
+#ifdef PREDTOP_HAVE_VECTOR_EXT
+
+namespace {
+
+using U16x8 = std::uint16_t __attribute__((vector_size(16)));
+using U32x8 = std::uint32_t __attribute__((vector_size(32)));
+using S8x8 = std::int8_t __attribute__((vector_size(8)));
+
+inline simd::F8 WidenBf16x8(const std::uint16_t* p) noexcept {
+  U16x8 h;
+  std::memcpy(&h, p, sizeof h);
+  const U32x8 w = __builtin_convertvector(h, U32x8) << 16;
+  simd::F8 f;
+  std::memcpy(&f, &w, sizeof f);
+  return f;
+}
+
+inline simd::F8 WidenI8x8(const std::int8_t* p) noexcept {
+  // The sign-extend + int-to-float pair must come from intrinsics: GCC
+  // scalarizes __builtin_convertvector's byte-to-float widening into 8
+  // separate converts, which made the int8 tier slower than fp32. The values
+  // are exact small integers, so the instruction choice never changes a bit.
+#if defined(__AVX2__)
+  const __m256 f = _mm256_cvtepi32_ps(
+      _mm256_cvtepi8_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p))));
+  simd::F8 out;
+  std::memcpy(&out, &f, sizeof out);
+  return out;
+#else
+  S8x8 q;
+  std::memcpy(&q, p, sizeof q);
+  const simd::I8 w = __builtin_convertvector(q, simd::I8);
+  return __builtin_convertvector(w, simd::F8);
+#endif
+}
+
+using U16x16 = std::uint16_t __attribute__((vector_size(32)));
+using U32x16 = std::uint32_t __attribute__((vector_size(64)));
+using S8x16 = std::int8_t __attribute__((vector_size(16)));
+
+inline simd::F16 WidenBf16x16(const std::uint16_t* p) noexcept {
+  U16x16 h;
+  std::memcpy(&h, p, sizeof h);
+  const U32x16 w = __builtin_convertvector(h, U32x16) << 16;
+  simd::F16 f;
+  std::memcpy(&f, &w, sizeof f);
+  return f;
+}
+
+inline simd::F16 WidenI8x16(const std::int8_t* p) noexcept {
+#if defined(__AVX512F__)
+  const __m512 f = _mm512_cvtepi32_ps(
+      _mm512_cvtepi8_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))));
+  simd::F16 out;
+  std::memcpy(&out, &f, sizeof out);
+  return out;
+#else
+  S8x16 q;
+  std::memcpy(&q, p, sizeof q);
+  const simd::I16 w = __builtin_convertvector(q, simd::I16);
+  return __builtin_convertvector(w, simd::F16);
+#endif
+}
+
+template <int MR>
+void MicroKernelPanel16(const float* __restrict a, std::int64_t lda,
+                        const std::uint16_t* __restrict bp, std::int64_t k,
+                        float* __restrict c, std::int64_t ldc) {
+  simd::F8 acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = simd::Broadcast(0.0f);
+    acc1[r] = simd::Broadcast(0.0f);
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const simd::F8 b0 = WidenBf16x8(bp + kk * kGemmPanel);
+    const simd::F8 b1 = WidenBf16x8(bp + kk * kGemmPanel + 8);
+    for (int r = 0; r < MR; ++r) {
+      const simd::F8 av = simd::Broadcast(a[r * lda + kk]);
+      acc0[r] += av * b0;
+      acc1[r] += av * b1;
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    std::memcpy(c + r * ldc, &acc0[r], sizeof(simd::F8));
+    std::memcpy(c + r * ldc + 8, &acc1[r], sizeof(simd::F8));
+  }
+}
+
+template <int MR>
+void MicroKernelPanel8(const float* __restrict a, std::int64_t lda,
+                       const std::int8_t* __restrict bp, std::int64_t k,
+                       const float* __restrict scales, float* __restrict c,
+                       std::int64_t ldc) {
+  simd::F8 acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = simd::Broadcast(0.0f);
+    acc1[r] = simd::Broadcast(0.0f);
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const simd::F8 b0 = WidenI8x8(bp + kk * kGemmPanel);
+    const simd::F8 b1 = WidenI8x8(bp + kk * kGemmPanel + 8);
+    for (int r = 0; r < MR; ++r) {
+      const simd::F8 av = simd::Broadcast(a[r * lda + kk]);
+      acc0[r] += av * b0;
+      acc1[r] += av * b1;
+    }
+  }
+  simd::F8 s0, s1;
+  std::memcpy(&s0, scales, sizeof s0);
+  std::memcpy(&s1, scales + 8, sizeof s1);
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] *= s0;
+    acc1[r] *= s1;
+    std::memcpy(c + r * ldc, &acc0[r], sizeof(simd::F8));
+    std::memcpy(c + r * ldc + 8, &acc1[r], sizeof(simd::F8));
+  }
+}
+
+// Wide (one 16-float vector per panel) variants mirroring the fp32 kernel's
+// 12-row tile; each lane still accumulates in ascending-k order, so they are
+// bit-identical to the two-vector tiles above.
+template <int MR>
+void MicroKernelPanel16Wide(const float* __restrict a, std::int64_t lda,
+                            const std::uint16_t* __restrict bp, std::int64_t k,
+                            float* __restrict c, std::int64_t ldc) {
+  simd::F16 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = simd::Broadcast16(0.0f);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const simd::F16 b = WidenBf16x16(bp + kk * kGemmPanel);
+    for (int r = 0; r < MR; ++r) acc[r] += simd::Broadcast16(a[r * lda + kk]) * b;
+  }
+  for (int r = 0; r < MR; ++r) std::memcpy(c + r * ldc, &acc[r], sizeof(simd::F16));
+}
+
+template <int MR>
+void MicroKernelPanel8Wide(const float* __restrict a, std::int64_t lda,
+                           const std::int8_t* __restrict bp, std::int64_t k,
+                           const float* __restrict scales, float* __restrict c,
+                           std::int64_t ldc) {
+  simd::F16 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = simd::Broadcast16(0.0f);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const simd::F16 b = WidenI8x16(bp + kk * kGemmPanel);
+    for (int r = 0; r < MR; ++r) acc[r] += simd::Broadcast16(a[r * lda + kk]) * b;
+  }
+  simd::F16 s;
+  std::memcpy(&s, scales, sizeof s);
+  for (int r = 0; r < MR; ++r) {
+    acc[r] *= s;
+    std::memcpy(c + r * ldc, &acc[r], sizeof(simd::F16));
+  }
+}
+
+}  // namespace
+
+#else  // scalar fallback for compilers without vector extensions
+
+namespace {
+
+template <int MR>
+void MicroKernelPanel16(const float* __restrict a, std::int64_t lda,
+                        const std::uint16_t* __restrict bp, std::int64_t k,
+                        float* __restrict c, std::int64_t ldc) {
+  float acc[MR][kGemmPanel] = {};
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const std::uint16_t* brow = bp + kk * kGemmPanel;
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      for (int j = 0; j < kGemmPanel; ++j) acc[r][j] += av * F32FromBf16(brow[j]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) std::memcpy(c + r * ldc, acc[r], sizeof acc[r]);
+}
+
+template <int MR>
+void MicroKernelPanel8(const float* __restrict a, std::int64_t lda,
+                       const std::int8_t* __restrict bp, std::int64_t k,
+                       const float* __restrict scales, float* __restrict c,
+                       std::int64_t ldc) {
+  float acc[MR][kGemmPanel] = {};
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const std::int8_t* brow = bp + kk * kGemmPanel;
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      for (int j = 0; j < kGemmPanel; ++j) acc[r][j] += av * static_cast<float>(brow[j]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < kGemmPanel; ++j) c[r * ldc + j] = acc[r][j] * scales[j];
+  }
+}
+
+// Without vector extensions there is no wide tile; delegate to the scalar
+// kernels (still bit-identical — same ascending-k accumulation per element).
+template <int MR>
+void MicroKernelPanel16Wide(const float* a, std::int64_t lda, const std::uint16_t* bp,
+                            std::int64_t k, float* c, std::int64_t ldc) {
+  MicroKernelPanel16<MR>(a, lda, bp, k, c, ldc);
+}
+
+template <int MR>
+void MicroKernelPanel8Wide(const float* a, std::int64_t lda, const std::int8_t* bp,
+                           std::int64_t k, const float* scales, float* c,
+                           std::int64_t ldc) {
+  MicroKernelPanel8<MR>(a, lda, bp, k, scales, c, ldc);
+}
+
+}  // namespace
+
+#endif
+
+namespace {
+
+template <int MR>
+void Tile16(const float* a, std::int64_t lda, const std::uint16_t* bp, std::int64_t k,
+            float* c, std::int64_t ldc) {
+  MicroKernelPanel16<MR>(a, lda, bp, k, c, ldc);
+}
+
+void DispatchNarrow16(int mr, const float* a, std::int64_t lda, const std::uint16_t* bp,
+                      std::int64_t k, float* c, std::int64_t ldc) {
+  switch (mr) {
+    case 6: Tile16<6>(a, lda, bp, k, c, ldc); break;
+    case 5: Tile16<5>(a, lda, bp, k, c, ldc); break;
+    case 4: Tile16<4>(a, lda, bp, k, c, ldc); break;
+    case 3: Tile16<3>(a, lda, bp, k, c, ldc); break;
+    case 2: Tile16<2>(a, lda, bp, k, c, ldc); break;
+    default: Tile16<1>(a, lda, bp, k, c, ldc); break;
+  }
+}
+
+// Flag-aware dispatch mirroring the fp32 kernel (ops.cpp): the wide 12-row
+// tile when GemmWideTiles() is on, otherwise the historical tile with mr > 6
+// split row-wise. Bit-identical either way.
+void Dispatch16(int mr, const float* a, std::int64_t lda, const std::uint16_t* bp,
+                std::int64_t k, float* c, std::int64_t ldc) {
+  if (GemmWideTiles()) {
+    switch (mr) {
+      case 12: MicroKernelPanel16Wide<12>(a, lda, bp, k, c, ldc); break;
+      case 11: MicroKernelPanel16Wide<11>(a, lda, bp, k, c, ldc); break;
+      case 10: MicroKernelPanel16Wide<10>(a, lda, bp, k, c, ldc); break;
+      case 9: MicroKernelPanel16Wide<9>(a, lda, bp, k, c, ldc); break;
+      case 8: MicroKernelPanel16Wide<8>(a, lda, bp, k, c, ldc); break;
+      case 7: MicroKernelPanel16Wide<7>(a, lda, bp, k, c, ldc); break;
+      case 6: MicroKernelPanel16Wide<6>(a, lda, bp, k, c, ldc); break;
+      case 5: MicroKernelPanel16Wide<5>(a, lda, bp, k, c, ldc); break;
+      case 4: MicroKernelPanel16Wide<4>(a, lda, bp, k, c, ldc); break;
+      case 3: MicroKernelPanel16Wide<3>(a, lda, bp, k, c, ldc); break;
+      case 2: MicroKernelPanel16Wide<2>(a, lda, bp, k, c, ldc); break;
+      default: MicroKernelPanel16Wide<1>(a, lda, bp, k, c, ldc); break;
+    }
+    return;
+  }
+  while (mr > 6) {
+    DispatchNarrow16(6, a, lda, bp, k, c, ldc);
+    a += 6 * lda;
+    c += 6 * ldc;
+    mr -= 6;
+  }
+  DispatchNarrow16(mr, a, lda, bp, k, c, ldc);
+}
+
+void DispatchNarrow8(int mr, const float* a, std::int64_t lda, const std::int8_t* bp,
+                     std::int64_t k, const float* scales, float* c, std::int64_t ldc) {
+  switch (mr) {
+    case 6: MicroKernelPanel8<6>(a, lda, bp, k, scales, c, ldc); break;
+    case 5: MicroKernelPanel8<5>(a, lda, bp, k, scales, c, ldc); break;
+    case 4: MicroKernelPanel8<4>(a, lda, bp, k, scales, c, ldc); break;
+    case 3: MicroKernelPanel8<3>(a, lda, bp, k, scales, c, ldc); break;
+    case 2: MicroKernelPanel8<2>(a, lda, bp, k, scales, c, ldc); break;
+    default: MicroKernelPanel8<1>(a, lda, bp, k, scales, c, ldc); break;
+  }
+}
+
+void Dispatch8(int mr, const float* a, std::int64_t lda, const std::int8_t* bp,
+               std::int64_t k, const float* scales, float* c, std::int64_t ldc) {
+  if (GemmWideTiles()) {
+    switch (mr) {
+      case 12: MicroKernelPanel8Wide<12>(a, lda, bp, k, scales, c, ldc); break;
+      case 11: MicroKernelPanel8Wide<11>(a, lda, bp, k, scales, c, ldc); break;
+      case 10: MicroKernelPanel8Wide<10>(a, lda, bp, k, scales, c, ldc); break;
+      case 9: MicroKernelPanel8Wide<9>(a, lda, bp, k, scales, c, ldc); break;
+      case 8: MicroKernelPanel8Wide<8>(a, lda, bp, k, scales, c, ldc); break;
+      case 7: MicroKernelPanel8Wide<7>(a, lda, bp, k, scales, c, ldc); break;
+      case 6: MicroKernelPanel8Wide<6>(a, lda, bp, k, scales, c, ldc); break;
+      case 5: MicroKernelPanel8Wide<5>(a, lda, bp, k, scales, c, ldc); break;
+      case 4: MicroKernelPanel8Wide<4>(a, lda, bp, k, scales, c, ldc); break;
+      case 3: MicroKernelPanel8Wide<3>(a, lda, bp, k, scales, c, ldc); break;
+      case 2: MicroKernelPanel8Wide<2>(a, lda, bp, k, scales, c, ldc); break;
+      default: MicroKernelPanel8Wide<1>(a, lda, bp, k, scales, c, ldc); break;
+    }
+    return;
+  }
+  while (mr > 6) {
+    DispatchNarrow8(6, a, lda, bp, k, scales, c, ldc);
+    a += 6 * lda;
+    c += 6 * ldc;
+    mr -= 6;
+  }
+  DispatchNarrow8(mr, a, lda, bp, k, scales, c, ldc);
+}
+
+}  // namespace
+
+void MatMulPackedB16StridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                                const PackedB16& b, float* c, std::int64_t ldc) {
+  if (m <= 0 || b.n <= 0) return;
+  const std::int64_t k = b.k, n = b.n;
+  const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
+  for (std::int64_t i = 0; i < m; i += kGemmMr) {
+    const int mr = static_cast<int>(std::min<std::int64_t>(kGemmMr, m - i));
+    const float* ablock = a + i * lda;
+    float* cblock = c + i * ldc;
+    for (std::int64_t p = 0; p < num_panels; ++p) {
+      const std::uint16_t* bp = b.data.data() + p * k * kGemmPanel;
+      const std::int64_t j0 = p * kGemmPanel;
+      const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
+      if (w == kGemmPanel) {
+        Dispatch16(mr, ablock, lda, bp, k, cblock + j0, ldc);
+      } else {
+        float tmp[kGemmMr * kGemmPanel];
+        Dispatch16(mr, ablock, lda, bp, k, tmp, kGemmPanel);
+        for (int r = 0; r < mr; ++r) {
+          std::memcpy(cblock + r * ldc + j0, tmp + r * kGemmPanel,
+                      static_cast<std::size_t>(w) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+void MatMulPackedB8StridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                               const PackedB8& b, float* c, std::int64_t ldc) {
+  if (m <= 0 || b.n <= 0) return;
+  const std::int64_t k = b.k, n = b.n;
+  const std::int64_t num_panels = (n + kGemmPanel - 1) / kGemmPanel;
+  for (std::int64_t i = 0; i < m; i += kGemmMr) {
+    const int mr = static_cast<int>(std::min<std::int64_t>(kGemmMr, m - i));
+    const float* ablock = a + i * lda;
+    float* cblock = c + i * ldc;
+    for (std::int64_t p = 0; p < num_panels; ++p) {
+      const std::int8_t* bp = b.data.data() + p * k * kGemmPanel;
+      const float* scales = b.scales.data() + p * kGemmPanel;
+      const std::int64_t j0 = p * kGemmPanel;
+      const std::int64_t w = std::min<std::int64_t>(kGemmPanel, n - j0);
+      if (w == kGemmPanel) {
+        Dispatch8(mr, ablock, lda, bp, k, scales, cblock + j0, ldc);
+      } else {
+        float tmp[kGemmMr * kGemmPanel];
+        Dispatch8(mr, ablock, lda, bp, k, scales, tmp, kGemmPanel);
+        for (int r = 0; r < mr; ++r) {
+          std::memcpy(cblock + r * ldc + j0, tmp + r * kGemmPanel,
+                      static_cast<std::size_t>(w) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace predtop::tensor

@@ -1,0 +1,80 @@
+#pragma once
+// Reduced-precision packed weight panels for the inference GEMM tier.
+//
+// Two storage formats, both mirroring PackedB's panel-major layout (kGemmPanel
+// columns per panel, k-major within a panel, ragged last panel zero-padded):
+//  - PackedB16: bf16 weights (round-to-nearest-even truncation of fp32 to its
+//    top 16 bits), widened back to fp32 in the micro-kernel;
+//  - PackedB8: int8 weights with a symmetric per-output-column scale
+//    (maxabs / 127), dequantized once per column *after* the k loop.
+// Accumulation is always fp32, so both tiers keep the packed kernel's
+// deterministic ascending-k accumulation order; only the weight operand loses
+// precision (activations stay fp32). Documented tolerance: <= 1e-2 relative
+// against the fp32 kernel for well-scaled weights (bf16 has 8 mantissa bits,
+// int8 ~1/254 of the column's max magnitude per step).
+//
+// The tier is selected process-wide via PREDTOP_GEMM_PREC={fp32,bf16,int8}
+// (SetWeightPrec is the in-process A/B lever); nn::Linear folds the choice
+// into its epoch-invalidated weight snapshots and the compiled inference
+// programs inherit it through those snapshots.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace predtop::tensor {
+
+enum class GemmPrec : std::uint8_t { kFp32 = 0, kBf16 = 1, kInt8 = 2 };
+
+/// Process-wide weight-precision tier for inference GEMMs. Default parses
+/// PREDTOP_GEMM_PREC (unknown values fall back to fp32).
+[[nodiscard]] GemmPrec WeightPrec() noexcept;
+void SetWeightPrec(GemmPrec prec) noexcept;
+[[nodiscard]] const char* GemmPrecName(GemmPrec prec) noexcept;
+
+/// fp32 -> bf16 with round-to-nearest-even; NaN payloads are kept quiet.
+[[nodiscard]] std::uint16_t Bf16FromF32(float v) noexcept;
+[[nodiscard]] float F32FromBf16(std::uint16_t h) noexcept;
+
+/// bf16 B(k, n) packed panel-major (same geometry as PackedB).
+struct PackedB16 {
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::vector<std::uint16_t> data;
+};
+
+/// int8 B(k, n) packed panel-major with per-output-column scales. `scales` is
+/// padded to whole panels so the kernel can load full vectors; pad columns
+/// carry scale 0 (their accumulators are discarded anyway).
+struct PackedB8 {
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::vector<std::int8_t> data;
+  std::vector<float> scales;
+};
+
+/// Pack row-major b (k, n); `ldb` as in PackBInto (-1 means contiguous).
+void PackB16Into(const float* b, std::int64_t k, std::int64_t n, PackedB16& out,
+                 std::int64_t ldb = -1);
+void PackB8Into(const float* b, std::int64_t k, std::int64_t n, PackedB8& out,
+                std::int64_t ldb = -1);
+
+/// C(m, n) = A(m, k) * dequant(B); `c` fully overwritten, row strides as in
+/// MatMulPackedStridedInto. Serial by design — every shape the predictor
+/// serves is far below the threaded-GEMM threshold.
+void MatMulPackedB16StridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                                const PackedB16& b, float* c, std::int64_t ldc);
+void MatMulPackedB8StridedInto(const float* a, std::int64_t m, std::int64_t lda,
+                               const PackedB8& b, float* c, std::int64_t ldc);
+
+inline void MatMulPackedB16Into(const float* a, std::int64_t m, const PackedB16& b,
+                                float* c) {
+  MatMulPackedB16StridedInto(a, m, b.k, b, c, b.n);
+}
+inline void MatMulPackedB8Into(const float* a, std::int64_t m, const PackedB8& b,
+                               float* c) {
+  MatMulPackedB8StridedInto(a, m, b.k, b, c, b.n);
+}
+
+}  // namespace predtop::tensor

@@ -36,16 +36,15 @@ inline float HorizontalSum16(float __attribute__((vector_size(64))) v) noexcept 
 }
 #endif
 
-#if defined(__AVX512F__)
-// 16-wide twins for the AVX-512 build; elementwise kernels produce the same
-// bits at any width, so these are drop-in fast paths, not a numeric fork.
+// 16-wide twins, native on AVX-512 and legalized to narrower ops elsewhere;
+// elementwise kernels produce the same bits at any width, so these are
+// drop-in fast paths, not a numeric fork.
 using F16 = float __attribute__((vector_size(64)));
 using I16 = std::int32_t __attribute__((vector_size(64)));
 
 inline F16 Broadcast16(float v) noexcept {
   return F16{v, v, v, v, v, v, v, v, v, v, v, v, v, v, v, v};
 }
-#endif
 #endif
 
 /// Dot product of two contiguous float spans of length n.

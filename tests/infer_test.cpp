@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "nn/serialize.h"
 #include "tensor/arena.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "util/rng.h"
 
 namespace predtop::core {
@@ -77,6 +79,44 @@ TEST(PackedGemm, ThreadedIsBitIdenticalToSingleThread) {
   const tensor::Tensor threaded = tensor::MatMulPacked(a, b, /*allow_threads=*/true);
   for (std::int64_t i = 0; i < single.numel(); ++i) {
     ASSERT_EQ(single.data()[i], threaded.data()[i]) << "element " << i;
+  }
+}
+
+TEST(PackedGemm, WideTileIsBitIdenticalToNarrowTile) {
+  // The 12x16 single-vector tile and the historical 6x16 two-vector tile must
+  // agree bit-for-bit in every precision tier: each output lane accumulates in
+  // ascending-k order regardless of tile shape, and the compiled-program
+  // parity contract (<= 1e-6 vs the tape) depends on that.
+  const bool wide_before = tensor::GemmWideTiles();
+  const struct { std::int64_t m, k, n; } shapes[] = {
+      {1, 16, 16}, {6, 16, 16}, {7, 33, 16}, {12, 17, 40}, {13, 20, 100}, {61, 47, 129},
+  };
+  util::Rng rng(17);
+  for (const auto& s : shapes) {
+    const tensor::Tensor a = tensor::Tensor::Randn({s.m, s.k}, rng);
+    const tensor::Tensor b = tensor::Tensor::Randn({s.k, s.n}, rng);
+    const tensor::PackedB bp = tensor::PackB(b);
+    tensor::PackedB16 b16;
+    tensor::PackB16Into(b.data().data(), s.k, s.n, b16);
+    tensor::PackedB8 b8;
+    tensor::PackB8Into(b.data().data(), s.k, s.n, b8);
+    std::vector<float> wide_f(s.m * s.n), narrow_f(s.m * s.n);
+    std::vector<float> wide_16(s.m * s.n), narrow_16(s.m * s.n);
+    std::vector<float> wide_8(s.m * s.n), narrow_8(s.m * s.n);
+    tensor::SetGemmWideTiles(true);
+    tensor::MatMulPackedInto(a.data().data(), s.m, bp, wide_f.data());
+    tensor::MatMulPackedB16Into(a.data().data(), s.m, b16, wide_16.data());
+    tensor::MatMulPackedB8Into(a.data().data(), s.m, b8, wide_8.data());
+    tensor::SetGemmWideTiles(false);
+    tensor::MatMulPackedInto(a.data().data(), s.m, bp, narrow_f.data());
+    tensor::MatMulPackedB16Into(a.data().data(), s.m, b16, narrow_16.data());
+    tensor::MatMulPackedB8Into(a.data().data(), s.m, b8, narrow_8.data());
+    tensor::SetGemmWideTiles(wide_before);
+    for (std::int64_t i = 0; i < s.m * s.n; ++i) {
+      ASSERT_EQ(wide_f[i], narrow_f[i]) << "fp32 element " << i;
+      ASSERT_EQ(wide_16[i], narrow_16[i]) << "bf16 element " << i;
+      ASSERT_EQ(wide_8[i], narrow_8[i]) << "int8 element " << i;
+    }
   }
 }
 
@@ -241,6 +281,44 @@ TEST(InferParity, EncodeGraphCachesFingerprint) {
   EXPECT_EQ(cached, g.fingerprint);
   g.fingerprint = 0;  // force recompute: must agree with the cached value
   EXPECT_EQ(graph::EncodedGraphFingerprint(g), cached);
+}
+
+// ---- deferred softmax masked retry (regression) ----
+
+TEST(InferKernels, RowSoftmaxDeferredMaskedRetryHasNoNaN) {
+  nn::InferenceContext& ctx = nn::ThreadLocalInferenceContext();
+  ctx.BeginForward();
+  const float inf = std::numeric_limits<float>::infinity();
+  tensor::Tensor logits = tensor::Tensor::Zeros({3, 4});
+  tensor::Tensor mask = tensor::Tensor::Zeros({3, 4});
+  // Row 0: an overflowed +inf logit sits under a -inf mask lane. The shift
+  // max (taken over *unmasked* logits) is +inf, so every open lane's exp
+  // underflows to zero and the row takes the retry path; a retry that adds
+  // the mask to the logits turns this lane into inf + -inf = NaN.
+  logits.data()[0] = inf;
+  mask.data()[0] = -inf;
+  // Row 1: fully masked.
+  for (int j = 0; j < 4; ++j) mask.data()[4 + j] = -inf;
+  // Row 2: ordinary open row.
+  for (int j = 0; j < 4; ++j) logits.data()[8 + j] = static_cast<float>(j);
+  const nn::infer::DeferredSoftmax soft =
+      nn::infer::RowSoftmaxDeferred(ctx, nn::infer::View(logits), &mask);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(std::isfinite(soft.weights.data[i])) << "weight " << i;
+  }
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(std::isfinite(soft.inv_sum.data[i])) << "row " << i;
+  // Row 0 renormalizes over its three open lanes.
+  EXPECT_EQ(soft.weights.data[0], 0.0f);  // the masked lane contributes nothing
+  for (int j = 1; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(soft.weights.data[j] * soft.inv_sum.data[0], 1.0f / 3.0f);
+  }
+  // Row 1 is fully masked: all-zero weights with inv_sum exactly 0.
+  EXPECT_EQ(soft.inv_sum.data[1], 0.0f);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(soft.weights.data[4 + j], 0.0f);
+  // Row 2 behaves like an ordinary softmax row.
+  float total = 0.0f;
+  for (int j = 0; j < 4; ++j) total += soft.weights.data[8 + j] * soft.inv_sum.data[2];
+  EXPECT_NEAR(total, 1.0f, 1e-6f);
 }
 
 // ---- concurrency (exercised under TSan via ci/run.sh tsan) ----

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -15,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "compile/cache.h"
 #include "nn/infer.h"
 #include "serve/online.h"
 #include "serve/service.h"
@@ -216,6 +218,37 @@ TEST(OnlineTrainer, DriftTriggersRefreshStableDoesNot) {
   EXPECT_EQ(stats.refreshes, 1u);
   EXPECT_GT(stats.last_fresh_mre, stats.baseline_mre);  // baseline now post-swap
   std::remove(checkpoint.c_str());
+}
+
+TEST(OnlineTrainer, HotSwapDoesNotLeakCompiledPrograms) {
+  // Regression for the hot-swap leak: compiled programs (and the packed /
+  // quantized weight snapshots they pin) are keyed by predictor instance, so
+  // every swapped-out model must evict its own entries on destruction. With
+  // compilation enabled, repeated registry swaps must keep the global
+  // program cache bounded by the *live* model's shape classes.
+  auto& cache = compile::ProgramCache::Global();
+  cache.Clear();
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key = TestKey();
+  const core::StageDataset& base = BaseDataset();
+  const std::size_t shapes = std::min<std::size_t>(base.Size(), 3);
+  for (int round = 0; round < 6; ++round) {
+    core::PredictorOptions options = TinyOptions();
+    options.seed = 0x100ULL + static_cast<std::uint64_t>(round);
+    registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                                core::PredictorKind::kGcn, options));
+    const auto model = registry->Find(key);
+    for (std::size_t i = 0; i < shapes; ++i) {
+      const double latency = model->PredictSeconds(base.samples[i].encoded);
+      EXPECT_TRUE(std::isfinite(latency));
+    }
+    // Only the current model's programs may remain cached; the previous
+    // rounds' entries died with their predictors.
+    EXPECT_LE(cache.Size(), shapes) << "round " << round;
+  }
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kGcn, TinyOptions()));
+  EXPECT_EQ(cache.Size(), 0u);  // final swap evicted the last active model
 }
 
 TEST(OnlineTrainer, NoModelRegisteredIsANoOp) {
