@@ -31,6 +31,13 @@
 // programs disabled then enabled on both paper platforms and asserts the
 // chosen plans are equal — the compiled path must change latency, never
 // predictions (within the 1e-6 fp32 parity contract).
+//
+// PREDTOP_BATCH_DRILL=1 runs the plan search with the batch-compiled
+// executors disabled (sequential compiled replay) then enabled on both paper
+// platforms and asserts the chosen plans are BIT-equal — stacking and
+// interleaving are exact transformations, so unlike the compile drill there
+// is no tolerance: any divergence is a bug. Also asserts the batch executors
+// actually engaged (their process-wide query counters moved).
 
 #include <algorithm>
 #include <cmath>
@@ -42,6 +49,7 @@
 
 #include "bench_common.h"
 #include "cluster/local.h"
+#include "compile/batch.h"
 #include "compile/cache.h"
 #include "cluster/oracle.h"
 #include "cluster/router.h"
@@ -222,6 +230,89 @@ bool RunCompileDrill(const core::BenchmarkModel& benchmark, const sim::ClusterSp
     std::cerr << "[bench] compile drill " << platform_label
               << ": structural=" << structural << " latency_ok=" << latency_ok
               << " programs=" << programs << "\n";
+  }
+  return ok;
+}
+
+// Batch drill: the same plan search twice on one platform — batch-compiled
+// execution disabled (every query replays the sequential compiled program,
+// the pre-batch path) then enabled (same-shape query groups run through the
+// stacked/interleaved executors) — asserting the two plans are bit-equal:
+// identical stage slices and meshes, and iteration latencies equal to the
+// last bit. Returns true when they are and the batch executors engaged.
+bool RunBatchDrill(const core::BenchmarkModel& benchmark, const sim::ClusterSpec& cluster,
+                   const std::string& platform_label, std::int32_t max_span,
+                   const bench::GridConfig& grid) {
+  core::PlanSearch search(benchmark, cluster,
+                          MakePlanConfig(benchmark, cluster, max_span, grid));
+  std::cerr << "[bench] fig10 " << benchmark.name << ": batch drill (train, "
+            << platform_label << ")\n";
+  const core::TrainedMeshPredictors trained =
+      search.TrainPredictors(core::PredictorKind::kDagTransformer);
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const std::vector<serve::ModelKey> keys = serve::RegisterMeshPredictors(
+      *registry, benchmark.name, platform_label, search.Meshes(), trained);
+  serve::ServiceOptions service_options;
+  service_options.threads = 0;
+  serve::PredictionService service(registry, service_options);
+  const serve::ServingOracle oracle(
+      service, search.Meshes(), keys,
+      [&search](ir::StageSlice s) -> const graph::EncodedGraph& {
+        return search.EncodedFor(s);
+      },
+      search.EffectiveMaxSpan());
+  const parallel::InterOpOptimizer optimizer = search.MakeOptimizer();
+
+  compile::SetCompileEnabled(true);
+  compile::SetBatchCompileEnabled(false);
+  util::Stopwatch off_watch;
+  const parallel::PipelinePlan plan_off = optimizer.Optimize(oracle.AsBatchOracle());
+  const double off_s = off_watch.ElapsedSeconds();
+
+  // Fresh prediction cache so the batched pass answers every query through
+  // the batch executors instead of replaying fingerprint-cached results (the
+  // compiled programs themselves can and should be reused).
+  service.ClearCache();
+  compile::SetBatchCompileEnabled(true);
+  const std::uint64_t batch_queries_before =
+      compile::BatchedForwards() + compile::InterleavedForwards();
+  util::Stopwatch on_watch;
+  const parallel::PipelinePlan plan_on = optimizer.Optimize(oracle.AsBatchOracle());
+  const double on_s = on_watch.ElapsedSeconds();
+  const std::uint64_t batch_queries =
+      compile::BatchedForwards() + compile::InterleavedForwards() - batch_queries_before;
+
+  bool structural = plan_on.Valid() && plan_off.Valid() &&
+                    plan_on.stages.size() == plan_off.stages.size();
+  if (structural) {
+    for (std::size_t i = 0; i < plan_on.stages.size(); ++i) {
+      if (!(plan_on.stages[i].mesh == plan_off.stages[i].mesh) ||
+          plan_on.stages[i].slice.first_layer != plan_off.stages[i].slice.first_layer ||
+          plan_on.stages[i].slice.last_layer != plan_off.stages[i].slice.last_layer) {
+        structural = false;
+        break;
+      }
+    }
+  }
+  // Bit-equality, not a tolerance: the batch executors are exact.
+  const bool latency_ok =
+      plan_on.iteration_latency_s == plan_off.iteration_latency_s;
+  const bool ok = structural && latency_ok && batch_queries > 0;
+
+  util::TablePrinter table({"pass", "optimize wall", "plan latency", "plan bit-equal"});
+  table.SetTitle("Fig. 10 batch drill — " + benchmark.name + " on " + platform_label +
+                 " (PREDTOP_BATCH_COMPILE off vs on)");
+  table.AddRow({"batch off", util::FormatSeconds(off_s),
+                util::FormatSeconds(plan_off.iteration_latency_s), "reference"});
+  table.AddRow({"batch on", util::FormatSeconds(on_s),
+                util::FormatSeconds(plan_on.iteration_latency_s), ok ? "yes" : "NO"});
+  table.Print(std::cout);
+  std::cout << "queries through the batch executors: " << batch_queries << "\n\n";
+  if (!ok) {
+    std::cerr << "[bench] batch drill " << platform_label << ": structural=" << structural
+              << " latency_bit_equal=" << latency_ok
+              << " batch_queries=" << batch_queries << "\n";
   }
   return ok;
 }
@@ -522,6 +613,19 @@ int main() {
     std::cout << (ok ? "compile drill PASSED: compiled and uncompiled searches chose "
                        "equal plans on both platforms\n"
                      : "compile drill FAILED\n");
+    return ok ? 0 : 1;
+  }
+  // PREDTOP_BATCH_DRILL=1 runs only the batched-vs-sequential compiled plan
+  // comparison on both paper platforms and exits non-zero if the plans are
+  // not bit-equal or the batch executors never engaged.
+  if (util::EnvBool("PREDTOP_BATCH_DRILL", false)) {
+    bool ok = RunBatchDrill(bench::PaperGpt3(), sim::Platform1(), "platform1",
+                            grid.gpt_max_span, grid);
+    ok &= RunBatchDrill(bench::PaperGpt3(), sim::Platform2(), "platform2",
+                        grid.gpt_max_span, grid);
+    std::cout << (ok ? "batch drill PASSED: batched and sequential compiled searches "
+                       "chose bit-equal plans on both platforms\n"
+                     : "batch drill FAILED\n");
     return ok ? 0 : 1;
   }
   // PREDTOP_SERVE_ONLY=1 skips the (slow) approach grid and measures just

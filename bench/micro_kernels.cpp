@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "compile/batch.h"
 #include "compile/cache.h"
+#include "compile/tune.h"
 #include "core/dataset.h"
 #include "core/predictors.h"
 #include "core/regressor.h"
@@ -33,6 +35,7 @@
 #include "tensor/quant.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace predtop;
@@ -210,8 +213,83 @@ PredictResult RunPredictComparison(bool smoke) {
   return result;
 }
 
+struct BatchRow {
+  std::int64_t batch = 0;
+  double sequential_s = 0.0;   // B sequential compiled forwards (the PR 9 replay)
+  double batched_s = 0.0;      // one stacked pass over the whole batch
+  double interleaved_s = 0.0;  // independent forwards fanned across a pool
+  double auto_s = 0.0;         // whatever ExecuteBatch's kAuto heuristic picks
+};
+
+std::vector<BatchRow> RunBatchSweep(bool smoke) {
+  // Same-shape batches of the paper-size stage with per-query feature
+  // perturbations (so the stacked path cannot cheat by deduplicating), run
+  // through the compiled executor sequentially, stacked, and interleaved.
+  const graph::EncodedGraph base = core::EncodeStage(SampleStage());
+  core::PredictorOptions options;
+  options.feature_dim = core::StageFeatureDim();
+  auto model = core::MakePredictor(core::PredictorKind::kDagTransformer, options);
+  const std::vector<std::int64_t> batches =
+      smoke ? std::vector<std::int64_t>{4, 16} : std::vector<std::int64_t>{1, 4, 16, 64};
+  const int reps = smoke ? 3 : 10;
+  const std::int64_t max_batch = batches.back();
+
+  std::vector<graph::EncodedGraph> graphs(static_cast<std::size_t>(max_batch), base);
+  for (std::size_t q = 0; q < graphs.size(); ++q) {
+    const float scale = 1.0f + 0.02f * static_cast<float>(q % 17);
+    for (float& x : graphs[q].features.data()) x *= scale;
+  }
+  std::vector<const graph::EncodedGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  util::ThreadPool pool(tensor::GemmThreads());
+  nn::InferenceContext& ctx = nn::ThreadLocalInferenceContext();
+  compile::SetCompileEnabled(true);
+  std::vector<BatchRow> rows;
+  for (const std::int64_t b : batches) {
+    BatchRow row;
+    row.batch = b;
+    std::vector<float> out(static_cast<std::size_t>(b));
+    row.sequential_s = BestOf(reps, [&] {
+      for (std::int64_t q = 0; q < b; ++q) {
+        benchmark::DoNotOptimize(model->InferScalar(graphs[static_cast<std::size_t>(q)], ctx));
+      }
+    });
+    compile::BatchOptions stacked;
+    stacked.mode = compile::BatchMode::kBatched;
+    row.batched_s = BestOf(reps, [&] {
+      (void)model->TryInferCompiledBatch(ptrs.data(), static_cast<std::size_t>(b),
+                                         out.data(), stacked);
+      benchmark::DoNotOptimize(out.data());
+    });
+    compile::BatchOptions interleaved;
+    interleaved.mode = compile::BatchMode::kInterleaved;
+    interleaved.pool = &pool;
+    row.interleaved_s = BestOf(reps, [&] {
+      (void)model->TryInferCompiledBatch(ptrs.data(), static_cast<std::size_t>(b),
+                                         out.data(), interleaved);
+      benchmark::DoNotOptimize(out.data());
+    });
+    row.auto_s = BestOf(reps, [&] {
+      (void)model->TryInferCompiledBatch(ptrs.data(), static_cast<std::size_t>(b),
+                                         out.data(), compile::BatchOptions{});
+      benchmark::DoNotOptimize(out.data());
+    });
+    std::cerr << "[bench] batch " << b << ": sequential "
+              << row.sequential_s / static_cast<double>(b) * 1e6 << " us/query, stacked "
+              << row.batched_s / static_cast<double>(b) * 1e6 << " us/query ("
+              << row.sequential_s / row.batched_s << "x), interleaved "
+              << row.interleaved_s / static_cast<double>(b) * 1e6 << " us/query ("
+              << row.sequential_s / row.interleaved_s << "x), auto "
+              << row.auto_s / static_cast<double>(b) * 1e6 << " us/query\n";
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 void WriteJson(const std::string& path, const std::vector<GemmRow>& gemm,
-               const ArenaResult& arena, const PredictResult& predict, bool smoke) {
+               const ArenaResult& arena, const PredictResult& predict,
+               const std::vector<BatchRow>& batch, bool smoke) {
   std::ofstream out(path);
   out << "{\n  \"smoke\": " << (smoke ? "true" : "false") << ",\n  \"gemm\": [\n";
   for (std::size_t i = 0; i < gemm.size(); ++i) {
@@ -237,7 +315,30 @@ void WriteJson(const std::string& path, const std::vector<GemmRow>& gemm,
       << ", \"speedup_vs_ikj_tape\": " << predict.tape_ikj_s / predict.fast_s
       << ", \"speedup_compiled_vs_fast\": " << predict.fast_s / predict.compiled_s
       << ", \"speedup_compiled_vs_fast_pr5\": " << predict.fast_pr5_s / predict.compiled_s
-      << ", \"speedup_compiled_vs_tape\": " << predict.tape_s / predict.compiled_s << "}\n}\n";
+      << ", \"speedup_compiled_vs_tape\": " << predict.tape_s / predict.compiled_s << "},\n";
+  out << "  \"batch_predict\": [\n";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const BatchRow& row = batch[i];
+    const double b = static_cast<double>(row.batch);
+    out << "    {\"batch\": " << row.batch << ", \"sequential_s\": " << row.sequential_s
+        << ", \"batched_s\": " << row.batched_s
+        << ", \"interleaved_s\": " << row.interleaved_s << ", \"auto_s\": " << row.auto_s
+        << ", \"sequential_per_query_us\": " << row.sequential_s / b * 1e6
+        << ", \"batched_per_query_us\": " << row.batched_s / b * 1e6
+        << ", \"interleaved_per_query_us\": " << row.interleaved_s / b * 1e6
+        << ", \"speedup_batched\": " << row.sequential_s / row.batched_s
+        << ", \"speedup_interleaved\": " << row.sequential_s / row.interleaved_s
+        << ", \"speedup_auto\": " << row.sequential_s / row.auto_s << "}"
+        << (i + 1 < batch.size() ? "," : "") << "\n";
+  }
+  const compile::TuneTable& tune = compile::ResolvedTuneTable();
+  out << "  ],\n  \"tune\": {\"wide_tiles\": " << (tune.wide_tiles ? "true" : "false")
+      << ", \"par_min_elems\": " << tune.par_min_elems
+      << ", \"interleave_min_batch\": " << tune.interleave_min_batch
+      << ", \"interleave_min_flops\": " << tune.interleave_min_flops
+      << ", \"autotuned\": " << (tune.autotuned ? "true" : "false")
+      << ", \"sweeps\": " << compile::AutotuneSweeps()
+      << ", \"gemm_threads\": " << tensor::GemmThreads() << "}\n}\n";
   std::cerr << "[bench] wrote " << path << "\n";
 }
 
@@ -369,7 +470,8 @@ int main(int argc, char** argv) {
   const std::vector<GemmRow> gemm = RunGemmSweep(smoke);
   const ArenaResult arena = RunArenaVsMalloc(smoke);
   const PredictResult predict = RunPredictComparison(smoke);
-  WriteJson(json_path, gemm, arena, predict, smoke);
+  const std::vector<BatchRow> batch = RunBatchSweep(smoke);
+  WriteJson(json_path, gemm, arena, predict, batch, smoke);
   if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -33,6 +33,15 @@
 #                        then the fig10 compile drill (plan search with
 #                        PREDTOP_COMPILE off vs on on both paper platforms,
 #                        asserting the chosen plans are equal)
+#   ci/run.sh batch      batch-compiled-execution lane: ASan/UBSan build of
+#                        the compile + serve suites (stacked/interleaved
+#                        bit-parity across batch sizes and thread counts,
+#                        mixed-shape grouping, batched warm-buffer reuse,
+#                        tune-table resolution, PredictMany batch-vs-legacy
+#                        parity), then the fig10 batch drill with
+#                        PREDTOP_AUTOTUNE=1 (plan search with
+#                        PREDTOP_BATCH_COMPILE off vs on on both paper
+#                        platforms, asserting bit-equal plans)
 #   ci/run.sh overload   overload-protection lane: the deadline / admission /
 #                        router-timeout / reaping suites, the supervisor
 #                        fork/exec suite (crash-loop quarantine, hung-worker
@@ -85,6 +94,26 @@ if [[ "${1:-}" == "compile" ]]; then
   PREDTOP_COMPILE_DRILL=1 PREDTOP_EPOCHS=40 ./build-asan/bench/fig10_optimization
 fi
 
+if [[ "${1:-}" == "batch" ]]; then
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" \
+    --target compile_test serve_test fig10_optimization
+  # Batch executors under ASan/UBSan: stacked + interleaved bit-parity for
+  # every predictor across batch sizes {1,2,7,64} and pool widths {1,2,8},
+  # mixed-shape regressor grouping, the batched warm-buffer (zero-allocation)
+  # pins, program-cache hit/miss counters, and tune-table resolution.
+  ./build-asan/tests/compile_test \
+    --gtest_filter='CompiledBatch*.*:TuneTableResolution.*:ProgramCache.*'
+  # PredictMany's batch path vs the legacy fan-out path, plus the exported
+  # compiled-path counters.
+  ./build-asan/tests/serve_test --gtest_filter='Service.*'
+  # Plan search with the batch executors off then on, both paper platforms,
+  # with the runtime autotuner enabled for the drill: the chosen plans must
+  # be BIT-equal (the executors are exact) and the batch path must engage.
+  PREDTOP_AUTOTUNE=1 PREDTOP_BATCH_DRILL=1 PREDTOP_EPOCHS=40 \
+    ./build-asan/bench/fig10_optimization
+fi
+
 if [[ "${1:-}" == "tsan" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)" \
@@ -106,9 +135,10 @@ if [[ "${1:-}" == "tsan" ]]; then
   ./build-tsan/tests/infer_test --gtest_filter='InferConcurrency.*:InferParity.*'
   # Concurrent *compiled* forwards on one shared model: the program cache's
   # build-once-per-shape race, per-thread plan buffers, and the packed
-  # weight tiers under simultaneous readers.
+  # weight tiers under simultaneous readers — sequential and batched (the
+  # stacked executor's snapshot/cache/mask-run sharing across threads).
   ./build-tsan/tests/compile_test \
-    --gtest_filter='CompiledConcurrency.*:ProgramCache.*:CompiledParity.AllPredictorsMatchTapeAndFastPath'
+    --gtest_filter='CompiledConcurrency.*:CompiledBatchConcurrency.*:ProgramCache.*:CompiledParity.AllPredictorsMatchTapeAndFastPath'
   # Router concurrency: the cluster-wide coalescing map, per-worker
   # connection locking and failover counters under concurrent clients, plus
   # the overload-protection suites (deadline shedding, admission budgets,

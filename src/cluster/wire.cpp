@@ -317,6 +317,11 @@ std::string EncodeStatsBody(const StatsBody& body) {
   w.U64(body.late_completions);
   w.U64(body.svc_p50_us);
   w.U64(body.svc_p99_us);
+  w.U64(body.program_cache_hits);
+  w.U64(body.program_cache_misses);
+  w.U64(body.batched_forwards);
+  w.U64(body.interleaved_forwards);
+  w.U64(body.autotune_sweeps);
   return w.Take();
 }
 
@@ -336,6 +341,11 @@ StatsBody DecodeStatsBody(std::string_view payload) {
   body.late_completions = r.U64();
   body.svc_p50_us = r.U64();
   body.svc_p99_us = r.U64();
+  body.program_cache_hits = r.U64();
+  body.program_cache_misses = r.U64();
+  body.batched_forwards = r.U64();
+  body.interleaved_forwards = r.U64();
+  body.autotune_sweeps = r.U64();
   r.ExpectEnd();
   return body;
 }

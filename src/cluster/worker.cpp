@@ -304,6 +304,11 @@ Frame Worker::HandleStats(const Frame& request) {
   body.late_completions = stats.late;
   body.svc_p50_us = ServiceLatencyPercentileUs(0.50);
   body.svc_p99_us = ServiceLatencyPercentileUs(0.99);
+  body.program_cache_hits = stats.program_cache_hits;
+  body.program_cache_misses = stats.program_cache_misses;
+  body.batched_forwards = stats.batched_forwards;
+  body.interleaved_forwards = stats.interleaved_forwards;
+  body.autotune_sweeps = stats.autotune_sweeps;
   return {MessageType::kStatsResponse, request.request_id, EncodeStatsBody(body)};
 }
 

@@ -41,6 +41,8 @@ struct ProgramCache::Impl {
   std::list<Entry> lru;  // front = most recent
   std::map<Key, std::list<Entry>::iterator> index;
   std::size_t capacity = 128;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
 };
 
 ProgramCache::ProgramCache() : impl_(std::make_unique<Impl>()) {
@@ -65,7 +67,11 @@ std::optional<std::shared_ptr<InferProgram>> ProgramCache::Lookup(std::uint64_t 
   const Impl::Key key{owner, num_nodes, num_edges};
   std::lock_guard<std::mutex> lock(impl_->mutex);
   const auto it = impl_->index.find(key);
-  if (it == impl_->index.end()) return std::nullopt;
+  if (it == impl_->index.end()) {
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  impl_->hits.fetch_add(1, std::memory_order_relaxed);
   impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
   return it->second->program;
 }
@@ -109,6 +115,14 @@ void ProgramCache::Clear() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->lru.clear();
   impl_->index.clear();
+}
+
+std::uint64_t ProgramCache::Hits() const noexcept {
+  return impl_->hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ProgramCache::Misses() const noexcept {
+  return impl_->misses.load(std::memory_order_relaxed);
 }
 
 void ProgramCache::SetCapacity(std::size_t capacity) {

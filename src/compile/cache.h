@@ -47,6 +47,12 @@ class ProgramCache {
   /// Test hook; the process default comes from PREDTOP_COMPILE_CACHE.
   void SetCapacity(std::size_t capacity);
 
+  /// Lifetime Lookup outcomes (hit = key present, even as a null marker;
+  /// miss = never built). Monotonic — Clear/EvictOwner don't reset them.
+  /// Surfaced through serve::ServiceStats and the cluster StatsBody.
+  [[nodiscard]] std::uint64_t Hits() const noexcept;
+  [[nodiscard]] std::uint64_t Misses() const noexcept;
+
  private:
   ProgramCache();
 

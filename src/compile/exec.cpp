@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "compile/exec_detail.h"
 #include "compile/program.h"
 #include "tensor/fused.h"
 #include "tensor/ops.h"
@@ -14,27 +15,11 @@ namespace predtop::compile {
 
 namespace {
 
-constexpr float kNegInfCut = -1e30f;
-
 /// Thread-local execution state: the flat plan buffer and the per-row mask
 /// windows. Grow-only so a warm forward never allocates.
 struct ExecState {
   std::vector<float> buf;
-  std::vector<std::int32_t> win_lo;
-  std::vector<std::int32_t> win_hi;
-  // Open-lane runs of the mask, CSR over rows: row i's [lo, hi) pairs live at
-  // chunk_bounds[2 * chunk_start[i] .. 2 * chunk_start[i + 1]). Shared by
-  // every attention step (the mask is identical across layers and heads), so
-  // the chunked softmax never re-reads the mask.
-  std::vector<std::int32_t> chunk_start;
-  std::vector<std::int32_t> chunk_bounds;
-  // Per GEMM row block (kGemmMr rows): the block's row runs merged and
-  // rounded out to packed-panel granularity — the column ranges the logits
-  // GEMM must actually compute. Lanes in the gaps belong to no row's open
-  // runs, so the chunked softmax never reads them.
-  std::vector<std::int32_t> brun_start;
-  std::vector<std::int32_t> brun_bounds;
-  std::vector<std::int32_t> brun_scratch;
+  detail::MaskRuns runs;
 };
 
 ExecState& ThreadExecState() {
@@ -42,7 +27,46 @@ ExecState& ThreadExecState() {
   return state;
 }
 
-/// y(m, n) = x(m, k) * W + bias with the tier resolved at build time — the
+}  // namespace
+
+namespace detail {
+
+bool NeedsMaskRuns(const InferProgram& p) noexcept {
+  for (const Step& s : p.steps) {
+    if (s.kind == OpKind::kFusedAttention) return true;
+  }
+  return false;
+}
+
+bool ValidateInputs(const InferProgram& p, const ExecInputs& in) noexcept {
+  if (in.g == nullptr || p.output == kNoValue) return false;
+  const graph::EncodedGraph& g = *in.g;
+  if (g.num_nodes != p.num_nodes) return false;
+  if (static_cast<std::int64_t>(g.edge_src.size()) != p.num_edges) return false;
+  if (g.features.rank() != 2 || g.features.dim(0) != p.num_nodes ||
+      g.features.dim(1) != p.feature_dim) {
+    return false;
+  }
+
+  bool wants_mask = false;
+  bool wants_pe = false;
+  for (const Step& s : p.steps) {
+    if ((s.kind == OpKind::kFusedAttention || s.kind == OpKind::kAttnHeads) && s.use_mask) {
+      wants_mask = true;
+    }
+  }
+  for (const ValueInfo& v : p.values) {
+    if (v.external == External::kDepthPe) wants_pe = true;
+  }
+  if (wants_mask && (in.mask == nullptr || in.mask->rank() != 2 ||
+                     in.mask->dim(0) != p.num_nodes || in.mask->dim(1) != p.num_nodes)) {
+    return false;
+  }
+  if (wants_pe && in.pe == nullptr) return false;
+  return true;
+}
+
+/// y(m, n) = x(m, k) * W with the tier resolved at build time — the
 /// same kernels (and where applicable the same cached packs) as
 /// nn::Linear::InferForward, minus the per-call mutex and dispatch.
 void LinearGemm(const Step& s, const std::shared_ptr<const nn::Linear::InferWeights>& w,
@@ -93,10 +117,115 @@ void LinearGemm(const Step& s, const std::shared_ptr<const nn::Linear::InferWeig
   }
 }
 
-[[nodiscard]] const float* LinearBias(const Step& s) {
+const float* LinearBias(const Step& s) {
   const autograd::Variable* b = s.linear->Bias();
   return b != nullptr ? b->value().data().data() : nullptr;
 }
+
+void BuildMaskRuns(const InferProgram& p, const ExecInputs& in, MaskRuns& state) {
+  bool wants_mask = false;
+  for (const Step& s : p.steps) {
+    if (s.kind == OpKind::kFusedAttention && s.use_mask) wants_mask = true;
+  }
+  const std::int64_t n = p.num_nodes;
+  if (static_cast<std::int64_t>(state.win_lo.size()) < n) {
+    state.win_lo.resize(static_cast<std::size_t>(n));
+    state.win_hi.resize(static_cast<std::size_t>(n));
+  }
+  state.chunk_start.resize(static_cast<std::size_t>(n) + 1);
+  state.chunk_bounds.clear();
+  state.chunk_start[0] = 0;
+  if (wants_mask && in.mask != nullptr) {
+    const float* m = in.mask->data().data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* mrow = m + i * n;
+      std::int64_t j = 0;
+      while (j < n) {
+        while (j < n && mrow[j] < kNegInfCut) ++j;
+        if (j >= n) break;
+        const std::int64_t lo = j;
+        while (j < n && mrow[j] >= kNegInfCut) ++j;
+        state.chunk_bounds.push_back(static_cast<std::int32_t>(lo));
+        state.chunk_bounds.push_back(static_cast<std::int32_t>(j));
+      }
+      const std::int32_t end = static_cast<std::int32_t>(state.chunk_bounds.size() / 2);
+      const std::int32_t begin = state.chunk_start[static_cast<std::size_t>(i)];
+      state.chunk_start[static_cast<std::size_t>(i) + 1] = end;
+      // Row window = hull of the row's runs (empty rows keep lo == hi == n,
+      // matching the historical two-ended scan).
+      if (end > begin) {
+        state.win_lo[static_cast<std::size_t>(i)] = state.chunk_bounds[2 * begin];
+        state.win_hi[static_cast<std::size_t>(i)] = state.chunk_bounds[2 * end - 1];
+      } else {
+        state.win_lo[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(n);
+        state.win_hi[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(n);
+      }
+    }
+  } else {
+    std::fill(state.win_lo.begin(), state.win_lo.begin() + n, 0);
+    std::fill(state.win_hi.begin(), state.win_hi.begin() + n,
+              static_cast<std::int32_t>(p.num_nodes));
+    for (std::int64_t i = 0; i < n; ++i) {
+      state.chunk_bounds.push_back(0);
+      state.chunk_bounds.push_back(static_cast<std::int32_t>(n));
+      state.chunk_start[static_cast<std::size_t>(i) + 1] =
+          static_cast<std::int32_t>(i) + 1;
+    }
+  }
+  // Merge each GEMM row block's runs at packed-panel granularity: the
+  // logits GEMM computes only these column ranges (a panel in a gap is
+  // provably outside every block row's open runs).
+  const std::int64_t blocks = (n + tensor::kGemmMr - 1) / tensor::kGemmMr;
+  state.brun_start.resize(static_cast<std::size_t>(blocks) + 1);
+  state.brun_bounds.clear();
+  state.brun_start[0] = 0;
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const std::int64_t r0 = b * tensor::kGemmMr;
+    const std::int64_t r1 = std::min<std::int64_t>(n, r0 + tensor::kGemmMr);
+    auto& runs = state.brun_scratch;
+    runs.clear();
+    for (std::int64_t i = r0; i < r1; ++i) {
+      for (std::int32_t c = state.chunk_start[static_cast<std::size_t>(i)];
+           c < state.chunk_start[static_cast<std::size_t>(i) + 1]; ++c) {
+        const std::int32_t lo =
+            state.chunk_bounds[2 * c] / tensor::kGemmPanel * tensor::kGemmPanel;
+        const std::int32_t hi = static_cast<std::int32_t>(std::min<std::int64_t>(
+            n, (state.chunk_bounds[2 * c + 1] + tensor::kGemmPanel - 1) /
+                   tensor::kGemmPanel * tensor::kGemmPanel));
+        runs.push_back(lo);
+        runs.push_back(hi);
+      }
+    }
+    // Sort run pairs by lo, then sweep-merge overlapping/adjacent ranges.
+    const std::int64_t pairs = static_cast<std::int64_t>(runs.size()) / 2;
+    for (std::int64_t a = 1; a < pairs; ++a) {  // insertion sort; runs are few
+      const std::int32_t lo = runs[2 * a], hi = runs[2 * a + 1];
+      std::int64_t t = a - 1;
+      while (t >= 0 && runs[2 * t] > lo) {
+        runs[2 * t + 2] = runs[2 * t];
+        runs[2 * t + 3] = runs[2 * t + 1];
+        --t;
+      }
+      runs[2 * t + 2] = lo;
+      runs[2 * t + 3] = hi;
+    }
+    for (std::int64_t a = 0; a < pairs; ++a) {
+      const std::int32_t lo = runs[2 * a], hi = runs[2 * a + 1];
+      const std::size_t sz = state.brun_bounds.size();
+      if (sz > state.brun_start[static_cast<std::size_t>(b)] * 2ull &&
+          lo <= state.brun_bounds[sz - 1]) {
+        state.brun_bounds[sz - 1] = std::max(state.brun_bounds[sz - 1], hi);
+      } else {
+        state.brun_bounds.push_back(lo);
+        state.brun_bounds.push_back(hi);
+      }
+    }
+    state.brun_start[static_cast<std::size_t>(b) + 1] =
+        static_cast<std::int32_t>(state.brun_bounds.size() / 2);
+  }
+}
+
+namespace {
 
 /// Mask-aware fused attention: combined q|k|v projection, per-head windowed
 /// logits GEMM, deferred softmax restricted to each row's open-lane window,
@@ -106,7 +235,7 @@ void LinearGemm(const Step& s, const std::shared_ptr<const nn::Linear::InferWeig
 /// surviving accumulation term bit-identical.
 void RunFusedAttention(const InferProgram& p, const Step& s,
                        const InferProgram::Snapshot& snap, const ExecInputs& in,
-                       const float* x, float* y, float* scratch, ExecState& state) {
+                       const float* x, float* y, float* scratch, const MaskRuns& state) {
   const nn::MultiheadMaskedAttention& at = *s.attn;
   const std::int64_t n = p.num_nodes;
   const std::int64_t d = at.Dim();
@@ -363,35 +492,217 @@ void RunSegmentSoftmax(const InferProgram& p, const ExecInputs& in, const float*
 
 }  // namespace
 
+void RunStep(const InferProgram& p, std::size_t si, const InferProgram::Snapshot& snap,
+             const ExecInputs& in, const StepOperands& ops, std::int64_t rows,
+             float* scratch, const MaskRuns* runs) {
+  const Step& s = p.steps[si];
+  const std::int64_t cols = p.values[static_cast<std::size_t>(s.out)].cols;
+  const graph::EncodedGraph& g = *in.g;
+  switch (s.kind) {
+    case OpKind::kLinear:
+    case OpKind::kLinearAct: {
+      LinearGemm(s, snap.lin[si], ops.a, rows, ops.out);
+      tensor::fused::BiasActRows(ops.out, rows, cols, cols, LinearBias(s), s.act);
+      break;
+    }
+    case OpKind::kLinearResidualNorm: {
+      float* y = ops.out;
+      LinearGemm(s, snap.lin[si], ops.a, rows, y);
+      const float* bias = LinearBias(s);
+      const float* r = ops.b;
+      const float* gain = s.gain->value().data().data();
+      const float* beta = s.bias->value().data().data();
+      for (std::int64_t i = 0; i < rows; ++i) {
+        float* row = y + i * cols;
+        const float* rrow = r + i * cols;
+        // Same per-element order as the unfused chain: (+bias), +residual,
+        // then the LayerNorm row kernel in place.
+        if (bias != nullptr) {
+          for (std::int64_t j = 0; j < cols; ++j) row[j] = (row[j] + bias[j]) + rrow[j];
+        } else {
+          for (std::int64_t j = 0; j < cols; ++j) row[j] += rrow[j];
+        }
+        tensor::fused::LayerNormRow(row, gain, beta, row, cols);
+      }
+      break;
+    }
+    case OpKind::kFusedAttention:
+      RunFusedAttention(p, s, snap, in, ops.a, ops.out, scratch, *runs);
+      break;
+    case OpKind::kScale: {
+      float* a = ops.out;
+      const std::int64_t total = rows * cols;
+      for (std::int64_t i = 0; i < total; ++i) a[i] *= s.scalar;
+      break;
+    }
+    case OpKind::kAdd: {
+      float* a = ops.out;
+      const float* b = ops.b;
+      const std::int64_t total = rows * cols;
+      for (std::int64_t i = 0; i < total; ++i) a[i] += b[i];
+      break;
+    }
+    case OpKind::kRelu: {
+      float* a = ops.out;
+      const std::int64_t total = rows * cols;
+      for (std::int64_t i = 0; i < total; ++i) a[i] = a[i] > 0.0f ? a[i] : 0.0f;
+      break;
+    }
+    case OpKind::kLeakyRelu: {
+      float* a = ops.out;
+      const std::int64_t total = rows * cols;
+      for (std::int64_t i = 0; i < total; ++i) {
+        a[i] = a[i] > 0.0f ? a[i] : s.scalar * a[i];
+      }
+      break;
+    }
+    case OpKind::kLayerNorm: {
+      const float* x = ops.a;
+      float* y = ops.out;
+      const float* gain = s.gain->value().data().data();
+      const float* beta = s.bias->value().data().data();
+      for (std::int64_t i = 0; i < rows; ++i) {
+        tensor::fused::LayerNormRow(x + i * cols, gain, beta, y + i * cols, cols);
+      }
+      break;
+    }
+    case OpKind::kAttnHeads:
+      RunAttnHeads(p, s, in, ops.a, ops.b, ops.c, ops.out, scratch);
+      break;
+    case OpKind::kSpmm: {
+      const tensor::Csr& a = *g.adj_norm;
+      const float* x = ops.a;
+      float* y = ops.out;
+      std::fill(y, y + rows * cols, 0.0f);
+      for (std::int64_t i = 0; i < a.rows; ++i) {
+        float* yrow = y + i * cols;
+        for (std::int64_t e = a.row_ptr[static_cast<std::size_t>(i)];
+             e < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
+          const float av = a.values[static_cast<std::size_t>(e)];
+          const float* xrow =
+              x + static_cast<std::int64_t>(a.col_idx[static_cast<std::size_t>(e)]) * cols;
+          for (std::int64_t j = 0; j < cols; ++j) yrow[j] += av * xrow[j];
+        }
+      }
+      break;
+    }
+    case OpKind::kPool: {
+      const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
+      const float* x = ops.a;
+      float* y = ops.out;
+      std::fill(y, y + cols, 0.0f);
+      for (std::int64_t i = 0; i < av.rows; ++i) {
+        const float* xrow = x + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) y[j] += xrow[j];
+      }
+      break;
+    }
+    case OpKind::kConcat2: {
+      const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
+      const ValueInfo& bv = p.values[static_cast<std::size_t>(s.b)];
+      const float* a = ops.a;
+      const float* b = ops.b;
+      float* y = ops.out;
+      for (std::int64_t i = 0; i < rows; ++i) {
+        std::memcpy(y + i * cols, a + i * av.cols,
+                    static_cast<std::size_t>(av.cols) * sizeof(float));
+        std::memcpy(y + i * cols + av.cols, b + i * bv.cols,
+                    static_cast<std::size_t>(bv.cols) * sizeof(float));
+      }
+      break;
+    }
+    case OpKind::kMatVec: {
+      const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
+      const std::int64_t k = av.cols;
+      const float* x = ops.a;
+      const float* vec = s.gain->value().data().data();
+      float* y = ops.out;
+      if (k >= 16) {
+        // infer::MatMul's narrow-output tier (n == 1 < 16, k >= 16).
+        for (std::int64_t i = 0; i < rows; ++i) {
+          y[i] = tensor::simd::Dot(x + i * k, vec, k);
+        }
+      } else {
+        // Mirror the naive tier's sequential ascending-k accumulation.
+        for (std::int64_t i = 0; i < rows; ++i) {
+          const float* xrow = x + i * k;
+          float acc = 0.0f;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            if (xrow[kk] == 0.0f) continue;
+            acc += xrow[kk] * vec[kk];
+          }
+          y[i] = acc;
+        }
+      }
+      break;
+    }
+    case OpKind::kEdgeScores: {
+      const float* ss = ops.a;
+      const float* ds = ops.b;
+      float* y = ops.out;
+      const std::vector<std::int32_t>& src = g.edge_src;
+      const std::vector<std::int32_t>& dst = g.edge_dst;
+      for (std::int64_t e = 0; e < rows; ++e) {
+        y[e] = ss[src[static_cast<std::size_t>(e)]] + ds[dst[static_cast<std::size_t>(e)]];
+      }
+      break;
+    }
+    case OpKind::kSegmentSoftmax:
+      RunSegmentSoftmax(p, in, ops.a, rows, cols, ops.out, scratch);
+      break;
+    case OpKind::kGatherRows: {
+      const float* x = ops.a;
+      float* y = ops.out;
+      const std::vector<std::int32_t>& idx = s.edge_sel == 0 ? g.edge_src : g.edge_dst;
+      for (std::int64_t e = 0; e < rows; ++e) {
+        std::memcpy(y + e * cols, x + idx[static_cast<std::size_t>(e)] * cols,
+                    static_cast<std::size_t>(cols) * sizeof(float));
+      }
+      break;
+    }
+    case OpKind::kRowScale: {
+      float* x = ops.out;
+      const float* sc = ops.b;
+      for (std::int64_t i = 0; i < rows; ++i) {
+        float* row = x + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) row[j] *= sc[i];
+      }
+      break;
+    }
+    case OpKind::kSegmentSum: {
+      const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
+      const float* x = ops.a;
+      float* y = ops.out;
+      std::fill(y, y + rows * cols, 0.0f);
+      const std::vector<std::int32_t>& seg = g.edge_dst;
+      for (std::int64_t e = 0; e < av.rows; ++e) {
+        const float* xrow = x + e * cols;
+        float* yrow = y + seg[static_cast<std::size_t>(e)] * cols;
+        for (std::int64_t j = 0; j < cols; ++j) yrow[j] += xrow[j];
+      }
+      break;
+    }
+    case OpKind::kAddRowVector: {
+      float* x = ops.out;
+      const float* bias = s.gain->value().data().data();
+      for (std::int64_t i = 0; i < rows; ++i) {
+        float* row = x + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) row[j] += bias[j];
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
 std::int64_t ThreadPlanBufferFloats() noexcept {
   return static_cast<std::int64_t>(ThreadExecState().buf.size());
 }
 
 bool Execute(const InferProgram& p, const ExecInputs& in, float* out) {
-  if (in.g == nullptr || out == nullptr || p.output == kNoValue) return false;
+  if (out == nullptr || !detail::ValidateInputs(p, in)) return false;
   const graph::EncodedGraph& g = *in.g;
-  if (g.num_nodes != p.num_nodes) return false;
-  if (static_cast<std::int64_t>(g.edge_src.size()) != p.num_edges) return false;
-  if (g.features.rank() != 2 || g.features.dim(0) != p.num_nodes ||
-      g.features.dim(1) != p.feature_dim) {
-    return false;
-  }
-
-  bool wants_mask = false;
-  bool wants_pe = false;
-  for (const Step& s : p.steps) {
-    if ((s.kind == OpKind::kFusedAttention || s.kind == OpKind::kAttnHeads) && s.use_mask) {
-      wants_mask = true;
-    }
-  }
-  for (const ValueInfo& v : p.values) {
-    if (v.external == External::kDepthPe) wants_pe = true;
-  }
-  if (wants_mask && (in.mask == nullptr || in.mask->rank() != 2 ||
-                     in.mask->dim(0) != p.num_nodes || in.mask->dim(1) != p.num_nodes)) {
-    return false;
-  }
-  if (wants_pe && in.pe == nullptr) return false;
 
   ExecState& state = ThreadExecState();
   const std::int64_t need = p.PlanFloats();
@@ -405,110 +716,12 @@ bool Execute(const InferProgram& p, const ExecInputs& in, float* out) {
   // attention step (the mask is identical across layers and heads). A lane
   // outside [lo, hi) is -inf masked; lanes inside may still be masked and
   // are handled by the windowed softmax.
-  bool any_attention = false;
-  for (const Step& s : p.steps) any_attention |= s.kind == OpKind::kFusedAttention;
-  if (any_attention) {
-    const std::int64_t n = p.num_nodes;
-    if (static_cast<std::int64_t>(state.win_lo.size()) < n) {
-      state.win_lo.resize(static_cast<std::size_t>(n));
-      state.win_hi.resize(static_cast<std::size_t>(n));
-    }
-    state.chunk_start.resize(static_cast<std::size_t>(n) + 1);
-    state.chunk_bounds.clear();
-    state.chunk_start[0] = 0;
-    if (wants_mask) {
-      const float* m = in.mask->data().data();
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float* mrow = m + i * n;
-        std::int64_t j = 0;
-        while (j < n) {
-          while (j < n && mrow[j] < kNegInfCut) ++j;
-          if (j >= n) break;
-          const std::int64_t lo = j;
-          while (j < n && mrow[j] >= kNegInfCut) ++j;
-          state.chunk_bounds.push_back(static_cast<std::int32_t>(lo));
-          state.chunk_bounds.push_back(static_cast<std::int32_t>(j));
-        }
-        const std::int32_t end = static_cast<std::int32_t>(state.chunk_bounds.size() / 2);
-        const std::int32_t begin = state.chunk_start[static_cast<std::size_t>(i)];
-        state.chunk_start[static_cast<std::size_t>(i) + 1] = end;
-        // Row window = hull of the row's runs (empty rows keep lo == hi == n,
-        // matching the historical two-ended scan).
-        if (end > begin) {
-          state.win_lo[static_cast<std::size_t>(i)] = state.chunk_bounds[2 * begin];
-          state.win_hi[static_cast<std::size_t>(i)] = state.chunk_bounds[2 * end - 1];
-        } else {
-          state.win_lo[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(n);
-          state.win_hi[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(n);
-        }
-      }
-    } else {
-      std::fill(state.win_lo.begin(), state.win_lo.begin() + n, 0);
-      std::fill(state.win_hi.begin(), state.win_hi.begin() + n,
-                static_cast<std::int32_t>(p.num_nodes));
-      for (std::int64_t i = 0; i < n; ++i) {
-        state.chunk_bounds.push_back(0);
-        state.chunk_bounds.push_back(static_cast<std::int32_t>(n));
-        state.chunk_start[static_cast<std::size_t>(i) + 1] =
-            static_cast<std::int32_t>(i) + 1;
-      }
-    }
-    // Merge each GEMM row block's runs at packed-panel granularity: the
-    // logits GEMM computes only these column ranges (a panel in a gap is
-    // provably outside every block row's open runs).
-    const std::int64_t blocks = (n + tensor::kGemmMr - 1) / tensor::kGemmMr;
-    state.brun_start.resize(static_cast<std::size_t>(blocks) + 1);
-    state.brun_bounds.clear();
-    state.brun_start[0] = 0;
-    for (std::int64_t b = 0; b < blocks; ++b) {
-      const std::int64_t r0 = b * tensor::kGemmMr;
-      const std::int64_t r1 = std::min<std::int64_t>(n, r0 + tensor::kGemmMr);
-      auto& runs = state.brun_scratch;
-      runs.clear();
-      for (std::int64_t i = r0; i < r1; ++i) {
-        for (std::int32_t c = state.chunk_start[static_cast<std::size_t>(i)];
-             c < state.chunk_start[static_cast<std::size_t>(i) + 1]; ++c) {
-          const std::int32_t lo =
-              state.chunk_bounds[2 * c] / tensor::kGemmPanel * tensor::kGemmPanel;
-          const std::int32_t hi = static_cast<std::int32_t>(std::min<std::int64_t>(
-              n, (state.chunk_bounds[2 * c + 1] + tensor::kGemmPanel - 1) /
-                     tensor::kGemmPanel * tensor::kGemmPanel));
-          runs.push_back(lo);
-          runs.push_back(hi);
-        }
-      }
-      // Sort run pairs by lo, then sweep-merge overlapping/adjacent ranges.
-      const std::int64_t pairs = static_cast<std::int64_t>(runs.size()) / 2;
-      for (std::int64_t a = 1; a < pairs; ++a) {  // insertion sort; runs are few
-        const std::int32_t lo = runs[2 * a], hi = runs[2 * a + 1];
-        std::int64_t t = a - 1;
-        while (t >= 0 && runs[2 * t] > lo) {
-          runs[2 * t + 2] = runs[2 * t];
-          runs[2 * t + 3] = runs[2 * t + 1];
-          --t;
-        }
-        runs[2 * t + 2] = lo;
-        runs[2 * t + 3] = hi;
-      }
-      for (std::int64_t a = 0; a < pairs; ++a) {
-        const std::int32_t lo = runs[2 * a], hi = runs[2 * a + 1];
-        const std::size_t sz = state.brun_bounds.size();
-        if (sz > state.brun_start[static_cast<std::size_t>(b)] * 2ull &&
-            lo <= state.brun_bounds[sz - 1]) {
-          state.brun_bounds[sz - 1] = std::max(state.brun_bounds[sz - 1], hi);
-        } else {
-          state.brun_bounds.push_back(lo);
-          state.brun_bounds.push_back(hi);
-        }
-      }
-      state.brun_start[static_cast<std::size_t>(b) + 1] =
-          static_cast<std::int32_t>(state.brun_bounds.size() / 2);
-    }
-  }
+  if (detail::NeedsMaskRuns(p)) detail::BuildMaskRuns(p, in, state.runs);
 
   const auto snap = p.CurrentSnapshot();
 
   const auto ptr_of = [&](ValueId v) -> const float* {
+    if (v == kNoValue) return nullptr;
     const ValueInfo& vi = p.values[static_cast<std::size_t>(v)];
     switch (vi.external) {
       case External::kFeatures: return g.features.data().data();
@@ -517,211 +730,14 @@ bool Execute(const InferProgram& p, const ExecInputs& in, float* out) {
     }
     return base + p.offsets[static_cast<std::size_t>(v)];
   };
-  const auto mut_of = [&](ValueId v) -> float* {
-    return base + p.offsets[static_cast<std::size_t>(v)];
-  };
 
   for (std::size_t si = 0; si < p.steps.size(); ++si) {
     const Step& s = p.steps[si];
-    const ValueInfo& ov = p.values[static_cast<std::size_t>(s.out)];
-    const std::int64_t rows = ov.rows;
-    const std::int64_t cols = ov.cols;
-    switch (s.kind) {
-      case OpKind::kLinear:
-      case OpKind::kLinearAct: {
-        float* y = mut_of(s.out);
-        LinearGemm(s, snap->lin[si], ptr_of(s.a), rows, y);
-        tensor::fused::BiasActRows(y, rows, cols, cols, LinearBias(s), s.act);
-        break;
-      }
-      case OpKind::kLinearResidualNorm: {
-        float* y = mut_of(s.out);
-        LinearGemm(s, snap->lin[si], ptr_of(s.a), rows, y);
-        const float* bias = LinearBias(s);
-        const float* r = ptr_of(s.b);
-        const float* gain = s.gain->value().data().data();
-        const float* beta = s.bias->value().data().data();
-        for (std::int64_t i = 0; i < rows; ++i) {
-          float* row = y + i * cols;
-          const float* rrow = r + i * cols;
-          // Same per-element order as the unfused chain: (+bias), +residual,
-          // then the LayerNorm row kernel in place.
-          if (bias != nullptr) {
-            for (std::int64_t j = 0; j < cols; ++j) row[j] = (row[j] + bias[j]) + rrow[j];
-          } else {
-            for (std::int64_t j = 0; j < cols; ++j) row[j] += rrow[j];
-          }
-          tensor::fused::LayerNormRow(row, gain, beta, row, cols);
-        }
-        break;
-      }
-      case OpKind::kFusedAttention:
-        RunFusedAttention(p, s, *snap, in, ptr_of(s.a), mut_of(s.out), scratch, state);
-        break;
-      case OpKind::kScale: {
-        float* a = mut_of(s.out);
-        const std::int64_t total = rows * cols;
-        for (std::int64_t i = 0; i < total; ++i) a[i] *= s.scalar;
-        break;
-      }
-      case OpKind::kAdd: {
-        float* a = mut_of(s.out);
-        const float* b = ptr_of(s.b);
-        const std::int64_t total = rows * cols;
-        for (std::int64_t i = 0; i < total; ++i) a[i] += b[i];
-        break;
-      }
-      case OpKind::kRelu: {
-        float* a = mut_of(s.out);
-        const std::int64_t total = rows * cols;
-        for (std::int64_t i = 0; i < total; ++i) a[i] = a[i] > 0.0f ? a[i] : 0.0f;
-        break;
-      }
-      case OpKind::kLeakyRelu: {
-        float* a = mut_of(s.out);
-        const std::int64_t total = rows * cols;
-        for (std::int64_t i = 0; i < total; ++i) {
-          a[i] = a[i] > 0.0f ? a[i] : s.scalar * a[i];
-        }
-        break;
-      }
-      case OpKind::kLayerNorm: {
-        const float* x = ptr_of(s.a);
-        float* y = mut_of(s.out);
-        const float* gain = s.gain->value().data().data();
-        const float* beta = s.bias->value().data().data();
-        for (std::int64_t i = 0; i < rows; ++i) {
-          tensor::fused::LayerNormRow(x + i * cols, gain, beta, y + i * cols, cols);
-        }
-        break;
-      }
-      case OpKind::kAttnHeads:
-        RunAttnHeads(p, s, in, ptr_of(s.a), ptr_of(s.b), ptr_of(s.c), mut_of(s.out),
-                     scratch);
-        break;
-      case OpKind::kSpmm: {
-        const tensor::Csr& a = *g.adj_norm;
-        const float* x = ptr_of(s.a);
-        float* y = mut_of(s.out);
-        std::fill(y, y + rows * cols, 0.0f);
-        for (std::int64_t i = 0; i < a.rows; ++i) {
-          float* yrow = y + i * cols;
-          for (std::int64_t e = a.row_ptr[static_cast<std::size_t>(i)];
-               e < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
-            const float av = a.values[static_cast<std::size_t>(e)];
-            const float* xrow =
-                x + static_cast<std::int64_t>(a.col_idx[static_cast<std::size_t>(e)]) * cols;
-            for (std::int64_t j = 0; j < cols; ++j) yrow[j] += av * xrow[j];
-          }
-        }
-        break;
-      }
-      case OpKind::kPool: {
-        const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
-        const float* x = ptr_of(s.a);
-        float* y = mut_of(s.out);
-        std::fill(y, y + cols, 0.0f);
-        for (std::int64_t i = 0; i < av.rows; ++i) {
-          const float* xrow = x + i * cols;
-          for (std::int64_t j = 0; j < cols; ++j) y[j] += xrow[j];
-        }
-        break;
-      }
-      case OpKind::kConcat2: {
-        const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
-        const ValueInfo& bv = p.values[static_cast<std::size_t>(s.b)];
-        const float* a = ptr_of(s.a);
-        const float* b = ptr_of(s.b);
-        float* y = mut_of(s.out);
-        for (std::int64_t i = 0; i < rows; ++i) {
-          std::memcpy(y + i * cols, a + i * av.cols,
-                      static_cast<std::size_t>(av.cols) * sizeof(float));
-          std::memcpy(y + i * cols + av.cols, b + i * bv.cols,
-                      static_cast<std::size_t>(bv.cols) * sizeof(float));
-        }
-        break;
-      }
-      case OpKind::kMatVec: {
-        const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
-        const std::int64_t k = av.cols;
-        const float* x = ptr_of(s.a);
-        const float* vec = s.gain->value().data().data();
-        float* y = mut_of(s.out);
-        if (k >= 16) {
-          // infer::MatMul's narrow-output tier (n == 1 < 16, k >= 16).
-          for (std::int64_t i = 0; i < rows; ++i) {
-            y[i] = tensor::simd::Dot(x + i * k, vec, k);
-          }
-        } else {
-          // Mirror the naive tier's sequential ascending-k accumulation.
-          for (std::int64_t i = 0; i < rows; ++i) {
-            const float* xrow = x + i * k;
-            float acc = 0.0f;
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              if (xrow[kk] == 0.0f) continue;
-              acc += xrow[kk] * vec[kk];
-            }
-            y[i] = acc;
-          }
-        }
-        break;
-      }
-      case OpKind::kEdgeScores: {
-        const float* ss = ptr_of(s.a);
-        const float* ds = ptr_of(s.b);
-        float* y = mut_of(s.out);
-        const std::vector<std::int32_t>& src = g.edge_src;
-        const std::vector<std::int32_t>& dst = g.edge_dst;
-        for (std::int64_t e = 0; e < rows; ++e) {
-          y[e] = ss[src[static_cast<std::size_t>(e)]] + ds[dst[static_cast<std::size_t>(e)]];
-        }
-        break;
-      }
-      case OpKind::kSegmentSoftmax:
-        RunSegmentSoftmax(p, in, ptr_of(s.a), rows, cols, mut_of(s.out), scratch);
-        break;
-      case OpKind::kGatherRows: {
-        const float* x = ptr_of(s.a);
-        float* y = mut_of(s.out);
-        const std::vector<std::int32_t>& idx = s.edge_sel == 0 ? g.edge_src : g.edge_dst;
-        for (std::int64_t e = 0; e < rows; ++e) {
-          std::memcpy(y + e * cols, x + idx[static_cast<std::size_t>(e)] * cols,
-                      static_cast<std::size_t>(cols) * sizeof(float));
-        }
-        break;
-      }
-      case OpKind::kRowScale: {
-        float* x = mut_of(s.out);
-        const float* sc = ptr_of(s.b);
-        for (std::int64_t i = 0; i < rows; ++i) {
-          float* row = x + i * cols;
-          for (std::int64_t j = 0; j < cols; ++j) row[j] *= sc[i];
-        }
-        break;
-      }
-      case OpKind::kSegmentSum: {
-        const ValueInfo& av = p.values[static_cast<std::size_t>(s.a)];
-        const float* x = ptr_of(s.a);
-        float* y = mut_of(s.out);
-        std::fill(y, y + rows * cols, 0.0f);
-        const std::vector<std::int32_t>& seg = g.edge_dst;
-        for (std::int64_t e = 0; e < av.rows; ++e) {
-          const float* xrow = x + e * cols;
-          float* yrow = y + seg[static_cast<std::size_t>(e)] * cols;
-          for (std::int64_t j = 0; j < cols; ++j) yrow[j] += xrow[j];
-        }
-        break;
-      }
-      case OpKind::kAddRowVector: {
-        float* x = mut_of(s.out);
-        const float* bias = s.gain->value().data().data();
-        for (std::int64_t i = 0; i < rows; ++i) {
-          float* row = x + i * cols;
-          for (std::int64_t j = 0; j < cols; ++j) row[j] += bias[j];
-        }
-        break;
-      }
-    }
+    const detail::StepOperands ops{
+        ptr_of(s.a), ptr_of(s.b), ptr_of(s.c),
+        base + p.offsets[static_cast<std::size_t>(s.out)]};
+    detail::RunStep(p, si, *snap, in, ops,
+                    p.values[static_cast<std::size_t>(s.out)].rows, scratch, &state.runs);
   }
 
   *out = base[p.offsets[static_cast<std::size_t>(p.output)]];

@@ -1,0 +1,108 @@
+#pragma once
+// Shared internals of the compiled-program executors. Execute() (exec.cpp)
+// and ExecuteBatch() (batch.cpp) run the same step kernels; this header is
+// the seam between them so the batch executor reuses the mask-run scan, the
+// tier-resolved GEMM dispatch, and the per-step kernels bit-for-bit instead
+// of duplicating them. Internal to predtop::compile — not installed, not a
+// public API.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compile/program.h"
+#include "nn/linear.h"
+
+namespace predtop::compile::detail {
+
+/// Lanes below this are treated as -inf masked (matches the autograd mask
+/// builder's -1e30 sentinel with headroom).
+inline constexpr float kNegInfCut = -1e30f;
+
+/// Per-graph open-lane structure of the DAGRA reachability mask, shared by
+/// every attention step of one forward (the mask is identical across layers
+/// and heads). Grow-only members so a warm rebuild never allocates.
+struct MaskRuns {
+  /// Per-row window hull: lanes outside [win_lo[i], win_hi[i]) are -inf.
+  std::vector<std::int32_t> win_lo;
+  std::vector<std::int32_t> win_hi;
+  /// Open-lane runs, CSR over rows: row i's [lo, hi) pairs live at
+  /// chunk_bounds[2 * chunk_start[i] .. 2 * chunk_start[i + 1]).
+  std::vector<std::int32_t> chunk_start;
+  std::vector<std::int32_t> chunk_bounds;
+  /// Per GEMM row block (kGemmMr rows): the block's row runs merged and
+  /// rounded out to packed-panel granularity — the column ranges the logits
+  /// GEMM must actually compute.
+  std::vector<std::int32_t> brun_start;
+  std::vector<std::int32_t> brun_bounds;
+  std::vector<std::int32_t> brun_scratch;
+};
+
+/// True when the program contains a fused-attention step (the only consumer
+/// of MaskRuns).
+[[nodiscard]] bool NeedsMaskRuns(const InferProgram& p) noexcept;
+
+/// Scan in.mask (or synthesize full windows when the program's attention is
+/// unmasked) into `runs`. Warm calls reuse the vectors' capacity.
+void BuildMaskRuns(const InferProgram& p, const ExecInputs& in, MaskRuns& runs);
+
+/// The shape/presence checks Execute performs before touching the plan
+/// buffer: graph shape class, feature dims, mask/pe presence when the
+/// program wants them. False = caller must fall back.
+[[nodiscard]] bool ValidateInputs(const InferProgram& p, const ExecInputs& in) noexcept;
+
+/// y(m, n) = x(m, k) * W + nothing, with the tier resolved at build time.
+/// Per-row results are independent of m (each output element accumulates in
+/// ascending-k order in its own lane), so the batch executor may stack many
+/// queries' rows into one call and every row stays bit-identical to the
+/// single-query multiply.
+void LinearGemm(const Step& s, const std::shared_ptr<const nn::Linear::InferWeights>& w,
+                const float* x, std::int64_t m, float* y);
+
+[[nodiscard]] const float* LinearBias(const Step& s);
+
+/// Operand/result pointers for one step, resolved by the caller (the two
+/// executors address the plan buffer differently: sequential at offsets[v],
+/// batched at offsets[v] * batch + q * size(v)).
+struct StepOperands {
+  const float* a = nullptr;
+  const float* b = nullptr;
+  const float* c = nullptr;
+  float* out = nullptr;
+};
+
+/// Execute step `si` of `p` on explicit operands. `rows` is the output row
+/// count to process — the output value's rows for a single forward, or
+/// batch * rows for steps whose math is purely row-wise/element-wise (the
+/// Linear family, activations, LayerNorm, Concat2, MatVec, RowScale,
+/// AddRowVector), which is how the batch executor amortizes one stacked GEMM
+/// over the whole query set. Graph-structured steps (attention, Spmm, Pool,
+/// edge/segment ops) must be called per query with that query's `in` and
+/// `runs`. `scratch` must hold p.scratch_floats floats.
+void RunStep(const InferProgram& p, std::size_t si, const InferProgram::Snapshot& snap,
+             const ExecInputs& in, const StepOperands& ops, std::int64_t rows,
+             float* scratch, const MaskRuns* runs);
+
+/// True when step kind's math is purely row-wise/element-wise over planned
+/// operands, i.e. safe to run once over the whole stacked batch.
+[[nodiscard]] constexpr bool RowwiseBatchable(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kLinear:
+    case OpKind::kLinearAct:
+    case OpKind::kLinearResidualNorm:
+    case OpKind::kScale:
+    case OpKind::kAdd:
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kLayerNorm:
+    case OpKind::kConcat2:
+    case OpKind::kMatVec:
+    case OpKind::kRowScale:
+    case OpKind::kAddRowVector:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace predtop::compile::detail

@@ -39,12 +39,36 @@ std::shared_ptr<compile::InferProgram> StagePredictor::CachedProgram(
   return program;
 }
 
+void StagePredictor::FillExecInputs(const graph::EncodedGraph& g,
+                                    compile::ExecInputs& inputs,
+                                    std::shared_ptr<const tensor::Tensor>& keepalive) {
+  (void)keepalive;
+  inputs = compile::ExecInputs{};
+  inputs.g = &g;
+}
+
 bool StagePredictor::TryInferCompiled(const graph::EncodedGraph& g, float* out) {
   const auto program = CachedProgram(g);
   if (program == nullptr) return false;
   compile::ExecInputs inputs;
-  inputs.g = &g;
+  std::shared_ptr<const tensor::Tensor> keepalive;
+  FillExecInputs(g, inputs, keepalive);
   return compile::Execute(*program, inputs, out);
+}
+
+bool StagePredictor::TryInferCompiledBatch(const graph::EncodedGraph* const* graphs,
+                                           std::size_t count, float* out,
+                                           const compile::BatchOptions& opts) {
+  if (count == 0) return true;
+  if (graphs == nullptr || out == nullptr) return false;
+  const auto program = CachedProgram(*graphs[0]);
+  if (program == nullptr) return false;
+  std::vector<compile::ExecInputs> inputs(count);
+  std::vector<std::shared_ptr<const tensor::Tensor>> keepalive(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FillExecInputs(*graphs[i], inputs[i], keepalive[i]);
+  }
+  return compile::ExecuteBatch(*program, inputs.data(), count, out, opts);
 }
 
 const char* PredictorKindName(PredictorKind kind) noexcept {
@@ -173,18 +197,17 @@ class DagTransformerPredictor final : public StagePredictor {
     return b.Finish(t);
   }
 
-  bool TryInferCompiled(const graph::EncodedGraph& g, float* out) override {
-    const auto program = CachedProgram(g);
-    if (program == nullptr) return false;
-    compile::ExecInputs inputs;
+  /// Compiled-path externals: the DAGRA mask and the fingerprint-cached
+  /// depth encoding (kept alive through `keepalive` for the call).
+  void FillExecInputs(const graph::EncodedGraph& g, compile::ExecInputs& inputs,
+                      std::shared_ptr<const tensor::Tensor>& keepalive) override {
+    inputs = compile::ExecInputs{};
     inputs.g = &g;
     if (options_.use_dagra) inputs.mask = &g.dagra_mask;
-    std::shared_ptr<const tensor::Tensor> pe;  // keeps the encoding alive
     if (options_.use_dagpe) {
-      pe = CachedDepthEncoding(g);
-      inputs.pe = pe->data().data();
+      keepalive = CachedDepthEncoding(g);
+      inputs.pe = keepalive->data().data();
     }
-    return compile::Execute(*program, inputs, out);
   }
 
   std::vector<Variable*> Parameters() override {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "compile/batch.h"
 #include "compile/cache.h"
 #include "compile/program.h"
 #include "graph/encode.h"
@@ -69,6 +70,17 @@ class StagePredictor : public nn::Module {
   /// Program-cache owner key of this instance.
   [[nodiscard]] std::uint64_t InstanceId() const noexcept { return instance_id_; }
 
+  /// Compiled batch execution: run `count` graphs of ONE shape class (same
+  /// (num_nodes, num_edges) — the caller groups) through this instance's
+  /// program for that shape, writing one normalized scalar per graph.
+  /// Resolves the program, weight snapshot, and plan once for the whole
+  /// batch; results are bit-identical to `count` TryInferCompiled calls.
+  /// False = not compiled / shape mismatch: the caller falls back to
+  /// sequential prediction.
+  [[nodiscard]] bool TryInferCompiledBatch(const graph::EncodedGraph* const* graphs,
+                                           std::size_t count, float* out,
+                                           const compile::BatchOptions& opts = {});
+
  protected:
   /// Compiled program for g's shape class: LRU-cached globally, recorded via
   /// BuildProgram on a miss (null results are cached too, so uncompilable
@@ -84,9 +96,17 @@ class StagePredictor : public nn::Module {
   }
 
   /// Execute the compiled program for g, writing the normalized prediction
-  /// to *out. Overrides supply the predictor-specific externals (DAGRA mask,
-  /// depth encodings). False = not compiled / shape mismatch: fall back.
-  [[nodiscard]] virtual bool TryInferCompiled(const graph::EncodedGraph& g, float* out);
+  /// to *out. False = not compiled / shape mismatch: fall back. Externals
+  /// come from FillExecInputs, so both this and the batch path see the same
+  /// predictor-specific inputs.
+  [[nodiscard]] bool TryInferCompiled(const graph::EncodedGraph& g, float* out);
+
+  /// Resolve g's execution inputs for the compiled path. Overrides supply
+  /// predictor-specific externals (DAGRA mask, depth encodings); `keepalive`
+  /// pins any cached tensor the inputs point into for the call's duration.
+  /// Base: just the graph.
+  virtual void FillExecInputs(const graph::EncodedGraph& g, compile::ExecInputs& inputs,
+                              std::shared_ptr<const tensor::Tensor>& keepalive);
 
  private:
   std::uint64_t instance_id_ = compile::NextOwnerId();

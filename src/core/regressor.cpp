@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include <filesystem>
 #include <fstream>
@@ -212,6 +214,8 @@ bool FastInferEnabled() noexcept {
 
 }  // namespace
 
+bool LatencyRegressor::FastInferActive() noexcept { return FastInferEnabled(); }
+
 double LatencyRegressor::PredictSeconds(const graph::EncodedGraph& g) {
   if (!FastInferEnabled()) return PredictSecondsTape(g);
   const float pred = model_->InferScalar(g, nn::ThreadLocalInferenceContext());
@@ -226,9 +230,46 @@ double LatencyRegressor::PredictSecondsTape(const graph::EncodedGraph& g) {
 }
 
 std::vector<double> LatencyRegressor::PredictBatch(std::span<const graph::EncodedGraph> graphs) {
-  std::vector<double> out;
-  out.reserve(graphs.size());
-  for (const graph::EncodedGraph& g : graphs) out.push_back(PredictSeconds(g));
+  std::vector<const graph::EncodedGraph*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const graph::EncodedGraph& g : graphs) ptrs.push_back(&g);
+  return PredictBatch(std::span<const graph::EncodedGraph* const>(ptrs));
+}
+
+std::vector<double> LatencyRegressor::PredictBatch(
+    std::span<const graph::EncodedGraph* const> graphs) {
+  std::vector<double> out(graphs.size(), 0.0);
+  if (graphs.empty()) return out;
+  if (!FastInferEnabled() || !compile::CompileEnabled() ||
+      !compile::BatchCompileEnabled()) {
+    for (std::size_t i = 0; i < graphs.size(); ++i) out[i] = PredictSeconds(*graphs[i]);
+    return out;
+  }
+
+  // Group by shape class — one compiled program serves one (nodes, edges)
+  // pair — preserving arrival order within each group.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    groups[{graphs[i]->num_nodes,
+            static_cast<std::int64_t>(graphs[i]->edge_src.size())}]
+        .push_back(i);
+  }
+
+  std::vector<const graph::EncodedGraph*> members;
+  std::vector<float> preds;
+  for (const auto& [shape, indices] : groups) {
+    members.clear();
+    for (const std::size_t i : indices) members.push_back(graphs[i]);
+    preds.assign(indices.size(), 0.0f);
+    if (model_->TryInferCompiledBatch(members.data(), members.size(), preds.data())) {
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        out[indices[j]] = std::max(1e-6, Denormalize(preds[j]));
+      }
+    } else {
+      // Shape class not compilable: per-graph fast path (same clamp).
+      for (const std::size_t i : indices) out[i] = PredictSeconds(*graphs[i]);
+    }
+  }
   return out;
 }
 

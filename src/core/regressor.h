@@ -40,13 +40,27 @@ class LatencyRegressor {
   /// by parity tests and benchmarks as the baseline).
   [[nodiscard]] double PredictSecondsTape(const graph::EncodedGraph& g);
 
-  /// Fast-path predictions for a batch of graphs (serial loop on the calling
-  /// thread; predtop::serve fans batches across a pool for parallelism).
+  /// Fast-path predictions for a batch of graphs. Groups the batch by shape
+  /// class ((num_nodes, num_edges)) and runs each same-shape group through
+  /// the compiled batch executor — program, weight snapshot, and plan
+  /// resolved once per group (see compile::ExecuteBatch) — falling back to
+  /// per-graph PredictSeconds when a group is not compilable or the batch
+  /// path is disabled (PREDTOP_BATCH_COMPILE=0). Results are bit-identical
+  /// to calling PredictSeconds per graph either way.
   [[nodiscard]] std::vector<double> PredictBatch(std::span<const graph::EncodedGraph> graphs);
+  /// Pointer-span overload (predtop::serve batches deduplicated queries that
+  /// are not contiguous in memory).
+  [[nodiscard]] std::vector<double> PredictBatch(
+      std::span<const graph::EncodedGraph* const> graphs);
 
   /// Mean relative error (%) vs the samples' true latencies (paper Eqn. 5).
   [[nodiscard]] double MrePercent(const StageDataset& dataset,
                                   std::span<const std::size_t> indices);
+
+  /// Whether the tape-free fast path is active (PREDTOP_FAST_INFER, default
+  /// on). Exposed so serving layers can gate batch routing on it: the
+  /// compiled batch executor only engages on the fast path.
+  [[nodiscard]] static bool FastInferActive() noexcept;
 
   [[nodiscard]] PredictorKind Kind() const noexcept { return kind_; }
   [[nodiscard]] StagePredictor& Model() noexcept { return *model_; }

@@ -3,7 +3,11 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "compile/batch.h"
+#include "compile/cache.h"
+#include "compile/tune.h"
 #include "fault/injector.h"
 #include "fault/status.h"
 #include "graph/fingerprint.h"
@@ -139,16 +143,145 @@ std::vector<double> PredictionService::PredictMany(
   }
 
   std::vector<double> distinct_values(distinct.size(), 0.0);
-  pool_.ParallelFor(distinct.size(), [&](std::size_t d) {
-    const std::size_t i = distinct[d];
-    distinct_values[d] = PredictWithKey(key, *graphs[i], cache_keys[i], deadline_us);
-  });
+  if (compile::BatchCompileEnabled() && compile::CompileEnabled() &&
+      core::LatencyRegressor::FastInferActive()) {
+    // Batch-compiled path: all owned misses run through ONE PredictBatch
+    // call, which groups by shape class and amortizes program/snapshot/plan
+    // resolution per group (and one plan buffer serves the whole call).
+    PredictDistinctBatched(key, graphs, cache_keys, distinct, distinct_values,
+                           deadline_us);
+  } else {
+    // Legacy path (PREDTOP_BATCH_COMPILE=0 or no compiled fast path):
+    // distinct misses fan out across the service pool, one sequential
+    // forward each.
+    pool_.ParallelFor(distinct.size(), [&](std::size_t d) {
+      const std::size_t i = distinct[d];
+      distinct_values[d] = PredictWithKey(key, *graphs[i], cache_keys[i], deadline_us);
+    });
+  }
 
   std::vector<double> results(graphs.size(), 0.0);
   for (std::size_t i = 0; i < graphs.size(); ++i) {
     results[i] = distinct_values[first_of.at(cache_keys[i])];
   }
   return results;
+}
+
+void PredictionService::PredictDistinctBatched(
+    const ModelKey& key, std::span<const graph::EncodedGraph* const> graphs,
+    const std::vector<std::uint64_t>& cache_keys, const std::vector<std::size_t>& distinct,
+    std::vector<double>& distinct_values, std::uint64_t deadline_us) {
+  struct OwnedMiss {
+    std::size_t d = 0;  // distinct slot
+    std::size_t i = 0;  // position in graphs
+    std::promise<double> promise;
+  };
+  std::vector<OwnedMiss> owned;
+  std::vector<std::pair<std::size_t, std::shared_future<double>>> joins;
+  // Promises fulfilled so far; on exception the rest fail with it so no
+  // coalesced waiter hangs.
+  std::size_t done = 0;
+
+  try {
+    for (std::size_t d = 0; d < distinct.size(); ++d) {
+      const std::size_t i = distinct[d];
+      const std::uint64_t ck = cache_keys[i];
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      if (const auto hit = cache_.Get(ck)) {
+        distinct_values[d] = *hit;
+        continue;
+      }
+      if (util::DeadlineExpired(deadline_us, deadline_margin_us_)) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        throw fault::FaultError(fault::StatusCode::kDeadlineExceeded,
+                                "query shed: deadline already passed before the forward");
+      }
+      std::promise<double> promise;
+      std::shared_future<double> joined;
+      {
+        const std::scoped_lock lock(inflight_mutex_);
+        if (const auto it = inflight_.find(ck); it != inflight_.end()) {
+          joined = it->second;
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          inflight_.emplace(ck, promise.get_future().share());
+        }
+      }
+      if (joined.valid()) {
+        joins.emplace_back(d, std::move(joined));
+        continue;
+      }
+      // Ownership won. Double-checked probe, same reasoning as PredictWithKey:
+      // a finisher puts before erasing its in-flight entry.
+      if (const auto cached = cache_.Get(ck)) {
+        distinct_values[d] = *cached;
+        promise.set_value(*cached);
+        const std::scoped_lock lock(inflight_mutex_);
+        inflight_.erase(ck);
+        continue;
+      }
+      owned.push_back({d, i, std::move(promise)});
+    }
+
+    if (!owned.empty()) {
+      // Shed the whole remaining miss set if the deadline passed during the
+      // scan — the batched forward below is exactly the work shedding saves.
+      if (util::DeadlineExpired(deadline_us, deadline_margin_us_)) {
+        expired_.fetch_add(owned.size(), std::memory_order_relaxed);
+        throw fault::FaultError(fault::StatusCode::kDeadlineExceeded,
+                                "batch shed: deadline passed before the batched forward");
+      }
+      const auto model = registry_->Find(key);
+      if (!model) {
+        throw std::runtime_error("PredictionService: no model registered for " +
+                                 key.ToString());
+      }
+      std::vector<const graph::EncodedGraph*> miss_graphs;
+      miss_graphs.reserve(owned.size());
+      for (const OwnedMiss& o : owned) miss_graphs.push_back(graphs[o.i]);
+      const std::vector<double> values =
+          model->PredictBatch(std::span<const graph::EncodedGraph* const>(miss_graphs));
+      forwards_.fetch_add(owned.size(), std::memory_order_relaxed);
+
+      auto& injector = fault::Injector::Global();
+      for (; done < owned.size(); ++done) {
+        OwnedMiss& o = owned[done];
+        double value = values[done];
+        if (injector.Enabled()) {
+          if (const double delay_ms = injector.FireDelayMs(fault::sites::kPredictDelayMs,
+                                                           fault::sites::kPredictDelayP);
+              delay_ms > 0.0) {
+            fault::SleepForMs(delay_ms);
+          }
+          if (injector.ShouldInject(fault::sites::kPredictNan)) {
+            value = std::numeric_limits<double>::quiet_NaN();
+          }
+        }
+        if (deadline_us != 0 && util::SteadyNowUs() > deadline_us) {
+          late_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Same finite-only rule as PredictWithKey: non-finite answers stay
+        // retryable instead of becoming sticky cache hits.
+        if (std::isfinite(value)) cache_.Put(cache_keys[o.i], value);
+        distinct_values[o.d] = value;
+        o.promise.set_value(value);
+        const std::scoped_lock lock(inflight_mutex_);
+        inflight_.erase(cache_keys[o.i]);
+      }
+    }
+  } catch (...) {
+    const auto ex = std::current_exception();
+    for (std::size_t j = done; j < owned.size(); ++j) {
+      owned[j].promise.set_exception(ex);
+      const std::scoped_lock lock(inflight_mutex_);
+      inflight_.erase(cache_keys[owned[j].i]);
+    }
+    throw;
+  }
+
+  // Wait on coalesced computations last (outside any lock); get() rethrows
+  // the owner's exception, matching the sequential path.
+  for (auto& [d, fut] : joins) distinct_values[d] = fut.get();
 }
 
 ServiceStats PredictionService::Stats() const {
@@ -161,6 +294,12 @@ ServiceStats PredictionService::Stats() const {
   stats.expired = expired_.load(std::memory_order_relaxed);
   stats.late = late_.load(std::memory_order_relaxed);
   stats.cache = cache_.Stats();
+  auto& programs = compile::ProgramCache::Global();
+  stats.program_cache_hits = programs.Hits();
+  stats.program_cache_misses = programs.Misses();
+  stats.batched_forwards = compile::BatchedForwards();
+  stats.interleaved_forwards = compile::InterleavedForwards();
+  stats.autotune_sweeps = compile::AutotuneSweeps();
   return stats;
 }
 

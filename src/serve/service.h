@@ -66,6 +66,15 @@ struct ServiceStats {
   std::uint64_t expired = 0;    // queries shed before the forward (deadline)
   std::uint64_t late = 0;       // forwards that finished past their deadline
   CacheStats cache;
+  // Compiled-path counters, snapshotted from the process-wide compile layer
+  // (they are not per-service and stay monotonic across ResetStats): program
+  // cache outcomes, queries run through the stacked / interleaved batch
+  // executors, and autotuner timing sweeps.
+  std::uint64_t program_cache_hits = 0;
+  std::uint64_t program_cache_misses = 0;
+  std::uint64_t batched_forwards = 0;
+  std::uint64_t interleaved_forwards = 0;
+  std::uint64_t autotune_sweeps = 0;
 };
 
 class PredictionService {
@@ -110,6 +119,18 @@ class PredictionService {
   [[nodiscard]] double PredictWithKey(const ModelKey& key, const graph::EncodedGraph& g,
                                       std::uint64_t cache_key,
                                       std::uint64_t deadline_us = 0);
+
+  /// PredictMany's batch-compiled miss path: probe/shed/claim each distinct
+  /// query, then run ALL owned misses through one LatencyRegressor::
+  /// PredictBatch call on the calling thread (one plan buffer per worker for
+  /// the whole call), fulfilling every promise with per-query cache-put,
+  /// fault-injection, and late accounting identical to PredictWithKey.
+  void PredictDistinctBatched(const ModelKey& key,
+                              std::span<const graph::EncodedGraph* const> graphs,
+                              const std::vector<std::uint64_t>& cache_keys,
+                              const std::vector<std::size_t>& distinct,
+                              std::vector<double>& distinct_values,
+                              std::uint64_t deadline_us);
 
   std::shared_ptr<ModelRegistry> registry_;
   ShardedLruCache cache_;

@@ -243,9 +243,9 @@ std::size_t GemmThreadTarget() noexcept {
   return target;
 }
 
-std::int64_t GemmParMinElems() noexcept {
-  static const std::int64_t v =
-      util::EnvInt("PREDTOP_GEMM_PAR_MIN_ELEMS", 4l << 20);  // 4Mi MACs
+std::atomic<std::int64_t>& GemmParMinElemsFlag() noexcept {
+  static std::atomic<std::int64_t> v{
+      util::EnvInt("PREDTOP_GEMM_PAR_MIN_ELEMS", 4l << 20)};  // 4Mi MACs
   return v;
 }
 
@@ -334,6 +334,16 @@ bool GemmWideTiles() noexcept { return WideTileFlag().load(std::memory_order_rel
 void SetGemmWideTiles(bool enabled) noexcept {
   WideTileFlag().store(enabled, std::memory_order_relaxed);
 }
+
+std::int64_t GemmParMinElems() noexcept {
+  return GemmParMinElemsFlag().load(std::memory_order_relaxed);
+}
+
+void SetGemmParMinElems(std::int64_t min_elems) noexcept {
+  GemmParMinElemsFlag().store(min_elems > 0 ? min_elems : 1, std::memory_order_relaxed);
+}
+
+std::size_t GemmThreads() noexcept { return GemmThreadTarget(); }
 
 bool PackedGemmEnabled() noexcept {
   return PackedGemmFlag().load(std::memory_order_relaxed);

@@ -137,6 +137,15 @@ void SetPackedGemmEnabled(bool enabled) noexcept;
 /// True when the packed kernel additionally spreads row panels across the
 /// shared GEMM ThreadPool (m*k*n >= PREDTOP_GEMM_PAR_MIN_ELEMS, default 4Mi).
 [[nodiscard]] bool UseThreadedGemm(std::int64_t m, std::int64_t k, std::int64_t n) noexcept;
+/// The parallel-split threshold UseThreadedGemm compares m*k*n against.
+/// Runtime-settable (initialized from PREDTOP_GEMM_PAR_MIN_ELEMS) so the
+/// compile-layer autotuner can calibrate it to the machine at first use;
+/// threading never changes result bits, only where the crossover sits.
+[[nodiscard]] std::int64_t GemmParMinElems() noexcept;
+void SetGemmParMinElems(std::int64_t min_elems) noexcept;
+/// Worker count the shared GEMM pool runs with (PREDTOP_GEMM_THREADS or
+/// hardware_concurrency); reading it never constructs the pool.
+[[nodiscard]] std::size_t GemmThreads() noexcept;
 
 /// C = A(m,k) * B(k,n). Dispatches between the kernel tiers; see above.
 [[nodiscard]] Tensor MatMul(const Tensor& a, const Tensor& b);

@@ -180,6 +180,11 @@ TEST(WireCodec, HealthStatsAndErrorBodiesRoundTrip) {
   stats.batched_queries = 90;
   stats.cache_hits = 58;
   stats.cache_misses = 42;
+  stats.program_cache_hits = 21;
+  stats.program_cache_misses = 4;
+  stats.batched_forwards = 33;
+  stats.interleaved_forwards = 9;
+  stats.autotune_sweeps = 2;
   const StatsBody stats2 = DecodeStatsBody(EncodeStatsBody(stats));
   EXPECT_EQ(stats2.requests, stats.requests);
   EXPECT_EQ(stats2.queries, stats.queries);
@@ -189,6 +194,11 @@ TEST(WireCodec, HealthStatsAndErrorBodiesRoundTrip) {
   EXPECT_EQ(stats2.batched_queries, stats.batched_queries);
   EXPECT_EQ(stats2.cache_hits, stats.cache_hits);
   EXPECT_EQ(stats2.cache_misses, stats.cache_misses);
+  EXPECT_EQ(stats2.program_cache_hits, stats.program_cache_hits);
+  EXPECT_EQ(stats2.program_cache_misses, stats.program_cache_misses);
+  EXPECT_EQ(stats2.batched_forwards, stats.batched_forwards);
+  EXPECT_EQ(stats2.interleaved_forwards, stats.interleaved_forwards);
+  EXPECT_EQ(stats2.autotune_sweeps, stats.autotune_sweeps);
 
   const ErrorBody error{fault::StatusCode::kNotFound, "no model registered"};
   const ErrorBody error2 = DecodeErrorBody(EncodeErrorBody(error));

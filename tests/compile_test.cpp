@@ -10,13 +10,16 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "compile/batch.h"
 #include "compile/cache.h"
 #include "compile/planner.h"
 #include "compile/program.h"
+#include "compile/tune.h"
 #include "core/dataset.h"
 #include "core/predictors.h"
 #include "core/regressor.h"
@@ -26,8 +29,10 @@
 #include "sim/cluster.h"
 #include "sim/profiler.h"
 #include "tensor/arena.h"
+#include "tensor/ops.h"
 #include "tensor/quant.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace predtop::core {
 namespace {
@@ -63,11 +68,12 @@ graph::EncodedGraph TinyEncodedStage(std::int32_t first = 1, std::int32_t last =
 constexpr PredictorKind kAllKinds[] = {PredictorKind::kDagTransformer, PredictorKind::kGcn,
                                        PredictorKind::kGat};
 
-/// Restores the compile flag and weight precision on scope exit so a failing
-/// assertion cannot leak a disabled/quantized state into later tests.
+/// Restores the compile/batch flags and weight precision on scope exit so a
+/// failing assertion cannot leak a disabled/quantized state into later tests.
 struct ScopedInferenceConfig {
   ~ScopedInferenceConfig() {
     compile::SetCompileEnabled(true);
+    compile::SetBatchCompileEnabled(true);
     tensor::SetWeightPrec(tensor::GemmPrec::kFp32);
   }
 };
@@ -503,6 +509,267 @@ TEST(CompiledConcurrency, SharedModelConcurrentCompiledForwardIsStable) {
         const float y =
             model->InferScalar(graphs[which], nn::ThreadLocalInferenceContext());
         if (y != expected[which]) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---- batch-compiled execution ----
+
+/// A same-shape batch with genuinely distinct inputs: copies of `g` whose
+/// feature tensors are scaled per query. Shape class, depths, adjacency, and
+/// DAGRA mask stay shared, so every copy routes to one compiled program while
+/// each query's numbers differ — a wrong stacked offset shows up as a
+/// cross-query value swap, not a silent pass.
+std::vector<graph::EncodedGraph> DistinctSameShapeBatch(const graph::EncodedGraph& g,
+                                                        std::size_t count) {
+  std::vector<graph::EncodedGraph> graphs(count, g);
+  for (std::size_t q = 0; q < count; ++q) {
+    const float scale = 1.0f + 0.05f * static_cast<float>(q % 11);
+    for (float& x : graphs[q].features.data()) x *= scale;
+  }
+  return graphs;
+}
+
+/// Pointer view + per-query sequential-compiled expectations for a batch.
+struct BatchFixture {
+  std::vector<graph::EncodedGraph> graphs;
+  std::vector<const graph::EncodedGraph*> ptrs;
+  std::vector<float> expected;  // sequential compiled scalar per query
+};
+
+BatchFixture MakeBatchFixture(StagePredictor& model, const graph::EncodedGraph& base,
+                              std::size_t count) {
+  BatchFixture f;
+  f.graphs = DistinctSameShapeBatch(base, count);
+  for (const auto& g : f.graphs) {
+    f.ptrs.push_back(&g);
+    f.expected.push_back(CompiledScalar(model, g));
+  }
+  return f;
+}
+
+/// Runs the first `batch` queries of `f` through TryInferCompiledBatch under
+/// `opts` and asserts bit-exact agreement with the sequential expectations.
+void ExpectBatchParity(StagePredictor& model, const BatchFixture& f, std::size_t batch,
+                       const compile::BatchOptions& opts, const char* what) {
+  std::vector<float> out(batch, -1.0f);
+  ASSERT_TRUE(model.TryInferCompiledBatch(f.ptrs.data(), batch, out.data(), opts))
+      << model.Name() << " " << what << " batch=" << batch << ": fell back";
+  for (std::size_t q = 0; q < batch; ++q) {
+    ASSERT_EQ(out[q], f.expected[q])
+        << model.Name() << " " << what << " batch=" << batch << " q=" << q;
+  }
+}
+
+constexpr std::size_t kBatchSizes[] = {1, 2, 7, 64};
+
+TEST(CompiledBatch, StackedModeMatchesSequentialBitExact) {
+  ScopedInferenceConfig guard;
+  const graph::EncodedGraph base = TinyEncodedStage();
+  for (const PredictorKind kind : kAllKinds) {
+    auto model = MakePredictor(kind, TinyOptions());
+    const BatchFixture f = MakeBatchFixture(*model, base, 64);
+    compile::BatchOptions opts;
+    opts.mode = compile::BatchMode::kBatched;
+    for (const std::size_t batch : kBatchSizes) {
+      ExpectBatchParity(*model, f, batch, opts, "stacked");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompiledBatch, InterleavedModeMatchesAcrossThreadCounts) {
+  ScopedInferenceConfig guard;
+  const graph::EncodedGraph base = TinyEncodedStage();
+  for (const PredictorKind kind : kAllKinds) {
+    auto model = MakePredictor(kind, TinyOptions());
+    const BatchFixture f = MakeBatchFixture(*model, base, 64);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      util::ThreadPool pool(threads);
+      compile::BatchOptions opts;
+      opts.mode = compile::BatchMode::kInterleaved;
+      opts.pool = &pool;
+      for (const std::size_t batch : kBatchSizes) {
+        ExpectBatchParity(*model, f, batch, opts, "interleaved");
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(CompiledBatch, DagTransformerAblationsMatchInBatch) {
+  ScopedInferenceConfig guard;
+  const graph::EncodedGraph base = TinyEncodedStage();
+  for (const bool use_dagra : {true, false}) {
+    for (const bool use_dagpe : {true, false}) {
+      PredictorOptions options = TinyOptions();
+      options.use_dagra = use_dagra;
+      options.use_dagpe = use_dagpe;
+      auto model = MakePredictor(PredictorKind::kDagTransformer, options);
+      const BatchFixture f = MakeBatchFixture(*model, base, 7);
+      compile::BatchOptions opts;
+      opts.mode = compile::BatchMode::kBatched;
+      ExpectBatchParity(*model, f, 7, opts, "ablation");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompiledBatch, AutoModeCountsEveryQuery) {
+  ScopedInferenceConfig guard;
+  const graph::EncodedGraph base = TinyEncodedStage();
+  auto model = MakePredictor(PredictorKind::kDagTransformer, TinyOptions());
+  const BatchFixture f = MakeBatchFixture(*model, base, 5);
+  const std::uint64_t before =
+      compile::BatchedForwards() + compile::InterleavedForwards();
+  ExpectBatchParity(*model, f, 5, compile::BatchOptions{}, "auto");
+  EXPECT_EQ(compile::BatchedForwards() + compile::InterleavedForwards(), before + 5)
+      << "every query must land in exactly one batch-path counter";
+}
+
+TEST(CompiledBatch, RegressorBatchMatchesSequentialAcrossShapes) {
+  ScopedInferenceConfig guard;
+  // Three shape classes, interleaved and with same-shape duplicates: the
+  // regressor must split per shape, run each group batched, and scatter the
+  // results back in caller order.
+  std::vector<graph::EncodedGraph> graphs{TinyEncodedStage(0, 1), TinyEncodedStage(1, 2),
+                                          TinyEncodedStage(0, 3), TinyEncodedStage(1, 2),
+                                          TinyEncodedStage(0, 1), TinyEncodedStage(1, 2)};
+  for (const PredictorKind kind : kAllKinds) {
+    LatencyRegressor regressor(kind, TinyOptions());
+    std::vector<double> expected;
+    for (const auto& g : graphs) expected.push_back(regressor.PredictSeconds(g));
+    const std::vector<double> batched =
+        regressor.PredictBatch(std::span<const graph::EncodedGraph>(graphs));
+    ASSERT_EQ(batched.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(batched[i], expected[i]) << regressor.Model().Name() << " i=" << i;
+    }
+    // The kill switch reverts to sequential replay — still bit-identical.
+    compile::SetBatchCompileEnabled(false);
+    const std::vector<double> fallback =
+        regressor.PredictBatch(std::span<const graph::EncodedGraph>(graphs));
+    compile::SetBatchCompileEnabled(true);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(fallback[i], expected[i]) << regressor.Model().Name() << " i=" << i;
+    }
+  }
+}
+
+TEST(CompiledBatchArena, WarmBatchAllocatesNothing) {
+  ScopedInferenceConfig guard;
+  const graph::EncodedGraph base = TinyEncodedStage();
+  auto model = MakePredictor(PredictorKind::kDagTransformer, TinyOptions());
+  const BatchFixture f = MakeBatchFixture(*model, base, 8);
+  std::vector<float> out(8);
+  compile::BatchOptions opts;
+  opts.mode = compile::BatchMode::kBatched;
+  // Cold: compiles the program (if needed) and grows the batched plan buffer.
+  ASSERT_TRUE(model->TryInferCompiledBatch(f.ptrs.data(), 8, out.data(), opts));
+  const std::int64_t batch_floats = compile::ThreadBatchBufferFloats();
+  EXPECT_GT(batch_floats, 0);
+  nn::InferenceContext& ctx = nn::ThreadLocalInferenceContext();
+  ctx.BeginForward();  // rewind the arena so its epoch counter reads zero
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(model->TryInferCompiledBatch(f.ptrs.data(), 8, out.data(), opts));
+  }
+  EXPECT_EQ(ctx.arena().EpochFloats(), 0)
+      << "warm batched forward touched the dynamic arena";
+  EXPECT_EQ(compile::ThreadBatchBufferFloats(), batch_floats)
+      << "warm batched forward grew the plan buffer";
+}
+
+TEST(ProgramCache, HitAndMissCountersAreMonotonic) {
+  ScopedInferenceConfig guard;
+  auto& cache = compile::ProgramCache::Global();
+  cache.Clear();
+  const graph::EncodedGraph g = TinyEncodedStage();
+  auto model = MakePredictor(PredictorKind::kGcn, TinyOptions());
+  const std::uint64_t misses0 = cache.Misses();
+  (void)CompiledScalar(*model, g);  // cold: misses, then compiles and inserts
+  EXPECT_GT(cache.Misses(), misses0);
+  const std::uint64_t hits1 = cache.Hits();
+  const std::uint64_t misses1 = cache.Misses();
+  (void)CompiledScalar(*model, g);  // warm: pure hit
+  EXPECT_GT(cache.Hits(), hits1);
+  EXPECT_EQ(cache.Misses(), misses1);
+}
+
+TEST(TuneTableResolution, EnvOverridesWinAndResolutionIsSticky) {
+  ScopedInferenceConfig guard;
+  const bool wide0 = tensor::GemmWideTiles();
+  const std::int64_t pme0 = tensor::GemmParMinElems();
+  const std::uint64_t sweeps0 = compile::AutotuneSweeps();
+  setenv("PREDTOP_TUNE_WIDE_TILES", "0", 1);
+  setenv("PREDTOP_TUNE_PAR_MIN_ELEMS", "123456", 1);
+  setenv("PREDTOP_TUNE_INTERLEAVE_MIN_BATCH", "9", 1);
+  setenv("PREDTOP_TUNE_INTERLEAVE_MIN_FLOPS", "77", 1);
+  compile::detail::ResetTuneTableForTest();
+  const compile::TuneTable& t = compile::ResolvedTuneTable();
+  EXPECT_FALSE(t.wide_tiles);
+  EXPECT_EQ(t.par_min_elems, 123456);
+  EXPECT_EQ(t.interleave_min_batch, 9);
+  EXPECT_EQ(t.interleave_min_flops, 77);
+  EXPECT_FALSE(t.autotuned);  // env resolution runs no timing sweeps...
+  EXPECT_EQ(compile::AutotuneSweeps(), sweeps0);
+  // ...but explicit overrides do propagate to the tensor layer.
+  EXPECT_FALSE(tensor::GemmWideTiles());
+  EXPECT_EQ(tensor::GemmParMinElems(), 123456);
+  // Sticky: once resolved, env changes are ignored until a reset.
+  setenv("PREDTOP_TUNE_PAR_MIN_ELEMS", "999", 1);
+  EXPECT_EQ(compile::ResolvedTuneTable().par_min_elems, 123456);
+  unsetenv("PREDTOP_TUNE_WIDE_TILES");
+  unsetenv("PREDTOP_TUNE_PAR_MIN_ELEMS");
+  unsetenv("PREDTOP_TUNE_INTERLEAVE_MIN_BATCH");
+  unsetenv("PREDTOP_TUNE_INTERLEAVE_MIN_FLOPS");
+  tensor::SetGemmWideTiles(wide0);
+  tensor::SetGemmParMinElems(pme0);
+  compile::detail::ResetTuneTableForTest();
+}
+
+TEST(TuneTableResolution, DefaultResolutionNeverMovesTensorKnobs) {
+  ScopedInferenceConfig guard;
+  const bool wide0 = tensor::GemmWideTiles();
+  const std::int64_t pme0 = tensor::GemmParMinElems();
+  tensor::SetGemmWideTiles(!wide0);  // pretend a test manages this global
+  compile::detail::ResetTuneTableForTest();
+  const compile::TuneTable& t = compile::ResolvedTuneTable();
+  EXPECT_EQ(t.wide_tiles, !wide0);  // defaults mirror the current state...
+  EXPECT_EQ(tensor::GemmWideTiles(), !wide0);  // ...and never stomp it
+  EXPECT_EQ(tensor::GemmParMinElems(), pme0);
+  tensor::SetGemmWideTiles(wide0);
+  compile::detail::ResetTuneTableForTest();
+}
+
+// Exercised under TSan via ci/run.sh tsan: concurrent stacked batches on one
+// shared model hit the program cache, the weight snapshot, and the per-thread
+// batch buffers from many threads at once.
+TEST(CompiledBatchConcurrency, SharedModelConcurrentBatchForwardIsStable) {
+  ScopedInferenceConfig guard;
+  const graph::EncodedGraph base = TinyEncodedStage();
+  auto model = MakePredictor(PredictorKind::kDagTransformer, TinyOptions());
+  const BatchFixture f = MakeBatchFixture(*model, base, 6);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      compile::BatchOptions opts;
+      opts.mode = compile::BatchMode::kBatched;
+      std::vector<float> out(f.ptrs.size());
+      for (int i = 0; i < 16; ++i) {
+        if (!model->TryInferCompiledBatch(f.ptrs.data(), f.ptrs.size(), out.data(),
+                                          opts)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (std::size_t q = 0; q < f.ptrs.size(); ++q) {
+          if (out[q] != f.expected[q]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
       }
     });
   }

@@ -15,8 +15,11 @@
 #include <thread>
 #include <utility>
 
+#include "compile/batch.h"
+#include "compile/program.h"
 #include "core/plan_search.h"
 #include "fault/injector.h"
+#include "nn/infer.h"
 #include "fault/status.h"
 #include "graph/fingerprint.h"
 #include "ir/stages.h"
@@ -526,6 +529,114 @@ TEST(Service, ConcurrentPredictManyWithOverlappingKeys) {
   EXPECT_EQ(stats.batches, 2u);
   EXPECT_EQ(stats.batched_queries, 4u);
   EXPECT_EQ(stats.forwards, 3u);  // g1, shared (once), g3
+}
+
+// ---- batch-compiled PredictMany ----
+
+/// Restores the process-wide batch-path switch on scope exit so a failing
+/// assertion cannot leak a disabled batch path into later tests.
+struct ScopedBatchCompile {
+  explicit ScopedBatchCompile(bool enabled) { compile::SetBatchCompileEnabled(enabled); }
+  ~ScopedBatchCompile() { compile::SetBatchCompileEnabled(true); }
+};
+
+TEST(Service, PredictManyBatchPathMatchesLegacyPath) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kDagTransformer, TinyOptions()));
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g1 = core::EncodeStage(benchmark.build_stage({0, 2}));
+  const graph::EncodedGraph g2 = core::EncodeStage(benchmark.build_stage({2, 4}));
+  const graph::EncodedGraph g3 = core::EncodeStage(benchmark.build_stage({1, 3}));
+  const std::vector<const graph::EncodedGraph*> batch{&g1, &g2, &g1, &g3, &g2};
+
+  std::vector<double> batched;
+  {
+    ScopedBatchCompile on(true);
+    PredictionService service(registry);
+    batched = service.PredictMany(key, batch);
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.batched_queries, 5u);
+    EXPECT_EQ(stats.forwards, 3u);  // duplicates still collapse on the batch path
+  }
+  std::vector<double> legacy;
+  {
+    ScopedBatchCompile off(false);
+    PredictionService service(registry);
+    legacy = service.PredictMany(key, batch);
+    EXPECT_EQ(service.Stats().forwards, 3u);
+  }
+  ASSERT_EQ(batched.size(), legacy.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], legacy[i]) << "PREDTOP_BATCH_COMPILE must not change bits, i=" << i;
+  }
+}
+
+TEST(Service, PredictManyWarmBatchReusesPlanBuffers) {
+  // Regression pin for the per-call buffer reuse fix: once a batch's shapes
+  // have been served, re-serving the same batch (cache cleared, so the
+  // forwards genuinely run) must not grow this thread's sequential plan
+  // buffer or batched plan buffer, and must not touch the dynamic arena.
+  ScopedBatchCompile on(true);
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kDagTransformer, TinyOptions()));
+  PredictionService service(registry);
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g1 = core::EncodeStage(benchmark.build_stage({0, 2}));
+  const graph::EncodedGraph g2 = core::EncodeStage(benchmark.build_stage({2, 4}));
+  const graph::EncodedGraph g3 = core::EncodeStage(benchmark.build_stage({1, 3}));
+  const std::vector<const graph::EncodedGraph*> batch{&g1, &g2, &g1, &g3, &g2};
+
+  (void)service.PredictMany(key, batch);  // cold: compile + grow buffers
+  service.ClearCache();
+  (void)service.PredictMany(key, batch);  // second pass settles every buffer
+  const std::int64_t plan_floats = compile::ThreadPlanBufferFloats();
+  const std::int64_t batch_floats = compile::ThreadBatchBufferFloats();
+  EXPECT_GT(plan_floats + batch_floats, 0) << "compiled batch path never engaged";
+
+  nn::InferenceContext& ctx = nn::ThreadLocalInferenceContext();
+  ctx.BeginForward();  // rewind the arena so its epoch counter reads zero
+  for (int i = 0; i < 3; ++i) {
+    service.ClearCache();
+    (void)service.PredictMany(key, batch);
+  }
+  EXPECT_EQ(ctx.arena().EpochFloats(), 0) << "warm batch touched the dynamic arena";
+  EXPECT_EQ(compile::ThreadPlanBufferFloats(), plan_floats);
+  EXPECT_EQ(compile::ThreadBatchBufferFloats(), batch_floats);
+}
+
+TEST(Service, StatsExposeCompiledBatchCounters) {
+  ScopedBatchCompile on(true);
+  auto registry = std::make_shared<ModelRegistry>();
+  const ModelKey key{"gpt3", "platform1", sim::Mesh{1, 1}, {}};
+  registry->Register(key, std::make_shared<core::LatencyRegressor>(
+                              core::PredictorKind::kDagTransformer, TinyOptions()));
+  PredictionService service(registry);
+  const core::BenchmarkModel benchmark = core::Gpt3Benchmark(TinyGptConfig());
+  const graph::EncodedGraph g1 = core::EncodeStage(benchmark.build_stage({0, 2}));
+  const graph::EncodedGraph g2 = core::EncodeStage(benchmark.build_stage({2, 4}));
+  const graph::EncodedGraph g3 = core::EncodeStage(benchmark.build_stage({1, 3}));
+
+  // The compiled-path counters are process-wide snapshots, so assert deltas.
+  const ServiceStats before = service.Stats();
+  const std::vector<const graph::EncodedGraph*> batch{&g1, &g2, &g3};
+  (void)service.PredictMany(key, batch);
+  const ServiceStats after = service.Stats();
+  EXPECT_GT(after.program_cache_hits + after.program_cache_misses,
+            before.program_cache_hits + before.program_cache_misses);
+  EXPECT_GE(after.batched_forwards + after.interleaved_forwards,
+            before.batched_forwards + before.interleaved_forwards + 3)
+      << "all three distinct queries should run through the batch executors";
+  // Monotonic across ResetStats: the compile layer is process-wide.
+  service.ResetStats();
+  const ServiceStats reset = service.Stats();
+  EXPECT_EQ(reset.forwards, 0u);
+  EXPECT_GE(reset.batched_forwards + reset.interleaved_forwards,
+            after.batched_forwards + after.interleaved_forwards);
 }
 
 // ---- thread pool failure propagation ----
